@@ -1,0 +1,248 @@
+package wdc
+
+// Benchmark harness: one testing.B per paper table and figure, plus the
+// ablation benches DESIGN.md calls out. Figure/table benches run reduced-
+// scale sweeps (QuickOptions) whose curve shapes match the full-scale runs
+// produced by cmd/wdcsim; see EXPERIMENTS.md for the full-scale record.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/harness"
+	"repro/internal/mux"
+	"repro/internal/traffic"
+)
+
+// reportFig4 attaches the headline metrics to the bench output so a bench
+// run doubles as a shape check.
+func reportFig4(b *testing.B, r Fig4Result) {
+	b.Helper()
+	if r.CrossoverOK {
+		b.ReportMetric(r.Crossover, "crossover")
+		b.ReportMetric(r.MaxRatio, "max-ratio")
+	}
+}
+
+func benchFig4(b *testing.B, mix Mix) {
+	var last Fig4Result
+	for i := 0; i < b.N; i++ {
+		last = Fig4(mix, QuickOptions(uint64(i+1)))
+	}
+	reportFig4(b, last)
+}
+
+// BenchmarkFig4a regenerates Fig. 4(a): three audio flows, single hop.
+func BenchmarkFig4a(b *testing.B) { benchFig4(b, MixAudio) }
+
+// BenchmarkFig4b regenerates Fig. 4(b): three video flows, single hop.
+func BenchmarkFig4b(b *testing.B) { benchFig4(b, MixVideo) }
+
+// BenchmarkFig4c regenerates Fig. 4(c): one video + two audio flows.
+func BenchmarkFig4c(b *testing.B) { benchFig4(b, MixHetero) }
+
+func benchFig6(b *testing.B, mix Mix) {
+	opts := QuickOptions(1)
+	opts.NumHosts = 60
+	opts.Loads = []float64{0.4, 0.9}
+	var last Fig6Result
+	for i := 0; i < b.N; i++ {
+		opts.Seed = uint64(i + 1)
+		last = Fig6(mix, opts)
+	}
+	if last.CrossoverOK {
+		b.ReportMetric(last.Crossover, "crossover")
+	}
+}
+
+// BenchmarkFig6a regenerates Fig. 6(a): 3 audio groups, six schemes.
+func BenchmarkFig6a(b *testing.B) { benchFig6(b, MixAudio) }
+
+// BenchmarkFig6b regenerates Fig. 6(b): 3 video groups.
+func BenchmarkFig6b(b *testing.B) { benchFig6(b, MixVideo) }
+
+// BenchmarkFig6c regenerates Fig. 6(c): heterogeneous groups.
+func BenchmarkFig6c(b *testing.B) { benchFig6(b, MixHetero) }
+
+func benchLayerTable(b *testing.B, mix Mix) {
+	opts := QuickOptions(1)
+	opts.NumHosts = 300
+	var last LayerSweepResult
+	for i := 0; i < b.N; i++ {
+		opts.Seed = uint64(i + 1)
+		last = LayerSweep(mix, opts)
+	}
+	if n := len(last.Rows); n > 0 {
+		b.ReportMetric(float64(last.Rows[n-1].CapacityAware), "ca-layers-max")
+		b.ReportMetric(float64(last.Rows[0].RegulatedLayers), "reg-layers")
+	}
+}
+
+// BenchmarkTableI regenerates Table I (audio layer counts).
+func BenchmarkTableI(b *testing.B) { benchLayerTable(b, MixAudio) }
+
+// BenchmarkTableII regenerates Table II (video layer counts).
+func BenchmarkTableII(b *testing.B) { benchLayerTable(b, MixVideo) }
+
+// BenchmarkTableIII regenerates Table III (heterogeneous layer counts).
+func BenchmarkTableIII(b *testing.B) { benchLayerTable(b, MixHetero) }
+
+// BenchmarkFig2Trace regenerates the Fig. 2 regulator operation trace.
+func BenchmarkFig2Trace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.Fig2Trace(10_000, 250_000, 1_000_000, des.Seconds(1), 256)
+	}
+}
+
+// BenchmarkRhoStarTable regenerates the Theorem 3/4 threshold table.
+func BenchmarkRhoStarTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.RhoStarTable(100)
+	}
+}
+
+// BenchmarkImprovementTable regenerates the Theorem 5/6 ratio table.
+func BenchmarkImprovementTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.ImprovementTable(3, nil)
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// BenchmarkAblationStagger compares the staggered duty cycle against
+// aligned phases at high load: the metric of interest is wdb-aligned /
+// wdb-staggered (>1 means staggering pays).
+func BenchmarkAblationStagger(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		cfg := SingleHopConfig{Mix: MixVideo, Load: 0.9, Scheme: SchemeSRL,
+			Duration: 13 * des.Second, Seed: uint64(i + 1)}
+		st := RunSingleHop(cfg)
+		cfg.StaggerAligned = true
+		al := RunSingleHop(cfg)
+		ratio = al.WDB / st.WDB
+	}
+	b.ReportMetric(ratio, "aligned/staggered")
+}
+
+// BenchmarkAblationLambda sweeps the duty-cycle control factor: λ at the
+// paper's Eq. (1) minimum versus regulators configured with 2× the
+// vacation (emulating λ' = 2λ by doubling σ in V while keeping W).
+func BenchmarkAblationLambda(b *testing.B) {
+	var base, doubled float64
+	for i := 0; i < b.N; i++ {
+		cfg := SingleHopConfig{Mix: MixVideo, Load: 0.8, Scheme: SchemeSRL,
+			Duration: 13 * des.Second, Seed: uint64(i + 1)}
+		base = RunSingleHop(cfg).WDB
+		cfg.BurstSec = 0.30 // doubles σ hence V = σ/ρ
+		doubled = RunSingleHop(cfg).WDB
+	}
+	b.ReportMetric(doubled/base, "2xSigma/base")
+}
+
+// BenchmarkAblationCapacityFactor sweeps C_out/C for the capacity-aware
+// comparator, reporting the layer count at the paper's heaviest load.
+func BenchmarkAblationCapacityFactor(b *testing.B) {
+	var layers float64
+	for i := 0; i < b.N; i++ {
+		for _, factor := range []float64{1.5, 2.0, 3.0} {
+			r := Run(Config{NumHosts: 300, Mix: MixAudio, Load: 0.95,
+				Scheme: SchemeCapacityAware, CapacityFactor: factor,
+				Duration: des.Second, Seed: uint64(i + 1)})
+			layers = float64(r.Layers)
+		}
+	}
+	b.ReportMetric(layers, "layers@factor3")
+}
+
+// BenchmarkAblationClusterK sweeps the DSCT cluster parameter k.
+func BenchmarkAblationClusterK(b *testing.B) {
+	var layers float64
+	for i := 0; i < b.N; i++ {
+		for _, k := range []int{2, 3, 4, 5} {
+			r := core.NewSession(core.Config{NumHosts: 300, Mix: traffic.MixAudio,
+				Load: 0.5, Scheme: core.SchemeSRL, ClusterK: k, Seed: uint64(i + 1)})
+			l := 0
+			for _, tr := range r.Trees() {
+				if tl := tr.Layers(); tl > l {
+					l = tl
+				}
+			}
+			layers = float64(l)
+		}
+	}
+	b.ReportMetric(layers, "layers@k5")
+}
+
+// BenchmarkAblationRateEstimator compares the adaptive controller on
+// WindowRate (default) against runs pinned to each fixed scheme,
+// exercising the estimator-driven switching path end to end.
+func BenchmarkAblationRateEstimator(b *testing.B) {
+	var ad float64
+	for i := 0; i < b.N; i++ {
+		ad = RunSingleHop(SingleHopConfig{Mix: MixVideo, Load: 0.9,
+			Scheme: SchemeAdaptive, Duration: 13 * des.Second, Seed: uint64(i + 1)}).WDB
+	}
+	b.ReportMetric(ad, "adaptive-wdb")
+}
+
+// BenchmarkAblationDiscipline compares the general-MUX adversary (LIFO)
+// against FIFO service for the (σ,ρ) scheme at high load — the gap is the
+// busy-period exposure the paper's bounds describe.
+func BenchmarkAblationDiscipline(b *testing.B) {
+	var lifo, fifo float64
+	for i := 0; i < b.N; i++ {
+		cfg := SingleHopConfig{Mix: MixVideo, Load: 0.9, Scheme: SchemeSigmaRho,
+			Duration: 13 * des.Second, Seed: uint64(i + 1)}
+		lifo = RunSingleHop(cfg).WDB
+		cfg.Discipline = mux.FIFO
+		fifo = RunSingleHop(cfg).WDB
+	}
+	b.ReportMetric(lifo/fifo, "lifo/fifo")
+}
+
+// BenchmarkAblationWorkload compares extremal against stochastic VBR
+// drive at high load — quantifying how far typical-case traffic sits from
+// the worst case.
+func BenchmarkAblationWorkload(b *testing.B) {
+	var ext, vbr float64
+	for i := 0; i < b.N; i++ {
+		cfg := SingleHopConfig{Mix: MixVideo, Load: 0.9, Scheme: SchemeSigmaRho,
+			Duration: 13 * des.Second, Seed: uint64(i + 1), EnvelopeHorizonSec: 13}
+		ext = RunSingleHop(cfg).WDB
+		cfg.Workload = WorkloadVBR
+		vbr = RunSingleHop(cfg).WDB
+	}
+	b.ReportMetric(ext/vbr, "extremal/vbr")
+}
+
+// --- End-to-end engine benches ---
+
+// BenchmarkSingleHopRun measures one Simulation I run.
+func BenchmarkSingleHopRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RunSingleHop(SingleHopConfig{Mix: MixVideo, Load: 0.8, Scheme: SchemeSRL,
+			Duration: 13 * des.Second, Seed: uint64(i + 1)})
+	}
+}
+
+// BenchmarkSessionRun measures one reduced multi-group run.
+func BenchmarkSessionRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Run(Config{NumHosts: 60, Mix: MixAudio, Load: 0.8, Scheme: SchemeSRL,
+			Duration: 5 * des.Second, Seed: uint64(i + 1)})
+	}
+}
+
+// BenchmarkSessionBuild measures network + tree + host wiring alone.
+func BenchmarkSessionBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		core.NewSession(core.Config{NumHosts: 665, Mix: traffic.MixAudio,
+			Load: 0.8, Scheme: core.SchemeSRL, Seed: uint64(i + 1)})
+	}
+}

@@ -1,0 +1,76 @@
+// Command wdccalc evaluates the paper's closed-form results: duty-cycle
+// parameters, delay bounds, rate thresholds, and improvement ratios.
+//
+// Usage:
+//
+//	wdccalc -rhostar -maxk 20
+//	wdccalc -ratio -k 3
+//	wdccalc -duty -sigma 0.02 -rho 0.3
+//	wdccalc -bounds -k 3 -sigma 0.02 -rho 0.3 -height 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/calculus"
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		rhostar = flag.Bool("rhostar", false, "Theorem 3/4 thresholds")
+		ratio   = flag.Bool("ratio", false, "Theorem 5/6 improvement bounds")
+		duty    = flag.Bool("duty", false, "Eq. (1) duty-cycle parameters")
+		bounds  = flag.Bool("bounds", false, "Lemma 1 / Theorems 1-2 / 7-8 delay bounds")
+		maxK    = flag.Int("maxk", 10, "largest K for -rhostar")
+		k       = flag.Int("k", 3, "number of flows/groups")
+		sigma   = flag.Float64("sigma", 0.02, "burst σ in capacity-seconds")
+		rho     = flag.Float64("rho", 0.3, "per-flow rate ρ as a fraction of capacity")
+		height  = flag.Int("height", 7, "DSCT tree height bound for multicast bounds")
+	)
+	flag.Parse()
+
+	any := false
+	if *rhostar {
+		any = true
+		fmt.Println("Rate thresholds ρ* (Theorems 3/4):")
+		fmt.Print(harness.RhoStarTable(*maxK))
+	}
+	if *ratio {
+		any = true
+		fmt.Printf("Guaranteed Dg/D̂g improvement bounds, K=%d (Theorems 5/6):\n", *k)
+		fmt.Print(harness.ImprovementTable(*k, nil))
+	}
+	if *duty {
+		any = true
+		lam := calculus.Lambda(*rho)
+		fmt.Printf("Duty cycle for σ=%.4g, ρ=%.4g (Eq. 1):\n", *sigma, *rho)
+		fmt.Printf("  λ = 1/(1−ρ)      = %.4f\n", lam)
+		fmt.Printf("  W = σ/(1−ρ)      = %.4fs\n", calculus.WorkPeriod(*sigma, *rho))
+		fmt.Printf("  V = σ/ρ          = %.4fs\n", calculus.Vacation(*sigma, *rho))
+		fmt.Printf("  P = λσ/ρ         = %.4fs\n", calculus.Period(*sigma, *rho))
+	}
+	if *bounds {
+		any = true
+		sigmas := make([]float64, *k)
+		rhos := make([]float64, *k)
+		for i := range sigmas {
+			sigmas[i], rhos[i] = *sigma, *rho
+		}
+		dg := calculus.DgHetero(sigmas, rhos)
+		dhat := calculus.DhatHetero(sigmas, rhos)
+		fmt.Printf("Bounds for K=%d identical flows (σ=%.4g, ρ=%.4g):\n", *k, *sigma, *rho)
+		fmt.Printf("  Lemma 1 regulator delay  = %.4fs\n", calculus.Lemma1Delay(*sigma, *sigma, *rho))
+		fmt.Printf("  Remark 1 MUX bound  Dg   = %.4fs\n", dg)
+		fmt.Printf("  Theorem 1 MUX bound D̂g  = %.4fs\n", dhat)
+		fmt.Printf("  Theorem 7 tree bound (H=%d) = %.4fs (σ,ρ,λ) vs %.4fs (σ,ρ)\n",
+			*height, calculus.MulticastDhatHetero(*height, sigmas, rhos),
+			calculus.MulticastDgHetero(*height, sigmas, rhos))
+	}
+	if !any {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,120 @@
+// Command wdcsim runs the paper's experiments and prints the same rows and
+// series the evaluation section reports.
+//
+// Usage:
+//
+//	wdcsim -exp fig4b                 # one experiment at paper scale
+//	wdcsim -exp fig6a -hosts 200      # reduced population
+//	wdcsim -exp all -quick            # every experiment, reduced scale
+//	wdcsim -exp fig4a -adaptive       # add the adaptive algorithm's curve
+//
+// Experiments: fig2, fig4a, fig4b, fig4c, fig6a, fig6b, fig6c, table1,
+// table2, table3, rhostar, ratio, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/des"
+	"repro/internal/harness"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (fig2, fig4a-c, fig6a-c, table1-3, rhostar, ratio, all)")
+		hosts    = flag.Int("hosts", 0, "override multi-group host count (default 665)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		quick    = flag.Bool("quick", false, "reduced-scale sweep (120 hosts, 5 loads)")
+		adaptive = flag.Bool("adaptive", false, "add the adaptive algorithm's curve to fig4 output")
+		durSec   = flag.Float64("duration", 0, "override per-run simulated seconds")
+	)
+	flag.Parse()
+
+	opts := harness.Options{Seed: *seed}
+	if *quick {
+		opts = harness.Quick(*seed)
+	}
+	if *hosts > 0 {
+		opts.NumHosts = *hosts
+	}
+	if *durSec > 0 {
+		opts.Duration = des.Seconds(*durSec)
+		opts.SingleHopDuration = des.Seconds(*durSec)
+	}
+	opts.IncludeAdaptive = *adaptive
+
+	runners := map[string]func(){
+		"fig2":    func() { runFig2() },
+		"fig4a":   func() { runFig4("Fig. 4(a) — three 64 kbps audio flows", traffic.MixAudio, opts) },
+		"fig4b":   func() { runFig4("Fig. 4(b) — three 1.5 Mbps video flows", traffic.MixVideo, opts) },
+		"fig4c":   func() { runFig4("Fig. 4(c) — one video + two audio flows", traffic.MixHetero, opts) },
+		"fig6a":   func() { runFig6("Fig. 6(a) — three audio groups", traffic.MixAudio, opts) },
+		"fig6b":   func() { runFig6("Fig. 6(b) — three video groups", traffic.MixVideo, opts) },
+		"fig6c":   func() { runFig6("Fig. 6(c) — heterogeneous groups", traffic.MixHetero, opts) },
+		"table1":  func() { runTable("Table I — layer counts, audio groups", traffic.MixAudio, opts) },
+		"table2":  func() { runTable("Table II — layer counts, video groups", traffic.MixVideo, opts) },
+		"table3":  func() { runTable("Table III — layer counts, heterogeneous groups", traffic.MixHetero, opts) },
+		"rhostar": func() { runRhoStar() },
+		"ratio":   func() { runRatio() },
+	}
+	order := []string{"fig2", "fig4a", "fig4b", "fig4c", "fig6a", "fig6b", "fig6c",
+		"table1", "table2", "table3", "rhostar", "ratio"}
+
+	if *exp == "all" {
+		for _, id := range order {
+			runners[id]()
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "wdcsim: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	run()
+}
+
+func header(title string) {
+	fmt.Printf("\n== %s ==\n", title)
+}
+
+func runFig2() {
+	header("Fig. 2 — (σ, ρ, λ) regulator operation (σ=10kb, ρ=250kbps, C=1Mbps)")
+	pts := harness.Fig2Trace(10_000, 250_000, 1_000_000, des.Seconds(0.5), 26)
+	fmt.Print(harness.Fig2Table(pts))
+}
+
+func runFig4(title string, mix traffic.Mix, opts harness.Options) {
+	header(title)
+	r := harness.Fig4(mix, opts)
+	fmt.Print(r.Table())
+	fmt.Println(r.Summary())
+}
+
+func runFig6(title string, mix traffic.Mix, opts harness.Options) {
+	header(title)
+	r := harness.Fig6(mix, opts)
+	fmt.Print(r.Table())
+	fmt.Println(r.Summary())
+	fmt.Println("\nLayer counts (feeds Tables I–III):")
+	fmt.Print(r.LayerTable())
+}
+
+func runTable(title string, mix traffic.Mix, opts harness.Options) {
+	header(title)
+	fmt.Print(harness.LayerSweep(mix, opts).Table())
+}
+
+func runRhoStar() {
+	header("Theorems 3/4 — rate threshold ρ* (paper: 0.73C homog, 0.79C hetero)")
+	fmt.Print(harness.RhoStarTable(10))
+}
+
+func runRatio() {
+	header("Theorems 5/6 — guaranteed Dg/D̂g improvement bounds (K=3)")
+	fmt.Print(harness.ImprovementTable(3, nil))
+}

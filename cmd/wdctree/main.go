@@ -1,0 +1,125 @@
+// Command wdctree builds and inspects the overlay multicast trees: the
+// Fig. 5 backbone, DSCT/NICE hierarchies, their capacity-aware variants,
+// and the Lemma 2 height bound.
+//
+// Usage:
+//
+//	wdctree -print-backbone
+//	wdctree -heights -hosts 665
+//	wdctree -build dsct -hosts 300 -k 3
+//	wdctree -build flat -fanout 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/calculus"
+	"repro/internal/overlay"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+func main() {
+	var (
+		printBackbone = flag.Bool("print-backbone", false, "print the Fig. 5 backbone topology")
+		heights       = flag.Bool("heights", false, "measured tree heights vs the Lemma 2 bound")
+		build         = flag.String("build", "", "build one tree and print metrics: dsct, nice, flat, flatblind")
+		hosts         = flag.Int("hosts", 665, "host count")
+		k             = flag.Int("k", 3, "cluster parameter")
+		fanout        = flag.Int("fanout", 3, "fanout for flat trees")
+		seed          = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *printBackbone:
+		doBackbone()
+	case *heights:
+		doHeights(*hosts, *k, *seed)
+	case *build != "":
+		doBuild(*build, *hosts, *k, *fanout, *seed)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func doBackbone() {
+	g := topo.Backbone19()
+	fmt.Printf("Fig. 5 backbone: %d routers, %d links, connected=%v\n",
+		g.NumNodes(), g.NumEdges(), g.Connected())
+	t := stats.NewTable("router", "degree", "coord", "links (to:delay)")
+	for v := 0; v < g.NumNodes(); v++ {
+		links := ""
+		for i, e := range g.Neighbors(topo.NodeID(v)) {
+			if i > 0 {
+				links += " "
+			}
+			links += fmt.Sprintf("%d:%v", e.To, e.Delay)
+		}
+		c := g.Coord(topo.NodeID(v))
+		t.AddRow(fmt.Sprintf("%d", v), fmt.Sprintf("%d", g.Degree(topo.NodeID(v))),
+			fmt.Sprintf("(%.0f,%.0f)", c.X, c.Y), links)
+	}
+	fmt.Print(t)
+}
+
+func network(hosts int, seed uint64) (*topo.Network, []int) {
+	net := topo.NewNetwork(topo.Backbone19(), topo.NetworkConfig{NumHosts: hosts, Seed: seed})
+	members := make([]int, hosts)
+	for i := range members {
+		members[i] = i
+	}
+	return net, members
+}
+
+func doHeights(hosts, k int, seed uint64) {
+	net, members := network(hosts, seed)
+	t := stats.NewTable("tree", "layers", "height", "Lemma2 bound", "max fanout", "stretch")
+	for _, kind := range []string{"dsct", "nice"} {
+		var tr *overlay.Tree
+		cfg := overlay.Config{K: k, Seed: seed}
+		if kind == "dsct" {
+			tr = overlay.BuildDSCT(net, members, 0, cfg)
+		} else {
+			tr = overlay.BuildNICE(net, members, 0, cfg)
+		}
+		bound := calculus.DSCTHeightBoundMax(hosts, k)
+		t.AddRow(kind, fmt.Sprintf("%d", tr.Layers()), fmt.Sprintf("%d", tr.Height()),
+			fmt.Sprintf("%d", bound), fmt.Sprintf("%d", tr.MaxFanout()),
+			fmt.Sprintf("%.2f", tr.Stretch(net)))
+	}
+	fmt.Print(t)
+}
+
+func doBuild(kind string, hosts, k, fanout int, seed uint64) {
+	net, members := network(hosts, seed)
+	var tr *overlay.Tree
+	switch kind {
+	case "dsct":
+		tr = overlay.BuildDSCT(net, members, 0, overlay.Config{K: k, Seed: seed})
+	case "nice":
+		tr = overlay.BuildNICE(net, members, 0, overlay.Config{K: k, Seed: seed})
+	case "flat":
+		tr = overlay.BuildFlat(net, members, 0, fanout)
+	case "flatblind":
+		tr = overlay.BuildFlatBlind(net, members, 0, fanout, seed)
+	default:
+		fmt.Fprintf(os.Stderr, "wdctree: unknown tree kind %q\n", kind)
+		os.Exit(2)
+	}
+	if err := tr.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "wdctree: built tree invalid: %v\n", err)
+		os.Exit(1)
+	}
+	maxStress, avgStress := tr.LinkStress(net)
+	fmt.Printf("%s tree over %d hosts:\n", kind, hosts)
+	fmt.Printf("  layers        %d\n", tr.Layers())
+	fmt.Printf("  height (hops) %d\n", tr.Height())
+	fmt.Printf("  max fanout    %d\n", tr.MaxFanout())
+	fmt.Printf("  avg fanout    %.2f\n", tr.AvgFanout())
+	fmt.Printf("  stretch       %.2f\n", tr.Stretch(net))
+	fmt.Printf("  link stress   max %d, avg %.2f\n", maxStress, avgStress)
+}

@@ -1,0 +1,59 @@
+// Multigroup: the paper's Simulation II scenario at reduced scale — a
+// multi-group overlay network on the 19-router backbone where every host
+// joins all three groups. We compare all six scheme/tree combinations of
+// Fig. 6 at one heavy load and print the worst-case multicast delays and
+// the tree layer counts (the Tables I–III metric).
+//
+// Run with the full 665-host population via cmd/wdcsim -exp fig6a.
+package main
+
+import (
+	"fmt"
+
+	wdc "repro"
+	"repro/internal/des"
+)
+
+func main() {
+	const (
+		hosts = 150
+		load  = 0.9
+	)
+	fmt.Printf("Multi-group EMcast: %d hosts x 3 groups, aggregate load %.2f\n\n", hosts, load)
+
+	type combo struct {
+		scheme wdc.Scheme
+		tree   wdc.TreeKind
+	}
+	combos := []combo{
+		{wdc.SchemeCapacityAware, wdc.TreeDSCT},
+		{wdc.SchemeSigmaRho, wdc.TreeDSCT},
+		{wdc.SchemeSRL, wdc.TreeDSCT},
+		{wdc.SchemeCapacityAware, wdc.TreeNICE},
+		{wdc.SchemeSigmaRho, wdc.TreeNICE},
+		{wdc.SchemeSRL, wdc.TreeNICE},
+	}
+	var specs []wdc.FlowSpec
+	bestWDB, bestName := 0.0, ""
+	for _, c := range combos {
+		res := wdc.Run(wdc.Config{
+			NumHosts: hosts,
+			Mix:      wdc.MixAudio,
+			Load:     load,
+			Scheme:   c.scheme,
+			Tree:     c.tree,
+			Duration: 15 * des.Second,
+			Seed:     1,
+			Specs:    specs,
+		})
+		specs = res.Specs
+		name := fmt.Sprintf("%v %v", c.scheme, c.tree)
+		fmt.Printf("%-28s WDB %.3fs  mean %.4fs  layers %d  deliveries %d\n",
+			name, res.WDB, res.MeanDelay, res.Layers, res.Delivered)
+		if bestName == "" || res.WDB < bestWDB {
+			bestWDB, bestName = res.WDB, name
+		}
+	}
+	fmt.Printf("\nBest at load %.2f: %s (the paper: DSCT with the (σ,ρ,λ) regulator\n", load, bestName)
+	fmt.Println("achieves the best delay performance once the load exceeds ~0.7).")
+}

@@ -1,0 +1,388 @@
+package calculus
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNormalize(t *testing.T) {
+	s, r := Normalize(50_000, 1_500_000, 6_000_000)
+	if !close(s, 50_000.0/6_000_000, 1e-15) || !close(r, 0.25, 1e-15) {
+		t.Fatalf("normalize = %v, %v", s, r)
+	}
+}
+
+func TestLambdaEq1(t *testing.T) {
+	if got := Lambda(0.5); got != 2 {
+		t.Fatalf("λ(0.5) = %v", got)
+	}
+	if got := Lambda(0.25); !close(got, 4.0/3.0, 1e-15) {
+		t.Fatalf("λ(0.25) = %v", got)
+	}
+}
+
+func TestDutyCycleIdentities(t *testing.T) {
+	sigma, rho := 0.02, 0.3
+	w := WorkPeriod(sigma, rho)
+	v := Vacation(sigma, rho)
+	p := Period(sigma, rho)
+	if !close(w, sigma/(1-rho), 1e-15) {
+		t.Fatalf("W = %v", w)
+	}
+	if !close(v, sigma/rho, 1e-15) {
+		t.Fatalf("V = %v", v)
+	}
+	// P = λσ/ρ (Section III).
+	if !close(p, Lambda(rho)*sigma/rho, 1e-12) {
+		t.Fatalf("P = %v", p)
+	}
+}
+
+// Property: for any valid (σ, ρ), the duty ratio W/P equals ρ —
+// the regulator's long-run output rate is exactly the flow rate.
+func TestQuickDutyRatio(t *testing.T) {
+	f := func(a, b uint16) bool {
+		sigma := 0.001 + float64(a)/65536.0
+		rho := 0.01 + 0.98*float64(b)/65536.0
+		return close(WorkPeriod(sigma, rho)/Period(sigma, rho), rho, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Physical rationale from Section III: at saturation (ρ → 1/K̂) the
+// vacation approaches the sum of the other K̂−1 working periods.
+func TestVacationApproximatesOthersWork(t *testing.T) {
+	for _, k := range []int{2, 3, 5, 10} {
+		rho := 1/float64(k) - 1e-9
+		sigma := 0.01
+		v := Vacation(sigma, rho)
+		othersWork := float64(k-1) * WorkPeriod(sigma, rho)
+		if math.Abs(v-othersWork)/v > 0.01 {
+			t.Fatalf("K=%d: V=%v vs (K−1)W=%v", k, v, othersWork)
+		}
+	}
+}
+
+func TestLemma1Delay(t *testing.T) {
+	// σ* <= σ: only the 2λσ/ρ term.
+	if got := Lemma1Delay(0.01, 0.02, 0.5); !close(got, 2*2*0.02/0.5, 1e-12) {
+		t.Fatalf("Lemma1 (σ*<σ) = %v", got)
+	}
+	// σ* > σ: adds (σ*−σ)/ρ.
+	want := (0.03-0.02)/0.5 + 2*2*0.02/0.5
+	if got := Lemma1Delay(0.03, 0.02, 0.5); !close(got, want, 1e-12) {
+		t.Fatalf("Lemma1 (σ*>σ) = %v", got)
+	}
+}
+
+func TestSigmaStarEqualisesNormalisedBurst(t *testing.T) {
+	sigmas := []float64{0.02, 0.05, 0.01}
+	rhos := []float64{0.2, 0.3, 0.25}
+	star := SigmaStar(sigmas, rhos)
+	// All σ*ᵢ/(ρᵢ(1−ρᵢ)) must equal the min of σⱼ/(ρⱼ(1−ρⱼ)).
+	want := math.Inf(1)
+	for j := range sigmas {
+		if v := sigmas[j] / (rhos[j] * (1 - rhos[j])); v < want {
+			want = v
+		}
+	}
+	for i := range star {
+		if got := star[i] / (rhos[i] * (1 - rhos[i])); !close(got, want, 1e-12) {
+			t.Fatalf("flow %d normalised burst %v, want %v", i, got, want)
+		}
+		if star[i] > sigmas[i]+1e-15 {
+			t.Fatalf("σ*_%d = %v exceeds σ_%d = %v", i, star[i], i, sigmas[i])
+		}
+	}
+}
+
+func TestDgHetero(t *testing.T) {
+	got := DgHetero([]float64{0.01, 0.02}, []float64{0.3, 0.4})
+	if !close(got, 0.03/0.3, 1e-12) {
+		t.Fatalf("Dg = %v", got)
+	}
+}
+
+func TestDgHomogMatchesHetero(t *testing.T) {
+	k, sigma, rho := 3, 0.02, 0.2
+	hom := DgHomog(k, sigma, rho)
+	het := DgHetero([]float64{sigma, sigma, sigma}, []float64{rho, rho, rho})
+	if !close(hom, het, 1e-12) {
+		t.Fatalf("homog %v != hetero %v", hom, het)
+	}
+}
+
+func TestDgUnstablePanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { DgHetero([]float64{0.01, 0.01}, []float64{0.5, 0.5}) },
+		func() { DgHomog(3, 0.01, 0.34) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDhatHomogFormula(t *testing.T) {
+	k, sigma, rho := 3, 0.02, 0.25
+	// σ₀ = σ: D̂ = Kσ/(1−ρ) + 2λσ/ρ.
+	want := 3*sigma/(1-rho) + 2*Lambda(rho)*sigma/rho
+	if got := DhatHomog(k, sigma, sigma, rho); !close(got, want, 1e-12) {
+		t.Fatalf("D̂ = %v, want %v", got, want)
+	}
+	// σ₀ > σ adds (σ₀−σ)/ρ.
+	if got := DhatHomog(k, sigma, sigma+0.01, rho); !close(got, want+0.01/rho, 1e-12) {
+		t.Fatalf("D̂ with excess = %v", got)
+	}
+}
+
+func TestDhatHeteroReducesNearHomog(t *testing.T) {
+	// With identical flows, Theorem 1 must agree with Theorem 2 at σ₀=σ*.
+	k, sigma, rho := 4, 0.02, 0.2
+	sigmas := []float64{sigma, sigma, sigma, sigma}
+	rhos := []float64{rho, rho, rho, rho}
+	het := DhatHetero(sigmas, rhos)
+	// σ*ᵢ = σᵢ for identical flows, so max term = 0 and
+	// min term = σ/(ρ(1−ρ)) = λσ/ρ:
+	want := float64(k)*sigma/(1-rho) + 2*Lambda(rho)*sigma/rho
+	if !close(het, want, 1e-12) {
+		t.Fatalf("hetero(identical) = %v, want %v", het, want)
+	}
+	if hom := DhatHomog(k, sigma, sigma, rho); !close(het, hom, 1e-12) {
+		t.Fatalf("hetero %v != homog %v", het, hom)
+	}
+}
+
+func TestRhoStarHeteroRoots(t *testing.T) {
+	// K=2 degenerates to 7ρ = 3.
+	if got := RhoStarHetero(2); !close(got, 3.0/7.0, 1e-12) {
+		t.Fatalf("ρ*(2) = %v", got)
+	}
+	// Each root must satisfy the paper's quadratic exactly.
+	for k := 3; k <= 50; k++ {
+		kf := float64(k)
+		r := RhoStarHetero(k)
+		resid := (kf*kf-2*kf)*r*r + (3*kf+1)*r - 3
+		if math.Abs(resid) > 1e-9 {
+			t.Fatalf("K=%d: residual %v", k, resid)
+		}
+		if r <= 0 || r >= 1/kf {
+			t.Fatalf("K=%d: ρ* = %v outside (0, 1/K)", k, r)
+		}
+	}
+}
+
+func TestRhoStarHomogRoots(t *testing.T) {
+	for k := 2; k <= 50; k++ {
+		kf := float64(k)
+		r := RhoStarHomog(k)
+		resid := (kf*kf-kf)*r*r + 2*kf*r - 2
+		if math.Abs(resid) > 1e-9 {
+			t.Fatalf("K=%d: residual %v", k, resid)
+		}
+		if r <= 0 || r >= 1/kf {
+			t.Fatalf("K=%d: ρ* = %v outside (0, 1/K)", k, r)
+		}
+	}
+}
+
+// Theorem 3/4 existence: ρ* is where g1 crosses g2; verify by bisection
+// against the closed-form root (heterogeneous case).
+func TestRhoStarMatchesBisection(t *testing.T) {
+	for _, k := range []int{3, 5, 10, 30} {
+		root := RhoStarHetero(k)
+		f := func(x float64) float64 { return G1Hetero(k, x) - G2(k, x) }
+		lo, hi := 1e-6, 1/float64(k)-1e-9
+		if f(lo) <= 0 || f(hi) >= 0 {
+			t.Fatalf("K=%d: g1−g2 does not bracket a root", k)
+		}
+		for i := 0; i < 200; i++ {
+			mid := (lo + hi) / 2
+			if f(mid) > 0 {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		if !close((lo+hi)/2, root, 1e-6) {
+			t.Fatalf("K=%d: bisection %v vs closed form %v", k, (lo+hi)/2, root)
+		}
+	}
+}
+
+// Theorem 3(i)/4(i): g1 >= g2 below ρ*, g1 <= g2 above it.
+func TestThresholdSeparates(t *testing.T) {
+	for _, k := range []int{3, 4, 8} {
+		root := RhoStarHetero(k)
+		below := root * 0.7
+		above := root + 0.7*(1/float64(k)-root)
+		if G1Hetero(k, below) < G2(k, below) {
+			t.Fatalf("K=%d: g1 < g2 below threshold", k)
+		}
+		if G1Hetero(k, above) > G2(k, above) {
+			t.Fatalf("K=%d: g1 > g2 above threshold", k)
+		}
+	}
+}
+
+// Theorem 3(ii): 1 − Kρ* → (5−√21)/2 ≈ 0.21; Theorem 4(ii): → 2−√3 ≈ 0.27.
+func TestControlRangeLimits(t *testing.T) {
+	if !close(HeteroRangeLimit, 0.2087, 5e-4) {
+		t.Fatalf("hetero limit const = %v", HeteroRangeLimit)
+	}
+	if !close(HomogRangeLimit, 0.2679, 5e-4) {
+		t.Fatalf("homog limit const = %v", HomogRangeLimit)
+	}
+	het := ControlRange(100000, RhoStarHetero(100000))
+	if !close(het, HeteroRangeLimit, 1e-3) {
+		t.Fatalf("hetero range at large K = %v, want %v", het, HeteroRangeLimit)
+	}
+	hom := ControlRange(100000, RhoStarHomog(100000))
+	if !close(hom, HomogRangeLimit, 1e-3) {
+		t.Fatalf("homog range at large K = %v, want %v", hom, HomogRangeLimit)
+	}
+}
+
+// The paper's headline numbers: ρ*·K → 0.73C (homogeneous), 0.79C
+// (heterogeneous) for large K.
+func TestThresholdUtilizations(t *testing.T) {
+	if got := ThresholdUtilizationHomog(100000); !close(got, 0.7321, 1e-3) {
+		t.Fatalf("homog utilisation = %v", got)
+	}
+	if got := ThresholdUtilizationHetero(100000); !close(got, 0.7913, 1e-3) {
+		t.Fatalf("hetero utilisation = %v", got)
+	}
+}
+
+// Property: ρ* lies in (0, 1/K) and Kρ* is monotonically approaching the
+// limit for growing K.
+func TestQuickRhoStarInRange(t *testing.T) {
+	f := func(raw uint8) bool {
+		k := 2 + int(raw)%500
+		het := RhoStarHetero(k)
+		hom := RhoStarHomog(k)
+		inv := 1 / float64(k)
+		return het > 0 && het < inv && hom > 0 && hom < inv
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Theorems 5/6: at ρ̄ = 1/K − 1/K^(n+1) the guaranteed ratio is Ω(Kⁿ):
+// specifically ≥ (1−1/Kⁿ)(1−1/K)Kⁿ/4 per the Theorem 5 proof.
+func TestImprovementOrderKn(t *testing.T) {
+	for _, k := range []int{3, 5, 10} {
+		for n := 1; n <= 3; n++ {
+			rb := RhoBarForOrder(k, n)
+			if rb <= RhoStarHetero(k) {
+				continue // band not applicable at this (K, n)
+			}
+			got := ImprovementHetero(k, rb)
+			kf := float64(k)
+			floor := (1 - math.Pow(kf, -float64(n))) * (1 - 1/kf) * math.Pow(kf, float64(n)) / 4
+			if got < floor {
+				t.Fatalf("K=%d n=%d: ratio %v below theorem floor %v", k, n, got, floor)
+			}
+		}
+	}
+}
+
+func TestImprovementHomogGrowsNearSaturation(t *testing.T) {
+	k := 3
+	low := ImprovementHomog(k, 0.25)
+	high := ImprovementHomog(k, 0.33)
+	if high <= low {
+		t.Fatalf("improvement not increasing: %v -> %v", low, high)
+	}
+	if high < 10 {
+		t.Fatalf("near-saturation improvement %v suspiciously small", high)
+	}
+}
+
+func TestRhoBarForOrder(t *testing.T) {
+	if got := RhoBarForOrder(3, 1); !close(got, 1.0/3-1.0/9, 1e-12) {
+		t.Fatalf("band edge = %v", got)
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	cases := []func(){
+		func() { Lambda(0) },
+		func() { Lambda(1) },
+		func() { WorkPeriod(-1, 0.5) },
+		func() { Vacation(0.01, 1.5) },
+		func() { SigmaStar(nil, nil) },
+		func() { SigmaStar([]float64{1}, []float64{0.5, 0.5}) },
+		func() { G2(3, 0.5) },
+		func() { RhoStarHetero(1) },
+		func() { RhoStarHomog(0) },
+		func() { ImprovementHetero(3, 0.4) },
+		func() { ImprovementHomog(3, 0) },
+		func() { RhoBarForOrder(3, 0) },
+		func() { Normalize(1, 1, 0) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Cross-check Theorem 1 ≥ actual achievable and Theorem 3 ordering with
+// randomly drawn heterogeneous flow sets: above the threshold the λ bound
+// beats the plain bound (with condition (6) enforced by construction of
+// near-homogeneous flows).
+func TestQuickBoundsOrderAboveThreshold(t *testing.T) {
+	rng := xrand.New(31)
+	for trial := 0; trial < 200; trial++ {
+		k := 3 + rng.Intn(5)
+		// Near-homogeneous flows above the threshold utilisation.
+		util := 0.9 // Σρ = 0.9 > Kρ* always (threshold util < 0.84)
+		rho := util / float64(k)
+		sigmas := make([]float64, k)
+		rhos := make([]float64, k)
+		for i := range sigmas {
+			sigmas[i] = 0.01 + 0.001*rng.Float64() // near-equal bursts
+			rhos[i] = rho
+		}
+		dg := DgHetero(sigmas, rhos)
+		dhat := DhatHetero(sigmas, rhos)
+		if dhat > dg {
+			t.Fatalf("trial %d (K=%d): D̂=%v > D=%v above threshold", trial, k, dhat, dg)
+		}
+	}
+}
+
+func BenchmarkRhoStar(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RhoStarHetero(2 + i%100)
+		RhoStarHomog(2 + i%100)
+	}
+}
+
+func BenchmarkDhatHetero(b *testing.B) {
+	sigmas := []float64{0.01, 0.02, 0.03}
+	rhos := []float64{0.2, 0.25, 0.3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DhatHetero(sigmas, rhos)
+	}
+}

@@ -1,0 +1,71 @@
+package calculus
+
+import "math"
+
+// DSCTHeightBound is Lemma 2: the height of a DSCT tree over n members
+// with cluster parameter k and j1 last-unassigned members in the lowest
+// layer is at most ⌈log_k(k + (n−j1)(k−1))⌉. Computed with integer powers,
+// avoiding float logarithm edge cases on exact powers.
+func DSCTHeightBound(n, k, j1 int) int {
+	if n < 1 {
+		panic("calculus: group size must be >= 1")
+	}
+	if k < 2 {
+		panic("calculus: cluster parameter k must be >= 2")
+	}
+	if j1 < 0 || j1 > k-1 {
+		panic("calculus: j1 must be in [0, k-1]")
+	}
+	target := k + (n-j1)*(k-1)
+	h := 1
+	pow := k
+	for pow < target {
+		// Guard against overflow on absurd n: heights above 62 are
+		// impossible for int inputs anyway.
+		if pow > math.MaxInt64/k {
+			return h + 1
+		}
+		pow *= k
+		h++
+	}
+	return h
+}
+
+// DSCTHeightBoundMax is Lemma 2 at the worst case j1 = 0.
+func DSCTHeightBoundMax(n, k int) int { return DSCTHeightBound(n, k, 0) }
+
+// MulticastDgHetero is Remark 2: the worst-case multicast delay through a
+// DSCT tree of height bound H whose end hosts run (σᵢ, ρᵢ)-regulated
+// general MUXes: (H−1) · Σσᵢ/(1−Σρᵢ).
+func MulticastDgHetero(h int, sigmas, rhos []float64) float64 {
+	checkHeight(h)
+	return float64(h-1) * DgHetero(sigmas, rhos)
+}
+
+// MulticastDgHomog is Remark 2 for homogeneous flows:
+// (H−1) · Kσ₀/(1−Kρ).
+func MulticastDgHomog(h, k int, sigma0, rho float64) float64 {
+	checkHeight(h)
+	return float64(h-1) * DgHomog(k, sigma0, rho)
+}
+
+// MulticastDhatHetero is Theorem 7(i): the worst-case multicast delay
+// through the DSCT tree with (σ*ᵢ, ρᵢ, λᵢ)-regulated MUXes,
+// (H−1) × the per-hop bound of Theorem 1.
+func MulticastDhatHetero(h int, sigmas, rhos []float64) float64 {
+	checkHeight(h)
+	return float64(h-1) * DhatHetero(sigmas, rhos)
+}
+
+// MulticastDhatHomog is Theorem 8(i): homogeneous flows,
+// (H−1) × the per-hop bound of Theorem 2.
+func MulticastDhatHomog(h, k int, sigma, sigma0, rho float64) float64 {
+	checkHeight(h)
+	return float64(h-1) * DhatHomog(k, sigma, sigma0, rho)
+}
+
+func checkHeight(h int) {
+	if h < 2 {
+		panic("calculus: tree height bound must be >= 2 (source plus one hop)")
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"repro/internal/des"
+	"repro/internal/mux"
+	"repro/internal/regulator"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+func secs(s float64) des.Duration { return des.Seconds(s) }
+
+// hostEnv is what a regulated host needs from its surrounding session.
+type hostEnv struct {
+	eng        *des.Engine
+	specs      []FlowSpec
+	conn       float64 // per-connection capacity C (bits/second)
+	bursts     []float64
+	discipline mux.Discipline
+	aligned    bool // stagger ablation: align all duty-cycle phases
+	send       func(from, to int, p traffic.Packet)
+	// connCap returns the capacity of one output connection for a host
+	// with the given number of distinct child connections. Regulated
+	// schemes give every connection the full C (the paper's per-output-
+	// link model); the capacity-aware scheme splits the host's aggregate
+	// uplink across its connections. Nil means full C.
+	connCap func(numConns int) float64
+}
+
+func (e *hostEnv) connectionCapacity(numConns int) float64 {
+	if e.connCap == nil {
+		return e.conn
+	}
+	return e.connCap(numConns)
+}
+
+// host models one regulated group end host: per-flow regulators feeding a
+// replicator that fans out into one general MUX per child connection
+// (Section III's model, one MUX per output link).
+type host struct {
+	id      int
+	env     *hostEnv
+	mode    Scheme // the concrete scheme in force at any instant
+	modeSet bool
+
+	// children[g] lists this host's child hosts in group g's tree.
+	children [][]int
+	// connections de-duplicates children across groups.
+	muxes map[int]*mux.Mux
+
+	// Regulator banks: built lazily per mode so a fixed-scheme run pays
+	// for exactly one bank. Indexed by flow/group.
+	srBank  []*regulator.SigmaRho
+	srlBank []*regulator.SRL
+	stagger *regulator.Stagger
+
+	// Adaptive-control state.
+	rate     *stats.WindowRate
+	switches int
+}
+
+// newHost wires a host for its (per-group) child sets. Hosts with no
+// children build no forwarding machinery.
+func newHost(id int, env *hostEnv, children [][]int, initial Scheme) *host {
+	h := &host{id: id, env: env, children: children, muxes: make(map[int]*mux.Mux)}
+	distinct := make(map[int]bool)
+	for _, cs := range children {
+		for _, c := range cs {
+			distinct[c] = true
+		}
+	}
+	forwards := len(distinct) > 0
+	connCap := env.connectionCapacity(len(distinct))
+	for c := range distinct {
+		child := c
+		h.muxes[c] = mux.New(env.eng, len(env.specs), connCap, env.discipline,
+			func(p traffic.Packet) { env.send(h.id, child, p) })
+	}
+	if forwards {
+		h.setMode(initialMode(initial))
+	}
+	return h
+}
+
+func initialMode(s Scheme) Scheme {
+	if s == SchemeAdaptive {
+		return SchemeSigmaRho // the algorithm's normal-load default
+	}
+	return s
+}
+
+// forward pushes a group-g packet into the active regulator bank (or
+// straight to the replicator for the capacity-aware scheme).
+func (h *host) forward(g int, p traffic.Packet) {
+	if len(h.children[g]) == 0 {
+		return
+	}
+	switch h.mode {
+	case SchemeSigmaRho:
+		h.srBank[g].Enqueue(p)
+	case SchemeSRL:
+		h.srlBank[g].Enqueue(p)
+	default: // capacity-aware: no regulation
+		h.replicate(g, p)
+	}
+}
+
+// replicate copies the packet into the MUX of every child connection for
+// its group.
+func (h *host) replicate(g int, p traffic.Packet) {
+	for _, c := range h.children[g] {
+		h.muxes[c].Enqueue(p)
+	}
+}
+
+// setMode activates the regulator bank for the given scheme, building
+// banks on first use. Packets already queued in the previous bank keep
+// draining through it (make-before-break), so no traffic is lost on a
+// switch.
+func (h *host) setMode(m Scheme) {
+	if h.modeSet && m == h.mode {
+		return
+	}
+	env := h.env
+	switch m {
+	case SchemeSigmaRho:
+		if h.srBank == nil {
+			h.srBank = make([]*regulator.SigmaRho, len(env.specs))
+			for g := range env.specs {
+				g := g
+				h.srBank[g] = regulator.NewSigmaRho(env.eng, env.bursts[g], env.specs[g].Rho,
+					func(p traffic.Packet) { h.replicate(g, p) })
+			}
+		}
+		if h.stagger != nil {
+			h.stagger.Stop()
+			h.stagger = nil
+			// Reopen the vacated SRL queues so residual packets drain.
+			for _, r := range h.srlBank {
+				r.SetOn(true)
+			}
+		}
+	case SchemeSRL:
+		if h.srlBank == nil {
+			h.srlBank = make([]*regulator.SRL, len(env.specs))
+			for g := range env.specs {
+				g := g
+				h.srlBank[g] = regulator.NewSRL(env.eng, env.bursts[g], env.specs[g].Rho, env.conn,
+					func(p traffic.Packet) { h.replicate(g, p) })
+			}
+		} else {
+			// Returning to SRL: close the held-open queues before the
+			// stagger re-drives them.
+			for _, r := range h.srlBank {
+				r.SetOn(false)
+			}
+		}
+		h.stagger = regulator.NewStagger(h.srlBank...)
+		if env.aligned {
+			h.stagger.StartAligned()
+		} else {
+			h.stagger.Start()
+		}
+	case SchemeCapacityAware:
+		// No regulation machinery.
+	default:
+		panic("core: setMode with non-concrete scheme")
+	}
+	if h.modeSet {
+		h.switches++
+	}
+	h.mode = m
+	h.modeSet = true
+}
+
+// observe feeds the adaptive controller's rate estimator.
+func (h *host) observe(p traffic.Packet) {
+	if h.rate != nil {
+		h.rate.Observe(h.env.eng.Now(), p.Size)
+	}
+}
+
+// controller runs the paper's Adaptive Control Algorithm at this host:
+// every interval it computes the average input rate of the K̂ flows and
+// selects the (σ, ρ) model below thresholdUtil, the (σ, ρ, λ) model at or
+// above it.
+func (h *host) startController(window, interval des.Duration, thresholdUtil float64) {
+	h.rate = stats.NewWindowRate(window)
+	des.NewTicker(h.env.eng, interval, func() {
+		util := h.rate.Rate(h.env.eng.Now()) / h.env.conn
+		if util >= thresholdUtil {
+			h.setMode(SchemeSRL)
+		} else {
+			h.setMode(SchemeSigmaRho)
+		}
+	})
+}

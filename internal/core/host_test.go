@@ -1,0 +1,193 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/traffic"
+)
+
+func testEnv(eng *des.Engine, sent *[]int) *hostEnv {
+	return &hostEnv{
+		eng: eng,
+		specs: []FlowSpec{
+			{Rate: 100_000, Sigma: 10_000, Rho: 102_000},
+			{Rate: 100_000, Sigma: 10_000, Rho: 102_000},
+		},
+		conn:   1_000_000,
+		bursts: []float64{10_000, 10_000},
+		send: func(from, to int, p traffic.Packet) {
+			*sent = append(*sent, to)
+		},
+	}
+}
+
+func TestHostLeafBuildsNoMachinery(t *testing.T) {
+	eng := des.New()
+	var sent []int
+	h := newHost(1, testEnv(eng, &sent), [][]int{nil, nil}, SchemeSRL)
+	if len(h.muxes) != 0 || h.srBank != nil || h.srlBank != nil {
+		t.Fatal("leaf host built forwarding machinery")
+	}
+	// Forwarding to a leaf is a no-op, not a crash.
+	eng.Schedule(0, func() { h.forward(0, traffic.Packet{Flow: 0, Size: 1000}) })
+	eng.Run()
+	if len(sent) != 0 {
+		t.Fatal("leaf host sent packets")
+	}
+}
+
+func TestHostReplicatesPerGroupChildren(t *testing.T) {
+	eng := des.New()
+	var sent []int
+	h := newHost(0, testEnv(eng, &sent), [][]int{{1, 2}, {2, 3}}, SchemeCapacityAware)
+	eng.Schedule(0, func() {
+		h.forward(0, traffic.Packet{Flow: 0, Size: 1000})
+		h.forward(1, traffic.Packet{Flow: 1, Size: 1000})
+	})
+	eng.Run()
+	// Flow 0 -> children 1,2; flow 1 -> children 2,3.
+	got := map[int]int{}
+	for _, to := range sent {
+		got[to]++
+	}
+	if got[1] != 1 || got[2] != 2 || got[3] != 1 {
+		t.Fatalf("replication counts = %v", got)
+	}
+}
+
+func TestHostDistinctConnectionsDeDuplicated(t *testing.T) {
+	eng := des.New()
+	var sent []int
+	h := newHost(0, testEnv(eng, &sent), [][]int{{1, 2}, {2, 1}}, SchemeSigmaRho)
+	if len(h.muxes) != 2 {
+		t.Fatalf("expected 2 connections, got %d", len(h.muxes))
+	}
+}
+
+func TestHostModeSwitchKeepsForwarding(t *testing.T) {
+	eng := des.New()
+	var sent []int
+	h := newHost(0, testEnv(eng, &sent), [][]int{{1}, {1}}, SchemeSigmaRho)
+	// Feed in σρ mode, switch to SRL mid-run, feed more.
+	eng.Schedule(0, func() { h.forward(0, traffic.Packet{ID: 1, Flow: 0, Size: 1000}) })
+	eng.Schedule(des.Millisecond, func() { h.setMode(SchemeSRL) })
+	eng.Schedule(2*des.Millisecond, func() { h.forward(0, traffic.Packet{ID: 2, Flow: 0, Size: 1000}) })
+	eng.Schedule(30*des.Second, func() { eng.Stop() })
+	eng.Run()
+	if len(sent) != 2 {
+		t.Fatalf("sent %d packets across a mode switch, want 2", len(sent))
+	}
+	if h.switches != 1 {
+		t.Fatalf("switches = %d", h.switches)
+	}
+}
+
+func TestHostModeSwitchRoundTrip(t *testing.T) {
+	eng := des.New()
+	var sent []int
+	h := newHost(0, testEnv(eng, &sent), [][]int{{1}, {1}}, SchemeSigmaRho)
+	eng.Schedule(0, func() {
+		h.setMode(SchemeSRL)
+		h.setMode(SchemeSigmaRho)
+		h.setMode(SchemeSRL)
+		h.setMode(SchemeSRL) // no-op
+	})
+	eng.Schedule(des.Second, func() { eng.Stop() })
+	eng.Run()
+	if h.switches != 3 {
+		t.Fatalf("switches = %d, want 3", h.switches)
+	}
+	if h.mode != SchemeSRL {
+		t.Fatalf("mode = %v", h.mode)
+	}
+}
+
+func TestHostSRLResidueDrainsAfterSwitchAway(t *testing.T) {
+	eng := des.New()
+	var sent []int
+	h := newHost(0, testEnv(eng, &sent), [][]int{{1}, {1}}, SchemeSRL)
+	// Queue a packet while every SRL is off (cycles just started with
+	// offsets), then immediately switch to σρ: the residue must drain.
+	eng.Schedule(0, func() {
+		h.forward(0, traffic.Packet{ID: 1, Flow: 0, Size: 1000})
+		h.setMode(SchemeSigmaRho)
+	})
+	eng.Schedule(10*des.Second, func() { eng.Stop() })
+	eng.Run()
+	if len(sent) != 1 {
+		t.Fatalf("SRL residue lost on switch: sent %d", len(sent))
+	}
+}
+
+func TestHostControllerSwitchesAboveThreshold(t *testing.T) {
+	eng := des.New()
+	var sent []int
+	env := testEnv(eng, &sent)
+	h := newHost(0, env, [][]int{{1}, {1}}, SchemeAdaptive)
+	h.startController(des.Second, 100*des.Millisecond, 0.15) // low threshold
+	// Offered load ~0.2 of conn: 200 kbps vs 1 Mbps -> above 0.15.
+	src := traffic.NewCBR(0, 200_000, 1000)
+	src.Start(eng, 3*des.Second, func(p traffic.Packet) {
+		h.observe(p)
+		h.forward(0, p)
+	})
+	eng.RunUntil(3 * des.Second)
+	if h.mode != SchemeSRL {
+		t.Fatalf("controller did not engage SRL above threshold (mode %v)", h.mode)
+	}
+	if len(sent) == 0 {
+		t.Fatal("nothing forwarded")
+	}
+}
+
+func TestHostControllerStaysBelowThreshold(t *testing.T) {
+	eng := des.New()
+	var sent []int
+	h := newHost(0, testEnv(eng, &sent), [][]int{{1}, {1}}, SchemeAdaptive)
+	h.startController(des.Second, 100*des.Millisecond, 0.9)
+	src := traffic.NewCBR(0, 200_000, 1000) // 0.2 of conn, below 0.9
+	src.Start(eng, 2*des.Second, func(p traffic.Packet) {
+		h.observe(p)
+		h.forward(0, p)
+	})
+	eng.RunUntil(2 * des.Second)
+	if h.mode != SchemeSigmaRho {
+		t.Fatalf("controller left σρ mode below threshold (mode %v)", h.mode)
+	}
+	if h.switches != 0 {
+		t.Fatalf("spurious switches: %d", h.switches)
+	}
+}
+
+func TestHostCapacityAwareConnCap(t *testing.T) {
+	eng := des.New()
+	var sent []int
+	env := testEnv(eng, &sent)
+	env.connCap = func(n int) float64 { return 2_000_000 / float64(n) }
+	h := newHost(0, env, [][]int{{1, 2, 3}, nil}, SchemeCapacityAware)
+	for _, m := range h.muxes {
+		if m.Capacity() != 2_000_000.0/3 {
+			t.Fatalf("connection capacity %v, want aggregate/3", m.Capacity())
+		}
+	}
+}
+
+func TestHostEnvDefaultConnCap(t *testing.T) {
+	env := &hostEnv{conn: 12345}
+	if env.connectionCapacity(7) != 12345 {
+		t.Fatal("nil connCap must fall back to full C")
+	}
+}
+
+func TestHostSetModePanicsOnAdaptive(t *testing.T) {
+	eng := des.New()
+	var sent []int
+	h := newHost(0, testEnv(eng, &sent), [][]int{{1}, nil}, SchemeSigmaRho)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("setMode(SchemeAdaptive) must panic — it is not a concrete mode")
+		}
+	}()
+	h.setMode(SchemeAdaptive)
+}

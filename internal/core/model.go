@@ -1,0 +1,162 @@
+// Package core implements the paper's contribution: the adaptive traffic-
+// control algorithm for multi-group end-host multicast (Section III) and
+// the regulated end-host model it runs on, wired into a full packet-level
+// EMcast simulation over the substrates in internal/{des,topo,netsim,
+// traffic,regulator,mux,overlay,calculus}.
+//
+// The package exposes two experiment engines:
+//
+//   - RunSingleHop reproduces Simulation I (Fig. 3/4): three real-time
+//     flows through one regulated general MUX into a sink.
+//   - Session.Run reproduces Simulation II (Fig. 5/6, Tables I–III): a
+//     multi-group network of end hosts on the 19-router backbone, each
+//     joining every group, forwarding along DSCT or NICE trees under one
+//     of the control schemes.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/calculus"
+	"repro/internal/traffic"
+)
+
+// Scheme selects the traffic-control scheme at every end host.
+type Scheme int
+
+// The schemes compared in the paper's evaluation.
+const (
+	// SchemeCapacityAware reshapes the tree (bounded fanout) and applies
+	// no traffic regulation — the comparison scheme of Fig. 1.
+	SchemeCapacityAware Scheme = iota
+	// SchemeSigmaRho regulates every input flow with a (σ, ρ) regulator.
+	SchemeSigmaRho
+	// SchemeSRL regulates every input flow with the paper's (σ, ρ, λ)
+	// duty-cycle regulator, staggered round-robin at each host.
+	SchemeSRL
+	// SchemeAdaptive is the paper's actual algorithm: each host compares
+	// the measured average input rate ρ̄ against the threshold ρ* and
+	// switches between the (σ, ρ) and (σ, ρ, λ) models at run time.
+	SchemeAdaptive
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeCapacityAware:
+		return "capacity-aware"
+	case SchemeSigmaRho:
+		return "sigma-rho"
+	case SchemeSRL:
+		return "sigma-rho-lambda"
+	case SchemeAdaptive:
+		return "adaptive"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Regulated reports whether the scheme uses per-flow regulators.
+func (s Scheme) Regulated() bool { return s != SchemeCapacityAware }
+
+// Workload selects what the group flows actually emit.
+type Workload int
+
+// Available workloads.
+const (
+	// WorkloadExtremal drives the groups with deterministic envelope-
+	// extremal flows (traffic.Extremal): the admissible worst case the
+	// paper's delay bounds are about. Default for the WDB experiments.
+	WorkloadExtremal Workload = iota
+	// WorkloadVBR drives the groups with the stochastic media models
+	// (talkspurt audio, GOP video) — realism ablation and examples.
+	WorkloadVBR
+)
+
+// String implements fmt.Stringer.
+func (w Workload) String() string {
+	if w == WorkloadVBR {
+		return "vbr"
+	}
+	return "extremal"
+}
+
+// BuildSources instantiates the mix's flows for the chosen workload.
+func (w Workload) BuildSources(mix traffic.Mix, seed uint64, margin, burstSec float64) []traffic.Source {
+	if w == WorkloadVBR {
+		return mix.Sources(seed)
+	}
+	return traffic.ExtremalMix(mix, margin, burstSec)
+}
+
+// BuildSpecs derives the flow envelopes for the chosen workload: exact
+// by construction for extremal flows, measured for VBR.
+func (w Workload) BuildSpecs(mix traffic.Mix, seed uint64, margin, burstSec, horizonSec float64) []FlowSpec {
+	if w == WorkloadVBR {
+		return MeasureSpecs(mix, seed, margin, horizonSec)
+	}
+	envs := traffic.ExtremalSpecsFor(mix, margin, burstSec)
+	srcs := traffic.ExtremalMix(mix, margin, burstSec)
+	specs := make([]FlowSpec, len(envs))
+	for i := range envs {
+		specs[i] = FlowSpec{Rate: srcs[i].AvgRate(), Sigma: envs[i].Sigma, Rho: envs[i].Rho}
+	}
+	return specs
+}
+
+// FlowSpec characterises one group's real-time flow as the regulators see
+// it: the true long-run average rate, and the declared (σ, ρ) envelope
+// (ρ is drawn slightly above the average rate so VBR fluctuation does not
+// destabilise the shapers; σ is measured from the source model).
+type FlowSpec struct {
+	Rate  float64 // bits/second, long-run average
+	Sigma float64 // bits, envelope burst at Rho
+	Rho   float64 // bits/second, envelope rate (>= Rate)
+}
+
+// MeasureSpecs derives the flow specs for a traffic mix by running each
+// source model in isolation and measuring its tightest (σ, ρ) envelope at
+// ρ = margin × average rate (see traffic.MeasureEnvelope). Deterministic
+// given (mix, seed, margin, horizon).
+func MeasureSpecs(mix traffic.Mix, seed uint64, margin, horizonSec float64) []FlowSpec {
+	if margin < 1 {
+		panic("core: envelope margin must be >= 1")
+	}
+	srcs := mix.Sources(seed)
+	specs := make([]FlowSpec, len(srcs))
+	for i, s := range srcs {
+		env := traffic.MeasureEnvelope(s, margin, secs(horizonSec))
+		specs[i] = FlowSpec{Rate: s.AvgRate(), Sigma: env.Sigma, Rho: env.Rho}
+	}
+	return specs
+}
+
+// RegulatorBursts returns the per-flow burst parameters the regulators are
+// configured with: σᵢ, the flow's own measured burst. This matches
+// Theorems 5–8, which compare the (σᵢ, ρᵢ) and (σᵢ, ρᵢ, λᵢ) regulators
+// head to head. (The σ*ᵢ equalisation of Theorems 1/3 exists in
+// internal/calculus for the bound computations; configuring the live
+// regulators with σ*ᵢ < σᵢ would charge the (σᵢ−σ*ᵢ)/ρᵢ penalty on every
+// flow and swamp the load dependence the figures sweep.)
+func RegulatorBursts(specs []FlowSpec, c float64) []float64 {
+	out := make([]float64, len(specs))
+	for i, s := range specs {
+		// Validate normalisation early: ρᵢ must fit inside C.
+		_, rho := calculus.Normalize(s.Sigma, s.Rho, c)
+		if rho >= 1 {
+			panic("core: flow envelope rate exceeds connection capacity")
+		}
+		out[i] = s.Sigma
+	}
+	return out
+}
+
+// ThresholdUtilization returns the adaptive algorithm's switching point as
+// an aggregate utilisation Σρᵢ/C: K̂·ρ*(K̂), with ρ* from Theorem 4
+// (homogeneous mixes) or Theorem 3 (heterogeneous mixes).
+func ThresholdUtilization(k int, homogeneous bool) float64 {
+	if homogeneous {
+		return calculus.ThresholdUtilizationHomog(k)
+	}
+	return calculus.ThresholdUtilizationHetero(k)
+}

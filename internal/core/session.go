@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/mux"
+	"repro/internal/netsim"
+	"repro/internal/overlay"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// TreeKind selects the overlay architecture of Simulation II.
+type TreeKind int
+
+// The two tree families compared in Fig. 6.
+const (
+	TreeDSCT TreeKind = iota
+	TreeNICE
+)
+
+// String implements fmt.Stringer.
+func (t TreeKind) String() string {
+	if t == TreeNICE {
+		return "NICE"
+	}
+	return "DSCT"
+}
+
+// Config parameterises one multi-group EMcast run (one point of Fig. 6 /
+// Tables I–III).
+type Config struct {
+	// NumHosts is the network population; every host joins every group
+	// (the paper: "665 end hosts ... who join in 3 groups"). Default 665.
+	NumHosts int
+	// Mix selects the per-group real-time flows. One flow per group.
+	Mix traffic.Mix
+	// Load is the x-axis of every figure: the aggregate normalised input
+	// rate Σρᵢ/C at each end host, in (0, 1).
+	Load float64
+	// Scheme is the traffic-control scheme at every host.
+	Scheme Scheme
+	// Tree selects DSCT or NICE.
+	Tree TreeKind
+	// Duration is the simulated time; WDB is the max delay observed.
+	// Default 5 s.
+	Duration des.Duration
+	// Seed drives every random draw (attachment, trees, VBR traffic).
+	Seed uint64
+	// CapacityFactor is C_out/C for the capacity-aware scheme (see
+	// DESIGN.md). Default 2.0.
+	CapacityFactor float64
+	// EnvelopeMargin sets the regulators' ρ headroom over the true average
+	// rate. Default 1.02.
+	EnvelopeMargin float64
+	// EnvelopeHorizonSec is the measurement horizon for flow envelopes.
+	// Default 30 s.
+	EnvelopeHorizonSec float64
+	// ClusterK is the DSCT/NICE cluster parameter. Default 3.
+	ClusterK int
+	// Discipline selects the general MUX service order. Default LIFO.
+	Discipline mux.Discipline
+	// Transit selects the underlay model. Default PipeTransit.
+	Transit netsim.TransitMode
+	// StaggerAligned disables the round-robin phase offsets (ablation).
+	StaggerAligned bool
+	// Workload selects extremal (default) or VBR group flows.
+	Workload Workload
+	// BurstSec sets the extremal flows' σ in seconds of their ρ.
+	// Default 0.15.
+	BurstSec float64
+	// Specs, when non-nil, overrides envelope measurement (used by
+	// sweeps to measure once and share).
+	Specs []FlowSpec
+}
+
+func (c *Config) fillDefaults() {
+	if c.NumHosts == 0 {
+		c.NumHosts = 665
+	}
+	if c.NumHosts < 2 {
+		panic("core: need at least two hosts")
+	}
+	if c.Load <= 0 || c.Load >= 1 {
+		panic(fmt.Sprintf("core: load %v outside (0,1)", c.Load))
+	}
+	if c.Duration == 0 {
+		c.Duration = 5 * des.Second
+	}
+	if c.CapacityFactor == 0 {
+		c.CapacityFactor = 2.0
+	}
+	if c.EnvelopeMargin == 0 {
+		c.EnvelopeMargin = 1.02
+	}
+	if c.EnvelopeHorizonSec == 0 {
+		c.EnvelopeHorizonSec = 30
+	}
+	if c.ClusterK == 0 {
+		c.ClusterK = 3
+	}
+	if c.BurstSec == 0 {
+		c.BurstSec = 0.15
+	}
+}
+
+// Result reports one run's measurements.
+type Result struct {
+	// WDB is the worst-case multicast delay in seconds: the largest
+	// source-to-member delay over all packets, members, and groups.
+	WDB float64
+	// PerGroupWDB breaks WDB down by group.
+	PerGroupWDB []float64
+	// MeanDelay is the average delivery delay across all receptions.
+	MeanDelay float64
+	// Layers is the max layer count over the group trees (Tables I–III).
+	Layers int
+	// TreeLayers breaks Layers down by group.
+	TreeLayers []int
+	// Delivered counts packet receptions across all members and groups.
+	Delivered uint64
+	// ThresholdUtil is the adaptive algorithm's switching utilisation.
+	ThresholdUtil float64
+	// ModeSwitches counts regulator-model switches across hosts
+	// (meaningful for SchemeAdaptive).
+	ModeSwitches int
+	// ConnCapacity is the per-connection capacity C implied by the load.
+	ConnCapacity float64
+	// Specs echoes the flow envelopes used, for reuse across a sweep.
+	Specs []FlowSpec
+}
+
+// Session is a fully wired multi-group EMcast simulation.
+type Session struct {
+	cfg    Config
+	eng    *des.Engine
+	net    *topo.Network
+	fabric *netsim.Fabric
+	trees  []*overlay.Tree
+	hosts  []*host
+	specs  []FlowSpec
+
+	perGroup []stats.MaxTracker
+	delays   stats.Welford
+	deliver  uint64
+}
+
+// NewSession builds the network, trees, and host machinery for cfg.
+func NewSession(cfg Config) *Session {
+	cfg.fillDefaults()
+	s := &Session{cfg: cfg, eng: des.New()}
+	s.net = topo.NewNetwork(topo.Backbone19(), topo.NetworkConfig{
+		NumHosts: cfg.NumHosts,
+		Seed:     cfg.Seed,
+	})
+	s.fabric = netsim.NewFabric(s.eng, s.net, netsim.FabricConfig{Mode: cfg.Transit})
+
+	// Flow envelopes.
+	s.specs = cfg.Specs
+	if s.specs == nil {
+		s.specs = cfg.Workload.BuildSpecs(cfg.Mix, cfg.Seed, cfg.EnvelopeMargin,
+			cfg.BurstSec, cfg.EnvelopeHorizonSec)
+	}
+	numGroups := len(s.specs)
+
+	// Per-connection capacity from the x-axis load.
+	conn := cfg.Mix.TotalRate() / cfg.Load
+
+	// Trees. Regulated schemes build one tree per group (sources at hosts
+	// 0..numGroups-1). The capacity-aware scheme instead shares a single
+	// cluster-capped tree across all groups, exactly as the paper's
+	// Fig. 1(b) reconstructs one tree carrying both flows: its fanout
+	// budget ⌊C_out/Σρᵢ⌋ only yields a stable schedule when the same d
+	// children receive every flow.
+	members := make([]int, cfg.NumHosts)
+	for i := range members {
+		members[i] = i
+	}
+	build := func(src int, tc overlay.Config) *overlay.Tree {
+		if cfg.Tree == TreeNICE {
+			return overlay.BuildNICE(s.net, members, src, tc)
+		}
+		return overlay.BuildDSCT(s.net, members, src, tc)
+	}
+	s.trees = make([]*overlay.Tree, numGroups)
+	if cfg.Scheme == SchemeCapacityAware {
+		fanout := overlay.FanoutBound(cfg.Load, cfg.CapacityFactor)
+		var shared *overlay.Tree
+		if cfg.Tree == TreeNICE {
+			shared = overlay.BuildFlatBlind(s.net, members, 0, fanout, cfg.Seed*1000)
+		} else {
+			shared = overlay.BuildFlat(s.net, members, 0, fanout)
+		}
+		for g := range s.trees {
+			s.trees[g] = shared
+		}
+	} else {
+		for g := 0; g < numGroups; g++ {
+			tc := overlay.Config{K: cfg.ClusterK, Seed: cfg.Seed*1000 + uint64(g)}
+			s.trees[g] = build(g%cfg.NumHosts, tc)
+		}
+	}
+
+	// Host machinery.
+	env := &hostEnv{
+		eng:        s.eng,
+		specs:      s.specs,
+		conn:       conn,
+		bursts:     RegulatorBursts(s.specs, conn),
+		discipline: cfg.Discipline,
+		aligned:    cfg.StaggerAligned,
+		send:       func(from, to int, p traffic.Packet) { s.fabric.Send(from, to, p) },
+	}
+	if cfg.Scheme == SchemeCapacityAware {
+		agg := cfg.CapacityFactor * conn
+		env.connCap = func(numConns int) float64 {
+			if numConns < 1 {
+				numConns = 1
+			}
+			return agg / float64(numConns)
+		}
+	}
+	s.hosts = make([]*host, cfg.NumHosts)
+	threshold := ThresholdUtilization(numGroups, cfg.Mix.Homogeneous())
+	for id := 0; id < cfg.NumHosts; id++ {
+		children := make([][]int, numGroups)
+		for g := 0; g < numGroups; g++ {
+			children[g] = s.trees[g].Children(id)
+		}
+		s.hosts[id] = newHost(id, env, children, cfg.Scheme)
+		if cfg.Scheme == SchemeAdaptive && s.hosts[id].muxes != nil && len(s.hosts[id].muxes) > 0 {
+			s.hosts[id].startController(des.Second, 250*des.Millisecond, threshold)
+		}
+		id := id
+		s.fabric.SetReceiver(id, func(p traffic.Packet) { s.receive(id, p) })
+	}
+
+	s.perGroup = make([]stats.MaxTracker, numGroups)
+	return s
+}
+
+// receive records delivery of a group packet at a member and hands it to
+// the host's forwarding pipeline.
+func (s *Session) receive(id int, p traffic.Packet) {
+	g := p.Flow
+	d := p.Delay(s.eng.Now()).Seconds()
+	s.perGroup[g].Observe(d, p.ID)
+	s.delays.Add(d)
+	s.deliver++
+	h := s.hosts[id]
+	h.observe(p)
+	h.forward(g, p)
+}
+
+// Run drives the simulation for the configured duration plus a drain tail
+// and returns the measurements.
+func (s *Session) Run() Result {
+	cfg := s.cfg
+	numGroups := len(s.specs)
+	// Sources: group g's flow enters the network at its tree root. The
+	// root host "receives" at delay zero conceptually; measurement only
+	// counts downstream deliveries, so the source feeds forward() direct.
+	for g, src := range cfg.Workload.BuildSources(cfg.Mix, cfg.Seed, cfg.EnvelopeMargin, cfg.BurstSec) {
+		g := g
+		root := s.trees[g].Source
+		src.Start(s.eng, cfg.Duration, func(p traffic.Packet) {
+			s.hosts[root].observe(p)
+			s.hosts[root].forward(g, p)
+		})
+	}
+	// Drain tail: generous for duty-cycle vacations at every hop.
+	s.eng.RunUntil(cfg.Duration + 20*des.Second)
+
+	res := Result{
+		PerGroupWDB:   make([]float64, numGroups),
+		TreeLayers:    make([]int, numGroups),
+		MeanDelay:     s.delays.Mean(),
+		Delivered:     s.deliver,
+		ThresholdUtil: ThresholdUtilization(numGroups, cfg.Mix.Homogeneous()),
+		ConnCapacity:  cfg.Mix.TotalRate() / cfg.Load,
+		Specs:         s.specs,
+	}
+	for g := 0; g < numGroups; g++ {
+		res.PerGroupWDB[g] = s.perGroup[g].Max()
+		if res.PerGroupWDB[g] > res.WDB {
+			res.WDB = res.PerGroupWDB[g]
+		}
+		res.TreeLayers[g] = s.trees[g].Layers()
+		if res.TreeLayers[g] > res.Layers {
+			res.Layers = res.TreeLayers[g]
+		}
+	}
+	for _, h := range s.hosts {
+		res.ModeSwitches += h.switches
+	}
+	return res
+}
+
+// Trees exposes the built group trees (for inspection tools and tests).
+func (s *Session) Trees() []*overlay.Tree { return s.trees }
+
+// Network exposes the underlay (for inspection tools and tests).
+func (s *Session) Network() *topo.Network { return s.net }
+
+// Run builds a session for cfg and runs it.
+func Run(cfg Config) Result {
+	return NewSession(cfg).Run()
+}

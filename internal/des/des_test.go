@@ -1,0 +1,401 @@
+package des
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if Seconds(1.5) != 1500*Millisecond {
+		t.Fatalf("Seconds(1.5) = %v", Seconds(1.5))
+	}
+	if Millis(2.5) != 2500*Microsecond {
+		t.Fatalf("Millis(2.5) = %v", Millis(2.5))
+	}
+	if got := (250 * Millisecond).Seconds(); got != 0.25 {
+		t.Fatalf("Seconds() = %v", got)
+	}
+	if got := (250 * Microsecond).Millis(); got != 0.25 {
+		t.Fatalf("Millis() = %v", got)
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	eng := New()
+	var order []Time
+	times := []Time{50, 10, 30, 20, 40, 15, 5}
+	for _, at := range times {
+		at := at
+		eng.Schedule(at, func() { order = append(order, at) })
+	}
+	eng.Run()
+	if !sort.SliceIsSorted(order, func(i, j int) bool { return order[i] < order[j] }) {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if len(order) != len(times) {
+		t.Fatalf("fired %d of %d events", len(order), len(times))
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	eng := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.Schedule(100, func() { order = append(order, i) })
+	}
+	eng.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	eng := New()
+	eng.Schedule(42, func() {
+		if eng.Now() != 42 {
+			t.Fatalf("Now() = %v inside event at 42", eng.Now())
+		}
+	})
+	eng.Run()
+	if eng.Now() != 42 {
+		t.Fatalf("Now() = %v after run", eng.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	eng := New()
+	eng.Schedule(100, func() {})
+	eng.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	eng.Schedule(50, func() {})
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	eng := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling nil func did not panic")
+		}
+	}()
+	eng.Schedule(1, nil)
+}
+
+func TestCancel(t *testing.T) {
+	eng := New()
+	fired := false
+	ev := eng.Schedule(10, func() { fired = true })
+	eng.Cancel(ev)
+	eng.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("event not marked canceled")
+	}
+}
+
+func TestCancelIsImmediate(t *testing.T) {
+	eng := New()
+	ev := eng.Schedule(10, func() {})
+	if eng.Pending() != 1 {
+		t.Fatalf("pending = %d", eng.Pending())
+	}
+	eng.Cancel(ev)
+	if eng.Pending() != 0 {
+		t.Fatalf("canceled event still queued, pending = %d", eng.Pending())
+	}
+}
+
+func TestCancelTwiceAndAfterFire(t *testing.T) {
+	eng := New()
+	ev := eng.Schedule(10, func() {})
+	eng.Run()
+	eng.Cancel(ev) // after firing: no-op
+	eng.Cancel(ev) // twice: no-op
+	eng.Cancel(nil)
+}
+
+func TestScheduleFromWithinEvent(t *testing.T) {
+	eng := New()
+	var log []Time
+	eng.Schedule(10, func() {
+		log = append(log, eng.Now())
+		eng.ScheduleIn(5, func() { log = append(log, eng.Now()) })
+	})
+	eng.Run()
+	if len(log) != 2 || log[0] != 10 || log[1] != 15 {
+		t.Fatalf("log = %v", log)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	eng := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		eng.Schedule(Time(i)*10, func() { count++ })
+	}
+	eng.RunUntil(55)
+	if count != 5 {
+		t.Fatalf("RunUntil(55) executed %d events", count)
+	}
+	if eng.Now() != 55 {
+		t.Fatalf("Now() = %v after RunUntil(55)", eng.Now())
+	}
+	eng.RunUntil(200)
+	if count != 10 {
+		t.Fatalf("second RunUntil executed total %d", count)
+	}
+}
+
+func TestStop(t *testing.T) {
+	eng := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		eng.Schedule(Time(i), func() {
+			count++
+			if count == 3 {
+				eng.Stop()
+			}
+		})
+	}
+	eng.Run()
+	if count != 3 {
+		t.Fatalf("Stop did not halt run, count = %d", count)
+	}
+	if eng.Pending() != 7 {
+		t.Fatalf("pending after stop = %d", eng.Pending())
+	}
+}
+
+func TestExecutedCounter(t *testing.T) {
+	eng := New()
+	for i := 0; i < 5; i++ {
+		eng.Schedule(Time(i), func() {})
+	}
+	ev := eng.Schedule(99, func() {})
+	eng.Cancel(ev)
+	eng.Run()
+	if eng.Executed() != 5 {
+		t.Fatalf("Executed() = %d", eng.Executed())
+	}
+}
+
+// Property: with arbitrary event times, the firing sequence is the sorted
+// multiset of scheduled times.
+func TestQuickHeapOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		eng := New()
+		want := make([]Time, len(raw))
+		var got []Time
+		for i, v := range raw {
+			at := Time(v)
+			want[i] = at
+			eng.Schedule(at, func() { got = append(got, at) })
+		}
+		eng.Run()
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random interleaving of schedule/cancel keeps the heap indices
+// consistent and fires exactly the non-canceled set.
+func TestQuickCancelConsistency(t *testing.T) {
+	rng := xrand.New(77)
+	for trial := 0; trial < 100; trial++ {
+		eng := New()
+		fired := make(map[int]bool)
+		events := make([]*Event, 0, 64)
+		n := 1 + rng.Intn(64)
+		for i := 0; i < n; i++ {
+			i := i
+			ev := eng.Schedule(Time(rng.Intn(1000)), func() { fired[i] = true })
+			events = append(events, ev)
+		}
+		canceled := make(map[int]bool)
+		for i, ev := range events {
+			if rng.Bool(0.4) {
+				eng.Cancel(ev)
+				canceled[i] = true
+			}
+		}
+		eng.Run()
+		for i := range events {
+			if canceled[i] && fired[i] {
+				t.Fatalf("trial %d: canceled event %d fired", trial, i)
+			}
+			if !canceled[i] && !fired[i] {
+				t.Fatalf("trial %d: live event %d did not fire", trial, i)
+			}
+		}
+	}
+}
+
+func TestTickerFiresPeriodically(t *testing.T) {
+	eng := New()
+	var fires []Time
+	tk := NewTicker(eng, 10, func() { fires = append(fires, eng.Now()) })
+	eng.Schedule(45, func() { tk.Stop() })
+	eng.Run()
+	want := []Time{10, 20, 30, 40}
+	if len(fires) != len(want) {
+		t.Fatalf("ticker fired %v", fires)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("ticker fired %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	eng := New()
+	count := 0
+	var tk *Ticker
+	tk = NewTicker(eng, 5, func() {
+		count++
+		if count == 2 {
+			tk.Stop()
+		}
+	})
+	eng.Run()
+	if count != 2 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestTickerReset(t *testing.T) {
+	eng := New()
+	var fires []Time
+	var tk *Ticker
+	tk = NewTicker(eng, 10, func() {
+		fires = append(fires, eng.Now())
+		tk.Reset(20)
+		if len(fires) == 3 {
+			tk.Stop()
+		}
+	})
+	eng.Run()
+	want := []Time{10, 30, 50}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fires = %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestTickerBadPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for period 0")
+		}
+	}()
+	NewTicker(New(), 0, func() {})
+}
+
+func TestTimerArmDisarm(t *testing.T) {
+	eng := New()
+	tm := NewTimer(eng)
+	fired := false
+	tm.Arm(10, func() { fired = true })
+	if !tm.Armed() {
+		t.Fatal("timer should be armed")
+	}
+	tm.Disarm()
+	if tm.Armed() {
+		t.Fatal("timer should be disarmed")
+	}
+	eng.Run()
+	if fired {
+		t.Fatal("disarmed timer fired")
+	}
+}
+
+func TestTimerRearmReplaces(t *testing.T) {
+	eng := New()
+	tm := NewTimer(eng)
+	var at Time = -1
+	tm.Arm(10, func() { at = eng.Now() })
+	tm.Arm(25, func() { at = eng.Now() })
+	eng.Run()
+	if at != 25 {
+		t.Fatalf("rearm did not replace: fired at %v", at)
+	}
+}
+
+func TestTimerArmAt(t *testing.T) {
+	eng := New()
+	tm := NewTimer(eng)
+	var at Time = -1
+	tm.ArmAt(33, func() { at = eng.Now() })
+	eng.Run()
+	if at != 33 {
+		t.Fatalf("ArmAt fired at %v", at)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	rng := xrand.New(1)
+	times := make([]Time, 1024)
+	for i := range times {
+		times[i] = Time(rng.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := New()
+		for _, at := range times {
+			eng.Schedule(at, func() {})
+		}
+		eng.Run()
+	}
+}
+
+func BenchmarkHotLoopPingPong(b *testing.B) {
+	// Two events perpetually rescheduling each other: the regulator
+	// on/off pattern in miniature.
+	eng := New()
+	count := 0
+	var ping, pong func()
+	ping = func() { count++; eng.ScheduleIn(1, pong) }
+	pong = func() { count++; eng.ScheduleIn(1, ping) }
+	eng.ScheduleIn(1, ping)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+func BenchmarkCancelHeavy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := New()
+		evs := make([]*Event, 256)
+		for j := range evs {
+			evs[j] = eng.Schedule(Time(j), func() {})
+		}
+		for j := 0; j < len(evs); j += 2 {
+			eng.Cancel(evs[j])
+		}
+		eng.Run()
+	}
+}

@@ -1,0 +1,84 @@
+package des
+
+// Ticker fires a callback at a fixed period until stopped. It is the
+// building block for periodic processes such as regulator duty cycles and
+// rate-estimation windows.
+type Ticker struct {
+	eng    *Engine
+	period Duration
+	fn     func()
+	ev     *Event
+	stop   bool
+}
+
+// NewTicker schedules fn every period nanoseconds, first firing one period
+// from now. It panics if period <= 0.
+func NewTicker(eng *Engine, period Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("des: ticker period must be positive")
+	}
+	t := &Ticker{eng: eng, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.eng.ScheduleIn(t.period, func() {
+		if t.stop {
+			return
+		}
+		t.fn()
+		if !t.stop {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels the ticker. Safe to call from inside the callback.
+func (t *Ticker) Stop() {
+	t.stop = true
+	t.eng.Cancel(t.ev)
+}
+
+// Reset changes the period, taking effect from the next firing.
+func (t *Ticker) Reset(period Duration) {
+	if period <= 0 {
+		panic("des: ticker period must be positive")
+	}
+	t.period = period
+}
+
+// Timer is a one-shot rescheduleable alarm.
+type Timer struct {
+	eng *Engine
+	ev  *Event
+}
+
+// NewTimer returns an unarmed timer.
+func NewTimer(eng *Engine) *Timer { return &Timer{eng: eng} }
+
+// Arm schedules fn to fire after d, canceling any previously armed firing.
+func (t *Timer) Arm(d Duration, fn func()) {
+	t.Disarm()
+	t.ev = t.eng.ScheduleIn(d, fn)
+}
+
+// ArmAt schedules fn to fire at absolute time at, canceling any previously
+// armed firing.
+func (t *Timer) ArmAt(at Time, fn func()) {
+	t.Disarm()
+	t.ev = t.eng.Schedule(at, fn)
+}
+
+// Disarm cancels the pending firing, if any.
+func (t *Timer) Disarm() {
+	if t.ev != nil {
+		t.eng.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Armed reports whether a firing is pending.
+func (t *Timer) Armed() bool {
+	return t.ev != nil && !t.ev.Canceled() && t.ev.index >= 0
+}

@@ -1,0 +1,192 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/traffic"
+)
+
+func TestQuickOptions(t *testing.T) {
+	o := Quick(5)
+	o.fill()
+	if o.NumHosts != 120 || len(o.Loads) != 5 || o.Seed != 5 {
+		t.Fatalf("quick options: %+v", o)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	o.fill()
+	if o.Seed != 1 || o.NumHosts != 665 || len(o.Loads) != 13 {
+		t.Fatalf("defaults: %+v", o)
+	}
+}
+
+func TestFig4ShapeQuick(t *testing.T) {
+	r := Fig4(traffic.MixVideo, Quick(1))
+	if len(r.SigmaRho.Y) != 5 || len(r.SRL.Y) != 5 {
+		t.Fatalf("series lengths %d/%d", len(r.SigmaRho.Y), len(r.SRL.Y))
+	}
+	if !r.CrossoverOK {
+		t.Fatalf("no crossover found: %s", r.Summary())
+	}
+	if r.Crossover < 0.5 || r.Crossover > 0.85 {
+		t.Fatalf("crossover %.2f outside the paper band", r.Crossover)
+	}
+	if r.MaxRatio < 1.5 {
+		t.Fatalf("max improvement %.2f too small", r.MaxRatio)
+	}
+	// Monotone-ish SR curve: last point far above first.
+	n := len(r.SigmaRho.Y)
+	if r.SigmaRho.Y[n-1] < 3*r.SigmaRho.Y[0] {
+		t.Fatalf("(σ,ρ) curve not rising: %v", r.SigmaRho.Y)
+	}
+	tab := r.Table().String()
+	if !strings.Contains(tab, "0.95") {
+		t.Fatalf("table missing load rows:\n%s", tab)
+	}
+	if r.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestFig4WithAdaptive(t *testing.T) {
+	o := Quick(1)
+	o.Loads = []float64{0.4, 0.9}
+	o.IncludeAdaptive = true
+	r := Fig4(traffic.MixAudio, o)
+	if r.Adaptive == nil || len(r.Adaptive.Y) != 2 {
+		t.Fatal("adaptive series missing")
+	}
+	if !strings.Contains(r.Table().String(), "adaptive") {
+		t.Fatal("table missing adaptive column")
+	}
+}
+
+func TestFig6ShapeQuick(t *testing.T) {
+	o := Quick(1)
+	o.NumHosts = 60
+	o.Loads = []float64{0.4, 0.9}
+	r := Fig6(traffic.MixAudio, o)
+	if len(r.Curves) != 6 {
+		t.Fatalf("curves = %d", len(r.Curves))
+	}
+	srl := r.Curves[SchemeTree{core.SchemeSRL, core.TreeDSCT}]
+	sr := r.Curves[SchemeTree{core.SchemeSigmaRho, core.TreeDSCT}]
+	// Low load: (σ,ρ) wins; high load: (σ,ρ,λ) wins.
+	if sr.Y[0] >= srl.Y[0] {
+		t.Fatalf("(σ,ρ) should win at 0.4: %v vs %v", sr.Y[0], srl.Y[0])
+	}
+	if srl.Y[1] >= sr.Y[1] {
+		t.Fatalf("(σ,ρ,λ) should win at 0.9: %v vs %v", srl.Y[1], sr.Y[1])
+	}
+	// Layer tables: capacity-aware grows, regulated constant.
+	ca := r.Layers[SchemeTree{core.SchemeCapacityAware, core.TreeDSCT}]
+	reg := r.Layers[SchemeTree{core.SchemeSRL, core.TreeDSCT}]
+	if ca[1] <= ca[0] {
+		t.Fatalf("capacity-aware layers did not grow: %v", ca)
+	}
+	if reg[0] != reg[1] {
+		t.Fatalf("regulated layers changed: %v", reg)
+	}
+	out := r.Table().String()
+	if !strings.Contains(out, "capacity-aware DSCT") {
+		t.Fatalf("table missing combo columns:\n%s", out)
+	}
+	if !strings.Contains(r.LayerTable().String(), "DSCT with") {
+		t.Fatal("layer table malformed")
+	}
+	_ = r.Summary()
+}
+
+func TestLayerSweepTableShape(t *testing.T) {
+	o := Quick(1)
+	o.NumHosts = 200
+	o.Loads = []float64{0.35, 0.65, 0.95}
+	r := LayerSweep(traffic.MixAudio, o)
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Rows[2].CapacityAware <= r.Rows[0].CapacityAware {
+		t.Fatalf("capacity-aware layers should grow: %+v", r.Rows)
+	}
+	for _, row := range r.Rows {
+		if row.RegulatedLayers != r.Rows[0].RegulatedLayers {
+			t.Fatalf("regulated layers vary: %+v", r.Rows)
+		}
+	}
+	if !strings.Contains(r.Table().String(), "0.95") {
+		t.Fatal("table missing rows")
+	}
+}
+
+func TestFig2TraceZigZag(t *testing.T) {
+	pts := Fig2Trace(10_000, 250_000, 1_000_000, des.Seconds(1), 200)
+	if len(pts) != 200 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Cumulative output is non-decreasing and alternates on/off states.
+	transitions := 0
+	for i := 1; i < len(pts); i++ {
+		if pts[i].CumOut < pts[i-1].CumOut {
+			t.Fatal("cumulative output decreased")
+		}
+		if pts[i].On != pts[i-1].On {
+			transitions++
+		}
+	}
+	if transitions < 4 {
+		t.Fatalf("only %d on/off transitions in the trace", transitions)
+	}
+	// Output never exceeds input.
+	for _, p := range pts {
+		if p.CumOut > p.CumIn+1e-9 {
+			t.Fatal("output exceeded input")
+		}
+	}
+	if !strings.Contains(Fig2Table(pts).String(), "backlog") {
+		t.Fatal("fig2 table malformed")
+	}
+}
+
+func TestRhoStarTable(t *testing.T) {
+	out := RhoStarTable(5).String()
+	for _, want := range []string{"0.7321", "0.7913", "K"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRhoStarTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RhoStarTable(1)
+}
+
+func TestImprovementTable(t *testing.T) {
+	out := ImprovementTable(3, nil).String()
+	if !strings.Contains(out, "0.95") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	// Custom load grid.
+	out = ImprovementTable(3, []float64{0.9}).String()
+	if !strings.Contains(out, "0.90") {
+		t.Fatalf("custom grid ignored:\n%s", out)
+	}
+}
+
+func TestFig2TracePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Fig2Trace(1000, 100, 1000, des.Second, 1)
+}

@@ -1,0 +1,210 @@
+// Package mux implements the paper's general multiplexer (MUX): the
+// work-conserving server at each end host that merges the K regulated
+// input flows onto one output link of capacity C.
+//
+// "General" means the delay bounds of the paper hold for *any* service
+// order, so the package offers three concrete disciplines — FIFO, static
+// priority, and per-flow round-robin — all non-preemptive and
+// work-conserving. The experiments use FIFO; the others exist to
+// demonstrate (and test) that the worst-case bounds are discipline-
+// independent.
+package mux
+
+import (
+	"repro/internal/des"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// Discipline selects the service order of a general MUX.
+type Discipline int
+
+// Available service disciplines. LIFO is the zero value: the paper's
+// "general MUX" explicitly allows a packet of one flow to have priority
+// over a packet of another, and its worst-case delay — a packet waiting
+// out an entire busy period, Σσᵢ/(C−Σρᵢ) — is realised by last-come-
+// first-served order (the earliest packet of a busy period leaves last).
+// FIFO's worst case is only Σσᵢ/C and static priority's is
+// Σσᵢ/(C−Σ_{j≠i}ρⱼ); they and round-robin are offered for the
+// discipline-independence tests and ablations.
+const (
+	LIFO       Discipline = iota // newest arrival first (busy-period adversary)
+	Priority                     // lower flow index = higher priority
+	FIFO                         // global arrival order
+	RoundRobin                   // cycle across backlogged flows
+)
+
+// String implements fmt.Stringer.
+func (d Discipline) String() string {
+	switch d {
+	case LIFO:
+		return "lifo"
+	case FIFO:
+		return "fifo"
+	case Priority:
+		return "priority"
+	case RoundRobin:
+		return "round-robin"
+	default:
+		return "unknown"
+	}
+}
+
+type entry struct {
+	p       traffic.Packet
+	arrived des.Time
+	seq     uint64
+}
+
+// Mux is a work-conserving server at rate C over K per-flow queues.
+type Mux struct {
+	eng        *des.Engine
+	c          float64 // bits/second
+	discipline Discipline
+	out        func(traffic.Packet)
+
+	queues  [][]entry // per-flow FIFO queues
+	heads   []int
+	bits    float64
+	busy    bool
+	seq     uint64
+	rrNext  int
+	Delay   stats.Welford    // queueing+transmission delay per packet
+	MaxWait stats.MaxTracker // worst per-packet delay with packet tag
+	Served  stats.Counter    // served packets/bits
+}
+
+// New returns a MUX with k input flows at capacity c bits/second.
+func New(eng *des.Engine, k int, c float64, d Discipline, out func(traffic.Packet)) *Mux {
+	if k <= 0 {
+		panic("mux: need at least one input flow")
+	}
+	if c <= 0 {
+		panic("mux: capacity must be positive")
+	}
+	if out == nil {
+		panic("mux: nil output")
+	}
+	return &Mux{
+		eng:        eng,
+		c:          c,
+		discipline: d,
+		out:        out,
+		queues:     make([][]entry, k),
+		heads:      make([]int, k),
+	}
+}
+
+// Capacity returns the service rate in bits/second.
+func (m *Mux) Capacity() float64 { return m.c }
+
+// NumFlows returns the number of input queues.
+func (m *Mux) NumFlows() int { return len(m.queues) }
+
+// Backlog returns the bits queued across all flows (excluding the packet
+// in transmission).
+func (m *Mux) Backlog() float64 { return m.bits }
+
+// QueueLen returns the packets queued for flow i.
+func (m *Mux) QueueLen(i int) int { return len(m.queues[i]) - m.heads[i] }
+
+// Enqueue implements the input side: the packet joins its flow's queue
+// (p.Flow indexes the queue) and service starts if the server is idle.
+// It panics on an out-of-range flow index, which always indicates a
+// wiring bug in the host model.
+func (m *Mux) Enqueue(p traffic.Packet) {
+	if p.Flow < 0 || p.Flow >= len(m.queues) {
+		panic("mux: packet flow index out of range")
+	}
+	m.queues[p.Flow] = append(m.queues[p.Flow], entry{p: p, arrived: m.eng.Now(), seq: m.seq})
+	m.seq++
+	m.bits += p.Size
+	if !m.busy {
+		m.serve()
+	}
+}
+
+// pick selects the next flow to serve per the discipline, or -1 when idle.
+// For LIFO it returns the flow whose most recent arrival is newest; serve
+// pops that flow's tail instead of its head.
+func (m *Mux) pick() int {
+	switch m.discipline {
+	case LIFO:
+		best, bestSeq := -1, uint64(0)
+		for i := range m.queues {
+			if m.QueueLen(i) == 0 {
+				continue
+			}
+			e := m.queues[i][len(m.queues[i])-1]
+			if best < 0 || e.seq > bestSeq {
+				best, bestSeq = i, e.seq
+			}
+		}
+		return best
+	case Priority:
+		for i := range m.queues {
+			if m.QueueLen(i) > 0 {
+				return i
+			}
+		}
+	case RoundRobin:
+		k := len(m.queues)
+		for off := 0; off < k; off++ {
+			i := (m.rrNext + off) % k
+			if m.QueueLen(i) > 0 {
+				m.rrNext = (i + 1) % k
+				return i
+			}
+		}
+	default: // FIFO: globally earliest arrival (seq breaks ties)
+		best, bestSeq := -1, uint64(0)
+		for i := range m.queues {
+			if m.QueueLen(i) == 0 {
+				continue
+			}
+			e := m.queues[i][m.heads[i]]
+			if best < 0 || e.seq < bestSeq {
+				best, bestSeq = i, e.seq
+			}
+		}
+		return best
+	}
+	return -1
+}
+
+func (m *Mux) serve() {
+	i := m.pick()
+	if i < 0 {
+		m.busy = false
+		return
+	}
+	m.busy = true
+	var e entry
+	if m.discipline == LIFO {
+		last := len(m.queues[i]) - 1
+		e = m.queues[i][last]
+		m.queues[i] = m.queues[i][:last]
+	} else {
+		e = m.queues[i][m.heads[i]]
+		m.heads[i]++
+		m.compact(i)
+	}
+	m.bits -= e.p.Size
+	m.eng.ScheduleIn(des.Seconds(e.p.Size/m.c), func() {
+		now := m.eng.Now()
+		d := (now - e.arrived).Seconds()
+		m.Delay.Add(d)
+		m.MaxWait.Observe(d, e.p)
+		m.Served.Add(now, e.p.Size)
+		m.out(e.p)
+		m.serve()
+	})
+}
+
+func (m *Mux) compact(i int) {
+	if m.heads[i] > 64 && m.heads[i]*2 >= len(m.queues[i]) {
+		n := copy(m.queues[i], m.queues[i][m.heads[i]:])
+		m.queues[i] = m.queues[i][:n]
+		m.heads[i] = 0
+	}
+}

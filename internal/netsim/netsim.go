@@ -1,0 +1,237 @@
+// Package netsim provides the packet-level underlay transport for the
+// EMcast experiments: store-and-forward links, a pure-delay pipe, and the
+// Fabric that carries overlay-hop traffic between end hosts across the
+// backbone of internal/topo.
+//
+// Two transit modes are offered. PipeTransit delivers a host-to-host
+// packet after the shortest-path propagation delay with no router
+// queueing — the appropriate model when (as in the paper's evaluation)
+// the backbone is provisioned far above the offered load and the only
+// contended resource is end-host output capacity. QueuedTransit routes
+// packets hop by hop through per-direction router links with FIFO
+// serialisation, for experiments that want core queueing effects.
+package netsim
+
+import (
+	"repro/internal/des"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// Pipe is a fixed-latency, infinite-capacity conduit.
+type Pipe struct {
+	eng   *des.Engine
+	delay des.Duration
+	out   func(traffic.Packet)
+}
+
+// NewPipe returns a pipe with the given one-way delay.
+func NewPipe(eng *des.Engine, delay des.Duration, out func(traffic.Packet)) *Pipe {
+	if delay < 0 {
+		panic("netsim: pipe delay must be non-negative")
+	}
+	if out == nil {
+		panic("netsim: nil output")
+	}
+	return &Pipe{eng: eng, delay: delay, out: out}
+}
+
+// Send delivers p after the pipe delay.
+func (pi *Pipe) Send(p traffic.Packet) {
+	pi.eng.ScheduleIn(pi.delay, func() { pi.out(p) })
+}
+
+// transit wraps a packet with its final destination host for hop-by-hop
+// routing inside the Fabric.
+type transit struct {
+	p   traffic.Packet
+	dst int
+}
+
+// Link is a store-and-forward link: packets serialise at the link capacity
+// in FIFO order, then propagate for the configured delay. Multiple packets
+// may be "in flight" (propagating) simultaneously, as on a real wire.
+type Link struct {
+	eng      *des.Engine
+	capacity float64 // bits/second
+	prop     des.Duration
+	out      func(transit)
+
+	queue   []transit
+	head    int
+	busy    bool
+	bits    float64
+	Dropped uint64 // packets dropped by the queue cap, 0 = unlimited
+	MaxQ    int    // cap on queued packets; 0 = unlimited
+}
+
+// NewLink returns a link serialising at capacity bits/second with the
+// given propagation delay.
+func NewLink(eng *des.Engine, capacity float64, prop des.Duration, out func(transit)) *Link {
+	if capacity <= 0 {
+		panic("netsim: link capacity must be positive")
+	}
+	if prop < 0 {
+		panic("netsim: propagation delay must be non-negative")
+	}
+	if out == nil {
+		panic("netsim: nil output")
+	}
+	return &Link{eng: eng, capacity: capacity, prop: prop, out: out}
+}
+
+// Backlog returns the bits waiting for serialisation.
+func (l *Link) Backlog() float64 { return l.bits }
+
+// QueueLen returns the packets waiting for serialisation.
+func (l *Link) QueueLen() int { return len(l.queue) - l.head }
+
+// Send enqueues tr for transmission. When MaxQ > 0 and the queue is full
+// the packet is dropped and counted.
+func (l *Link) Send(tr transit) {
+	if l.MaxQ > 0 && l.QueueLen() >= l.MaxQ {
+		l.Dropped++
+		return
+	}
+	l.queue = append(l.queue, tr)
+	l.bits += tr.p.Size
+	if !l.busy {
+		l.serve()
+	}
+}
+
+func (l *Link) serve() {
+	if l.head >= len(l.queue) {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	tr := l.queue[l.head]
+	l.head++
+	if l.head > 64 && l.head*2 >= len(l.queue) {
+		n := copy(l.queue, l.queue[l.head:])
+		l.queue = l.queue[:n]
+		l.head = 0
+	}
+	l.bits -= tr.p.Size
+	l.eng.ScheduleIn(des.Seconds(tr.p.Size/l.capacity), func() {
+		// Serialisation finished: the packet propagates while the link
+		// starts on the next one.
+		l.eng.ScheduleIn(l.prop, func() { l.out(tr) })
+		l.serve()
+	})
+}
+
+// TransitMode selects how the Fabric carries host-to-host traffic.
+type TransitMode int
+
+// Fabric transit modes.
+const (
+	// PipeTransit delivers after end-to-end propagation with no core
+	// queueing (default; matches the paper's uncongested backbone).
+	PipeTransit TransitMode = iota
+	// QueuedTransit routes hop-by-hop through serialising router links.
+	QueuedTransit
+)
+
+// Fabric is the underlay transport connecting all end hosts.
+type Fabric struct {
+	eng       *des.Engine
+	net       *topo.Network
+	mode      TransitMode
+	receivers []func(traffic.Packet)
+	// QueuedTransit state: one Link per directed backbone edge, keyed by
+	// [from][to], plus per-host access links.
+	links  map[topo.NodeID]map[topo.NodeID]*Link
+	access []*Link // host uplink+downlink combined as one serialising stage
+	// Delivered counts packets handed to receivers.
+	Delivered uint64
+}
+
+// FabricConfig tunes the underlay.
+type FabricConfig struct {
+	Mode TransitMode
+	// AccessCapacity is the host access-link rate for QueuedTransit
+	// (bits/second). Zero selects 100 Mbit/s.
+	AccessCapacity float64
+}
+
+// NewFabric builds the transport over the given network.
+func NewFabric(eng *des.Engine, net *topo.Network, cfg FabricConfig) *Fabric {
+	f := &Fabric{
+		eng:       eng,
+		net:       net,
+		mode:      cfg.Mode,
+		receivers: make([]func(traffic.Packet), len(net.Hosts)),
+	}
+	if cfg.Mode == QueuedTransit {
+		if cfg.AccessCapacity <= 0 {
+			cfg.AccessCapacity = 100e6
+		}
+		f.links = make(map[topo.NodeID]map[topo.NodeID]*Link)
+		g := net.Backbone
+		for v := 0; v < g.NumNodes(); v++ {
+			from := topo.NodeID(v)
+			f.links[from] = make(map[topo.NodeID]*Link)
+			for _, e := range g.Neighbors(from) {
+				edge := e
+				f.links[from][edge.To] = NewLink(eng, edge.Capacity, edge.Delay, func(tr transit) {
+					f.arriveAtRouter(edge.To, tr)
+				})
+			}
+		}
+		f.access = make([]*Link, len(net.Hosts))
+		for i := range net.Hosts {
+			host := i
+			f.access[i] = NewLink(eng, cfg.AccessCapacity, net.Hosts[i].AccessDelay, func(tr transit) {
+				f.deliver(host, tr.p)
+			})
+		}
+	}
+	return f
+}
+
+// SetReceiver registers the delivery callback for a host.
+func (f *Fabric) SetReceiver(host int, fn func(traffic.Packet)) {
+	f.receivers[host] = fn
+}
+
+// Send carries p from host src to host dst and invokes dst's receiver.
+func (f *Fabric) Send(src, dst int, p traffic.Packet) {
+	if src == dst {
+		f.deliver(dst, p)
+		return
+	}
+	switch f.mode {
+	case QueuedTransit:
+		rs := f.net.Hosts[src].Router
+		// Uplink propagation only: the sender's serialisation is already
+		// modelled by its per-connection MUX, so the uplink is a pure
+		// delay here; downlink serialises at the access link.
+		f.eng.ScheduleIn(f.net.Hosts[src].AccessDelay, func() {
+			f.arriveAtRouter(rs, transit{p: p, dst: dst})
+		})
+	default:
+		f.eng.ScheduleIn(f.net.Latency(src, dst), func() { f.deliver(dst, p) })
+	}
+}
+
+func (f *Fabric) arriveAtRouter(r topo.NodeID, tr transit) {
+	dstRouter := f.net.Hosts[tr.dst].Router
+	if r == dstRouter {
+		f.access[tr.dst].Send(tr)
+		return
+	}
+	next := f.net.Routes.NextHop(r, dstRouter)
+	if next < 0 {
+		panic("netsim: no route between backbone routers")
+	}
+	f.links[r][next].Send(tr)
+}
+
+func (f *Fabric) deliver(host int, p traffic.Packet) {
+	f.Delivered++
+	if fn := f.receivers[host]; fn != nil {
+		fn(p)
+	}
+}

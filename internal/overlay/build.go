@@ -1,0 +1,268 @@
+package overlay
+
+import (
+	"fmt"
+
+	"repro/internal/topo"
+	"repro/internal/xrand"
+)
+
+// Config controls the cluster-hierarchy builders (DSCT and NICE).
+type Config struct {
+	// K is the cluster parameter: intra/inter-cluster sizes are drawn
+	// uniformly from [K, 3K−1] (the paper's Eq. (1)/(2) of ref [14];
+	// K = 3 in all published experiments). Default 3.
+	K int
+	// SizeCap, when >= 2, caps every cluster size — the capacity-aware
+	// variant, where a host may only feed ⌊C_out/Σρᵢ⌋ children so the
+	// cluster it leads cannot exceed that fanout + 1.
+	SizeCap int
+	// Seed drives the random cluster-size draws.
+	Seed uint64
+}
+
+func (c *Config) fillDefaults() {
+	if c.K == 0 {
+		c.K = 3
+	}
+	if c.K < 2 {
+		panic("overlay: cluster parameter K must be >= 2")
+	}
+	if c.SizeCap != 0 && c.SizeCap < 2 {
+		panic("overlay: SizeCap must be 0 (none) or >= 2")
+	}
+}
+
+// clusterize partitions ids (in the given order) into proximity clusters.
+// Each cluster is seeded by the first unassigned member and completed with
+// its nearest unassigned neighbours by RTT. Sizes are drawn from
+// [k, 3k−1], capped by sizeCap, exactly as the DSCT paper specifies: when
+// no more than the maximum cluster size remains, the remainder forms the
+// final cluster.
+func clusterize(net *topo.Network, ids []int, k, sizeCap int, rng *xrand.Rand) [][]int {
+	limit := 3*k - 1
+	lo := k
+	if sizeCap >= 2 && sizeCap < limit {
+		limit = sizeCap
+		if lo > limit {
+			lo = limit
+		}
+	}
+	unassigned := append([]int(nil), ids...)
+	var clusters [][]int
+	for len(unassigned) > 0 {
+		size := len(unassigned)
+		if size > limit {
+			size = rng.IntRange(lo, limit)
+		}
+		pivot := unassigned[0]
+		rest := unassigned[1:]
+		sortByRTT(net, pivot, rest)
+		cluster := make([]int, 0, size)
+		cluster = append(cluster, pivot)
+		cluster = append(cluster, rest[:size-1]...)
+		clusters = append(clusters, cluster)
+		unassigned = append(unassigned[:0], rest[size-1:]...)
+	}
+	return clusters
+}
+
+// pickCore selects the cluster core: the multicast source always wins its
+// clusters (so the delivery tree roots at the source); otherwise the RTT
+// centroid leads.
+func pickCore(net *topo.Network, cluster []int, source int) int {
+	for _, m := range cluster {
+		if m == source {
+			return source
+		}
+	}
+	return rttCentroid(net, cluster)
+}
+
+// buildHierarchy runs the layered clustering loop over one ordered member
+// set, assigning parent edges into t, and returns the surviving top core.
+func buildHierarchy(t *Tree, net *topo.Network, layer []int, source int, k, sizeCap int, rng *xrand.Rand) int {
+	for len(layer) > 1 {
+		clusters := clusterize(net, layer, k, sizeCap, rng)
+		next := make([]int, 0, len(clusters))
+		for _, cluster := range clusters {
+			core := pickCore(net, cluster, source)
+			for _, m := range cluster {
+				if m != core {
+					t.setParent(m, core)
+				}
+			}
+			next = append(next, core)
+		}
+		layer = next
+	}
+	return layer[0]
+}
+
+func checkMembership(members []int, source int) {
+	if len(members) == 0 {
+		panic("overlay: empty member set")
+	}
+	found := false
+	for _, m := range members {
+		if m == source {
+			found = true
+			break
+		}
+	}
+	if !found {
+		panic(fmt.Sprintf("overlay: source %d not in member set", source))
+	}
+}
+
+// BuildDSCT constructs the paper's DSCT tree (Section V): members are
+// first partitioned into local domains (hosts attached to the same
+// backbone router), each domain builds an intra-cluster hierarchy bottom-
+// up, and the surviving local cores build the inter-cluster hierarchy.
+// The delivery tree is rooted at the multicast source (the source wins
+// core election in every cluster containing it).
+func BuildDSCT(net *topo.Network, members []int, source int, cfg Config) *Tree {
+	cfg.fillDefaults()
+	checkMembership(members, source)
+	rng := xrand.New(cfg.Seed ^ 0x5851f42d4c957f2d)
+	t := newTree(source, members)
+	inGroup := make(map[int]bool, len(members))
+	for _, m := range members {
+		inGroup[m] = true
+	}
+	// Local domains in deterministic router order, preserving attachment
+	// order within a domain.
+	var localCores []int
+	for r := 0; r < net.Backbone.NumNodes(); r++ {
+		var domain []int
+		for _, h := range net.HostsAtRouter(topo.NodeID(r)) {
+			if inGroup[h] {
+				domain = append(domain, h)
+			}
+		}
+		if len(domain) == 0 {
+			continue
+		}
+		localCores = append(localCores, buildHierarchy(t, net, domain, source, cfg.K, cfg.SizeCap, rng))
+	}
+	buildHierarchy(t, net, localCores, source, cfg.K, cfg.SizeCap, rng)
+	return t
+}
+
+// BuildNICE constructs a NICE-style tree (ref [8]): the same hierarchical
+// clustering as DSCT but location-blind — no domain partition, and the
+// bottom layer is visited in seeded random order, so low-layer clusters
+// freely span backbone domains. Cluster sizes and leader election follow
+// the NICE rules ([k, 3k−1], RTT centre).
+func BuildNICE(net *topo.Network, members []int, source int, cfg Config) *Tree {
+	cfg.fillDefaults()
+	checkMembership(members, source)
+	rng := xrand.New(cfg.Seed ^ 0x9e3779b97f4a7c15)
+	t := newTree(source, members)
+	layer := append([]int(nil), members...)
+	rng.ShuffleInts(layer)
+	buildHierarchy(t, net, layer, source, cfg.K, cfg.SizeCap, rng)
+	return t
+}
+
+// FanoutBound is the capacity-aware child budget of Fig. 1: a host whose
+// aggregate output capacity is `factor` × the per-connection capacity C,
+// serving flows with total normalised load `load` = Σρᵢ/C per connection,
+// can feed at most ⌊factor/load⌋ children. The result is clamped to at
+// least 2 (a bound of 1 would degenerate every tree into a chain, which
+// no published capacity-aware protocol does — they fall back to minimum
+// branching instead).
+func FanoutBound(load, factor float64) int {
+	if load <= 0 || factor <= 0 {
+		panic("overlay: load and factor must be positive")
+	}
+	d := int(factor / load)
+	// Keep strictly inside the budget: at d·load == C_out the per-
+	// connection queues are critically loaded and delays diverge.
+	for d > 2 && float64(d)*load > 0.97*factor {
+		d--
+	}
+	if d < 2 {
+		d = 2
+	}
+	return d
+}
+
+// CapacityConfig derives the capacity-aware cluster cap for the given
+// normalised load: cluster size = fanout bound + 1 (core plus children).
+func CapacityConfig(base Config, load, factor float64) Config {
+	base.SizeCap = FanoutBound(load, factor) + 1
+	return base
+}
+
+// BuildFlat constructs the flat degree-bounded capacity-aware tree of the
+// paper's Fig. 1: breadth-first from the source, each host adopting up to
+// `fanout` nearest unattached members by RTT. This is the capacity-aware
+// comparator of the experiments (the location-aware "capacity-aware DSCT"
+// flavour); BuildFlatBlind is its location-blind NICE counterpart. Unlike
+// a cluster-size cap on the hierarchy builders, the flat builder bounds
+// each host's *total* fanout, which is what the capacity budget
+// ⌊C_out/Σρᵢ⌋ actually constrains.
+func BuildFlat(net *topo.Network, members []int, source, fanout int) *Tree {
+	checkMembership(members, source)
+	if fanout < 1 {
+		panic("overlay: fanout must be >= 1")
+	}
+	t := newTree(source, members)
+	unattached := make([]int, 0, len(members)-1)
+	for _, m := range members {
+		if m != source {
+			unattached = append(unattached, m)
+		}
+	}
+	queue := []int{source}
+	for len(queue) > 0 && len(unattached) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		sortByRTT(net, v, unattached)
+		take := fanout
+		if take > len(unattached) {
+			take = len(unattached)
+		}
+		for _, c := range unattached[:take] {
+			t.setParent(c, v)
+			queue = append(queue, c)
+		}
+		unattached = unattached[take:]
+	}
+	return t
+}
+
+// BuildFlatBlind is BuildFlat without locality: children are adopted in a
+// seeded random order instead of nearest-by-RTT, so overlay hops freely
+// span backbone domains — the capacity-aware NICE comparator.
+func BuildFlatBlind(net *topo.Network, members []int, source, fanout int, seed uint64) *Tree {
+	checkMembership(members, source)
+	if fanout < 1 {
+		panic("overlay: fanout must be >= 1")
+	}
+	rng := xrand.New(seed ^ 0xa24baed4963ee407)
+	t := newTree(source, members)
+	unattached := make([]int, 0, len(members)-1)
+	for _, m := range members {
+		if m != source {
+			unattached = append(unattached, m)
+		}
+	}
+	rng.ShuffleInts(unattached)
+	queue := []int{source}
+	for len(queue) > 0 && len(unattached) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		take := fanout
+		if take > len(unattached) {
+			take = len(unattached)
+		}
+		for _, c := range unattached[:take] {
+			t.setParent(c, v)
+			queue = append(queue, c)
+		}
+		unattached = unattached[take:]
+	}
+	return t
+}

@@ -1,0 +1,240 @@
+// Package overlay builds and measures the end-host multicast trees of the
+// paper's evaluation: DSCT (the location-aware hierarchy-and-cluster tree
+// of ref [14]), NICE (the location-blind hierarchical clustering of ref
+// [8]), their capacity-aware variants (cluster sizes capped by host output
+// capacity, the Fig. 1 scheme), and a flat degree-bounded capacity-aware
+// tree for small examples.
+package overlay
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/des"
+	"repro/internal/topo"
+)
+
+// Tree is a source-rooted multicast delivery tree over a set of member
+// hosts. Packets flow from the source along parent→child edges; each edge
+// is one overlay hop (one underlay unicast path).
+type Tree struct {
+	Source  int
+	Members []int
+	parent  map[int]int
+	child   map[int][]int
+}
+
+func newTree(source int, members []int) *Tree {
+	t := &Tree{
+		Source:  source,
+		Members: append([]int(nil), members...),
+		parent:  make(map[int]int, len(members)),
+		child:   make(map[int][]int),
+	}
+	t.parent[source] = -1
+	return t
+}
+
+func (t *Tree) setParent(node, parent int) {
+	if node == t.Source {
+		panic("overlay: cannot assign a parent to the source")
+	}
+	if _, dup := t.parent[node]; dup {
+		panic(fmt.Sprintf("overlay: host %d assigned two parents", node))
+	}
+	t.parent[node] = parent
+	t.child[parent] = append(t.child[parent], node)
+}
+
+// Parent returns the parent of member h, or -1 for the source.
+func (t *Tree) Parent(h int) int { return t.parent[h] }
+
+// Children returns h's direct children (owned by the tree; do not mutate).
+func (t *Tree) Children(h int) []int { return t.child[h] }
+
+// Size returns the number of members.
+func (t *Tree) Size() int { return len(t.Members) }
+
+// Depth returns the number of overlay hops from the source to h.
+func (t *Tree) Depth(h int) int {
+	d := 0
+	for v := h; t.parent[v] >= 0; v = t.parent[v] {
+		d++
+		if d > len(t.Members) {
+			panic("overlay: parent cycle")
+		}
+	}
+	return d
+}
+
+// Height returns the maximum Depth over all members — the paper's tree
+// height minus one (a tree of H layers has height H−1 hops).
+func (t *Tree) Height() int {
+	max := 0
+	for _, m := range t.Members {
+		if d := t.Depth(m); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Layers returns the layer count the paper's Tables I–III report:
+// Height() + 1.
+func (t *Tree) Layers() int { return t.Height() + 1 }
+
+// MaxFanout returns the largest child count of any member.
+func (t *Tree) MaxFanout() int {
+	max := 0
+	for _, cs := range t.child {
+		if len(cs) > max {
+			max = len(cs)
+		}
+	}
+	return max
+}
+
+// AvgFanout returns the mean child count over forwarding (non-leaf)
+// members, or 0 for a single-member tree.
+func (t *Tree) AvgFanout() float64 {
+	if len(t.child) == 0 {
+		return 0
+	}
+	total := 0
+	for _, cs := range t.child {
+		total += len(cs)
+	}
+	return float64(total) / float64(len(t.child))
+}
+
+// Validate checks the tree spans exactly its member set with no cycles and
+// every parent edge internal to the membership.
+func (t *Tree) Validate() error {
+	inSet := make(map[int]bool, len(t.Members))
+	for _, m := range t.Members {
+		if inSet[m] {
+			return fmt.Errorf("overlay: duplicate member %d", m)
+		}
+		inSet[m] = true
+	}
+	if !inSet[t.Source] {
+		return fmt.Errorf("overlay: source %d not a member", t.Source)
+	}
+	for _, m := range t.Members {
+		p, ok := t.parent[m]
+		if !ok {
+			return fmt.Errorf("overlay: member %d detached", m)
+		}
+		if m == t.Source {
+			if p != -1 {
+				return fmt.Errorf("overlay: source has parent %d", p)
+			}
+			continue
+		}
+		if !inSet[p] {
+			return fmt.Errorf("overlay: member %d has foreign parent %d", m, p)
+		}
+		// Walk to the root to prove reachability (Depth panics on cycles;
+		// convert that to an error here).
+		steps, v := 0, m
+		for t.parent[v] >= 0 {
+			v = t.parent[v]
+			steps++
+			if steps > len(t.Members) {
+				return fmt.Errorf("overlay: cycle through member %d", m)
+			}
+		}
+		if v != t.Source {
+			return fmt.Errorf("overlay: member %d roots at %d, not the source", m, v)
+		}
+	}
+	return nil
+}
+
+// PathLatency returns the summed underlay propagation delay from the
+// source to member h along tree edges.
+func (t *Tree) PathLatency(net *topo.Network, h int) des.Duration {
+	var total des.Duration
+	for v := h; t.parent[v] >= 0; v = t.parent[v] {
+		total += net.Latency(t.parent[v], v)
+	}
+	return total
+}
+
+// Stretch returns the mean ratio of tree path latency to direct unicast
+// latency over all non-source members (RMP/stretch metric).
+func (t *Tree) Stretch(net *topo.Network) float64 {
+	var sum float64
+	n := 0
+	for _, m := range t.Members {
+		if m == t.Source {
+			continue
+		}
+		direct := net.Latency(t.Source, m)
+		if direct <= 0 {
+			continue
+		}
+		sum += float64(t.PathLatency(net, m)) / float64(direct)
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}
+
+// LinkStress counts, for each directed backbone link, how many overlay
+// edges route across it, returning the maximum and mean over used links.
+func (t *Tree) LinkStress(net *topo.Network) (max int, avg float64) {
+	type edge struct{ a, b topo.NodeID }
+	stress := make(map[edge]int)
+	for _, m := range t.Members {
+		p := t.parent[m]
+		if p < 0 {
+			continue
+		}
+		path := net.RouterPath(p, m)
+		for i := 0; i+1 < len(path); i++ {
+			stress[edge{path[i], path[i+1]}]++
+		}
+	}
+	if len(stress) == 0 {
+		return 0, 0
+	}
+	total := 0
+	for _, s := range stress {
+		total += s
+		if s > max {
+			max = s
+		}
+	}
+	return max, float64(total) / float64(len(stress))
+}
+
+// sortByRTT orders ids by round-trip time to the pivot (ties broken by
+// id for determinism). The pivot itself, if present, sorts first.
+func sortByRTT(net *topo.Network, pivot int, ids []int) {
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := net.RTT(pivot, ids[i]), net.RTT(pivot, ids[j])
+		if a != b {
+			return a < b
+		}
+		return ids[i] < ids[j]
+	})
+}
+
+// rttCentroid returns the member of cluster minimising total RTT to the
+// others — NICE's "graph-theoretic centre" leader rule. Ties break by id.
+func rttCentroid(net *topo.Network, cluster []int) int {
+	best, bestCost := -1, des.Duration(0)
+	for _, c := range cluster {
+		var cost des.Duration
+		for _, o := range cluster {
+			cost += net.RTT(c, o)
+		}
+		if best < 0 || cost < bestCost || (cost == bestCost && c < best) {
+			best, bestCost = c, cost
+		}
+	}
+	return best
+}

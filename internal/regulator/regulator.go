@@ -1,0 +1,207 @@
+// Package regulator implements the traffic regulators at the heart of the
+// paper: the classical leaky bucket, Cruz's (σ, ρ) regulator, and the
+// paper's novel (σ, ρ, λ) duty-cycle regulator, plus the round-robin
+// stagger scheduler that interleaves the working periods of the K
+// regulators at one end host.
+//
+// All regulators are event-driven shapers on a des.Engine: packets enter
+// through Enqueue and conformant packets leave through the output callback
+// in FIFO order per flow.
+package regulator
+
+import (
+	"repro/internal/des"
+	"repro/internal/traffic"
+)
+
+// Regulator is the common shaper interface.
+type Regulator interface {
+	// Enqueue submits a packet for shaping. Must be called from engine
+	// context (inside an event) so that Now() is meaningful.
+	Enqueue(p traffic.Packet)
+	// Backlog reports the bits currently held back.
+	Backlog() float64
+	// QueueLen reports the packets currently held back.
+	QueueLen() int
+	// Name identifies the regulator model.
+	Name() string
+}
+
+// fifo is a slice-backed packet queue with amortised O(1) operations.
+type fifo struct {
+	buf  []traffic.Packet
+	head int
+	bits float64
+}
+
+func (q *fifo) push(p traffic.Packet) {
+	q.buf = append(q.buf, p)
+	q.bits += p.Size
+}
+
+func (q *fifo) empty() bool { return q.head >= len(q.buf) }
+
+func (q *fifo) len() int { return len(q.buf) - q.head }
+
+func (q *fifo) peek() traffic.Packet { return q.buf[q.head] }
+
+func (q *fifo) pop() traffic.Packet {
+	p := q.buf[q.head]
+	q.head++
+	q.bits -= p.Size
+	// Reclaim space once the consumed prefix dominates.
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return p
+}
+
+// LeakyBucket drains its queue at a fixed rate ρ regardless of input
+// burstiness — the rigid classical scheme the paper contrasts against
+// (Section I: "enforces a rigid output pattern at the average rate").
+type LeakyBucket struct {
+	eng  *des.Engine
+	rho  float64 // bits/second
+	out  func(traffic.Packet)
+	q    fifo
+	busy bool
+}
+
+// NewLeakyBucket returns a leaky bucket draining at rho bits/second.
+func NewLeakyBucket(eng *des.Engine, rho float64, out func(traffic.Packet)) *LeakyBucket {
+	if rho <= 0 {
+		panic("regulator: leaky bucket rate must be positive")
+	}
+	if out == nil {
+		panic("regulator: nil output")
+	}
+	return &LeakyBucket{eng: eng, rho: rho, out: out}
+}
+
+// Name implements Regulator.
+func (l *LeakyBucket) Name() string { return "leaky-bucket" }
+
+// Backlog implements Regulator.
+func (l *LeakyBucket) Backlog() float64 { return l.q.bits }
+
+// QueueLen implements Regulator.
+func (l *LeakyBucket) QueueLen() int { return l.q.len() }
+
+// Enqueue implements Regulator.
+func (l *LeakyBucket) Enqueue(p traffic.Packet) {
+	l.q.push(p)
+	if !l.busy {
+		l.serve()
+	}
+}
+
+func (l *LeakyBucket) serve() {
+	if l.q.empty() {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	p := l.q.peek()
+	// The bucket emits the packet after serialising it at ρ.
+	l.eng.ScheduleIn(des.Seconds(p.Size/l.rho), func() {
+		l.q.pop()
+		l.out(p)
+		l.serve()
+	})
+}
+
+// SigmaRho is Cruz's (σ, ρ) regulator: a token bucket with depth σ bits
+// refilled at ρ bits/second. A packet departs as soon as the bucket holds
+// its size in tokens, so bursts up to σ pass unshaped while the long-run
+// output never exceeds σ + ρ·t over any interval of length t.
+type SigmaRho struct {
+	eng *des.Engine
+	// Sigma and Rho are the envelope parameters (bits, bits/second).
+	Sigma, Rho float64
+	out        func(traffic.Packet)
+
+	q          fifo
+	tokens     float64
+	lastUpdate des.Time
+	serving    bool
+}
+
+// NewSigmaRho returns a (σ, ρ) regulator starting with a full bucket.
+func NewSigmaRho(eng *des.Engine, sigma, rho float64, out func(traffic.Packet)) *SigmaRho {
+	if sigma < 0 || rho <= 0 {
+		panic("regulator: invalid (σ,ρ) parameters")
+	}
+	if out == nil {
+		panic("regulator: nil output")
+	}
+	return &SigmaRho{eng: eng, Sigma: sigma, Rho: rho, out: out, tokens: sigma}
+}
+
+// Name implements Regulator.
+func (s *SigmaRho) Name() string { return "sigma-rho" }
+
+// Backlog implements Regulator.
+func (s *SigmaRho) Backlog() float64 { return s.q.bits }
+
+// QueueLen implements Regulator.
+func (s *SigmaRho) QueueLen() int { return s.q.len() }
+
+// Tokens returns the current bucket level (after refreshing to Now).
+func (s *SigmaRho) Tokens() float64 {
+	s.refill()
+	return s.tokens
+}
+
+func (s *SigmaRho) refill() {
+	now := s.eng.Now()
+	if now > s.lastUpdate {
+		// The bucket cap stretches to the head packet when that packet is
+		// larger than σ, so oversized packets still eventually conform
+		// (the effective envelope is (σ + L_max, ρ), the usual packetised
+		// form of Cruz's fluid regulator).
+		cap := s.Sigma
+		if !s.q.empty() && s.q.peek().Size > cap {
+			cap = s.q.peek().Size
+		}
+		s.tokens += s.Rho * (now - s.lastUpdate).Seconds()
+		if s.tokens > cap {
+			s.tokens = cap
+		}
+		s.lastUpdate = now
+	}
+}
+
+// Enqueue implements Regulator.
+func (s *SigmaRho) Enqueue(p traffic.Packet) {
+	s.q.push(p)
+	if !s.serving {
+		s.serve()
+	}
+}
+
+func (s *SigmaRho) serve() {
+	s.refill()
+	for !s.q.empty() {
+		need := s.q.peek().Size
+		if s.tokens+1e-9 >= need {
+			s.tokens -= need
+			p := s.q.pop()
+			s.out(p)
+			continue
+		}
+		// Wait until the bucket accumulates enough tokens.
+		wait := des.Seconds((need - s.tokens) / s.Rho)
+		if wait < 1 {
+			wait = 1
+		}
+		s.serving = true
+		s.eng.ScheduleIn(wait, func() {
+			s.serving = false
+			s.serve()
+		})
+		return
+	}
+	s.serving = false
+}

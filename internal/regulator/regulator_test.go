@@ -1,0 +1,242 @@
+package regulator
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/traffic"
+)
+
+// collect runs src through build's regulator until `dur`, returning output
+// packets with their emission times.
+type emission struct {
+	p  traffic.Packet
+	at des.Time
+}
+
+func drive(src traffic.Source, dur float64, build func(eng *des.Engine, out func(traffic.Packet)) Regulator) []emission {
+	eng := des.New()
+	var got []emission
+	reg := build(eng, func(p traffic.Packet) { got = append(got, emission{p, eng.Now()}) })
+	until := des.Seconds(dur)
+	src.Start(eng, until, reg.Enqueue)
+	eng.RunUntil(until + des.Seconds(30)) // drain time
+	return got
+}
+
+func totalBits(es []emission) float64 {
+	t := 0.0
+	for _, e := range es {
+		t += e.p.Size
+	}
+	return t
+}
+
+func TestLeakyBucketDrainsAtRho(t *testing.T) {
+	// Greedy burst into a 50kbps bucket: output must be paced at exactly ρ.
+	src := traffic.NewGreedy(0, 50_000, 50_000, 1000)
+	got := drive(src, 2, func(eng *des.Engine, out func(traffic.Packet)) Regulator {
+		return NewLeakyBucket(eng, 50_000, out)
+	})
+	if len(got) < 10 {
+		t.Fatalf("only %d emissions", len(got))
+	}
+	gap := des.Seconds(1000.0 / 50_000)
+	for i := 1; i < 50; i++ {
+		if d := got[i].at - got[i-1].at; d != gap {
+			t.Fatalf("emission gap %d = %v, want %v", i, d, gap)
+		}
+	}
+}
+
+func TestLeakyBucketPreservesOrderAndCount(t *testing.T) {
+	src := traffic.NewPoisson(0, 80_000, 1000, 3)
+	got := drive(src, 5, func(eng *des.Engine, out func(traffic.Packet)) Regulator {
+		return NewLeakyBucket(eng, 100_000, out)
+	})
+	for i := 1; i < len(got); i++ {
+		if got[i].p.ID != got[i-1].p.ID+1 {
+			t.Fatalf("order violated at %d", i)
+		}
+	}
+}
+
+func TestLeakyBucketValidation(t *testing.T) {
+	eng := des.New()
+	for i, fn := range []func(){
+		func() { NewLeakyBucket(eng, 0, func(traffic.Packet) {}) },
+		func() { NewLeakyBucket(eng, 1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSigmaRhoPassesBurstUpToSigma(t *testing.T) {
+	// A burst no larger than σ passes with zero delay.
+	eng := des.New()
+	var got []emission
+	reg := NewSigmaRho(eng, 10_000, 1000, func(p traffic.Packet) {
+		got = append(got, emission{p, eng.Now()})
+	})
+	eng.Schedule(des.Second, func() {
+		for i := 0; i < 10; i++ {
+			reg.Enqueue(traffic.Packet{ID: uint64(i), Size: 1000, CreatedAt: eng.Now()})
+		}
+	})
+	eng.Run()
+	if len(got) != 10 {
+		t.Fatalf("emitted %d", len(got))
+	}
+	for _, e := range got {
+		if e.at != des.Second {
+			t.Fatalf("burst packet delayed to %v", e.at)
+		}
+	}
+}
+
+func TestSigmaRhoDelaysExcessBurst(t *testing.T) {
+	// A burst of 2σ: the second half is paced out at ρ.
+	eng := des.New()
+	var got []emission
+	reg := NewSigmaRho(eng, 5_000, 1000, func(p traffic.Packet) {
+		got = append(got, emission{p, eng.Now()})
+	})
+	eng.Schedule(0, func() {
+		for i := 0; i < 10; i++ {
+			reg.Enqueue(traffic.Packet{ID: uint64(i), Size: 1000, CreatedAt: eng.Now()})
+		}
+	})
+	eng.Run()
+	if len(got) != 10 {
+		t.Fatalf("emitted %d", len(got))
+	}
+	// First 5 immediate, then one per 1000/1000 = 1s.
+	for i := 0; i < 5; i++ {
+		if got[i].at != 0 {
+			t.Fatalf("packet %d at %v", i, got[i].at)
+		}
+	}
+	for i := 5; i < 10; i++ {
+		want := des.Seconds(float64(i - 4))
+		if got[i].at != want {
+			t.Fatalf("packet %d at %v, want %v", i, got[i].at, want)
+		}
+	}
+}
+
+func TestSigmaRhoOutputConforms(t *testing.T) {
+	// Whatever the input, the output must satisfy (σ + MTU, ρ).
+	src := traffic.PaperVideo(0, 9)
+	sigma, rho := 80_000.0, 1.2*traffic.VideoRate
+	meter := traffic.NewMeter(rho)
+	eng := des.New()
+	reg := NewSigmaRho(eng, sigma, rho, func(p traffic.Packet) {
+		meter.Observe(eng.Now(), p.Size)
+	})
+	until := des.Seconds(20)
+	src.Start(eng, until, reg.Enqueue)
+	eng.RunUntil(until + des.Seconds(60))
+	if !meter.Conforms(sigma + 10_000) {
+		t.Fatalf("output σ̂ = %v exceeds σ+MTU = %v", meter.Sigma(), sigma+10_000)
+	}
+}
+
+func TestSigmaRhoOversizedPacket(t *testing.T) {
+	// A packet bigger than σ must still get through eventually.
+	eng := des.New()
+	var got []emission
+	reg := NewSigmaRho(eng, 1000, 1000, func(p traffic.Packet) {
+		got = append(got, emission{p, eng.Now()})
+	})
+	eng.Schedule(0, func() {
+		reg.Enqueue(traffic.Packet{ID: 1, Size: 5000})
+	})
+	eng.Run()
+	if len(got) != 1 {
+		t.Fatalf("oversized packet never emitted")
+	}
+	// Needs 4000 extra bits at 1000 bps = 4s.
+	if got[0].at != des.Seconds(4) {
+		t.Fatalf("oversized packet at %v", got[0].at)
+	}
+}
+
+func TestSigmaRhoTokensCapAtSigma(t *testing.T) {
+	eng := des.New()
+	reg := NewSigmaRho(eng, 2000, 1000, func(traffic.Packet) {})
+	eng.Schedule(des.Seconds(100), func() {
+		if tok := reg.Tokens(); tok != 2000 {
+			t.Fatalf("tokens = %v after long idle, want σ", tok)
+		}
+	})
+	eng.Run()
+}
+
+func TestSigmaRhoValidation(t *testing.T) {
+	eng := des.New()
+	for i, fn := range []func(){
+		func() { NewSigmaRho(eng, -1, 1, func(traffic.Packet) {}) },
+		func() { NewSigmaRho(eng, 1, 0, func(traffic.Packet) {}) },
+		func() { NewSigmaRho(eng, 1, 1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFIFOQueueCompaction(t *testing.T) {
+	var q fifo
+	for i := 0; i < 1000; i++ {
+		q.push(traffic.Packet{ID: uint64(i), Size: 1})
+	}
+	for i := 0; i < 1000; i++ {
+		p := q.pop()
+		if p.ID != uint64(i) {
+			t.Fatalf("pop %d returned %d", i, p.ID)
+		}
+	}
+	if !q.empty() || q.len() != 0 || q.bits != 0 {
+		t.Fatal("queue not empty after draining")
+	}
+	// Interleaved push/pop exercising compaction.
+	for i := 0; i < 500; i++ {
+		q.push(traffic.Packet{ID: uint64(i), Size: 2})
+		if i%2 == 1 {
+			q.pop()
+		}
+	}
+	if q.len() != 250 {
+		t.Fatalf("len = %d", q.len())
+	}
+	if q.bits != 500 {
+		t.Fatalf("bits = %v", q.bits)
+	}
+}
+
+func TestLeakyBucketThroughputUnderOverload(t *testing.T) {
+	// Input at 2ρ: output rate must clamp at ρ.
+	src := traffic.NewCBR(0, 100_000, 1000)
+	got := drive(src, 10, func(eng *des.Engine, out func(traffic.Packet)) Regulator {
+		return NewLeakyBucket(eng, 50_000, out)
+	})
+	// drive() adds 30s of drain, so measure the emission span directly.
+	span := (got[len(got)-1].at - got[0].at).Seconds()
+	rate := totalBits(got) / span
+	if math.Abs(rate-50_000)/50_000 > 0.01 {
+		t.Fatalf("overloaded bucket output rate = %v", rate)
+	}
+}

@@ -1,0 +1,222 @@
+package regulator
+
+import (
+	"repro/internal/des"
+	"repro/internal/traffic"
+)
+
+// SRL is the paper's (σ, ρ, λ) regulator (Section III, Fig. 2): an on/off
+// duty-cycle shaper. During the working period W the regulator is
+// work-conserving and drains its queue at the full link capacity C; during
+// the vacation period V it blocks all output. The parameters follow Eq. (1)
+// and the surrounding analysis:
+//
+//	λ = C/(C−ρ)        (paper normalises C=1 ⇒ λ = 1/(1−ρ))
+//	W = σ/(C−ρ)        (working period)
+//	V = σ/ρ            (vacation period)
+//	P = W + V = λσ/ρ   (regulator period)
+//
+// The long-run output rate is exactly W·C/P = ρ, so the duty cycle
+// preserves stability while bounding each flow's hogging of the output
+// link to W time units per period — the property that lets K staggered
+// regulators smooth simultaneous bursts.
+type SRL struct {
+	eng *des.Engine
+	// Sigma, Rho, C are the flow envelope and the link capacity (bits,
+	// bits/second, bits/second).
+	Sigma, Rho, C float64
+	out           func(traffic.Packet)
+
+	q            fifo
+	on           bool
+	transmitting bool
+	cycling      bool
+	stopCycle    bool
+	onEv         *des.Event
+
+	// instrumentation
+	emittedBits float64
+	onSince     des.Time
+	onTotal     des.Duration
+}
+
+// NewSRL returns a (σ, ρ, λ) regulator. The duty cycle is not started:
+// call StartCycle (self-timed) or drive On/Off from a Stagger scheduler.
+// It panics unless 0 < ρ < C and σ > 0.
+func NewSRL(eng *des.Engine, sigma, rho, c float64, out func(traffic.Packet)) *SRL {
+	if sigma <= 0 || rho <= 0 || c <= 0 || rho >= c {
+		panic("regulator: SRL requires σ>0 and 0<ρ<C")
+	}
+	if out == nil {
+		panic("regulator: nil output")
+	}
+	return &SRL{eng: eng, Sigma: sigma, Rho: rho, C: c, out: out}
+}
+
+// Lambda returns the control factor λ = C/(C−ρ).
+func (r *SRL) Lambda() float64 { return r.C / (r.C - r.Rho) }
+
+// WorkPeriod returns W = σ/(C−ρ) as a simulation duration.
+func (r *SRL) WorkPeriod() des.Duration { return des.Seconds(r.Sigma / (r.C - r.Rho)) }
+
+// Vacation returns V = σ/ρ as a simulation duration.
+func (r *SRL) Vacation() des.Duration { return des.Seconds(r.Sigma / r.Rho) }
+
+// Period returns P = W + V = λσ/ρ as a simulation duration.
+func (r *SRL) Period() des.Duration { return r.WorkPeriod() + r.Vacation() }
+
+// Name implements Regulator.
+func (r *SRL) Name() string { return "sigma-rho-lambda" }
+
+// Backlog implements Regulator.
+func (r *SRL) Backlog() float64 { return r.q.bits }
+
+// QueueLen implements Regulator.
+func (r *SRL) QueueLen() int { return r.q.len() }
+
+// On reports whether the regulator is currently in its working state.
+func (r *SRL) On() bool { return r.on }
+
+// EmittedBits returns the cumulative output.
+func (r *SRL) EmittedBits() float64 { return r.emittedBits }
+
+// OnTime returns the cumulative time spent in the working state. Divided
+// by elapsed time it converges to the duty ratio W/P = ρ/C in steady state.
+func (r *SRL) OnTime() des.Duration {
+	total := r.onTotal
+	if r.on {
+		total += r.eng.Now() - r.onSince
+	}
+	return total
+}
+
+// Enqueue implements Regulator.
+func (r *SRL) Enqueue(p traffic.Packet) {
+	r.q.push(p)
+	if r.on && !r.transmitting {
+		r.serve()
+	}
+}
+
+// SetOn switches the regulator between working and vacation states.
+// Switching off is non-preemptive: a packet mid-transmission completes.
+func (r *SRL) SetOn(on bool) {
+	if on == r.on {
+		return
+	}
+	r.on = on
+	if on {
+		r.onSince = r.eng.Now()
+		if !r.transmitting {
+			r.serve()
+		}
+	} else {
+		r.onTotal += r.eng.Now() - r.onSince
+	}
+}
+
+func (r *SRL) serve() {
+	if !r.on || r.q.empty() {
+		return
+	}
+	r.transmitting = true
+	p := r.q.peek()
+	r.eng.ScheduleIn(des.Seconds(p.Size/r.C), func() {
+		r.transmitting = false
+		r.q.pop()
+		r.emittedBits += p.Size
+		r.out(p)
+		if r.on {
+			r.serve()
+		}
+	})
+}
+
+// StartCycle begins the self-timed duty cycle with the given phase offset:
+// the regulator waits `offset`, then alternates W on / V off forever (or
+// until StopCycle). A Stagger scheduler uses offsets Σ_{j<i} W_j so the K
+// working periods interleave round-robin, which is the paper's "each
+// regulator works for its flow in turn".
+func (r *SRL) StartCycle(offset des.Duration) {
+	if r.cycling {
+		panic("regulator: SRL cycle already started")
+	}
+	r.cycling = true
+	r.stopCycle = false
+	w, v := r.WorkPeriod(), r.Vacation()
+	var onPhase, offPhase func()
+	onPhase = func() {
+		if r.stopCycle {
+			return
+		}
+		r.SetOn(true)
+		r.onEv = r.eng.ScheduleIn(w, offPhase)
+	}
+	offPhase = func() {
+		if r.stopCycle {
+			return
+		}
+		r.SetOn(false)
+		r.onEv = r.eng.ScheduleIn(v, onPhase)
+	}
+	r.onEv = r.eng.ScheduleIn(offset, onPhase)
+}
+
+// StopCycle halts the duty cycle, leaving the regulator in its current
+// state.
+func (r *SRL) StopCycle() {
+	r.stopCycle = true
+	r.cycling = false
+	if r.onEv != nil {
+		r.eng.Cancel(r.onEv)
+		r.onEv = nil
+	}
+}
+
+// Stagger coordinates the K (σ, ρ, λ) regulators of one end host: it
+// starts each regulator's duty cycle with a phase offset equal to the sum
+// of the preceding regulators' working periods. For K homogeneous flows
+// near saturation (ρ → C/K) the vacation V = σ/ρ ≈ (K−1)·W, so the
+// schedule degenerates to perfect round-robin — exactly the physical
+// argument of Section III. For heterogeneous flows the periods differ and
+// occasional overlaps are resolved downstream by the general MUX.
+type Stagger struct {
+	regs []*SRL
+}
+
+// NewStagger builds a scheduler over the given regulators (all must share
+// an engine). It panics on an empty set.
+func NewStagger(regs ...*SRL) *Stagger {
+	if len(regs) == 0 {
+		panic("regulator: stagger needs at least one regulator")
+	}
+	return &Stagger{regs: regs}
+}
+
+// Start launches all duty cycles with interleaved phases.
+func (s *Stagger) Start() {
+	var offset des.Duration
+	for _, r := range s.regs {
+		r.StartCycle(offset)
+		offset += r.WorkPeriod()
+	}
+}
+
+// StartAligned launches all duty cycles with zero phase offset — the
+// "no stagger" ablation where every flow's working period begins
+// simultaneously and bursts collide at the MUX.
+func (s *Stagger) StartAligned() {
+	for _, r := range s.regs {
+		r.StartCycle(0)
+	}
+}
+
+// Stop halts every duty cycle.
+func (s *Stagger) Stop() {
+	for _, r := range s.regs {
+		r.StopCycle()
+	}
+}
+
+// Regulators returns the scheduled regulators in phase order.
+func (s *Stagger) Regulators() []*SRL { return s.regs }

@@ -1,0 +1,149 @@
+package stats
+
+import "repro/internal/des"
+
+// RateEstimator is implemented by the estimators the adaptive controller
+// can consult for the average input rate ρ̄ of a flow.
+type RateEstimator interface {
+	// Observe records that `bits` arrived at time t.
+	Observe(t des.Time, bits float64)
+	// Rate returns the estimated arrival rate in bits/second as of time t.
+	Rate(t des.Time) float64
+}
+
+// WindowRate measures arrival rate over a sliding window: the total bits
+// that arrived in the last Window nanoseconds divided by the window length.
+// This is the default estimator: it is exactly the "average input rate over
+// the recent past" the paper's algorithm consults.
+type WindowRate struct {
+	window des.Duration
+	// ring buffer of (time, bits) arrivals inside the window
+	times []des.Time
+	bits  []float64
+	head  int
+	n     int
+	sum   float64
+}
+
+// NewWindowRate returns an estimator with the given window. It panics if
+// window <= 0.
+func NewWindowRate(window des.Duration) *WindowRate {
+	if window <= 0 {
+		panic("stats: rate window must be positive")
+	}
+	const initial = 64
+	return &WindowRate{
+		window: window,
+		times:  make([]des.Time, initial),
+		bits:   make([]float64, initial),
+	}
+}
+
+// Observe records an arrival of `bits` at time t. Observations must be
+// delivered in non-decreasing time order (the DES guarantees this).
+func (w *WindowRate) Observe(t des.Time, bits float64) {
+	w.expire(t)
+	if w.n == len(w.times) {
+		w.grow()
+	}
+	idx := (w.head + w.n) % len(w.times)
+	w.times[idx] = t
+	w.bits[idx] = bits
+	w.n++
+	w.sum += bits
+}
+
+func (w *WindowRate) grow() {
+	nt := make([]des.Time, 2*len(w.times))
+	nb := make([]float64, 2*len(w.bits))
+	for i := 0; i < w.n; i++ {
+		idx := (w.head + i) % len(w.times)
+		nt[i] = w.times[idx]
+		nb[i] = w.bits[idx]
+	}
+	w.times, w.bits, w.head = nt, nb, 0
+}
+
+func (w *WindowRate) expire(t des.Time) {
+	cutoff := t - w.window
+	for w.n > 0 && w.times[w.head] <= cutoff {
+		w.sum -= w.bits[w.head]
+		w.head = (w.head + 1) % len(w.times)
+		w.n--
+	}
+}
+
+// Rate returns bits/second over the window ending at t.
+func (w *WindowRate) Rate(t des.Time) float64 {
+	w.expire(t)
+	return w.sum / w.window.Seconds()
+}
+
+// EWMARate estimates rate with an exponentially weighted moving average of
+// instantaneous inter-arrival rates. Cheaper than WindowRate (O(1) memory)
+// but lags on abrupt load changes; offered as the ablation alternative.
+type EWMARate struct {
+	alpha float64
+	last  des.Time
+	rate  float64
+	seen  bool
+}
+
+// NewEWMARate returns an estimator with smoothing factor alpha in (0, 1].
+func NewEWMARate(alpha float64) *EWMARate {
+	if alpha <= 0 || alpha > 1 {
+		panic("stats: EWMA alpha must be in (0,1]")
+	}
+	return &EWMARate{alpha: alpha}
+}
+
+// Observe records an arrival of `bits` at time t.
+func (e *EWMARate) Observe(t des.Time, bits float64) {
+	if !e.seen {
+		e.seen = true
+		e.last = t
+		return
+	}
+	dt := (t - e.last).Seconds()
+	e.last = t
+	if dt <= 0 {
+		return
+	}
+	inst := bits / dt
+	e.rate = e.alpha*inst + (1-e.alpha)*e.rate
+}
+
+// Rate returns the smoothed estimate; t is accepted for interface
+// compatibility but the EWMA does not decay between arrivals.
+func (e *EWMARate) Rate(des.Time) float64 { return e.rate }
+
+// Counter tracks a monotone count and total (e.g. packets and bits
+// delivered), with a convenience throughput query.
+type Counter struct {
+	N     uint64
+	Total float64
+	first des.Time
+	last  des.Time
+	seen  bool
+}
+
+// Add records amount at time t.
+func (c *Counter) Add(t des.Time, amount float64) {
+	if !c.seen {
+		c.first = t
+		c.seen = true
+	}
+	c.last = t
+	c.N++
+	c.Total += amount
+}
+
+// Throughput returns Total divided by the observation span, or 0 when the
+// span is empty.
+func (c *Counter) Throughput() float64 {
+	span := (c.last - c.first).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return c.Total / span
+}

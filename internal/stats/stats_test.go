@@ -1,0 +1,251 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	if !almostEqual(w.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v", w.Mean())
+	}
+	// population variance is 4; unbiased sample variance = 32/7
+	if !almostEqual(w.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %v", w.Variance())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.Min() != 0 || w.Max() != 0 {
+		t.Fatal("empty accumulator should report zeros")
+	}
+}
+
+func TestWelfordSingle(t *testing.T) {
+	var w Welford
+	w.Add(3.5)
+	if w.Variance() != 0 || w.StdDev() != 0 {
+		t.Fatal("single sample should have zero variance")
+	}
+	if w.Min() != 3.5 || w.Max() != 3.5 {
+		t.Fatal("single sample min/max")
+	}
+}
+
+// Property: merging split halves equals accumulating the whole stream.
+func TestQuickWelfordMerge(t *testing.T) {
+	f := func(raw []int16, split uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) / 16.0
+		}
+		k := int(split) % len(xs)
+		var whole, a, b Welford
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		for _, x := range xs[:k] {
+			a.Add(x)
+		}
+		for _, x := range xs[k:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		return a.Count() == whole.Count() &&
+			almostEqual(a.Mean(), whole.Mean(), 1e-9) &&
+			almostEqual(a.Variance(), whole.Variance(), 1e-6) &&
+			a.Min() == whole.Min() && a.Max() == whole.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.Add(1)
+	a.Merge(b) // merge empty into non-empty
+	if a.Count() != 1 {
+		t.Fatal("merge with empty changed count")
+	}
+	var c Welford
+	c.Merge(a) // merge non-empty into empty
+	if c.Count() != 1 || c.Mean() != 1 {
+		t.Fatal("merge into empty lost data")
+	}
+}
+
+func TestMaxTracker(t *testing.T) {
+	var m MaxTracker
+	m.Observe(1.0, "a")
+	m.Observe(5.0, "b")
+	m.Observe(3.0, "c")
+	if m.Max() != 5.0 || m.Tag() != "b" || m.Count() != 3 {
+		t.Fatalf("max=%v tag=%v n=%d", m.Max(), m.Tag(), m.Count())
+	}
+}
+
+func TestMaxTrackerNegative(t *testing.T) {
+	var m MaxTracker
+	m.Observe(-5, 1)
+	m.Observe(-2, 2)
+	m.Observe(-9, 3)
+	if m.Max() != -2 || m.Tag() != 2 {
+		t.Fatalf("max=%v tag=%v", m.Max(), m.Tag())
+	}
+}
+
+func TestHistogramBinsAndQuantile(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) / 10.0) // 0.0 .. 9.9 uniform
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bin(i) != 10 {
+			t.Fatalf("bin %d = %d", i, h.Bin(i))
+		}
+	}
+	med := h.Quantile(0.5)
+	if med < 4.5 || med > 5.5 {
+		t.Fatalf("median = %v", med)
+	}
+	if !almostEqual(h.Mean(), 4.95, 1e-9) {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-1)
+	h.Add(2)
+	h.Add(0.5)
+	under, over := h.OutOfRange()
+	if under != 1 || over != 1 {
+		t.Fatalf("under=%d over=%d", under, over)
+	}
+	if h.Quantile(0) != 0 || h.Quantile(1) != 1 {
+		t.Fatal("extreme quantiles should clamp to range")
+	}
+}
+
+func TestHistogramPanicsOnBadConfig(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(1, 1, 4) },
+		func() { NewHistogram(0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQuantilesExact(t *testing.T) {
+	xs := []float64{9, 1, 8, 2, 7, 3, 6, 4, 5}
+	got := Quantiles(xs, 0, 0.5, 1)
+	if got[0] != 1 || got[1] != 5 || got[2] != 9 {
+		t.Fatalf("quantiles = %v", got)
+	}
+}
+
+func TestQuantilesEmpty(t *testing.T) {
+	got := Quantiles(nil, 0.5)
+	if got[0] != 0 {
+		t.Fatalf("empty quantile = %v", got[0])
+	}
+}
+
+func TestQuantilesInterpolation(t *testing.T) {
+	xs := []float64{0, 10}
+	got := Quantiles(xs, 0.25)
+	if !almostEqual(got[0], 2.5, 1e-12) {
+		t.Fatalf("q25 = %v", got[0])
+	}
+}
+
+// Property: histogram quantile approximates exact quantile within bin width.
+func TestQuickHistogramQuantile(t *testing.T) {
+	rng := xrand.New(5)
+	for trial := 0; trial < 50; trial++ {
+		h := NewHistogram(0, 1, 100)
+		xs := make([]float64, 500)
+		for i := range xs {
+			xs[i] = rng.Float64()
+			h.Add(xs[i])
+		}
+		sort.Float64s(xs)
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+			exact := quantileSorted(xs, q)
+			approx := h.Quantile(q)
+			if math.Abs(exact-approx) > 0.03 {
+				t.Fatalf("trial %d q=%v exact=%v approx=%v", trial, q, exact, approx)
+			}
+		}
+	}
+}
+
+func TestReservoirSmallStream(t *testing.T) {
+	rng := xrand.New(1)
+	r := NewReservoir(100, rng.Uint64)
+	for i := 0; i < 50; i++ {
+		r.Add(float64(i))
+	}
+	if r.Seen() != 50 {
+		t.Fatalf("seen = %d", r.Seen())
+	}
+	// With fewer samples than capacity the quantiles are exact.
+	if got := r.Quantile(1); got != 49 {
+		t.Fatalf("max = %v", got)
+	}
+	if got := r.Quantile(0); got != 0 {
+		t.Fatalf("min = %v", got)
+	}
+}
+
+func TestReservoirLargeStreamApproximates(t *testing.T) {
+	rng := xrand.New(2)
+	r := NewReservoir(1000, rng.Uint64)
+	for i := 0; i < 100000; i++ {
+		r.Add(rng.Float64())
+	}
+	med := r.Quantile(0.5)
+	if med < 0.42 || med > 0.58 {
+		t.Fatalf("reservoir median = %v", med)
+	}
+}
+
+func TestReservoirPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewReservoir(0, xrand.New(1).Uint64)
+}

@@ -1,0 +1,242 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/des"
+	"repro/internal/xrand"
+)
+
+func lineGraph(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(NodeID(i), NodeID(i+1), des.Millisecond, 1e9)
+	}
+	return g
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := NewGraph(3)
+	cases := []func(){
+		func() { g.AddEdge(0, 0, 1, 1) }, // self loop
+		func() { g.AddEdge(0, 5, 1, 1) }, // out of range
+		func() { g.AddEdge(0, 1, 0, 1) }, // zero delay
+		func() { g.AddEdge(0, 1, 1, 0) }, // zero capacity
+		func() { NewGraph(0) },           // empty graph
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEdgesAreUndirected(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 1, des.Millisecond, 1e6)
+	if g.Degree(0) != 1 || g.Degree(1) != 1 {
+		t.Fatalf("degrees %d/%d", g.Degree(0), g.Degree(1))
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	if g.Neighbors(1)[0].To != 0 {
+		t.Fatal("reverse edge missing")
+	}
+}
+
+func TestDijkstraLine(t *testing.T) {
+	g := lineGraph(5)
+	dist, prev := g.Dijkstra(0)
+	for i := 0; i < 5; i++ {
+		want := des.Duration(i) * des.Millisecond
+		if dist[i] != want {
+			t.Fatalf("dist[%d] = %v, want %v", i, dist[i], want)
+		}
+	}
+	path := PathTo(prev, 0, 4)
+	if len(path) != 5 || path[0] != 0 || path[4] != 4 {
+		t.Fatalf("path = %v", path)
+	}
+}
+
+func TestDijkstraPicksShorterRoute(t *testing.T) {
+	// 0-1-2 costs 2ms, direct 0-2 costs 5ms.
+	g := NewGraph(3)
+	g.AddEdge(0, 1, des.Millisecond, 1e9)
+	g.AddEdge(1, 2, des.Millisecond, 1e9)
+	g.AddEdge(0, 2, 5*des.Millisecond, 1e9)
+	dist, prev := g.Dijkstra(0)
+	if dist[2] != 2*des.Millisecond {
+		t.Fatalf("dist[2] = %v", dist[2])
+	}
+	path := PathTo(prev, 0, 2)
+	if len(path) != 3 || path[1] != 1 {
+		t.Fatalf("path = %v", path)
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1, des.Millisecond, 1e9)
+	g.AddEdge(2, 3, des.Millisecond, 1e9)
+	dist, prev := g.Dijkstra(0)
+	if dist[2] != -1 || dist[3] != -1 {
+		t.Fatalf("unreachable dist = %v/%v", dist[2], dist[3])
+	}
+	if PathTo(prev, 0, 3) != nil {
+		t.Fatal("path to unreachable node should be nil")
+	}
+	if !g.Connected() {
+		// expected: the graph is disconnected
+	} else {
+		t.Fatal("Connected() on a disconnected graph")
+	}
+}
+
+func TestPathToSelf(t *testing.T) {
+	g := lineGraph(3)
+	_, prev := g.Dijkstra(1)
+	p := PathTo(prev, 1, 1)
+	if len(p) != 1 || p[0] != 1 {
+		t.Fatalf("self path = %v", p)
+	}
+}
+
+func TestAPSPPathAndNextHop(t *testing.T) {
+	g := lineGraph(4)
+	a := g.AllPairs()
+	if a.NextHop(0, 3) != 1 {
+		t.Fatalf("NextHop(0,3) = %d", a.NextHop(0, 3))
+	}
+	if a.NextHop(0, 0) != -1 {
+		t.Fatalf("NextHop to self = %d", a.NextHop(0, 0))
+	}
+	path := a.Path(0, 3)
+	want := []NodeID{0, 1, 2, 3}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v", path)
+		}
+	}
+	if got := a.Path(2, 2); len(got) != 1 {
+		t.Fatalf("self path = %v", got)
+	}
+}
+
+func randomConnectedGraph(rng *xrand.Rand, n int) *Graph {
+	g := NewGraph(n)
+	// Random spanning tree first, then extra chords.
+	for i := 1; i < n; i++ {
+		j := NodeID(rng.Intn(i))
+		g.AddEdge(NodeID(i), j, des.Duration(1+rng.Intn(1000))*des.Microsecond, 1e9)
+	}
+	extra := rng.Intn(n)
+	for e := 0; e < extra; e++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			g.AddEdge(NodeID(a), NodeID(b), des.Duration(1+rng.Intn(1000))*des.Microsecond, 1e9)
+		}
+	}
+	return g
+}
+
+// Property: Dijkstra-based APSP agrees with Floyd-Warshall on random graphs.
+func TestQuickAPSPMatchesFloydWarshall(t *testing.T) {
+	rng := xrand.New(99)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(20)
+		g := randomConnectedGraph(rng, n)
+		apsp := g.AllPairs()
+		fw := g.FloydWarshall()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if apsp.Delay[i][j] != fw[i][j] {
+					t.Fatalf("trial %d: delay[%d][%d] dijkstra=%v fw=%v",
+						trial, i, j, apsp.Delay[i][j], fw[i][j])
+				}
+			}
+		}
+	}
+}
+
+// Property: APSP path delays telescope to the distance matrix.
+func TestQuickAPSPPathConsistency(t *testing.T) {
+	rng := xrand.New(123)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(15)
+		g := randomConnectedGraph(rng, n)
+		apsp := g.AllPairs()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				path := apsp.Path(NodeID(i), NodeID(j))
+				if path == nil {
+					t.Fatalf("nil path in connected graph %d->%d", i, j)
+				}
+				var total des.Duration
+				for k := 0; k+1 < len(path); k++ {
+					// find min edge delay between path[k], path[k+1]
+					best := des.Duration(1) << 62
+					for _, e := range g.Neighbors(path[k]) {
+						if e.To == path[k+1] && e.Delay < best {
+							best = e.Delay
+						}
+					}
+					total += best
+				}
+				if total != apsp.Delay[i][j] {
+					t.Fatalf("path delay %v != matrix %v for %d->%d", total, apsp.Delay[i][j], i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestPointDist(t *testing.T) {
+	p, q := Point{0, 0}, Point{3, 4}
+	if d := p.Dist(q); d != 5 {
+		t.Fatalf("dist = %v", d)
+	}
+	if d := p.Dist(p); d != 0 {
+		t.Fatalf("self dist = %v", d)
+	}
+}
+
+// Property: triangle inequality for shortest-path delays.
+func TestQuickTriangleInequality(t *testing.T) {
+	rng := xrand.New(7)
+	g := randomConnectedGraph(rng, 12)
+	apsp := g.AllPairs()
+	f := func(a, b, c uint8) bool {
+		i, j, k := int(a)%12, int(b)%12, int(c)%12
+		return apsp.Delay[i][j] <= apsp.Delay[i][k]+apsp.Delay[k][j]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDijkstraBackbone(b *testing.B) {
+	g := Backbone19()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Dijkstra(NodeID(i % BackboneNodes))
+	}
+}
+
+func BenchmarkAllPairsBackbone(b *testing.B) {
+	g := Backbone19()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.AllPairs()
+	}
+}

@@ -1,0 +1,164 @@
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// Extremal is a deterministic, envelope-extremal periodic flow: once per
+// period it emits its full burst allowance σ instantaneously, and in
+// between it runs as CBR at (slightly below) its average rate. This is the
+// admissible trajectory Cruz's (σ, ρ) delay bounds are tight against: a
+// burst of Σσ arriving at a multiplexer that keeps receiving the sustained
+// base rate drains at C−Σρ̄, so the realised busy period approaches the
+// paper's Σσᵢ/(C(1−ρ̄K)) — which stochastic VBR models essentially never
+// realise (a worst-case-delay study driven by typical-case traffic would
+// be vacuous; the VBR models remain the workload of the examples and the
+// realism ablation — see DESIGN.md).
+//
+// The flow conforms to (σ + one packet, ρ) for any ρ ≥ its average rate.
+type Extremal struct {
+	Flow       int
+	Rate       float64 // bits/second long-run average
+	Rho        float64 // declared envelope rate, > Rate
+	Sigma      float64 // burst, bits
+	PacketSize float64
+	Period     des.Duration
+
+	nextID uint64
+}
+
+// NewExtremal builds an extremal flow with the given average rate and
+// envelope rate ρ > rate. burstSec sets σ = burstSec·ρ. The default
+// period is 12 s.
+func NewExtremal(flow int, rate, rho, burstSec float64) *Extremal {
+	if rate <= 0 || rho <= rate {
+		panic("traffic: extremal flow needs 0 < rate < rho")
+	}
+	if burstSec <= 0 {
+		panic("traffic: extremal burstSec must be positive")
+	}
+	e := &Extremal{
+		Flow:       flow,
+		Rate:       rate,
+		Rho:        rho,
+		Sigma:      burstSec * rho,
+		PacketSize: 10_000,
+		Period:     des.Seconds(12),
+	}
+	if e.baseRate() <= 0 {
+		panic("traffic: extremal burst exceeds the period budget")
+	}
+	return e
+}
+
+// baseRate returns the CBR rate between bursts that restores the long-run
+// average: Rate·T = σ + base·T.
+func (e *Extremal) baseRate() float64 {
+	t := e.Period.Seconds()
+	return (e.Rate*t - e.Sigma) / t
+}
+
+// Name implements Source.
+func (e *Extremal) Name() string {
+	return fmt.Sprintf("extremal(σ=%.0f,ρ=%.0f)", e.Sigma, e.Rho)
+}
+
+// AvgRate implements Source.
+func (e *Extremal) AvgRate() float64 { return e.Rate }
+
+// Envelope returns the exact (σ, ρ) constraint the flow conforms to
+// (plus one packet of packetisation slack).
+func (e *Extremal) Envelope() Envelope {
+	return Envelope{Sigma: e.Sigma + e.PacketSize, Rho: e.Rho}
+}
+
+// Start implements Source.
+func (e *Extremal) Start(eng *des.Engine, until des.Time, emit func(Packet)) {
+	base := e.baseRate()
+	gap := des.Seconds(e.PacketSize / base)
+	emitPkt := func(size float64) {
+		emit(Packet{ID: e.nextID, Flow: e.Flow, Size: size, CreatedAt: eng.Now()})
+		e.nextID++
+	}
+	var cycle func()
+	cycle = func() {
+		if eng.Now() >= until {
+			return
+		}
+		start := eng.Now()
+		// Burst σ at one instant.
+		remaining := e.Sigma
+		for remaining >= e.PacketSize {
+			emitPkt(e.PacketSize)
+			remaining -= e.PacketSize
+		}
+		if remaining > 1 {
+			emitPkt(remaining)
+		}
+		// CBR base for the rest of the period.
+		var step func()
+		step = func() {
+			now := eng.Now()
+			if now >= until {
+				return
+			}
+			if now-start+gap > e.Period {
+				eng.Schedule(start+e.Period, cycle)
+				return
+			}
+			eng.ScheduleIn(gap, func() {
+				if eng.Now() >= until {
+					return
+				}
+				emitPkt(e.PacketSize)
+				step()
+			})
+		}
+		step()
+	}
+	eng.ScheduleIn(0, cycle)
+}
+
+// ExtremalMix builds the K=3 extremal flows matching a media mix's rates:
+// audio flows use small packets (1280 bits) and video flows MTU packets,
+// all aligned in phase (the multi-group worst case — the paper feeds every
+// group the same stream). rhoMargin is the envelope headroom (e.g. 1.04);
+// burstSec sets each flow's σ in seconds of its ρ.
+func ExtremalMix(m Mix, rhoMargin, burstSec float64) []Source {
+	if rhoMargin <= 1 {
+		panic("traffic: rhoMargin must exceed 1")
+	}
+	build := func(flow int, rate, pkt float64) *Extremal {
+		e := NewExtremal(flow, rate, rhoMargin*rate, burstSec)
+		e.PacketSize = pkt
+		return e
+	}
+	switch m {
+	case MixAudio:
+		return []Source{
+			build(0, AudioRate, 1280), build(1, AudioRate, 1280), build(2, AudioRate, 1280),
+		}
+	case MixVideo:
+		return []Source{
+			build(0, VideoRate, 10_000), build(1, VideoRate, 10_000), build(2, VideoRate, 10_000),
+		}
+	case MixHetero:
+		return []Source{
+			build(0, VideoRate, 10_000), build(1, AudioRate, 1280), build(2, AudioRate, 1280),
+		}
+	default:
+		panic("traffic: unknown mix")
+	}
+}
+
+// ExtremalSpecsFor returns the exact flow envelopes of ExtremalMix's
+// flows: (σ + packet, ρ) per flow.
+func ExtremalSpecsFor(m Mix, rhoMargin, burstSec float64) []Envelope {
+	out := make([]Envelope, 0, 3)
+	for _, s := range ExtremalMix(m, rhoMargin, burstSec) {
+		out = append(out, s.(*Extremal).Envelope())
+	}
+	return out
+}

@@ -1,0 +1,273 @@
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/xrand"
+)
+
+// Paper workloads (Section VI): "64Kbps audio streams and 1.5Mbps MPEG-1
+// video streams", both explicitly variable-bit-rate. The models below
+// reproduce the mean rates with realistic burst structure.
+const (
+	// AudioRate is the paper's audio stream average rate.
+	AudioRate = 64_000 // bits/second
+	// VideoRate is the paper's MPEG-1 video stream average rate.
+	VideoRate = 1_500_000 // bits/second
+)
+
+// Audio is a VBR voice model: exponentially distributed talkspurts and
+// silence gaps (Brady's on/off model). During a talkspurt the codec emits
+// fixed packets at the peak rate; silences emit nothing. The peak rate is
+// chosen so the long-run average equals Rate.
+type Audio struct {
+	Flow        int
+	Rate        float64      // long-run average, bits/second
+	PacketSize  float64      // bits (default 1280 = 160-byte frames)
+	MeanTalk    des.Duration // mean talkspurt length
+	MeanSilence des.Duration // mean silence length
+
+	rng    *xrand.Rand
+	nextID uint64
+}
+
+// NewAudio returns a talkspurt audio source scaled to the given average
+// rate. The default on/off scales (250 ms talk, 150 ms silence) sit at
+// packet-burst granularity: the resulting (σ, ρ) envelope is a few tens of
+// kilobits, matching the sub-second worst-case delays of the paper's
+// Fig. 4(a) (classic Brady telephony scales of ~1 s talkspurts would give
+// envelopes hundreds of kilobits deep and swamp the load dependence the
+// experiment sweeps).
+func NewAudio(flow int, rate float64, seed uint64) *Audio {
+	if rate <= 0 {
+		panic("traffic: audio rate must be positive")
+	}
+	return &Audio{
+		Flow:        flow,
+		Rate:        rate,
+		PacketSize:  1280,
+		MeanTalk:    des.Millis(250),
+		MeanSilence: des.Millis(60),
+		rng:         xrand.New(seed),
+	}
+}
+
+// Name implements Source.
+func (a *Audio) Name() string { return fmt.Sprintf("audio-%.0fbps", a.Rate) }
+
+// AvgRate implements Source.
+func (a *Audio) AvgRate() float64 { return a.Rate }
+
+// PeakRate returns the on-state emission rate.
+func (a *Audio) PeakRate() float64 {
+	onFrac := a.MeanTalk.Seconds() / (a.MeanTalk.Seconds() + a.MeanSilence.Seconds())
+	return a.Rate / onFrac
+}
+
+// Start implements Source.
+func (a *Audio) Start(eng *des.Engine, until des.Time, emit func(Packet)) {
+	peak := a.PeakRate()
+	interval := des.Seconds(a.PacketSize / peak)
+	var talk func(end des.Time)
+	var silence func()
+	talk = func(end des.Time) {
+		now := eng.Now()
+		if now >= until {
+			return
+		}
+		if now >= end {
+			silence()
+			return
+		}
+		emit(Packet{ID: a.nextID, Flow: a.Flow, Size: a.PacketSize, CreatedAt: now})
+		a.nextID++
+		eng.ScheduleIn(interval, func() { talk(end) })
+	}
+	silence = func() {
+		gap := des.Seconds(a.rng.Exp(a.MeanSilence.Seconds()))
+		eng.ScheduleIn(gap, func() {
+			if eng.Now() >= until {
+				return
+			}
+			dur := des.Seconds(a.rng.Exp(a.MeanTalk.Seconds()))
+			talk(eng.Now() + dur)
+		})
+	}
+	// Begin with a talkspurt so measurement starts promptly.
+	eng.ScheduleIn(0, func() {
+		dur := des.Seconds(a.rng.Exp(a.MeanTalk.Seconds()))
+		talk(eng.Now() + dur)
+	})
+}
+
+// Video is an MPEG-1-style VBR model: frames at a fixed rate, sizes
+// following the 12-frame IBBPBBPBBPBB group-of-pictures pattern with
+// I:P:B size ratio 5:2:1 and per-frame lognormal jitter, packetised into
+// MTU-sized packets. The scale is normalised so the long-run average rate
+// equals Rate.
+type Video struct {
+	Flow       int
+	Rate       float64 // long-run average, bits/second
+	FPS        float64
+	PacketSize float64 // bits per packet (MTU)
+	JitterSig  float64 // lognormal sigma for frame-size jitter
+	// SceneMean is the mean spacing of scene changes; at each scene
+	// change the next I-frame is SceneBoost× its normal size, modelling
+	// the intra-coded refresh real MPEG-1 emits on a cut. SceneBoost <= 1
+	// disables scene changes.
+	SceneMean  des.Duration
+	SceneBoost float64
+
+	rng          *xrand.Rand
+	nextID       uint64
+	frame        int
+	scenePending bool
+}
+
+// gopPattern holds relative frame weights for IBBPBBPBBPBB.
+var gopPattern = [12]float64{5, 1, 1, 2, 1, 1, 2, 1, 1, 2, 1, 1}
+
+// gopWeight is the sum of gopPattern.
+const gopWeight = 5 + 2*3 + 1*8
+
+// NewVideo returns an MPEG-1-style video source at the given average rate,
+// 25 frames/second, 10000-bit packets, and moderate frame jitter.
+func NewVideo(flow int, rate float64, seed uint64) *Video {
+	if rate <= 0 {
+		panic("traffic: video rate must be positive")
+	}
+	return &Video{
+		Flow:       flow,
+		Rate:       rate,
+		FPS:        25,
+		PacketSize: 10_000,
+		JitterSig:  0.2,
+		SceneMean:  des.Seconds(4),
+		SceneBoost: 2.5,
+		rng:        xrand.New(seed),
+	}
+}
+
+// Name implements Source.
+func (v *Video) Name() string { return fmt.Sprintf("video-%.0fbps", v.Rate) }
+
+// AvgRate implements Source.
+func (v *Video) AvgRate() float64 { return v.Rate }
+
+// frameSize draws the size in bits of the next frame.
+func (v *Video) frameSize() float64 {
+	meanFrame := v.Rate / v.FPS
+	unit := meanFrame * 12 / gopWeight
+	idx := v.frame % 12
+	base := unit * gopPattern[idx]
+	v.frame++
+	if v.SceneBoost > 1 {
+		// Bernoulli scene-change arrival at rate 1/SceneMean.
+		if v.rng.Bool(1 / (v.FPS * v.SceneMean.Seconds())) {
+			v.scenePending = true
+		}
+		if v.scenePending && idx == 0 {
+			v.scenePending = false
+			base *= v.SceneBoost
+		}
+	}
+	// Lognormal jitter with unit mean: exp(N(−σ²/2, σ)).
+	jitter := v.rng.LogNormal(-v.JitterSig*v.JitterSig/2, v.JitterSig)
+	return base * jitter
+}
+
+// Start implements Source.
+func (v *Video) Start(eng *des.Engine, until des.Time, emit func(Packet)) {
+	frameGap := des.Seconds(1 / v.FPS)
+	var tick func()
+	tick = func() {
+		now := eng.Now()
+		if now >= until {
+			return
+		}
+		// Packetise the frame; all packets of a frame leave together,
+		// modelling the encoder handing a complete frame to the stack.
+		size := v.frameSize()
+		for size > 0 {
+			p := v.PacketSize
+			if size < p {
+				p = size
+			}
+			emit(Packet{ID: v.nextID, Flow: v.Flow, Size: p, CreatedAt: now})
+			v.nextID++
+			size -= p
+		}
+		eng.ScheduleIn(frameGap, tick)
+	}
+	eng.ScheduleIn(0, tick)
+}
+
+// PaperAudio builds the paper's 64 kbps audio workload for the given flow.
+func PaperAudio(flow int, seed uint64) *Audio { return NewAudio(flow, AudioRate, seed) }
+
+// PaperVideo builds the paper's 1.5 Mbps MPEG-1 workload for the given flow.
+func PaperVideo(flow int, seed uint64) *Video { return NewVideo(flow, VideoRate, seed) }
+
+// Mix describes the three traffic patterns of the evaluation: 3 audio
+// streams, 3 video streams, or 1 video + 2 audio.
+type Mix int
+
+// The paper's three workload mixes.
+const (
+	MixAudio  Mix = iota // three 64 kbps audio streams
+	MixVideo             // three 1.5 Mbps video streams
+	MixHetero            // one video + two audio streams
+)
+
+// String implements fmt.Stringer.
+func (m Mix) String() string {
+	switch m {
+	case MixAudio:
+		return "3xAudio"
+	case MixVideo:
+		return "3xVideo"
+	case MixHetero:
+		return "1xVideo+2xAudio"
+	default:
+		return fmt.Sprintf("Mix(%d)", int(m))
+	}
+}
+
+// Sources instantiates the K=3 flows of the mix. Same-type flows share
+// one stream seed, i.e. the groups carry identical copies of one stream —
+// exactly the paper's Simulation II setup ("each of the three groups is
+// fed with the same 64Kbps audio stream"). Identical copies burst in
+// lockstep, which is what makes the un-staggered (σ, ρ) multiplexer
+// realise its worst case and the staggered (σ, ρ, λ) regulator pay off.
+func (m Mix) Sources(seed uint64) []Source {
+	base := xrand.New(seed)
+	audioSeed, videoSeed := base.Uint64(), base.Uint64()
+	switch m {
+	case MixAudio:
+		return []Source{PaperAudio(0, audioSeed), PaperAudio(1, audioSeed), PaperAudio(2, audioSeed)}
+	case MixVideo:
+		return []Source{PaperVideo(0, videoSeed), PaperVideo(1, videoSeed), PaperVideo(2, videoSeed)}
+	case MixHetero:
+		return []Source{PaperVideo(0, videoSeed), PaperAudio(1, audioSeed), PaperAudio(2, audioSeed)}
+	default:
+		panic("traffic: unknown mix")
+	}
+}
+
+// TotalRate returns the aggregate average rate of the mix in bits/second.
+func (m Mix) TotalRate() float64 {
+	switch m {
+	case MixAudio:
+		return 3 * AudioRate
+	case MixVideo:
+		return 3 * VideoRate
+	case MixHetero:
+		return VideoRate + 2*AudioRate
+	default:
+		panic("traffic: unknown mix")
+	}
+}
+
+// Homogeneous reports whether all flows in the mix share one rate.
+func (m Mix) Homogeneous() bool { return m != MixHetero }

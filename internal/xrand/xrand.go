@@ -1,0 +1,234 @@
+// Package xrand provides small, fast, deterministic pseudo-random number
+// generators and the distributions the simulator needs.
+//
+// Every experiment in this repository must be reproducible bit-for-bit
+// across runs and Go versions, so the package implements its own generators
+// (SplitMix64 and PCG32) instead of relying on math/rand, whose stream is
+// not guaranteed stable across releases. All generators are plain structs:
+// copying one forks the stream, and none of them is safe for concurrent use
+// (give each goroutine its own generator, derived with Split).
+package xrand
+
+import "math"
+
+// Rand is a deterministic pseudo-random generator based on SplitMix64
+// (Steele, Lea, Flood 2014). The zero value is a valid generator seeded
+// with zero; prefer New so distinct seeds are well mixed.
+type Rand struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed. Two generators created with the
+// same seed produce identical streams.
+func New(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Split derives a new, statistically independent generator from r, advancing
+// r's state. Use it to give subsystems (traffic sources, tree builders)
+// their own streams so adding a consumer does not perturb the others.
+func (r *Rand) Split() *Rand {
+	return &Rand{state: r.Uint64() ^ 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint32 returns the next 32 uniformly distributed bits.
+func (r *Rand) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Int63 returns a non-negative int64 uniform on [0, 2^63).
+func (r *Rand) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Intn returns an int uniform on [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	return int(r.Int63n(int64(n)))
+}
+
+// Int63n returns an int64 uniform on [0, n), using rejection sampling to
+// avoid modulo bias. It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("xrand: Int63n with n <= 0")
+	}
+	if n&(n-1) == 0 { // power of two
+		return r.Int63() & (n - 1)
+	}
+	max := int64((1 << 63) - 1 - (1<<63)%uint64(n))
+	v := r.Int63()
+	for v > max {
+		v = r.Int63()
+	}
+	return v % n
+}
+
+// IntRange returns an int uniform on [lo, hi] inclusive. It panics if hi < lo.
+func (r *Rand) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("xrand: IntRange with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float64 returns a float64 uniform on [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Range returns a float64 uniform on [lo, hi).
+func (r *Rand) Float64Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts shuffles s in place (Fisher-Yates).
+func (r *Rand) ShuffleInts(s []int) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// Shuffle shuffles n elements using the provided swap function.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with mean 1,
+// via inverse transform sampling.
+func (r *Rand) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Exp returns an exponentially distributed float64 with the given mean.
+func (r *Rand) Exp(mean float64) float64 { return mean * r.ExpFloat64() }
+
+// NormFloat64 returns a standard-normal float64 using the Marsaglia polar
+// method (no cached second value, to keep the stream position deterministic
+// per call count is not required; determinism per seed is what matters).
+func (r *Rand) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Normal returns a normal float64 with the given mean and standard deviation.
+func (r *Rand) Normal(mean, stddev float64) float64 {
+	return mean + stddev*r.NormFloat64()
+}
+
+// LogNormal returns a log-normally distributed float64 where the underlying
+// normal has parameters mu and sigma.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// Pareto returns a Pareto-distributed float64 with scale xm > 0 and shape
+// alpha > 0. The mean is xm*alpha/(alpha-1) for alpha > 1.
+func (r *Rand) Pareto(xm, alpha float64) float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return xm / math.Pow(u, 1/alpha)
+		}
+	}
+}
+
+// Jitter returns base scaled by a uniform factor in [1-frac, 1+frac].
+// Useful for perturbing deterministic schedules without changing the mean.
+func (r *Rand) Jitter(base, frac float64) float64 {
+	return base * (1 + frac*(2*r.Float64()-1))
+}
+
+// PCG32 is a 32-bit permuted-congruential generator (O'Neill 2014). It is
+// provided as a second, independent family for consumers that want streams
+// decorrelated from the SplitMix64 family (e.g. failure injection vs
+// workload generation).
+type PCG32 struct {
+	state uint64
+	inc   uint64
+}
+
+// NewPCG32 returns a PCG32 generator for the given seed and stream id.
+// Distinct stream ids yield independent sequences even with equal seeds.
+func NewPCG32(seed, stream uint64) *PCG32 {
+	p := &PCG32{inc: stream<<1 | 1}
+	p.Uint32()
+	p.state += seed
+	p.Uint32()
+	return p
+}
+
+// Uint32 returns the next 32 uniformly distributed bits.
+func (p *PCG32) Uint32() uint32 {
+	old := p.state
+	p.state = old*6364136223846793005 + p.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return xorshifted>>rot | xorshifted<<((-rot)&31)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (p *PCG32) Uint64() uint64 {
+	return uint64(p.Uint32())<<32 | uint64(p.Uint32())
+}
+
+// Float64 returns a float64 uniform on [0, 1).
+func (p *PCG32) Float64() float64 {
+	return float64(p.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns an int uniform on [0, n). It panics if n <= 0.
+func (p *PCG32) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: PCG32.Intn with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	bound := uint32(n)
+	x := p.Uint32()
+	m := uint64(x) * uint64(bound)
+	l := uint32(m)
+	if l < bound {
+		t := -bound % bound
+		for l < t {
+			x = p.Uint32()
+			m = uint64(x) * uint64(bound)
+			l = uint32(m)
+		}
+	}
+	return int(m >> 32)
+}

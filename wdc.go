@@ -1,0 +1,151 @@
+// Package wdc (worst-case delay control) is the public API of this
+// reproduction of Tu, Sreenan & Jia, "Worst-Case Delay Control in
+// Multigroup Overlay Networks" (ICPP 2006 / IEEE TPDS 18(10), 2007).
+//
+// The package re-exports the three layers a downstream user needs:
+//
+//   - Theory: closed-form results — the (σ, ρ, λ) duty-cycle identities,
+//     worst-case delay bounds (Lemma 1, Theorems 1–2, Remarks 1–2), the
+//     rate threshold ρ* (Theorems 3–4), improvement ratios (Theorems 5–6),
+//     the DSCT height bound (Lemma 2) and multicast bounds (Theorems 7–8).
+//   - Engines: RunSingleHop (Simulation I: one regulated general MUX) and
+//     Run (Simulation II: a multi-group EMcast network on the 19-router
+//     backbone), both deterministic given their seeds.
+//   - Experiments: drivers that regenerate every figure and table of the
+//     paper's evaluation (Fig4, Fig6, LayerSweep, Fig2Trace, RhoStarTable,
+//     ImprovementTable).
+//
+// Quick start:
+//
+//	res := wdc.RunSingleHop(wdc.SingleHopConfig{
+//		Mix: wdc.MixVideo, Load: 0.8, Scheme: wdc.SchemeSRL, Seed: 1,
+//	})
+//	fmt.Printf("worst-case delay: %.3fs\n", res.WDB)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package wdc
+
+import (
+	"repro/internal/calculus"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/traffic"
+)
+
+// Re-exported engine types.
+type (
+	// Scheme selects the traffic-control scheme at every end host.
+	Scheme = core.Scheme
+	// TreeKind selects DSCT or NICE overlay construction.
+	TreeKind = core.TreeKind
+	// Workload selects extremal (worst-case-admissible) or VBR flows.
+	Workload = core.Workload
+	// Mix selects the paper's three traffic patterns.
+	Mix = traffic.Mix
+	// FlowSpec is a flow's rate and declared (σ, ρ) envelope.
+	FlowSpec = core.FlowSpec
+	// Config parameterises a multi-group run (Simulation II).
+	Config = core.Config
+	// Result reports a multi-group run.
+	Result = core.Result
+	// SingleHopConfig parameterises a Simulation I run.
+	SingleHopConfig = core.SingleHopConfig
+	// SingleHopResult reports a Simulation I run.
+	SingleHopResult = core.SingleHopResult
+	// Options tunes an experiment sweep.
+	Options = harness.Options
+	// Fig4Result is one Fig. 4 panel.
+	Fig4Result = harness.Fig4Result
+	// Fig6Result is one Fig. 6 panel.
+	Fig6Result = harness.Fig6Result
+	// LayerSweepResult is one of Tables I–III.
+	LayerSweepResult = harness.LayerSweepResult
+	// SchemeTree names one Fig. 6 scheme/tree combination.
+	SchemeTree = harness.SchemeTree
+)
+
+// Re-exported enum values.
+const (
+	SchemeCapacityAware = core.SchemeCapacityAware
+	SchemeSigmaRho      = core.SchemeSigmaRho
+	SchemeSRL           = core.SchemeSRL
+	SchemeAdaptive      = core.SchemeAdaptive
+
+	TreeDSCT = core.TreeDSCT
+	TreeNICE = core.TreeNICE
+
+	WorkloadExtremal = core.WorkloadExtremal
+	WorkloadVBR      = core.WorkloadVBR
+
+	MixAudio  = traffic.MixAudio
+	MixVideo  = traffic.MixVideo
+	MixHetero = traffic.MixHetero
+)
+
+// Engines.
+
+// Run executes one multi-group EMcast run (Simulation II).
+func Run(cfg Config) Result { return core.Run(cfg) }
+
+// RunSingleHop executes one single-regulated-hop run (Simulation I).
+func RunSingleHop(cfg SingleHopConfig) SingleHopResult { return core.RunSingleHop(cfg) }
+
+// Experiment drivers.
+
+// Fig4 regenerates one panel of Fig. 4 (WDB of the two regulators vs load).
+func Fig4(mix Mix, opts Options) Fig4Result { return harness.Fig4(mix, opts) }
+
+// Fig6 regenerates one panel of Fig. 6 (six scheme/tree WDB curves).
+func Fig6(mix Mix, opts Options) Fig6Result { return harness.Fig6(mix, opts) }
+
+// LayerSweep regenerates one of Tables I–III (tree layer counts vs load).
+func LayerSweep(mix Mix, opts Options) LayerSweepResult { return harness.LayerSweep(mix, opts) }
+
+// QuickOptions returns reduced-scale sweep options that preserve curve
+// shapes (120 hosts, 5 loads, short runs).
+func QuickOptions(seed uint64) Options { return harness.Quick(seed) }
+
+// PaperLoads is the full 13-point load grid of the paper's figures.
+func PaperLoads() []float64 { return append([]float64(nil), harness.PaperLoads...) }
+
+// Theory exposes the paper's closed-form results.
+type Theory struct{}
+
+// Lambda returns λ = 1/(1−ρ) (Eq. 1; ρ normalised to capacity 1).
+func (Theory) Lambda(rho float64) float64 { return calculus.Lambda(rho) }
+
+// WorkPeriod returns W = σ/(1−ρ) seconds (normalised units).
+func (Theory) WorkPeriod(sigma, rho float64) float64 { return calculus.WorkPeriod(sigma, rho) }
+
+// Vacation returns V = σ/ρ seconds.
+func (Theory) Vacation(sigma, rho float64) float64 { return calculus.Vacation(sigma, rho) }
+
+// RhoStarHomog returns the Theorem 4 rate threshold for K homogeneous flows.
+func (Theory) RhoStarHomog(k int) float64 { return calculus.RhoStarHomog(k) }
+
+// RhoStarHetero returns the Theorem 3 rate threshold for K heterogeneous flows.
+func (Theory) RhoStarHetero(k int) float64 { return calculus.RhoStarHetero(k) }
+
+// DelayBoundSigmaRho returns Remark 1's MUX bound Σσᵢ/(1−Σρᵢ).
+func (Theory) DelayBoundSigmaRho(sigmas, rhos []float64) float64 {
+	return calculus.DgHetero(sigmas, rhos)
+}
+
+// DelayBoundSRL returns Theorem 1's MUX bound for (σ*, ρ, λ) regulation.
+func (Theory) DelayBoundSRL(sigmas, rhos []float64) float64 {
+	return calculus.DhatHetero(sigmas, rhos)
+}
+
+// DSCTHeightBound returns Lemma 2's height bound for an n-member group.
+func (Theory) DSCTHeightBound(n, k int) int { return calculus.DSCTHeightBoundMax(n, k) }
+
+// MulticastBoundSigmaRho returns Remark 2's tree bound.
+func (Theory) MulticastBoundSigmaRho(height int, sigmas, rhos []float64) float64 {
+	return calculus.MulticastDgHetero(height, sigmas, rhos)
+}
+
+// MulticastBoundSRL returns Theorem 7's tree bound.
+func (Theory) MulticastBoundSRL(height int, sigmas, rhos []float64) float64 {
+	return calculus.MulticastDhatHetero(height, sigmas, rhos)
+}
