@@ -1,0 +1,35 @@
+# Developer entry points. CI runs the same steps (.github/workflows/ci.yml).
+
+GO ?= go
+BENCH_DATE := $(shell date +%F)
+
+.PHONY: all build test vet fmt check bench bench-json
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+check: fmt vet build test
+
+# Full benchmark pass with allocation stats, human-readable.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Machine-readable benchmark record for the perf trajectory: one JSON
+# object per line (test2json stream) in BENCH_<date>.json. Keep these files
+# out of git unless intentionally snapshotting a milestone; EXPERIMENTS.md
+# records the curated before/after numbers.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -json ./... > BENCH_$(BENCH_DATE).json
+	@echo wrote BENCH_$(BENCH_DATE).json

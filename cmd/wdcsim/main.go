@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/des"
 	"repro/internal/harness"
@@ -24,18 +26,52 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig2, fig4a-c, fig6a-c, table1-3, rhostar, ratio, all)")
-		hosts    = flag.Int("hosts", 0, "override multi-group host count (default 665)")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		quick    = flag.Bool("quick", false, "reduced-scale sweep (120 hosts, 5 loads)")
-		adaptive = flag.Bool("adaptive", false, "add the adaptive algorithm's curve to fig4 output")
-		durSec   = flag.Float64("duration", 0, "override per-run simulated seconds")
+		exp        = flag.String("exp", "all", "experiment id (fig2, fig4a-c, fig6a-c, table1-3, rhostar, ratio, all)")
+		hosts      = flag.Int("hosts", 0, "override multi-group host count (default 665)")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		quick      = flag.Bool("quick", false, "reduced-scale sweep (120 hosts, 5 loads)")
+		adaptive   = flag.Bool("adaptive", false, "add the adaptive algorithm's curve to fig4 output")
+		durSec     = flag.Float64("duration", 0, "override per-run simulated seconds")
+		sequential = flag.Bool("sequential", false, "run sweep points sequentially (debugging)")
+		workers    = flag.Int("workers", 0, "sweep worker pool size (default GOMAXPROCS)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	opts := harness.Options{Seed: *seed}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wdcsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "wdcsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wdcsim: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "wdcsim: %v\n", err)
+			}
+		}()
+	}
+
+	opts := harness.Options{Seed: *seed, Sequential: *sequential, Workers: *workers}
 	if *quick {
 		opts = harness.Quick(*seed)
+		opts.Sequential = *sequential
+		opts.Workers = *workers
 	}
 	if *hosts > 0 {
 		opts.NumHosts = *hosts

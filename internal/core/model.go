@@ -59,6 +59,14 @@ func (s Scheme) String() string {
 // Regulated reports whether the scheme uses per-flow regulators.
 func (s Scheme) Regulated() bool { return s != SchemeCapacityAware }
 
+// Default envelope parameters, shared by Config, SingleHopConfig, and the
+// sweep drivers that pre-build flow specs once per sweep.
+const (
+	DefaultEnvelopeMargin     = 1.02
+	DefaultBurstSec           = 0.15
+	DefaultEnvelopeHorizonSec = 30
+)
+
 // Workload selects what the group flows actually emit.
 type Workload int
 
@@ -87,6 +95,16 @@ func (w Workload) BuildSources(mix traffic.Mix, seed uint64, margin, burstSec fl
 		return mix.Sources(seed)
 	}
 	return traffic.ExtremalMix(mix, margin, burstSec)
+}
+
+// DefaultSpecs derives the flow envelopes for a workload/mix at the
+// default envelope parameters — what a Config with only Mix and Seed set
+// would measure. Sweep drivers use it to build specs once up front and
+// share them read-only across every point (see the load-invariance note
+// on Config.Specs).
+func DefaultSpecs(w Workload, mix traffic.Mix, seed uint64) []FlowSpec {
+	return w.BuildSpecs(mix, seed, DefaultEnvelopeMargin, DefaultBurstSec,
+		DefaultEnvelopeHorizonSec)
 }
 
 // BuildSpecs derives the flow envelopes for the chosen workload: exact

@@ -47,8 +47,15 @@ type Config struct {
 	// Duration is the simulated time; WDB is the max delay observed.
 	// Default 5 s.
 	Duration des.Duration
-	// Seed drives every random draw (attachment, trees, VBR traffic).
+	// Seed drives the structural randomness: host attachment and tree
+	// construction (and, unless TrafficSeed overrides it, the workload).
 	Seed uint64
+	// TrafficSeed separately seeds the workload's randomness (VBR models,
+	// measured envelopes). Zero means "use Seed". Sweep drivers derive a
+	// distinct TrafficSeed per sweep point so the traffic streams of the
+	// points are statistically independent while the network and trees —
+	// which the paper holds fixed across a sweep — stay identical.
+	TrafficSeed uint64
 	// CapacityFactor is C_out/C for the capacity-aware scheme (see
 	// DESIGN.md). Default 2.0.
 	CapacityFactor float64
@@ -93,16 +100,19 @@ func (c *Config) fillDefaults() {
 		c.CapacityFactor = 2.0
 	}
 	if c.EnvelopeMargin == 0 {
-		c.EnvelopeMargin = 1.02
+		c.EnvelopeMargin = DefaultEnvelopeMargin
 	}
 	if c.EnvelopeHorizonSec == 0 {
-		c.EnvelopeHorizonSec = 30
+		c.EnvelopeHorizonSec = DefaultEnvelopeHorizonSec
 	}
 	if c.ClusterK == 0 {
 		c.ClusterK = 3
 	}
 	if c.BurstSec == 0 {
-		c.BurstSec = 0.15
+		c.BurstSec = DefaultBurstSec
+	}
+	if c.TrafficSeed == 0 {
+		c.TrafficSeed = c.Seed
 	}
 }
 
@@ -160,7 +170,7 @@ func NewSession(cfg Config) *Session {
 	// Flow envelopes.
 	s.specs = cfg.Specs
 	if s.specs == nil {
-		s.specs = cfg.Workload.BuildSpecs(cfg.Mix, cfg.Seed, cfg.EnvelopeMargin,
+		s.specs = cfg.Workload.BuildSpecs(cfg.Mix, cfg.TrafficSeed, cfg.EnvelopeMargin,
 			cfg.BurstSec, cfg.EnvelopeHorizonSec)
 	}
 	numGroups := len(s.specs)
@@ -262,7 +272,7 @@ func (s *Session) Run() Result {
 	// Sources: group g's flow enters the network at its tree root. The
 	// root host "receives" at delay zero conceptually; measurement only
 	// counts downstream deliveries, so the source feeds forward() direct.
-	for g, src := range cfg.Workload.BuildSources(cfg.Mix, cfg.Seed, cfg.EnvelopeMargin, cfg.BurstSec) {
+	for g, src := range cfg.Workload.BuildSources(cfg.Mix, cfg.TrafficSeed, cfg.EnvelopeMargin, cfg.BurstSec) {
 		g := g
 		root := s.trees[g].Source
 		src.Start(s.eng, cfg.Duration, func(p traffic.Packet) {

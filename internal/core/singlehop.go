@@ -26,6 +26,9 @@ type SingleHopConfig struct {
 	Duration des.Duration
 	// Seed drives the VBR models.
 	Seed uint64
+	// TrafficSeed separately seeds the workload; 0 means "use Seed" (see
+	// Config.TrafficSeed).
+	TrafficSeed uint64
 	// EnvelopeMargin and EnvelopeHorizonSec as in Config.
 	EnvelopeMargin     float64
 	EnvelopeHorizonSec float64
@@ -57,16 +60,19 @@ func (c *SingleHopConfig) fillDefaults() {
 		c.Duration = 36 * des.Second
 	}
 	if c.EnvelopeMargin == 0 {
-		c.EnvelopeMargin = 1.02
+		c.EnvelopeMargin = DefaultEnvelopeMargin
 	}
 	if c.EnvelopeHorizonSec == 0 {
-		c.EnvelopeHorizonSec = 30
+		c.EnvelopeHorizonSec = DefaultEnvelopeHorizonSec
 	}
 	if c.LinkDelay == 0 {
 		c.LinkDelay = des.Millisecond
 	}
 	if c.BurstSec == 0 {
-		c.BurstSec = 0.15
+		c.BurstSec = DefaultBurstSec
+	}
+	if c.TrafficSeed == 0 {
+		c.TrafficSeed = c.Seed
 	}
 }
 
@@ -97,7 +103,7 @@ type SingleHopResult struct {
 func RunSingleHop(cfg SingleHopConfig) SingleHopResult {
 	cfg.fillDefaults()
 	return RunSingleHopWith(cfg,
-		cfg.Workload.BuildSources(cfg.Mix, cfg.Seed, cfg.EnvelopeMargin, cfg.BurstSec))
+		cfg.Workload.BuildSources(cfg.Mix, cfg.TrafficSeed, cfg.EnvelopeMargin, cfg.BurstSec))
 }
 
 // RunSingleHopWith executes Simulation I with caller-provided flow
@@ -108,7 +114,7 @@ func RunSingleHopWith(cfg SingleHopConfig, sources []traffic.Source) SingleHopRe
 
 	specs := cfg.Specs
 	if specs == nil {
-		specs = cfg.Workload.BuildSpecs(cfg.Mix, cfg.Seed, cfg.EnvelopeMargin,
+		specs = cfg.Workload.BuildSpecs(cfg.Mix, cfg.TrafficSeed, cfg.EnvelopeMargin,
 			cfg.BurstSec, cfg.EnvelopeHorizonSec)
 	}
 	if len(specs) != len(sources) {
@@ -132,23 +138,31 @@ func RunSingleHopWith(cfg SingleHopConfig, sources []traffic.Source) SingleHopRe
 	m := mux.New(eng, k, c, cfg.Discipline, pipe.Send)
 
 	// Regulator bank(s). Track per-packet regulator residence times by
-	// stamping through a wrapper.
+	// stamping through a wrapper. Sources number their packets sequentially
+	// from zero, so the stamps live in an ID-indexed slice per flow (a
+	// per-packet map insert/delete was a measurable allocation source); a
+	// negative stamp means "not inside the regulator".
 	var regMax stats.MaxTracker
-	enter := make([]map[uint64]des.Time, k)
-	for i := range enter {
-		enter[i] = make(map[uint64]des.Time)
+	enter := make([][]des.Time, k)
+	stamp := func(g int, id uint64) {
+		s := enter[g]
+		for uint64(len(s)) <= id {
+			s = append(s, -1)
+		}
+		s[id] = eng.Now()
+		enter[g] = s
 	}
 	wrapIn := func(g int, enqueue func(traffic.Packet)) func(traffic.Packet) {
 		return func(p traffic.Packet) {
-			enter[g][p.ID] = eng.Now()
+			stamp(g, p.ID)
 			enqueue(p)
 		}
 	}
 	regOut := func(g int) func(traffic.Packet) {
 		return func(p traffic.Packet) {
-			if t0, ok := enter[g][p.ID]; ok {
-				regMax.Observe((eng.Now() - t0).Seconds(), p.ID)
-				delete(enter[g], p.ID)
+			if s := enter[g]; p.ID < uint64(len(s)) && s[p.ID] >= 0 {
+				regMax.Observe((eng.Now() - s[p.ID]).Seconds(), p.ID)
+				s[p.ID] = -1
 			}
 			m.Enqueue(p)
 		}
@@ -190,7 +204,7 @@ func RunSingleHopWith(cfg SingleHopConfig, sources []traffic.Source) SingleHopRe
 			g := g
 			inputs[g] = func(p traffic.Packet) {
 				rate.Observe(eng.Now(), p.Size)
-				enter[g][p.ID] = eng.Now()
+				stamp(g, p.ID)
 				if useSRL {
 					srls[g].Enqueue(p)
 				} else {

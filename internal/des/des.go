@@ -2,10 +2,18 @@
 //
 // It is the substrate that replaces ns-2 in this reproduction: every
 // simulated component (traffic source, regulator, multiplexer, link, router,
-// overlay host) schedules closures on a single Engine. Time is an int64
+// overlay host) schedules callbacks on a single Engine. Time is an int64
 // nanosecond count, so runs are bit-for-bit reproducible — no floating-point
 // clock drift — and events that fire at the same instant are executed in
 // scheduling order (a monotone sequence number breaks ties).
+//
+// The event queue is a hierarchical timing wheel (see wheel.go) with an
+// overflow heap for events beyond the wheel horizon, backed by an intrusive
+// free list of event records. Steady-state scheduling allocates nothing:
+// a fired or reaped event's record is recycled for the next Schedule call.
+// Components that fire on every duty cycle should store their callback once
+// and re-schedule it (or use Ticker / ScheduleEvery), so the hot path does
+// not capture a fresh closure per cycle either.
 package des
 
 import "fmt"
@@ -40,30 +48,62 @@ func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
 // String formats the time in milliseconds with microsecond precision.
 func (t Time) String() string { return fmt.Sprintf("%.3fms", t.Millis()) }
 
-// Event is a scheduled closure. The pointer doubles as a handle for Cancel.
-type Event struct {
+// event is the pooled queue record. Records are recycled through the
+// engine's free list after firing or reaping; gen distinguishes the
+// incarnations so stale handles become harmless no-ops.
+type event struct {
 	at       Time
 	seq      uint64
 	fn       func()
-	index    int // position in the heap, -1 when not queued
+	next     *event // bucket chain / free-list link
+	gen      uint32
 	canceled bool
 }
 
-// At reports when the event will fire.
-func (e *Event) At() Time { return e.at }
+// Event is a cancelable handle to a scheduled callback. It is a small
+// value (copyable, comparable); the zero Event is valid and never pending.
+// A handle goes stale once its event fires or its canceled record is
+// reaped — Cancel and the accessors treat stale handles as no-ops.
+type Event struct {
+	ev  *event
+	gen uint32
+}
 
-// Canceled reports whether the event was canceled before firing.
-func (e *Event) Canceled() bool { return e.canceled }
+// Pending reports whether the event is still scheduled to fire.
+func (h Event) Pending() bool {
+	return h.ev != nil && h.ev.gen == h.gen && !h.ev.canceled
+}
+
+// At reports when the event will fire, or 0 if the handle is stale or
+// canceled.
+func (h Event) At() Time {
+	if h.Pending() {
+		return h.ev.at
+	}
+	return 0
+}
 
 // Engine is a single-threaded discrete-event executor. The zero value is
 // ready to use. Engines are not safe for concurrent use; the simulation
 // model is strictly sequential, which is what makes it deterministic.
+// (Run one engine per goroutine for parallel sweeps.)
 type Engine struct {
 	now      Time
 	seq      uint64
-	heap     []*Event
 	executed uint64
 	running  bool
+	pending  int
+
+	// Timing-wheel state (wheel.go). ready is the sorted run of events at
+	// or before curTick; readyHead is its consumed prefix.
+	curTick   int64
+	ready     []*event
+	readyHead int
+	levels    [numLevels]wheelLevel
+	overflow  overflowHeap
+
+	free     *event // recycled event records
+	poolSize int    // total records ever allocated (diagnostics)
 }
 
 // New returns a fresh engine at time zero.
@@ -75,60 +115,94 @@ func (e *Engine) Now() Time { return e.now }
 // Executed reports how many events have run so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// Pending reports how many events are waiting in the queue, including
-// canceled events that have not been reaped yet.
-func (e *Engine) Pending() int { return len(e.heap) }
+// Pending reports how many live (scheduled, not canceled) events are
+// waiting in the queue.
+func (e *Engine) Pending() int { return e.pending }
+
+// PoolSize reports how many event records the engine has ever allocated —
+// the steady-state high-water mark of concurrently queued events.
+func (e *Engine) PoolSize() int { return e.poolSize }
+
+func (e *Engine) alloc() *event {
+	ev := e.free
+	if ev == nil {
+		ev = &event{}
+		e.poolSize++
+	} else {
+		e.free = ev.next
+	}
+	ev.next = nil
+	ev.canceled = false
+	return ev
+}
+
+// release recycles a record after it fired or its cancellation was reaped.
+// Bumping gen invalidates every outstanding handle to this incarnation.
+func (e *Engine) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.next = e.free
+	e.free = ev
+}
 
 // Schedule enqueues fn to run at absolute time at. Scheduling in the past
 // (before Now) panics: it always indicates a model bug, and silently
 // reordering time would destroy the causality the simulation depends on.
-func (e *Engine) Schedule(at Time, fn func()) *Event {
+func (e *Engine) Schedule(at Time, fn func()) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("des: scheduling at %v before now %v", at, e.now))
 	}
 	if fn == nil {
 		panic("des: scheduling nil func")
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at = at
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
-	e.push(ev)
-	return ev
+	e.pending++
+	e.insert(ev)
+	return Event{ev: ev, gen: ev.gen}
 }
 
 // ScheduleIn enqueues fn to run d nanoseconds after Now. Negative d panics.
-func (e *Engine) ScheduleIn(d Duration, fn func()) *Event {
+func (e *Engine) ScheduleIn(d Duration, fn func()) Event {
 	return e.Schedule(e.now+d, fn)
 }
 
-// Cancel prevents a scheduled event from firing. Canceling an event that
-// already fired or was already canceled is a no-op. The event is removed
-// from the queue immediately, so long-running simulations do not accumulate
-// dead entries.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled || ev.index < 0 {
-		if ev != nil {
-			ev.canceled = true
-		}
+// Cancel prevents a scheduled event from firing. Canceling a stale or zero
+// handle (already fired, already canceled and reaped, or never scheduled)
+// is a no-op. Cancellation is lazy: the record stays in the wheel until its
+// bucket expires, but it no longer counts as Pending and its callback is
+// released immediately.
+func (e *Engine) Cancel(h Event) {
+	if !h.Pending() {
 		return
 	}
-	ev.canceled = true
-	e.remove(ev.index)
+	h.ev.canceled = true
+	h.ev.fn = nil
+	e.pending--
 }
 
 // Step executes the single next event. It returns false when the queue is
 // empty.
 func (e *Engine) Step() bool {
-	for len(e.heap) > 0 {
-		ev := e.pop()
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.at
-		e.executed++
-		ev.fn()
-		return true
+	ev := e.next()
+	if ev == nil {
+		return false
 	}
-	return false
+	e.exec(ev)
+	return true
+}
+
+// exec fires an event already consumed from the ready run.
+func (e *Engine) exec(ev *event) {
+	e.now = ev.at
+	e.executed++
+	e.pending--
+	fn := ev.fn
+	e.release(ev)
+	fn()
 }
 
 // Run executes events until the queue drains.
@@ -144,16 +218,16 @@ func (e *Engine) Run() {
 // queued.
 func (e *Engine) RunUntil(deadline Time) {
 	e.running = true
-	for e.running && len(e.heap) > 0 {
-		next := e.peek()
-		if next.canceled {
-			e.pop()
-			continue
-		}
-		if next.at > deadline {
+	for e.running {
+		nxt := e.peek()
+		if nxt == nil || nxt.at > deadline {
 			break
 		}
-		e.Step()
+		// Consume the peeked event directly rather than via Step, which
+		// would redo the ready-run fill.
+		e.ready[e.readyHead] = nil
+		e.readyHead++
+		e.exec(nxt)
 	}
 	e.running = false
 	if e.now < deadline {
@@ -165,91 +239,3 @@ func (e *Engine) RunUntil(deadline Time) {
 // to be called from inside an event callback (e.g. when a measurement
 // target has been reached).
 func (e *Engine) Stop() { e.running = false }
-
-// heap operations: a hand-rolled 4-ary min-heap keyed on (at, seq).
-// A 4-ary layout halves tree depth versus binary, which measurably reduces
-// sift costs at the queue sizes the EMcast experiments reach (~10^5 events).
-
-func (e *Engine) less(a, b *Event) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-func (e *Engine) push(ev *Event) {
-	ev.index = len(e.heap)
-	e.heap = append(e.heap, ev)
-	e.siftUp(ev.index)
-}
-
-func (e *Engine) peek() *Event { return e.heap[0] }
-
-func (e *Engine) pop() *Event {
-	ev := e.heap[0]
-	e.remove(0)
-	return ev
-}
-
-func (e *Engine) remove(i int) {
-	n := len(e.heap) - 1
-	removed := e.heap[i]
-	if i != n {
-		e.heap[i] = e.heap[n]
-		e.heap[i].index = i
-	}
-	e.heap[n] = nil
-	e.heap = e.heap[:n]
-	if i < n {
-		if !e.siftDown(i) {
-			e.siftUp(i)
-		}
-	}
-	removed.index = -1
-}
-
-func (e *Engine) siftUp(i int) {
-	ev := e.heap[i]
-	for i > 0 {
-		parent := (i - 1) / 4
-		if !e.less(ev, e.heap[parent]) {
-			break
-		}
-		e.heap[i] = e.heap[parent]
-		e.heap[i].index = i
-		i = parent
-	}
-	e.heap[i] = ev
-	ev.index = i
-}
-
-func (e *Engine) siftDown(i int) bool {
-	ev := e.heap[i]
-	start := i
-	n := len(e.heap)
-	for {
-		first := 4*i + 1
-		if first >= n {
-			break
-		}
-		min := first
-		last := first + 4
-		if last > n {
-			last = n
-		}
-		for c := first + 1; c < last; c++ {
-			if e.less(e.heap[c], e.heap[min]) {
-				min = c
-			}
-		}
-		if !e.less(e.heap[min], ev) {
-			break
-		}
-		e.heap[i] = e.heap[min]
-		e.heap[i].index = i
-		i = min
-	}
-	e.heap[i] = ev
-	ev.index = i
-	return i > start
-}

@@ -99,8 +99,8 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Fatal("canceled event fired")
 	}
-	if !ev.Canceled() {
-		t.Fatal("event not marked canceled")
+	if ev.Pending() {
+		t.Fatal("canceled event still pending")
 	}
 }
 
@@ -112,7 +112,7 @@ func TestCancelIsImmediate(t *testing.T) {
 	}
 	eng.Cancel(ev)
 	if eng.Pending() != 0 {
-		t.Fatalf("canceled event still queued, pending = %d", eng.Pending())
+		t.Fatalf("canceled event still counted, pending = %d", eng.Pending())
 	}
 }
 
@@ -120,9 +120,43 @@ func TestCancelTwiceAndAfterFire(t *testing.T) {
 	eng := New()
 	ev := eng.Schedule(10, func() {})
 	eng.Run()
-	eng.Cancel(ev) // after firing: no-op
-	eng.Cancel(ev) // twice: no-op
-	eng.Cancel(nil)
+	eng.Cancel(ev)      // after firing: no-op
+	eng.Cancel(ev)      // twice: no-op
+	eng.Cancel(Event{}) // zero handle: no-op
+}
+
+// A handle must go stale after its event fires, even though the record is
+// recycled for a later event: canceling through the stale handle must not
+// touch the new incarnation.
+func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	eng := New()
+	first := eng.Schedule(10, func() {})
+	eng.Run()
+	fired := false
+	second := eng.Schedule(20, func() { fired = true })
+	if first.Pending() {
+		t.Fatal("fired handle still pending")
+	}
+	eng.Cancel(first) // stale: must not cancel the recycled record
+	if !second.Pending() {
+		t.Fatal("stale cancel hit the recycled event")
+	}
+	eng.Run()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+func TestEventAt(t *testing.T) {
+	eng := New()
+	ev := eng.Schedule(77, func() {})
+	if ev.At() != 77 {
+		t.Fatalf("At() = %v", ev.At())
+	}
+	eng.Run()
+	if ev.At() != 0 {
+		t.Fatalf("stale At() = %v", ev.At())
+	}
 }
 
 func TestScheduleFromWithinEvent(t *testing.T) {
@@ -192,7 +226,7 @@ func TestExecutedCounter(t *testing.T) {
 
 // Property: with arbitrary event times, the firing sequence is the sorted
 // multiset of scheduled times.
-func TestQuickHeapOrdering(t *testing.T) {
+func TestQuickWheelOrdering(t *testing.T) {
 	f := func(raw []uint16) bool {
 		eng := New()
 		want := make([]Time, len(raw))
@@ -219,14 +253,14 @@ func TestQuickHeapOrdering(t *testing.T) {
 	}
 }
 
-// Property: random interleaving of schedule/cancel keeps the heap indices
-// consistent and fires exactly the non-canceled set.
+// Property: random interleaving of schedule/cancel fires exactly the
+// non-canceled set.
 func TestQuickCancelConsistency(t *testing.T) {
 	rng := xrand.New(77)
 	for trial := 0; trial < 100; trial++ {
 		eng := New()
 		fired := make(map[int]bool)
-		events := make([]*Event, 0, 64)
+		events := make([]Event, 0, 64)
 		n := 1 + rng.Intn(64)
 		for i := 0; i < n; i++ {
 			i := i
@@ -314,6 +348,39 @@ func TestTickerBadPeriodPanics(t *testing.T) {
 	NewTicker(New(), 0, func() {})
 }
 
+func TestScheduleEveryFirstOffset(t *testing.T) {
+	eng := New()
+	var fires []Time
+	tk := eng.ScheduleEvery(3, 10, func() { fires = append(fires, eng.Now()) })
+	eng.Schedule(30, func() { tk.Stop() })
+	eng.Run()
+	want := []Time{3, 13, 23}
+	if len(fires) != len(want) {
+		t.Fatalf("fires = %v", fires)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fires = %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestScheduleEveryZeroFirst(t *testing.T) {
+	eng := New()
+	var fires []Time
+	var tk *Ticker
+	tk = eng.ScheduleEvery(0, 5, func() {
+		fires = append(fires, eng.Now())
+		if len(fires) == 2 {
+			tk.Stop()
+		}
+	})
+	eng.Run()
+	if len(fires) != 2 || fires[0] != 0 || fires[1] != 5 {
+		t.Fatalf("fires = %v", fires)
+	}
+}
+
 func TestTimerArmDisarm(t *testing.T) {
 	eng := New()
 	tm := NewTimer(eng)
@@ -389,7 +456,7 @@ func BenchmarkHotLoopPingPong(b *testing.B) {
 func BenchmarkCancelHeavy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		eng := New()
-		evs := make([]*Event, 256)
+		evs := make([]Event, 256)
 		for j := range evs {
 			evs[j] = eng.Schedule(Time(j), func() {})
 		}
@@ -397,5 +464,27 @@ func BenchmarkCancelHeavy(b *testing.B) {
 			eng.Cancel(evs[j])
 		}
 		eng.Run()
+	}
+}
+
+// BenchmarkSteadyState measures the regulator-shaped steady state: a few
+// hundred self-rescheduling processes at mixed periods. This is the
+// workload the timing wheel exists for; it must not allocate.
+func BenchmarkSteadyState(b *testing.B) {
+	eng := New()
+	for i := 0; i < 256; i++ {
+		period := Duration(500_000 + 7919*i) // ~0.5–2.5 ms, co-prime spread
+		var tick func()
+		tick = func() { eng.ScheduleIn(period, tick) }
+		eng.ScheduleIn(period, tick)
+	}
+	// Warm the pool.
+	for i := 0; i < 4096; i++ {
+		eng.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
 	}
 }

@@ -2,36 +2,52 @@ package des
 
 // Ticker fires a callback at a fixed period until stopped. It is the
 // building block for periodic processes such as regulator duty cycles and
-// rate-estimation windows.
+// rate-estimation windows. The rearming closure is built once at
+// construction and the queue records come from the engine's pool, so a
+// running ticker allocates nothing per cycle.
 type Ticker struct {
 	eng    *Engine
 	period Duration
 	fn     func()
-	ev     *Event
+	tick   func() // built once; rearms itself through the event pool
+	ev     Event
 	stop   bool
 }
 
 // NewTicker schedules fn every period nanoseconds, first firing one period
 // from now. It panics if period <= 0.
 func NewTicker(eng *Engine, period Duration, fn func()) *Ticker {
+	return eng.ScheduleEvery(period, period, fn)
+}
+
+// ScheduleEvery schedules fn to fire first after `first` nanoseconds and
+// then every `period` nanoseconds, rearming in place (no per-cycle
+// allocation). It panics if period <= 0 or first < 0. The next period is
+// measured from the firing time, after fn returns — so a callback that
+// schedules other work at the same instant keeps the seed engine's
+// tie-break order.
+func (e *Engine) ScheduleEvery(first, period Duration, fn func()) *Ticker {
 	if period <= 0 {
 		panic("des: ticker period must be positive")
 	}
-	t := &Ticker{eng: eng, period: period, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.ev = t.eng.ScheduleIn(t.period, func() {
+	if first < 0 {
+		panic("des: ticker first firing must not be in the past")
+	}
+	if fn == nil {
+		panic("des: ticker with nil func")
+	}
+	t := &Ticker{eng: e, period: period, fn: fn}
+	t.tick = func() {
 		if t.stop {
 			return
 		}
 		t.fn()
 		if !t.stop {
-			t.arm()
+			t.ev = t.eng.ScheduleIn(t.period, t.tick)
 		}
-	})
+	}
+	t.ev = e.ScheduleIn(first, t.tick)
+	return t
 }
 
 // Stop cancels the ticker. Safe to call from inside the callback.
@@ -51,7 +67,7 @@ func (t *Ticker) Reset(period Duration) {
 // Timer is a one-shot rescheduleable alarm.
 type Timer struct {
 	eng *Engine
-	ev  *Event
+	ev  Event
 }
 
 // NewTimer returns an unarmed timer.
@@ -72,13 +88,9 @@ func (t *Timer) ArmAt(at Time, fn func()) {
 
 // Disarm cancels the pending firing, if any.
 func (t *Timer) Disarm() {
-	if t.ev != nil {
-		t.eng.Cancel(t.ev)
-		t.ev = nil
-	}
+	t.eng.Cancel(t.ev)
+	t.ev = Event{}
 }
 
 // Armed reports whether a firing is pending.
-func (t *Timer) Armed() bool {
-	return t.ev != nil && !t.ev.Canceled() && t.ev.index >= 0
-}
+func (t *Timer) Armed() bool { return t.ev.Pending() }

@@ -1,0 +1,342 @@
+package des
+
+import "math/bits"
+
+// The event queue is a hierarchical timing wheel: four levels of 256
+// buckets, each level 256× coarser than the one below. A tick is 1024 ns
+// (shift instead of divide), so the wheel spans 2^32 ticks ≈ 73 simulated
+// minutes ahead of the cursor; events beyond that sit in a small overflow
+// heap and migrate in as the cursor approaches.
+//
+// Why not the seed's 4-ary heap: at the ~10^5 live events the EMcast runs
+// reach, every push/pop paid an O(log n) sift with pointer-chasing
+// comparisons (~50% of simulation CPU in profiles). Wheel insertion is
+// O(1) — mask, chain push, set an occupancy bit — and extraction amortises
+// to a 256-bit bitmap scan per non-empty bucket plus one small sort when a
+// bottom-level bucket is drained.
+//
+// Ordering is bit-for-bit the seed's: events fire in strict (at, seq)
+// order, seq being the monotone schedule counter, so ties on the timestamp
+// are FIFO. The wheel only ever buckets events; the actual firing order
+// within a bottom-level bucket is fixed by sorting its chain on (at, seq)
+// when it is promoted to the ready run. seq is unique, so the sort has a
+// single valid result and stability is irrelevant.
+//
+// Cursor invariants:
+//
+//   - curTick only advances, and never past the tick of an unfired event.
+//   - every event in the wheel has tick(at) > curTick; events at or before
+//     curTick live in the sorted ready run (this is what keeps late
+//     scheduling after RunUntil correct: the cursor may have jumped ahead
+//     of the clock, and new events behind it are merge-inserted into ready).
+//   - a level-ℓ bucket holds events from exactly one 256^ℓ-tick block,
+//     except for the classic wrap case (an event exactly one full level
+//     revolution ahead); re-inserting a drained chain re-files wrapped
+//     events into the same bucket, which is harmless because each advance
+//     drains a bucket at most once.
+
+const (
+	// tickShift trades bucket residency against cascade frequency: packet
+	// serialisation gaps in the experiments are ~0.1–30 ms, so an 8.2 µs
+	// tick keeps typical gaps within the 256-tick bottom level (one bitmap
+	// scan per pop, no cascade) while a bucket still only spans a few
+	// microseconds of same-bucket events to sort at drain time.
+	tickShift = 13 // 1 tick = 8192 ns
+	levelBits = 8
+	wheelSize = 1 << levelBits // buckets per level
+	wheelMask = wheelSize - 1
+	numLevels = 4
+	// horizonTicks is how far ahead of the cursor the wheel can file.
+	horizonTicks = int64(1) << (levelBits * numLevels)
+)
+
+func tickOf(at Time) int64 { return int64(at) >> tickShift }
+
+// wheelLevel is one ring: 256 chain-head buckets plus an occupancy bitmap
+// so the next non-empty bucket is found with four word scans.
+type wheelLevel struct {
+	bucket [wheelSize]*event
+	occ    [wheelSize / 64]uint64
+	count  int
+}
+
+func (l *wheelLevel) push(idx int, ev *event) {
+	ev.next = l.bucket[idx]
+	l.bucket[idx] = ev
+	l.occ[idx>>6] |= 1 << (uint(idx) & 63)
+	l.count++
+}
+
+// take empties bucket idx and returns its chain (LIFO insertion order).
+func (l *wheelLevel) take(idx int) *event {
+	chain := l.bucket[idx]
+	if chain == nil {
+		return nil
+	}
+	l.bucket[idx] = nil
+	l.occ[idx>>6] &^= 1 << (uint(idx) & 63)
+	for ev := chain; ev != nil; ev = ev.next {
+		l.count--
+	}
+	return chain
+}
+
+// nearestFrom returns the index of the first occupied bucket strictly
+// after position p in circular order (p+1, p+2, …, p+256). The bucket at
+// p itself is only reachable as the full-revolution wrap, which is exactly
+// the classic "delta 256" case on coarse levels.
+func (l *wheelLevel) nearestFrom(p int) (int, bool) {
+	if l.count == 0 {
+		return 0, false
+	}
+	start := (p + 1) & wheelMask
+	wi := start >> 6
+	off := uint(start) & 63
+	if w := l.occ[wi] &^ (1<<off - 1); w != 0 {
+		return wi<<6 + bits.TrailingZeros64(w), true
+	}
+	for k := 1; k <= len(l.occ); k++ {
+		j := (wi + k) & (len(l.occ) - 1)
+		w := l.occ[j]
+		if k == len(l.occ) {
+			w &= 1<<off - 1 // wrap: the part of word wi below start
+		}
+		if w != 0 {
+			return j<<6 + bits.TrailingZeros64(w), true
+		}
+	}
+	return 0, false
+}
+
+// insert files ev relative to the cursor: into the sorted ready run when
+// its tick is not ahead of curTick, into the finest level that spans its
+// distance otherwise, or into the overflow heap beyond the horizon.
+func (e *Engine) insert(ev *event) {
+	t := tickOf(ev.at)
+	d := t - e.curTick
+	switch {
+	case d <= 0:
+		e.insertReady(ev)
+	case d < 1<<levelBits:
+		e.levels[0].push(int(t)&wheelMask, ev)
+	case d < 1<<(2*levelBits):
+		e.levels[1].push(int(t>>levelBits)&wheelMask, ev)
+	case d < 1<<(3*levelBits):
+		e.levels[2].push(int(t>>(2*levelBits))&wheelMask, ev)
+	case d < horizonTicks:
+		e.levels[3].push(int(t>>(3*levelBits))&wheelMask, ev)
+	default:
+		e.overflow.push(ev)
+	}
+}
+
+// insertReady merge-inserts ev into the sorted ready run at its (at, seq)
+// position. Used for events at or behind the cursor: same-tick schedules
+// made from inside a callback, and post-RunUntil schedules behind a jumped
+// cursor.
+func (e *Engine) insertReady(ev *event) {
+	lo, hi := e.readyHead, len(e.ready)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		m := e.ready[mid]
+		if m.at < ev.at || (m.at == ev.at && m.seq < ev.seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	e.ready = append(e.ready, nil)
+	copy(e.ready[lo+1:], e.ready[lo:])
+	e.ready[lo] = ev
+}
+
+// fill makes ready[readyHead] the globally next live event, reaping
+// canceled records on the way. It returns false when the queue is empty.
+func (e *Engine) fill() bool {
+	for {
+		for e.readyHead < len(e.ready) {
+			ev := e.ready[e.readyHead]
+			if !ev.canceled {
+				return true
+			}
+			e.ready[e.readyHead] = nil
+			e.readyHead++
+			e.release(ev)
+		}
+		e.ready = e.ready[:0]
+		e.readyHead = 0
+
+		// Pull overflow events that came within the horizon.
+		for e.overflow.len() > 0 {
+			top := e.overflow.peek()
+			if top.canceled {
+				e.overflow.pop()
+				e.release(top)
+				continue
+			}
+			if tickOf(top.at)-e.curTick >= horizonTicks {
+				break
+			}
+			e.overflow.pop()
+			e.insert(top)
+		}
+
+		// Locate the earliest possible tick across the levels: per level,
+		// the block start of the nearest occupied bucket.
+		best := int64(-1)
+		for lvl := 0; lvl < numLevels; lvl++ {
+			l := &e.levels[lvl]
+			if l.count == 0 {
+				continue
+			}
+			shift := uint(levelBits * lvl)
+			p := int(e.curTick>>shift) & wheelMask
+			idx, ok := l.nearestFrom(p)
+			if !ok {
+				continue
+			}
+			delta := int64((idx - p) & wheelMask)
+			if delta == 0 {
+				delta = wheelSize // full-revolution wrap
+			}
+			start := ((e.curTick >> shift) + delta) << shift
+			if best < 0 || start < best {
+				best = start
+			}
+		}
+		if best < 0 {
+			if e.overflow.len() > 0 {
+				// Wheel empty, overflow beyond horizon: jump the cursor so
+				// the next migration loop files the heap's front.
+				e.curTick = tickOf(e.overflow.peek().at) - horizonTicks + 1
+				continue
+			}
+			return false
+		}
+		e.advanceTo(best)
+	}
+}
+
+// advanceTo moves the cursor to tick t (<= every unfired event's tick),
+// cascades the coarse buckets that t lands in, and promotes the bottom-
+// level bucket at t into the sorted ready run.
+func (e *Engine) advanceTo(t int64) {
+	e.curTick = t
+	for lvl := numLevels - 1; lvl >= 1; lvl-- {
+		l := &e.levels[lvl]
+		if l.count == 0 {
+			continue
+		}
+		idx := int(t>>(uint(levelBits*lvl))) & wheelMask
+		for ev := l.take(idx); ev != nil; {
+			nxt := ev.next
+			if ev.canceled {
+				e.release(ev)
+			} else {
+				e.insert(ev)
+			}
+			ev = nxt
+		}
+	}
+	for ev := e.levels[0].take(int(t) & wheelMask); ev != nil; {
+		nxt := ev.next
+		if ev.canceled {
+			e.release(ev)
+		} else {
+			ev.next = nil
+			e.ready = append(e.ready, ev)
+		}
+		ev = nxt
+	}
+	sortReady(e.ready[e.readyHead:])
+}
+
+// sortReady orders a ready run by (at, seq). Chains are short in steady
+// state (a bottom-level bucket spans ~1 µs), so insertion sort wins; the
+// comparison is a strict total order because seq is unique.
+func sortReady(evs []*event) {
+	for i := 1; i < len(evs); i++ {
+		ev := evs[i]
+		j := i
+		for j > 0 {
+			p := evs[j-1]
+			if p.at < ev.at || (p.at == ev.at && p.seq < ev.seq) {
+				break
+			}
+			evs[j] = p
+			j--
+		}
+		evs[j] = ev
+	}
+}
+
+// peek returns the next live event without consuming it, or nil.
+func (e *Engine) peek() *event {
+	if !e.fill() {
+		return nil
+	}
+	return e.ready[e.readyHead]
+}
+
+// next consumes and returns the next live event, or nil.
+func (e *Engine) next() *event {
+	if !e.fill() {
+		return nil
+	}
+	ev := e.ready[e.readyHead]
+	e.ready[e.readyHead] = nil
+	e.readyHead++
+	return ev
+}
+
+// overflowHeap is a plain binary min-heap on (at, seq) for events beyond
+// the wheel horizon. It is cold storage: real runs never reach it (the
+// horizon is ~73 simulated minutes), so no indexing or eager removal —
+// canceled records are reaped when they surface.
+type overflowHeap struct {
+	evs []*event
+}
+
+func (h *overflowHeap) len() int     { return len(h.evs) }
+func (h *overflowHeap) peek() *event { return h.evs[0] }
+
+func overflowLess(a, b *event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+func (h *overflowHeap) push(ev *event) {
+	h.evs = append(h.evs, ev)
+	i := len(h.evs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !overflowLess(h.evs[i], h.evs[parent]) {
+			break
+		}
+		h.evs[i], h.evs[parent] = h.evs[parent], h.evs[i]
+		i = parent
+	}
+}
+
+func (h *overflowHeap) pop() *event {
+	top := h.evs[0]
+	n := len(h.evs) - 1
+	h.evs[0] = h.evs[n]
+	h.evs[n] = nil
+	h.evs = h.evs[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && overflowLess(h.evs[c+1], h.evs[c]) {
+			c++
+		}
+		if !overflowLess(h.evs[c], h.evs[i]) {
+			break
+		}
+		h.evs[i], h.evs[c] = h.evs[c], h.evs[i]
+		i = c
+	}
+	return top
+}

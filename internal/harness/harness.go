@@ -39,6 +39,12 @@ type Options struct {
 	// IncludeAdaptive adds the adaptive algorithm as an extra series
 	// (beyond the paper's two curves).
 	IncludeAdaptive bool
+	// Sequential runs all sweep points in order on the calling goroutine
+	// (for debugging and as the determinism oracle). The default fans the
+	// points out over a worker pool; results are identical either way.
+	Sequential bool
+	// Workers bounds the sweep worker pool. 0 means GOMAXPROCS.
+	Workers int
 }
 
 func (o *Options) fill() {
@@ -94,6 +100,11 @@ type Fig4Result struct {
 }
 
 // Fig4 reproduces one panel of Fig. 4 (a: audio, b: video, c: hetero).
+// The (load, scheme) grid is embarrassingly parallel: envelopes are built
+// once up front (see sweepSpecs for the invariant that makes the sharing
+// sound), every point runs on its own engine with a traffic seed derived
+// from (Options.Seed, load index), and the schemes at one load share that
+// seed so their curves stay paired.
 func Fig4(mix traffic.Mix, opts Options) Fig4Result {
 	opts.fill()
 	res := Fig4Result{
@@ -102,24 +113,30 @@ func Fig4(mix traffic.Mix, opts Options) Fig4Result {
 		SigmaRho: &stats.Series{Name: "sigma-rho"},
 		SRL:      &stats.Series{Name: "sigma-rho-lambda"},
 	}
+	schemes := []core.Scheme{core.SchemeSigmaRho, core.SchemeSRL}
 	if opts.IncludeAdaptive {
 		res.Adaptive = &stats.Series{Name: "adaptive"}
+		schemes = append(schemes, core.SchemeAdaptive)
 	}
-	var specs []core.FlowSpec
-	for _, load := range opts.Loads {
-		run := func(s core.Scheme) core.SingleHopResult {
-			return core.RunSingleHop(core.SingleHopConfig{
-				Mix: mix, Load: load, Scheme: s,
-				Duration: opts.SingleHopDuration, Seed: opts.Seed, Specs: specs,
-			})
-		}
-		sr := run(core.SchemeSigmaRho)
-		specs = sr.Specs // reuse across the sweep
-		res.TheoryThreshold = sr.ThresholdUtil
-		res.SigmaRho.Add(load, sr.WDB)
-		res.SRL.Add(load, run(core.SchemeSRL).WDB)
+	specs := sweepSpecs(core.WorkloadExtremal, mix, opts)
+	cells := make([]core.SingleHopResult, len(opts.Loads)*len(schemes))
+	runJobs(len(cells), opts, func(i int) {
+		li, si := i/len(schemes), i%len(schemes)
+		load := opts.Loads[li]
+		cells[i] = core.RunSingleHop(core.SingleHopConfig{
+			Mix: mix, Load: load, Scheme: schemes[si],
+			Duration: opts.SingleHopDuration, Seed: opts.Seed,
+			TrafficSeed: DeriveSeed(opts.Seed, li), Specs: specs,
+		})
+		assertSpecsMatch(specs, cells[i].Specs, load)
+	})
+	res.TheoryThreshold = cells[0].ThresholdUtil
+	for li, load := range opts.Loads {
+		row := cells[li*len(schemes):]
+		res.SigmaRho.Add(load, row[0].WDB)
+		res.SRL.Add(load, row[1].WDB)
 		if res.Adaptive != nil {
-			res.Adaptive.Add(load, run(core.SchemeAdaptive).WDB)
+			res.Adaptive.Add(load, row[2].WDB)
 		}
 	}
 	res.Crossover, res.CrossoverOK = stats.Crossover(res.SRL, res.SigmaRho)
@@ -200,6 +217,10 @@ type Fig6Result struct {
 }
 
 // Fig6 reproduces one panel of Fig. 6 (a: audio, b: video, c: hetero).
+// All (load, scheme/tree) points fan out over the worker pool with one
+// engine each; Options.Seed pins the shared network and trees across the
+// sweep (the paper holds them fixed) while each load gets its own derived
+// traffic seed.
 func Fig6(mix traffic.Mix, opts Options) Fig6Result {
 	opts.fill()
 	res := Fig6Result{
@@ -211,21 +232,29 @@ func Fig6(mix traffic.Mix, opts Options) Fig6Result {
 	for _, st := range Fig6Combos {
 		res.Curves[st] = &stats.Series{Name: st.String()}
 	}
-	var specs []core.FlowSpec
-	for _, load := range opts.Loads {
-		for _, st := range Fig6Combos {
-			r := core.Run(core.Config{
-				NumHosts: opts.NumHosts,
-				Mix:      mix,
-				Load:     load,
-				Scheme:   st.Scheme,
-				Tree:     st.Tree,
-				Duration: opts.Duration,
-				Seed:     opts.Seed,
-				Specs:    specs,
-			})
-			specs = r.Specs
-			res.TheoryThreshold = r.ThresholdUtil
+	specs := sweepSpecs(core.WorkloadExtremal, mix, opts)
+	cells := make([]core.Result, len(opts.Loads)*len(Fig6Combos))
+	runJobs(len(cells), opts, func(i int) {
+		li, ci := i/len(Fig6Combos), i%len(Fig6Combos)
+		load := opts.Loads[li]
+		st := Fig6Combos[ci]
+		cells[i] = core.Run(core.Config{
+			NumHosts:    opts.NumHosts,
+			Mix:         mix,
+			Load:        load,
+			Scheme:      st.Scheme,
+			Tree:        st.Tree,
+			Duration:    opts.Duration,
+			Seed:        opts.Seed,
+			TrafficSeed: DeriveSeed(opts.Seed, li),
+			Specs:       specs,
+		})
+		assertSpecsMatch(specs, cells[i].Specs, load)
+	})
+	res.TheoryThreshold = cells[0].ThresholdUtil
+	for li, load := range opts.Loads {
+		for ci, st := range Fig6Combos {
+			r := cells[li*len(Fig6Combos)+ci]
 			res.Curves[st].Add(load, r.WDB)
 			res.Layers[st] = append(res.Layers[st], r.Layers)
 		}

@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/traffic"
+	"repro/internal/xrand"
+)
+
+// The sweep drivers fan their points out over a bounded worker pool: one
+// engine per goroutine, results written to index-addressed slots, every
+// per-point random stream derived purely from (sweep seed, point index).
+// Nothing about the outcome depends on which worker runs which point or in
+// what order, so parallel and sequential execution are bit-identical — the
+// property the determinism tests in parallel_test.go pin down.
+
+// runJobs executes jobs 0..n-1 via job. With opts.Sequential it runs them
+// in order on the calling goroutine (the debugging mode); otherwise it uses
+// min(Workers or GOMAXPROCS, n) goroutines pulling indices from a shared
+// counter. job must only write to its own point's slots.
+func runJobs(n int, opts Options, job func(i int)) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if opts.Sequential || workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// DeriveSeed maps (sweep seed, point index) to the point's traffic seed:
+// a SplitMix64 scramble of both inputs, so neighbouring points get
+// statistically independent streams and the derivation is a pure function
+// — independent of worker count, scheduling, and execution order.
+func DeriveSeed(base uint64, point int) uint64 {
+	r := xrand.New(base ^ (uint64(point+1) * 0x9e3779b97f4a7c15))
+	s := r.Uint64()
+	if s == 0 {
+		s = 1 // zero means "unset" to the config layer
+	}
+	return s
+}
+
+// sweepSpecs builds the flow envelopes one time for a whole sweep, from
+// the sweep's base seed.
+//
+// Invariant (why sharing is sound): a FlowSpec is a function of the
+// workload, mix, seed, and envelope parameters ONLY. The load axis moves
+// the connection capacity C = TotalRate/load, never the flow envelopes, so
+// every point of a sweep sees identical specs no matter which point
+// measures them. The seed code threaded the first run's measured specs
+// through the remaining runs sequentially, which worked only by this
+// invariant and was impossible to parallelise safely; building them up
+// front makes the invariant explicit and removes the cross-point data
+// dependency. assertSpecsMatch guards the sharing at every point.
+func sweepSpecs(w core.Workload, mix traffic.Mix, opts Options) []core.FlowSpec {
+	return core.DefaultSpecs(w, mix, opts.Seed)
+}
+
+// assertSpecsMatch verifies a run's echoed specs are exactly the sweep's
+// shared specs — the cheap guard that no point rebuilt or mutated the
+// envelopes behind the sweep's back (which would silently decouple the
+// curves from each other).
+func assertSpecsMatch(shared, got []core.FlowSpec, load float64) {
+	if len(shared) != len(got) {
+		panic(fmt.Sprintf("harness: run at load %.2f used %d specs, sweep built %d",
+			load, len(got), len(shared)))
+	}
+	for i := range shared {
+		if shared[i] != got[i] {
+			panic(fmt.Sprintf("harness: run at load %.2f diverged on spec %d: %+v != %+v",
+				load, i, got[i], shared[i]))
+		}
+	}
+}

@@ -43,7 +43,11 @@ func LayerSweep(mix traffic.Mix, opts Options) LayerSweepResult {
 			regLayers = l
 		}
 	}
-	for _, load := range opts.Loads {
+	// The capacity-aware tree's fanout bound shrinks with load: build one
+	// per load, in parallel (tree construction only, no traffic).
+	res.Rows = make([]LayerRow, len(opts.Loads))
+	runJobs(len(opts.Loads), opts, func(i int) {
+		load := opts.Loads[i]
 		ca := core.NewSession(core.Config{
 			NumHosts: opts.NumHosts, Mix: mix, Load: load,
 			Scheme: core.SchemeCapacityAware, Seed: opts.Seed,
@@ -54,8 +58,8 @@ func LayerSweep(mix traffic.Mix, opts Options) LayerSweepResult {
 				caLayers = l
 			}
 		}
-		res.Rows = append(res.Rows, LayerRow{Load: load, CapacityAware: caLayers, RegulatedLayers: regLayers})
-	}
+		res.Rows[i] = LayerRow{Load: load, CapacityAware: caLayers, RegulatedLayers: regLayers}
+	})
 	return res
 }
 

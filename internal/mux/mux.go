@@ -69,8 +69,10 @@ type Mux struct {
 	busy    bool
 	seq     uint64
 	rrNext  int
+	cur     entry            // entry in transmission (valid while busy)
+	done    func()           // stored transmit-completion callback
 	Delay   stats.Welford    // queueing+transmission delay per packet
-	MaxWait stats.MaxTracker // worst per-packet delay with packet tag
+	MaxWait stats.MaxTracker // worst per-packet delay, tagged by packet ID
 	Served  stats.Counter    // served packets/bits
 }
 
@@ -85,7 +87,7 @@ func New(eng *des.Engine, k int, c float64, d Discipline, out func(traffic.Packe
 	if out == nil {
 		panic("mux: nil output")
 	}
-	return &Mux{
+	m := &Mux{
 		eng:        eng,
 		c:          c,
 		discipline: d,
@@ -93,6 +95,17 @@ func New(eng *des.Engine, k int, c float64, d Discipline, out func(traffic.Packe
 		queues:     make([][]entry, k),
 		heads:      make([]int, k),
 	}
+	m.done = func() {
+		e := m.cur
+		now := m.eng.Now()
+		d := (now - e.arrived).Seconds()
+		m.Delay.Add(d)
+		m.MaxWait.Observe(d, e.p.ID)
+		m.Served.Add(now, e.p.Size)
+		m.out(e.p)
+		m.serve()
+	}
+	return m
 }
 
 // Capacity returns the service rate in bits/second.
@@ -190,15 +203,8 @@ func (m *Mux) serve() {
 		m.compact(i)
 	}
 	m.bits -= e.p.Size
-	m.eng.ScheduleIn(des.Seconds(e.p.Size/m.c), func() {
-		now := m.eng.Now()
-		d := (now - e.arrived).Seconds()
-		m.Delay.Add(d)
-		m.MaxWait.Observe(d, e.p)
-		m.Served.Add(now, e.p.Size)
-		m.out(e.p)
-		m.serve()
-	})
+	m.cur = e
+	m.eng.ScheduleIn(des.Seconds(e.p.Size/m.c), m.done)
 }
 
 func (m *Mux) compact(i int) {

@@ -152,7 +152,7 @@ func TestMuxDelayStats(t *testing.T) {
 	if m.MaxWait.Max() != m.Delay.Max() {
 		t.Fatal("MaxTracker disagrees with Welford max")
 	}
-	if got := m.MaxWait.Tag().(traffic.Packet).ID; got != 2 {
+	if got := m.MaxWait.Tag(); got != 2 {
 		t.Fatalf("worst packet ID = %d", got)
 	}
 	if m.Served.N != 2 || m.Served.Total != 2000 {

@@ -18,11 +18,61 @@ import (
 	"repro/internal/traffic"
 )
 
+// transit wraps a packet with its final destination host for hop-by-hop
+// routing inside the Fabric, plus the router it is heading to while on an
+// access uplink.
+type transit struct {
+	p   traffic.Packet
+	dst int
+	via topo.NodeID
+}
+
+// flightPool recycles the carrier nodes for packets that are "in flight"
+// on a pure delay (pipe latency, wire propagation, access uplinks). Any
+// number of packets propagate concurrently, so a single stored callback is
+// not enough — instead each node binds its own firing closure once, at
+// node allocation, and nodes cycle through a free list. Steady-state sends
+// therefore allocate nothing: the high-water mark of concurrently flying
+// packets bounds the pool.
+type flightPool struct {
+	eng     *des.Engine
+	free    *flightNode
+	deliver func(transit)
+}
+
+type flightNode struct {
+	tr   transit
+	next *flightNode
+	fire func()
+}
+
+func newFlightPool(eng *des.Engine, deliver func(transit)) *flightPool {
+	return &flightPool{eng: eng, deliver: deliver}
+}
+
+// send schedules tr for delivery after d.
+func (fp *flightPool) send(d des.Duration, tr transit) {
+	n := fp.free
+	if n == nil {
+		n = &flightNode{}
+		n.fire = func() {
+			tr := n.tr
+			n.tr = transit{} // drop the packet reference while pooled
+			n.next = fp.free
+			fp.free = n
+			fp.deliver(tr)
+		}
+	} else {
+		fp.free = n.next
+	}
+	n.tr = tr
+	fp.eng.ScheduleIn(d, n.fire)
+}
+
 // Pipe is a fixed-latency, infinite-capacity conduit.
 type Pipe struct {
-	eng   *des.Engine
 	delay des.Duration
-	out   func(traffic.Packet)
+	pool  *flightPool
 }
 
 // NewPipe returns a pipe with the given one-way delay.
@@ -33,19 +83,15 @@ func NewPipe(eng *des.Engine, delay des.Duration, out func(traffic.Packet)) *Pip
 	if out == nil {
 		panic("netsim: nil output")
 	}
-	return &Pipe{eng: eng, delay: delay, out: out}
+	return &Pipe{
+		delay: delay,
+		pool:  newFlightPool(eng, func(tr transit) { out(tr.p) }),
+	}
 }
 
 // Send delivers p after the pipe delay.
 func (pi *Pipe) Send(p traffic.Packet) {
-	pi.eng.ScheduleIn(pi.delay, func() { pi.out(p) })
-}
-
-// transit wraps a packet with its final destination host for hop-by-hop
-// routing inside the Fabric.
-type transit struct {
-	p   traffic.Packet
-	dst int
+	pi.pool.send(pi.delay, transit{p: p})
 }
 
 // Link is a store-and-forward link: packets serialise at the link capacity
@@ -55,12 +101,14 @@ type Link struct {
 	eng      *des.Engine
 	capacity float64 // bits/second
 	prop     des.Duration
-	out      func(transit)
 
 	queue   []transit
 	head    int
 	busy    bool
 	bits    float64
+	cur     transit // packet in serialisation (valid while busy)
+	done    func()  // stored serialisation-completion callback
+	flying  *flightPool
 	Dropped uint64 // packets dropped by the queue cap, 0 = unlimited
 	MaxQ    int    // cap on queued packets; 0 = unlimited
 }
@@ -77,7 +125,15 @@ func NewLink(eng *des.Engine, capacity float64, prop des.Duration, out func(tran
 	if out == nil {
 		panic("netsim: nil output")
 	}
-	return &Link{eng: eng, capacity: capacity, prop: prop, out: out}
+	l := &Link{eng: eng, capacity: capacity, prop: prop}
+	l.flying = newFlightPool(eng, out)
+	l.done = func() {
+		// Serialisation finished: the packet propagates while the link
+		// starts on the next one.
+		l.flying.send(l.prop, l.cur)
+		l.serve()
+	}
+	return l
 }
 
 // Backlog returns the bits waiting for serialisation.
@@ -114,12 +170,8 @@ func (l *Link) serve() {
 		l.head = 0
 	}
 	l.bits -= tr.p.Size
-	l.eng.ScheduleIn(des.Seconds(tr.p.Size/l.capacity), func() {
-		// Serialisation finished: the packet propagates while the link
-		// starts on the next one.
-		l.eng.ScheduleIn(l.prop, func() { l.out(tr) })
-		l.serve()
-	})
+	l.cur = tr
+	l.eng.ScheduleIn(des.Seconds(tr.p.Size/l.capacity), l.done)
 }
 
 // TransitMode selects how the Fabric carries host-to-host traffic.
@@ -140,6 +192,10 @@ type Fabric struct {
 	net       *topo.Network
 	mode      TransitMode
 	receivers []func(traffic.Packet)
+	// pipes carries PipeTransit packets end to end; uplinks carries
+	// QueuedTransit packets across the sender's access propagation.
+	pipes   *flightPool
+	uplinks *flightPool
 	// QueuedTransit state: one Link per directed backbone edge, keyed by
 	// [from][to], plus per-host access links.
 	links  map[topo.NodeID]map[topo.NodeID]*Link
@@ -164,6 +220,8 @@ func NewFabric(eng *des.Engine, net *topo.Network, cfg FabricConfig) *Fabric {
 		mode:      cfg.Mode,
 		receivers: make([]func(traffic.Packet), len(net.Hosts)),
 	}
+	f.pipes = newFlightPool(eng, func(tr transit) { f.deliver(tr.dst, tr.p) })
+	f.uplinks = newFlightPool(eng, func(tr transit) { f.arriveAtRouter(tr.via, tr) })
 	if cfg.Mode == QueuedTransit {
 		if cfg.AccessCapacity <= 0 {
 			cfg.AccessCapacity = 100e6
@@ -204,15 +262,13 @@ func (f *Fabric) Send(src, dst int, p traffic.Packet) {
 	}
 	switch f.mode {
 	case QueuedTransit:
-		rs := f.net.Hosts[src].Router
 		// Uplink propagation only: the sender's serialisation is already
 		// modelled by its per-connection MUX, so the uplink is a pure
 		// delay here; downlink serialises at the access link.
-		f.eng.ScheduleIn(f.net.Hosts[src].AccessDelay, func() {
-			f.arriveAtRouter(rs, transit{p: p, dst: dst})
-		})
+		f.uplinks.send(f.net.Hosts[src].AccessDelay,
+			transit{p: p, dst: dst, via: f.net.Hosts[src].Router})
 	default:
-		f.eng.ScheduleIn(f.net.Latency(src, dst), func() { f.deliver(dst, p) })
+		f.pipes.send(f.net.Latency(src, dst), transit{p: p, dst: dst})
 	}
 }
 

@@ -67,6 +67,7 @@ type LeakyBucket struct {
 	out  func(traffic.Packet)
 	q    fifo
 	busy bool
+	done func() // stored serve-completion callback (no per-packet closure)
 }
 
 // NewLeakyBucket returns a leaky bucket draining at rho bits/second.
@@ -77,7 +78,13 @@ func NewLeakyBucket(eng *des.Engine, rho float64, out func(traffic.Packet)) *Lea
 	if out == nil {
 		panic("regulator: nil output")
 	}
-	return &LeakyBucket{eng: eng, rho: rho, out: out}
+	l := &LeakyBucket{eng: eng, rho: rho, out: out}
+	l.done = func() {
+		p := l.q.pop()
+		l.out(p)
+		l.serve()
+	}
+	return l
 }
 
 // Name implements Regulator.
@@ -103,13 +110,9 @@ func (l *LeakyBucket) serve() {
 		return
 	}
 	l.busy = true
-	p := l.q.peek()
-	// The bucket emits the packet after serialising it at ρ.
-	l.eng.ScheduleIn(des.Seconds(p.Size/l.rho), func() {
-		l.q.pop()
-		l.out(p)
-		l.serve()
-	})
+	// The bucket emits the packet after serialising it at ρ; the head stays
+	// queued until the stored completion callback pops it.
+	l.eng.ScheduleIn(des.Seconds(l.q.peek().Size/l.rho), l.done)
 }
 
 // SigmaRho is Cruz's (σ, ρ) regulator: a token bucket with depth σ bits
@@ -126,6 +129,7 @@ type SigmaRho struct {
 	tokens     float64
 	lastUpdate des.Time
 	serving    bool
+	retry      func() // stored token-wait callback
 }
 
 // NewSigmaRho returns a (σ, ρ) regulator starting with a full bucket.
@@ -136,7 +140,12 @@ func NewSigmaRho(eng *des.Engine, sigma, rho float64, out func(traffic.Packet)) 
 	if out == nil {
 		panic("regulator: nil output")
 	}
-	return &SigmaRho{eng: eng, Sigma: sigma, Rho: rho, out: out, tokens: sigma}
+	s := &SigmaRho{eng: eng, Sigma: sigma, Rho: rho, out: out, tokens: sigma}
+	s.retry = func() {
+		s.serving = false
+		s.serve()
+	}
+	return s
 }
 
 // Name implements Regulator.
@@ -197,10 +206,7 @@ func (s *SigmaRho) serve() {
 			wait = 1
 		}
 		s.serving = true
-		s.eng.ScheduleIn(wait, func() {
-			s.serving = false
-			s.serve()
-		})
+		s.eng.ScheduleIn(wait, s.retry)
 		return
 	}
 	s.serving = false

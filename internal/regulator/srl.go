@@ -32,7 +32,8 @@ type SRL struct {
 	transmitting bool
 	cycling      bool
 	stopCycle    bool
-	onEv         *des.Event
+	onEv         des.Event
+	done         func() // stored transmit-completion callback
 
 	// instrumentation
 	emittedBits float64
@@ -50,7 +51,17 @@ func NewSRL(eng *des.Engine, sigma, rho, c float64, out func(traffic.Packet)) *S
 	if out == nil {
 		panic("regulator: nil output")
 	}
-	return &SRL{eng: eng, Sigma: sigma, Rho: rho, C: c, out: out}
+	r := &SRL{eng: eng, Sigma: sigma, Rho: rho, C: c, out: out}
+	r.done = func() {
+		r.transmitting = false
+		p := r.q.pop()
+		r.emittedBits += p.Size
+		r.out(p)
+		if r.on {
+			r.serve()
+		}
+	}
+	return r
 }
 
 // Lambda returns the control factor λ = C/(C−ρ).
@@ -120,16 +131,7 @@ func (r *SRL) serve() {
 		return
 	}
 	r.transmitting = true
-	p := r.q.peek()
-	r.eng.ScheduleIn(des.Seconds(p.Size/r.C), func() {
-		r.transmitting = false
-		r.q.pop()
-		r.emittedBits += p.Size
-		r.out(p)
-		if r.on {
-			r.serve()
-		}
-	})
+	r.eng.ScheduleIn(des.Seconds(r.q.peek().Size/r.C), r.done)
 }
 
 // StartCycle begins the self-timed duty cycle with the given phase offset:
@@ -167,10 +169,8 @@ func (r *SRL) StartCycle(offset des.Duration) {
 func (r *SRL) StopCycle() {
 	r.stopCycle = true
 	r.cycling = false
-	if r.onEv != nil {
-		r.eng.Cancel(r.onEv)
-		r.onEv = nil
-	}
+	r.eng.Cancel(r.onEv)
+	r.onEv = des.Event{}
 }
 
 // Stagger coordinates the K (σ, ρ, λ) regulators of one end host: it

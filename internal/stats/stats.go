@@ -99,18 +99,20 @@ func (w *Welford) String() string {
 		w.n, w.Mean(), w.StdDev(), w.Min(), w.Max())
 }
 
-// MaxTracker records the largest observation together with an arbitrary
-// tag (typically the packet ID or the simulated time at which the maximum
-// occurred). It is the core of worst-case-delay measurement.
+// MaxTracker records the largest observation together with a numeric tag
+// (typically the packet ID at which the maximum occurred). It is the core
+// of worst-case-delay measurement. The tag is deliberately a plain uint64,
+// not an interface: Observe sits on the per-delivery hot path, and boxing
+// a tag per packet was a measurable allocation source.
 type MaxTracker struct {
 	n     uint64
 	max   float64
-	tag   any
+	tag   uint64
 	atMax bool
 }
 
 // Observe folds in a sample with its tag.
-func (m *MaxTracker) Observe(x float64, tag any) {
+func (m *MaxTracker) Observe(x float64, tag uint64) {
 	m.n++
 	if !m.atMax || x > m.max {
 		m.max = x
@@ -122,8 +124,8 @@ func (m *MaxTracker) Observe(x float64, tag any) {
 // Max returns the largest observation, or 0 if none were recorded.
 func (m *MaxTracker) Max() float64 { return m.max }
 
-// Tag returns the tag recorded with the maximum, or nil.
-func (m *MaxTracker) Tag() any { return m.tag }
+// Tag returns the tag recorded with the maximum, or 0.
+func (m *MaxTracker) Tag() uint64 { return m.tag }
 
 // Count returns how many observations were recorded.
 func (m *MaxTracker) Count() uint64 { return m.n }

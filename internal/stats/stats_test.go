@@ -97,10 +97,10 @@ func TestWelfordMergeEmpty(t *testing.T) {
 
 func TestMaxTracker(t *testing.T) {
 	var m MaxTracker
-	m.Observe(1.0, "a")
-	m.Observe(5.0, "b")
-	m.Observe(3.0, "c")
-	if m.Max() != 5.0 || m.Tag() != "b" || m.Count() != 3 {
+	m.Observe(1.0, 10)
+	m.Observe(5.0, 20)
+	m.Observe(3.0, 30)
+	if m.Max() != 5.0 || m.Tag() != 20 || m.Count() != 3 {
 		t.Fatalf("max=%v tag=%v n=%d", m.Max(), m.Tag(), m.Count())
 	}
 }

@@ -74,7 +74,9 @@ func (e *Extremal) Envelope() Envelope {
 	return Envelope{Sigma: e.Sigma + e.PacketSize, Rho: e.Rho}
 }
 
-// Start implements Source.
+// Start implements Source. Every callback below is built once: the burst/
+// base-rate loop reschedules the same three closures through the engine's
+// event pool, so steady-state emission is allocation-free.
 func (e *Extremal) Start(eng *des.Engine, until des.Time, emit func(Packet)) {
 	base := e.baseRate()
 	gap := des.Seconds(e.PacketSize / base)
@@ -82,12 +84,33 @@ func (e *Extremal) Start(eng *des.Engine, until des.Time, emit func(Packet)) {
 		emit(Packet{ID: e.nextID, Flow: e.Flow, Size: size, CreatedAt: eng.Now()})
 		e.nextID++
 	}
-	var cycle func()
+	var start des.Time
+	var cycle, step, tick func()
+	tick = func() {
+		if eng.Now() >= until {
+			return
+		}
+		emitPkt(e.PacketSize)
+		step()
+	}
+	// step schedules the next base-rate packet, or the next cycle once the
+	// period's budget is spent.
+	step = func() {
+		now := eng.Now()
+		if now >= until {
+			return
+		}
+		if now-start+gap > e.Period {
+			eng.Schedule(start+e.Period, cycle)
+			return
+		}
+		eng.ScheduleIn(gap, tick)
+	}
 	cycle = func() {
 		if eng.Now() >= until {
 			return
 		}
-		start := eng.Now()
+		start = eng.Now()
 		// Burst σ at one instant.
 		remaining := e.Sigma
 		for remaining >= e.PacketSize {
@@ -98,24 +121,6 @@ func (e *Extremal) Start(eng *des.Engine, until des.Time, emit func(Packet)) {
 			emitPkt(remaining)
 		}
 		// CBR base for the rest of the period.
-		var step func()
-		step = func() {
-			now := eng.Now()
-			if now >= until {
-				return
-			}
-			if now-start+gap > e.Period {
-				eng.Schedule(start+e.Period, cycle)
-				return
-			}
-			eng.ScheduleIn(gap, func() {
-				if eng.Now() >= until {
-					return
-				}
-				emitPkt(e.PacketSize)
-				step()
-			})
-		}
 		step()
 	}
 	eng.ScheduleIn(0, cycle)
