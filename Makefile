@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_DATE := $(shell date +%F)
 
-.PHONY: all build test vet fmt check bench bench-json
+.PHONY: all build test vet fmt check bench bench-json scenarios staticcheck
 
 all: check
 
@@ -21,6 +21,22 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 check: fmt vet build test
+
+# Smoke-run every registered scenario at reduced scale (the CLI's
+# -scenario all -quick): catches scenario-layer bit-rot in seconds.
+scenarios:
+	$(GO) run ./cmd/wdcsim -scenario all -quick
+
+# Static analysis. Skips with a notice when the binary is missing so the
+# target is safe on minimal containers; CI installs staticcheck and runs
+# this for real.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+		echo "  (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 # Full benchmark pass with allocation stats, human-readable.
 bench:

@@ -112,7 +112,7 @@ func BenchmarkImprovementTable(b *testing.B) {
 	}
 }
 
-// --- Ablation benches (DESIGN.md §5) ---
+// --- Ablation benches (DESIGN.md §6) ---
 
 // BenchmarkAblationStagger compares the staggered duty cycle against
 // aligned phases at high load: the metric of interest is wdb-aligned /
@@ -222,6 +222,41 @@ func BenchmarkAblationWorkload(b *testing.B) {
 }
 
 // --- End-to-end engine benches ---
+
+// BenchmarkScenarioScale is the scale benchmark: the registered
+// waxman-zipf-16 scenario — 2000 hosts on a 64-router Waxman underlay,
+// 16 overlapping groups with Zipf-skewed membership — at one heavy load
+// under both regulators, full population, reduced duration. This is the
+// partial-membership counterpart of BenchmarkSessionRun: the same engine
+// at 33× the host-group scale of the paper's setup.
+func BenchmarkScenarioScale(b *testing.B) {
+	sc := MustScenario("waxman-zipf-16")
+	var delivered uint64
+	for i := 0; i < b.N; i++ {
+		r, err := ScenarioSweep(sc, Options{Seed: uint64(i + 1),
+			Loads: []float64{0.8}, Duration: 2 * des.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		delivered = r.Delivered
+	}
+	b.ReportMetric(float64(delivered), "deliveries")
+}
+
+// BenchmarkScenarioScaleBuild measures structure construction alone at
+// the scale benchmark's dimensions: Waxman underlay, 2000-host
+// attachment, 16 Zipf member sets, and 16 DSCT trees.
+func BenchmarkScenarioScaleBuild(b *testing.B) {
+	sc := MustScenario("waxman-zipf-16")
+	for i := 0; i < b.N; i++ {
+		cfg, err := sc.SessionConfig(sc.Combos[0], 0.8, uint64(i+1), UseSeed(uint64(i+2)),
+			des.Second, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		core.NewSession(cfg)
+	}
+}
 
 // BenchmarkSingleHopRun measures one Simulation I run.
 func BenchmarkSingleHopRun(b *testing.B) {

@@ -1,5 +1,6 @@
 // Command wdcsim runs the paper's experiments and prints the same rows and
-// series the evaluation section reports.
+// series the evaluation section reports, plus any registered scenario from
+// the declarative scenario layer.
 //
 // Usage:
 //
@@ -7,6 +8,9 @@
 //	wdcsim -exp fig6a -hosts 200      # reduced population
 //	wdcsim -exp all -quick            # every experiment, reduced scale
 //	wdcsim -exp fig4a -adaptive       # add the adaptive algorithm's curve
+//	wdcsim -list-scenarios            # show the scenario registry
+//	wdcsim -scenario waxman-zipf-16   # run one registered scenario
+//	wdcsim -scenario all -quick       # smoke every scenario, reduced scale
 //
 // Experiments: fig2, fig4a, fig4b, fig4c, fig6a, fig6b, fig6c, table1,
 // table2, table3, rhostar, ratio, all.
@@ -21,23 +25,32 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/harness"
+	"repro/internal/scenario"
+	"repro/internal/stats"
 	"repro/internal/traffic"
 )
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment id (fig2, fig4a-c, fig6a-c, table1-3, rhostar, ratio, all)")
-		hosts      = flag.Int("hosts", 0, "override multi-group host count (default 665)")
-		seed       = flag.Uint64("seed", 1, "random seed")
-		quick      = flag.Bool("quick", false, "reduced-scale sweep (120 hosts, 5 loads)")
-		adaptive   = flag.Bool("adaptive", false, "add the adaptive algorithm's curve to fig4 output")
-		durSec     = flag.Float64("duration", 0, "override per-run simulated seconds")
-		sequential = flag.Bool("sequential", false, "run sweep points sequentially (debugging)")
-		workers    = flag.Int("workers", 0, "sweep worker pool size (default GOMAXPROCS)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		exp           = flag.String("exp", "all", "experiment id (fig2, fig4a-c, fig6a-c, table1-3, rhostar, ratio, all)")
+		scenarioName  = flag.String("scenario", "", "run a registered scenario instead of -exp (or 'all')")
+		listScenarios = flag.Bool("list-scenarios", false, "list the registered scenarios and exit")
+		hosts         = flag.Int("hosts", 0, "override multi-group host count (default 665)")
+		seed          = flag.Uint64("seed", 1, "random seed")
+		quick         = flag.Bool("quick", false, "reduced-scale sweep (120 hosts, 5 loads)")
+		adaptive      = flag.Bool("adaptive", false, "add the adaptive algorithm's curve to fig4 output")
+		durSec        = flag.Float64("duration", 0, "override per-run simulated seconds")
+		sequential    = flag.Bool("sequential", false, "run sweep points sequentially (debugging)")
+		workers       = flag.Int("workers", 0, "sweep worker pool size (default GOMAXPROCS)")
+		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *listScenarios {
+		printScenarios()
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -65,6 +78,33 @@ func main() {
 				fmt.Fprintf(os.Stderr, "wdcsim: %v\n", err)
 			}
 		}()
+	}
+
+	if *scenarioName != "" {
+		// Scenario sweeps resolve their own grid/duration, so only pass
+		// what the user explicitly overrode on the command line.
+		opts := harness.Options{Seed: *seed, Sequential: *sequential, Workers: *workers,
+			NumHosts: *hosts}
+		if *durSec > 0 {
+			opts.Duration = des.Seconds(*durSec)
+			opts.SingleHopDuration = des.Seconds(*durSec)
+		}
+		names := []string{*scenarioName}
+		if *scenarioName == "all" {
+			names = scenario.Names()
+		}
+		for _, name := range names {
+			sc, err := scenario.Lookup(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wdcsim: %v\n", err)
+				os.Exit(2)
+			}
+			if *quick {
+				sc = sc.Quick()
+			}
+			runScenario(sc, opts)
+		}
+		return
 	}
 
 	opts := harness.Options{Seed: *seed, Sequential: *sequential, Workers: *workers}
@@ -116,6 +156,41 @@ func main() {
 
 func header(title string) {
 	fmt.Printf("\n== %s ==\n", title)
+}
+
+func printScenarios() {
+	t := stats.NewTable("name", "kind", "topology", "hosts", "groups", "membership", "description")
+	for _, sc := range scenario.All() {
+		kind := string(sc.Kind)
+		if kind == "" {
+			kind = string(scenario.KindMultiGroup)
+		}
+		topoKind := sc.Topology.Kind
+		if topoKind == "" {
+			topoKind = "backbone19"
+		}
+		membership := sc.Membership.Kind
+		if membership == "" {
+			membership = "all"
+		}
+		hosts, groups := fmt.Sprintf("%d", sc.Hosts()), fmt.Sprintf("%d", sc.GroupCount())
+		if sc.Kind == scenario.KindSingleHop {
+			hosts, groups, topoKind, membership = "-", "-", "-", "-"
+		}
+		t.AddRow(sc.Name, kind, topoKind, hosts, groups, membership, sc.Description)
+	}
+	fmt.Print(t)
+}
+
+func runScenario(sc scenario.Scenario, opts harness.Options) {
+	header(fmt.Sprintf("scenario %s — %s", sc.Name, sc.Description))
+	r, err := harness.ScenarioSweep(sc, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wdcsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(r.Table())
+	fmt.Println(r.Summary())
 }
 
 func runFig2() {

@@ -14,24 +14,41 @@ func secs(s float64) des.Duration { return des.Seconds(s) }
 type hostEnv struct {
 	eng        *des.Engine
 	specs      []FlowSpec
-	conn       float64 // per-connection capacity C (bits/second)
+	conn       float64 // base per-connection capacity C (bits/second)
+	mults      []float64
 	bursts     []float64
 	discipline mux.Discipline
 	aligned    bool // stagger ablation: align all duty-cycle phases
 	send       func(from, to int, p traffic.Packet)
-	// connCap returns the capacity of one output connection for a host
-	// with the given number of distinct child connections. Regulated
-	// schemes give every connection the full C (the paper's per-output-
-	// link model); the capacity-aware scheme splits the host's aggregate
-	// uplink across its connections. Nil means full C.
-	connCap func(numConns int) float64
+	// capAware selects the capacity-aware connection model: the host's
+	// aggregate uplink of capFactor × its own C splits across its
+	// distinct child connections. Regulated schemes instead give every
+	// connection the host's full C (the paper's per-output-link model).
+	capAware  bool
+	capFactor float64
 }
 
-func (e *hostEnv) connectionCapacity(numConns int) float64 {
-	if e.connCap == nil {
+// hostConn returns host id's per-connection capacity: the base C scaled
+// by the host's uplink class multiplier (1 for the paper's homogeneous
+// population).
+func (e *hostEnv) hostConn(id int) float64 {
+	if e.mults == nil {
 		return e.conn
 	}
-	return e.connCap(numConns)
+	return e.conn * e.mults[id]
+}
+
+// connectionCapacity returns the capacity of one output connection for
+// host id with the given number of distinct child connections.
+func (e *hostEnv) connectionCapacity(id, numConns int) float64 {
+	c := e.hostConn(id)
+	if !e.capAware {
+		return c
+	}
+	if numConns < 1 {
+		numConns = 1
+	}
+	return e.capFactor * c / float64(numConns)
 }
 
 // host models one regulated group end host: per-flow regulators feeding a
@@ -40,19 +57,24 @@ func (e *hostEnv) connectionCapacity(numConns int) float64 {
 type host struct {
 	id      int
 	env     *hostEnv
-	mode    Scheme // the concrete scheme in force at any instant
+	conn    float64 // this host's per-connection capacity
+	mode    Scheme  // the concrete scheme in force at any instant
 	modeSet bool
 
-	// children[g] lists this host's child hosts in group g's tree.
+	// children[g] lists this host's child hosts in group g's tree (empty
+	// for groups the host does not forward — including every group the
+	// host is not even a member of).
 	children [][]int
 	// connections de-duplicates children across groups.
 	muxes map[int]*mux.Mux
 
-	// Regulator banks: built lazily per mode so a fixed-scheme run pays
-	// for exactly one bank. Indexed by flow/group.
-	srBank  []*regulator.SigmaRho
-	srlBank []*regulator.SRL
-	stagger *regulator.Stagger
+	// Regulator banks: built lazily per mode, and only for the groups
+	// this host actually forwards (partial-membership sessions would
+	// otherwise build K regulators at every host for mostly-idle flows).
+	// Entries for non-forwarding groups stay nil. Indexed by flow/group.
+	srBank     []*regulator.SigmaRho
+	srlBank    []*regulator.SRL
+	srlCycling bool
 
 	// Adaptive-control state.
 	rate     *stats.WindowRate
@@ -62,7 +84,8 @@ type host struct {
 // newHost wires a host for its (per-group) child sets. Hosts with no
 // children build no forwarding machinery.
 func newHost(id int, env *hostEnv, children [][]int, initial Scheme) *host {
-	h := &host{id: id, env: env, children: children, muxes: make(map[int]*mux.Mux)}
+	h := &host{id: id, env: env, conn: env.hostConn(id), children: children,
+		muxes: make(map[int]*mux.Mux)}
 	distinct := make(map[int]bool)
 	for _, cs := range children {
 		for _, c := range cs {
@@ -70,7 +93,7 @@ func newHost(id int, env *hostEnv, children [][]int, initial Scheme) *host {
 		}
 	}
 	forwards := len(distinct) > 0
-	connCap := env.connectionCapacity(len(distinct))
+	connCap := env.connectionCapacity(id, len(distinct))
 	for c := range distinct {
 		child := c
 		h.muxes[c] = mux.New(env.eng, len(env.specs), connCap, env.discipline,
@@ -113,6 +136,51 @@ func (h *host) replicate(g int, p traffic.Packet) {
 	}
 }
 
+// workPeriod returns group g's (σ, ρ, λ) working period W = σ/(C−ρ) at
+// this host's capacity — needed for stagger offsets even for groups the
+// host builds no regulator for.
+func (h *host) workPeriod(g int) des.Duration {
+	return des.Seconds(h.env.bursts[g] / (h.conn - h.env.specs[g].Rho))
+}
+
+// startCycles launches the duty cycles of the host's SRL bank. Offsets
+// follow the paper's round-robin stagger — group g starts after the
+// working periods of all groups before it — and are accumulated over the
+// full group index range, so a host that forwards only groups {2, 5}
+// phases them exactly as a host forwarding every group would: the stagger
+// schedule is a per-group global, not a per-host accident of which trees
+// put children here.
+func (h *host) startCycles() {
+	var offset des.Duration
+	for g, r := range h.srlBank {
+		if r != nil {
+			if h.env.aligned {
+				r.StartCycle(0)
+			} else {
+				r.StartCycle(offset)
+			}
+		}
+		offset += h.workPeriod(g)
+	}
+	h.srlCycling = true
+}
+
+// stopCycles halts the duty cycles and reopens the vacated queues so
+// residual packets drain.
+func (h *host) stopCycles() {
+	for _, r := range h.srlBank {
+		if r != nil {
+			r.StopCycle()
+		}
+	}
+	h.srlCycling = false
+	for _, r := range h.srlBank {
+		if r != nil {
+			r.SetOn(true)
+		}
+	}
+}
+
 // setMode activates the regulator bank for the given scheme, building
 // banks on first use. Packets already queued in the previous bank keep
 // draining through it (make-before-break), so no traffic is lost on a
@@ -127,40 +195,38 @@ func (h *host) setMode(m Scheme) {
 		if h.srBank == nil {
 			h.srBank = make([]*regulator.SigmaRho, len(env.specs))
 			for g := range env.specs {
+				if len(h.children[g]) == 0 {
+					continue
+				}
 				g := g
 				h.srBank[g] = regulator.NewSigmaRho(env.eng, env.bursts[g], env.specs[g].Rho,
 					func(p traffic.Packet) { h.replicate(g, p) })
 			}
 		}
-		if h.stagger != nil {
-			h.stagger.Stop()
-			h.stagger = nil
-			// Reopen the vacated SRL queues so residual packets drain.
-			for _, r := range h.srlBank {
-				r.SetOn(true)
-			}
+		if h.srlCycling {
+			h.stopCycles()
 		}
 	case SchemeSRL:
 		if h.srlBank == nil {
 			h.srlBank = make([]*regulator.SRL, len(env.specs))
 			for g := range env.specs {
+				if len(h.children[g]) == 0 {
+					continue
+				}
 				g := g
-				h.srlBank[g] = regulator.NewSRL(env.eng, env.bursts[g], env.specs[g].Rho, env.conn,
+				h.srlBank[g] = regulator.NewSRL(env.eng, env.bursts[g], env.specs[g].Rho, h.conn,
 					func(p traffic.Packet) { h.replicate(g, p) })
 			}
 		} else {
 			// Returning to SRL: close the held-open queues before the
 			// stagger re-drives them.
 			for _, r := range h.srlBank {
-				r.SetOn(false)
+				if r != nil {
+					r.SetOn(false)
+				}
 			}
 		}
-		h.stagger = regulator.NewStagger(h.srlBank...)
-		if env.aligned {
-			h.stagger.StartAligned()
-		} else {
-			h.stagger.Start()
-		}
+		h.startCycles()
 	case SchemeCapacityAware:
 		// No regulation machinery.
 	default:
@@ -183,11 +249,13 @@ func (h *host) observe(p traffic.Packet) {
 // controller runs the paper's Adaptive Control Algorithm at this host:
 // every interval it computes the average input rate of the K̂ flows and
 // selects the (σ, ρ) model below thresholdUtil, the (σ, ρ, λ) model at or
-// above it.
+// above it. Utilisation is measured against this host's own capacity, so
+// heterogeneous-uplink hosts switch on their local congestion, not the
+// population average.
 func (h *host) startController(window, interval des.Duration, thresholdUtil float64) {
 	h.rate = stats.NewWindowRate(window)
 	des.NewTicker(h.env.eng, interval, func() {
-		util := h.rate.Rate(h.env.eng.Now()) / h.env.conn
+		util := h.rate.Rate(h.env.eng.Now()) / h.conn
 		if util >= thresholdUtil {
 			h.setMode(SchemeSRL)
 		} else {

@@ -164,10 +164,11 @@ func TestHostCapacityAwareConnCap(t *testing.T) {
 	eng := des.New()
 	var sent []int
 	env := testEnv(eng, &sent)
-	env.connCap = func(n int) float64 { return 2_000_000 / float64(n) }
+	env.capAware = true
+	env.capFactor = 2.0
 	h := newHost(0, env, [][]int{{1, 2, 3}, nil}, SchemeCapacityAware)
 	for _, m := range h.muxes {
-		if m.Capacity() != 2_000_000.0/3 {
+		if m.Capacity() != 2.0*1_000_000/3 {
 			t.Fatalf("connection capacity %v, want aggregate/3", m.Capacity())
 		}
 	}
@@ -175,8 +176,20 @@ func TestHostCapacityAwareConnCap(t *testing.T) {
 
 func TestHostEnvDefaultConnCap(t *testing.T) {
 	env := &hostEnv{conn: 12345}
-	if env.connectionCapacity(7) != 12345 {
-		t.Fatal("nil connCap must fall back to full C")
+	if env.connectionCapacity(0, 7) != 12345 {
+		t.Fatal("regulated schemes must get the full per-connection C")
+	}
+}
+
+func TestHostEnvUplinkMultScalesCapacity(t *testing.T) {
+	env := &hostEnv{conn: 1_000_000, mults: []float64{1, 0.5, 4}}
+	if env.hostConn(0) != 1_000_000 || env.hostConn(1) != 500_000 || env.hostConn(2) != 4_000_000 {
+		t.Fatalf("hostConn = %v/%v/%v", env.hostConn(0), env.hostConn(1), env.hostConn(2))
+	}
+	env.capAware = true
+	env.capFactor = 2
+	if env.connectionCapacity(1, 4) != 2*500_000/4.0 {
+		t.Fatalf("capacity-aware connCap = %v", env.connectionCapacity(1, 4))
 	}
 }
 

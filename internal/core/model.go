@@ -8,10 +8,13 @@
 //
 //   - RunSingleHop reproduces Simulation I (Fig. 3/4): three real-time
 //     flows through one regulated general MUX into a sink.
-//   - Session.Run reproduces Simulation II (Fig. 5/6, Tables I–III): a
-//     multi-group network of end hosts on the 19-router backbone, each
-//     joining every group, forwarding along DSCT or NICE trees under one
-//     of the control schemes.
+//   - Session.Run reproduces Simulation II (Fig. 5/6, Tables I–III) and
+//     generalises it: a multi-group network of end hosts on a generated
+//     underlay (the paper's 19-router backbone by default), each group
+//     with its own member set and source (the paper's every-host-joins-
+//     every-group model by default), forwarding along DSCT or NICE trees
+//     under one of the control schemes, with optionally heterogeneous
+//     per-host uplink capacity.
 package core
 
 import (
@@ -67,6 +70,31 @@ const (
 	DefaultEnvelopeHorizonSec = 30
 )
 
+// SeedOpt is an optional seed. The zero value means "unset", which is
+// distinct from an explicitly chosen seed of 0 — the ambiguity the old
+// `TrafficSeed uint64` field had, where a caller genuinely passing seed 0
+// silently inherited the structural seed. Sweep and scenario drivers set
+// it with UseSeed; configs fall back to their structural seed when it is
+// unset.
+type SeedOpt struct {
+	set bool
+	val uint64
+}
+
+// UseSeed returns a set SeedOpt carrying v (any value, including 0).
+func UseSeed(v uint64) SeedOpt { return SeedOpt{set: true, val: v} }
+
+// IsSet reports whether the seed was explicitly chosen.
+func (o SeedOpt) IsSet() bool { return o.set }
+
+// Or returns the carried seed, or def when unset.
+func (o SeedOpt) Or(def uint64) uint64 {
+	if o.set {
+		return o.val
+	}
+	return def
+}
+
 // Workload selects what the group flows actually emit.
 type Workload int
 
@@ -91,10 +119,17 @@ func (w Workload) String() string {
 
 // BuildSources instantiates the mix's flows for the chosen workload.
 func (w Workload) BuildSources(mix traffic.Mix, seed uint64, margin, burstSec float64) []traffic.Source {
+	return w.BuildSourcesN(mix, mix.NumFlows(), seed, margin, burstSec)
+}
+
+// BuildSourcesN instantiates n flows (one per group) for the chosen
+// workload by cycling the mix's flow pattern — how a scenario drives
+// K > 3 groups. BuildSourcesN(mix, 3, ...) is identical to BuildSources.
+func (w Workload) BuildSourcesN(mix traffic.Mix, n int, seed uint64, margin, burstSec float64) []traffic.Source {
 	if w == WorkloadVBR {
-		return mix.Sources(seed)
+		return mix.SourcesN(n, seed)
 	}
-	return traffic.ExtremalMix(mix, margin, burstSec)
+	return traffic.ExtremalMixN(mix, n, margin, burstSec)
 }
 
 // DefaultSpecs derives the flow envelopes for a workload/mix at the
@@ -103,18 +138,29 @@ func (w Workload) BuildSources(mix traffic.Mix, seed uint64, margin, burstSec fl
 // share them read-only across every point (see the load-invariance note
 // on Config.Specs).
 func DefaultSpecs(w Workload, mix traffic.Mix, seed uint64) []FlowSpec {
-	return w.BuildSpecs(mix, seed, DefaultEnvelopeMargin, DefaultBurstSec,
+	return DefaultSpecsN(w, mix, mix.NumFlows(), seed)
+}
+
+// DefaultSpecsN is DefaultSpecs for an n-group instantiation of the mix.
+func DefaultSpecsN(w Workload, mix traffic.Mix, n int, seed uint64) []FlowSpec {
+	return w.BuildSpecsN(mix, n, seed, DefaultEnvelopeMargin, DefaultBurstSec,
 		DefaultEnvelopeHorizonSec)
 }
 
 // BuildSpecs derives the flow envelopes for the chosen workload: exact
 // by construction for extremal flows, measured for VBR.
 func (w Workload) BuildSpecs(mix traffic.Mix, seed uint64, margin, burstSec, horizonSec float64) []FlowSpec {
+	return w.BuildSpecsN(mix, mix.NumFlows(), seed, margin, burstSec, horizonSec)
+}
+
+// BuildSpecsN derives n per-group flow envelopes by cycling the mix's
+// flow pattern; see BuildSourcesN.
+func (w Workload) BuildSpecsN(mix traffic.Mix, n int, seed uint64, margin, burstSec, horizonSec float64) []FlowSpec {
 	if w == WorkloadVBR {
-		return MeasureSpecs(mix, seed, margin, horizonSec)
+		return MeasureSpecsN(mix, n, seed, margin, horizonSec)
 	}
-	envs := traffic.ExtremalSpecsFor(mix, margin, burstSec)
-	srcs := traffic.ExtremalMix(mix, margin, burstSec)
+	envs := traffic.ExtremalSpecsForN(mix, n, margin, burstSec)
+	srcs := traffic.ExtremalMixN(mix, n, margin, burstSec)
 	specs := make([]FlowSpec, len(envs))
 	for i := range envs {
 		specs[i] = FlowSpec{Rate: srcs[i].AvgRate(), Sigma: envs[i].Sigma, Rho: envs[i].Rho}
@@ -137,14 +183,29 @@ type FlowSpec struct {
 // ρ = margin × average rate (see traffic.MeasureEnvelope). Deterministic
 // given (mix, seed, margin, horizon).
 func MeasureSpecs(mix traffic.Mix, seed uint64, margin, horizonSec float64) []FlowSpec {
+	return MeasureSpecsN(mix, mix.NumFlows(), seed, margin, horizonSec)
+}
+
+// MeasureSpecsN measures the envelopes of an n-group instantiation of the
+// mix. Same-class flows share one stream seed (see Mix.SourcesN), so each
+// class is measured once and its spec replicated — at K=16 groups this is
+// one audio and one video measurement, not sixteen.
+func MeasureSpecsN(mix traffic.Mix, n int, seed uint64, margin, horizonSec float64) []FlowSpec {
 	if margin < 1 {
 		panic("core: envelope margin must be >= 1")
 	}
-	srcs := mix.Sources(seed)
+	srcs := mix.SourcesN(n, seed)
 	specs := make([]FlowSpec, len(srcs))
+	byClass := make(map[bool]FlowSpec, 2)
 	for i, s := range srcs {
-		env := traffic.MeasureEnvelope(s, margin, secs(horizonSec))
-		specs[i] = FlowSpec{Rate: s.AvgRate(), Sigma: env.Sigma, Rho: env.Rho}
+		video := mix.VideoFlow(i)
+		spec, ok := byClass[video]
+		if !ok {
+			env := traffic.MeasureEnvelope(s, margin, secs(horizonSec))
+			spec = FlowSpec{Rate: s.AvgRate(), Sigma: env.Sigma, Rho: env.Rho}
+			byClass[video] = spec
+		}
+		specs[i] = spec
 	}
 	return specs
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/topo"
 	"repro/internal/traffic"
+	"repro/internal/xrand"
 )
 
 // TreeKind selects the overlay architecture of Simulation II.
@@ -29,16 +30,31 @@ func (t TreeKind) String() string {
 	return "DSCT"
 }
 
+// GroupSpec describes one multicast group of a session: who is in it and
+// which member sources its flow. The paper's implicit model — every host
+// joins every group — is the nil-Groups default of Config; scenarios with
+// partial or overlapping membership pass explicit GroupSpecs.
+type GroupSpec struct {
+	// Source is the host originating the group's flow. Must be a member.
+	Source int
+	// Members lists the hosts subscribed to the group (including Source).
+	// The group's delivery tree spans exactly this set; non-members never
+	// carry or receive the group's packets.
+	Members []int
+}
+
 // Config parameterises one multi-group EMcast run (one point of Fig. 6 /
-// Tables I–III).
+// Tables I–III, or one scenario-layer session).
 type Config struct {
-	// NumHosts is the network population; every host joins every group
-	// (the paper: "665 end hosts ... who join in 3 groups"). Default 665.
+	// NumHosts is the network population (the paper: "665 end hosts ...
+	// who join in 3 groups"). Default 665.
 	NumHosts int
-	// Mix selects the per-group real-time flows. One flow per group.
+	// Mix selects the per-group real-time flow pattern; with more groups
+	// than the mix's three flows the pattern cycles (see
+	// traffic.Mix.SourcesN).
 	Mix traffic.Mix
 	// Load is the x-axis of every figure: the aggregate normalised input
-	// rate Σρᵢ/C at each end host, in (0, 1).
+	// rate Σρᵢ/C at a host carrying every group, in (0, 1).
 	Load float64
 	// Scheme is the traffic-control scheme at every host.
 	Scheme Scheme
@@ -47,15 +63,17 @@ type Config struct {
 	// Duration is the simulated time; WDB is the max delay observed.
 	// Default 5 s.
 	Duration des.Duration
-	// Seed drives the structural randomness: host attachment and tree
-	// construction (and, unless TrafficSeed overrides it, the workload).
+	// Seed drives the structural randomness: host attachment, membership,
+	// and tree construction (and, unless TrafficSeed overrides it, the
+	// workload).
 	Seed uint64
 	// TrafficSeed separately seeds the workload's randomness (VBR models,
-	// measured envelopes). Zero means "use Seed". Sweep drivers derive a
+	// measured envelopes). Unset means "use Seed"; an explicitly set
+	// value — including 0 — is honoured as given. Sweep drivers derive a
 	// distinct TrafficSeed per sweep point so the traffic streams of the
 	// points are statistically independent while the network and trees —
 	// which the paper holds fixed across a sweep — stay identical.
-	TrafficSeed uint64
+	TrafficSeed SeedOpt
 	// CapacityFactor is C_out/C for the capacity-aware scheme (see
 	// DESIGN.md). Default 2.0.
 	CapacityFactor float64
@@ -79,8 +97,23 @@ type Config struct {
 	// Default 0.15.
 	BurstSec float64
 	// Specs, when non-nil, overrides envelope measurement (used by
-	// sweeps to measure once and share).
+	// sweeps to measure once and share). Length must equal the group
+	// count.
 	Specs []FlowSpec
+
+	// Topology generates the underlay router graph. Nil selects the
+	// paper's fixed 19-router backbone.
+	Topology topo.Generator
+	// Groups, when non-nil, gives each group its explicit member set and
+	// source. Nil selects the paper's model: every host joins all
+	// NumGroups groups and group g's flow enters at host g % NumHosts.
+	Groups []GroupSpec
+	// NumGroups sets the group count when Groups is nil. 0 means one
+	// group per mix flow (the paper's 3). Ignored when Groups is non-nil.
+	NumGroups int
+	// UplinkClasses draws heterogeneous per-host capacity multipliers
+	// (see topo.UplinkClass). Empty keeps the paper's homogeneous hosts.
+	UplinkClasses []topo.UplinkClass
 }
 
 func (c *Config) fillDefaults() {
@@ -111,9 +144,68 @@ func (c *Config) fillDefaults() {
 	if c.BurstSec == 0 {
 		c.BurstSec = DefaultBurstSec
 	}
-	if c.TrafficSeed == 0 {
-		c.TrafficSeed = c.Seed
+	if c.Topology == nil {
+		c.Topology = topo.Backbone19Generator{}
 	}
+	if !c.TrafficSeed.IsSet() {
+		c.TrafficSeed = UseSeed(c.Seed)
+	}
+}
+
+// groupCount resolves the session's number of groups. Call after
+// fillDefaults.
+func (c *Config) groupCount() int {
+	if c.Groups != nil {
+		return len(c.Groups)
+	}
+	if c.NumGroups > 0 {
+		return c.NumGroups
+	}
+	return c.Mix.NumFlows()
+}
+
+// resolveGroups materialises the per-group member sets and sources: the
+// explicit Groups when given (validated), otherwise the paper's implicit
+// full-membership model.
+func (c *Config) resolveGroups(numGroups int) []GroupSpec {
+	if c.Groups != nil {
+		everyone := make([]int, c.NumHosts)
+		for i := range everyone {
+			everyone[i] = i
+		}
+		groups := make([]GroupSpec, numGroups)
+		for g, spec := range c.Groups {
+			if len(spec.Members) == 0 {
+				// An empty member set means "everyone" — so scenarios can
+				// mix full and partial groups without spelling out 10⁵
+				// members.
+				spec.Members = everyone
+			}
+			found := false
+			for _, m := range spec.Members {
+				if m < 0 || m >= c.NumHosts {
+					panic(fmt.Sprintf("core: group %d member %d outside [0,%d)", g, m, c.NumHosts))
+				}
+				if m == spec.Source {
+					found = true
+				}
+			}
+			if !found {
+				panic(fmt.Sprintf("core: group %d source %d not in its member set", g, spec.Source))
+			}
+			groups[g] = spec
+		}
+		return groups
+	}
+	members := make([]int, c.NumHosts)
+	for i := range members {
+		members[i] = i
+	}
+	groups := make([]GroupSpec, numGroups)
+	for g := range groups {
+		groups[g] = GroupSpec{Source: g % c.NumHosts, Members: members}
+	}
+	return groups
 }
 
 // Result reports one run's measurements.
@@ -136,7 +228,8 @@ type Result struct {
 	// ModeSwitches counts regulator-model switches across hosts
 	// (meaningful for SchemeAdaptive).
 	ModeSwitches int
-	// ConnCapacity is the per-connection capacity C implied by the load.
+	// ConnCapacity is the base per-connection capacity C implied by the
+	// load (heterogeneous hosts scale it by their uplink class).
 	ConnCapacity float64
 	// Specs echoes the flow envelopes used, for reuse across a sweep.
 	Specs []FlowSpec
@@ -148,6 +241,7 @@ type Session struct {
 	eng    *des.Engine
 	net    *topo.Network
 	fabric *netsim.Fabric
+	groups []GroupSpec
 	trees  []*overlay.Tree
 	hosts  []*host
 	specs  []FlowSpec
@@ -161,55 +255,72 @@ type Session struct {
 func NewSession(cfg Config) *Session {
 	cfg.fillDefaults()
 	s := &Session{cfg: cfg, eng: des.New()}
-	s.net = topo.NewNetwork(topo.Backbone19(), topo.NetworkConfig{
-		NumHosts: cfg.NumHosts,
-		Seed:     cfg.Seed,
+	s.net = topo.NewNetwork(cfg.Topology.Build(cfg.Seed), topo.NetworkConfig{
+		NumHosts:      cfg.NumHosts,
+		Seed:          cfg.Seed,
+		UplinkClasses: cfg.UplinkClasses,
 	})
 	s.fabric = netsim.NewFabric(s.eng, s.net, netsim.FabricConfig{Mode: cfg.Transit})
 
-	// Flow envelopes.
+	// Flow envelopes: one flow per group.
+	numGroups := cfg.groupCount()
 	s.specs = cfg.Specs
 	if s.specs == nil {
-		s.specs = cfg.Workload.BuildSpecs(cfg.Mix, cfg.TrafficSeed, cfg.EnvelopeMargin,
-			cfg.BurstSec, cfg.EnvelopeHorizonSec)
+		s.specs = cfg.Workload.BuildSpecsN(cfg.Mix, numGroups, cfg.TrafficSeed.Or(cfg.Seed),
+			cfg.EnvelopeMargin, cfg.BurstSec, cfg.EnvelopeHorizonSec)
+	} else if len(s.specs) != numGroups {
+		panic(fmt.Sprintf("core: %d specs for %d groups", len(s.specs), numGroups))
 	}
-	numGroups := len(s.specs)
+	s.groups = cfg.resolveGroups(numGroups)
 
-	// Per-connection capacity from the x-axis load.
-	conn := cfg.Mix.TotalRate() / cfg.Load
+	// Base per-connection capacity from the x-axis load: sized so a host
+	// carrying every group flow runs at the configured utilisation.
+	conn := cfg.Mix.TotalRateN(numGroups) / cfg.Load
 
-	// Trees. Regulated schemes build one tree per group (sources at hosts
-	// 0..numGroups-1). The capacity-aware scheme instead shares a single
+	// Trees. Regulated schemes build one tree per group over the group's
+	// member set, rooted at its source. The capacity-aware scheme under
+	// the paper's full-membership model instead shares a single
 	// cluster-capped tree across all groups, exactly as the paper's
 	// Fig. 1(b) reconstructs one tree carrying both flows: its fanout
 	// budget ⌊C_out/Σρᵢ⌋ only yields a stable schedule when the same d
-	// children receive every flow.
-	members := make([]int, cfg.NumHosts)
-	for i := range members {
-		members[i] = i
-	}
-	build := func(src int, tc overlay.Config) *overlay.Tree {
+	// children receive every flow. With explicit (possibly disjoint)
+	// member sets no shared tree can span every group, so the scheme
+	// falls back to one capped flat tree per group.
+	build := func(g int, tc overlay.Config) *overlay.Tree {
 		if cfg.Tree == TreeNICE {
-			return overlay.BuildNICE(s.net, members, src, tc)
+			return overlay.BuildNICE(s.net, s.groups[g].Members, s.groups[g].Source, tc)
 		}
-		return overlay.BuildDSCT(s.net, members, src, tc)
+		return overlay.BuildDSCT(s.net, s.groups[g].Members, s.groups[g].Source, tc)
 	}
 	s.trees = make([]*overlay.Tree, numGroups)
 	if cfg.Scheme == SchemeCapacityAware {
 		fanout := overlay.FanoutBound(cfg.Load, cfg.CapacityFactor)
-		var shared *overlay.Tree
-		if cfg.Tree == TreeNICE {
-			shared = overlay.BuildFlatBlind(s.net, members, 0, fanout, cfg.Seed*1000)
+		if cfg.Groups == nil {
+			var shared *overlay.Tree
+			members := s.groups[0].Members
+			if cfg.Tree == TreeNICE {
+				shared = overlay.BuildFlatBlind(s.net, members, 0, fanout, xrand.DeriveSeed(cfg.Seed, 0))
+			} else {
+				shared = overlay.BuildFlat(s.net, members, 0, fanout)
+			}
+			for g := range s.trees {
+				s.trees[g] = shared
+			}
 		} else {
-			shared = overlay.BuildFlat(s.net, members, 0, fanout)
-		}
-		for g := range s.trees {
-			s.trees[g] = shared
+			for g := range s.trees {
+				if cfg.Tree == TreeNICE {
+					s.trees[g] = overlay.BuildFlatBlind(s.net, s.groups[g].Members,
+						s.groups[g].Source, fanout, xrand.DeriveSeed(cfg.Seed, g))
+				} else {
+					s.trees[g] = overlay.BuildFlat(s.net, s.groups[g].Members,
+						s.groups[g].Source, fanout)
+				}
+			}
 		}
 	} else {
 		for g := 0; g < numGroups; g++ {
-			tc := overlay.Config{K: cfg.ClusterK, Seed: cfg.Seed*1000 + uint64(g)}
-			s.trees[g] = build(g%cfg.NumHosts, tc)
+			tc := overlay.Config{K: cfg.ClusterK, Seed: xrand.DeriveSeed(cfg.Seed, g)}
+			s.trees[g] = build(g, tc)
 		}
 	}
 
@@ -223,14 +334,32 @@ func NewSession(cfg Config) *Session {
 		aligned:    cfg.StaggerAligned,
 		send:       func(from, to int, p traffic.Packet) { s.fabric.Send(from, to, p) },
 	}
-	if cfg.Scheme == SchemeCapacityAware {
-		agg := cfg.CapacityFactor * conn
-		env.connCap = func(numConns int) float64 {
-			if numConns < 1 {
-				numConns = 1
+	if len(cfg.UplinkClasses) > 0 {
+		env.mults = make([]float64, cfg.NumHosts)
+		minMult := s.net.Hosts[0].UplinkMult
+		for id := range env.mults {
+			env.mults[id] = s.net.Hosts[id].UplinkMult
+			if env.mults[id] < minMult {
+				minMult = env.mults[id]
 			}
-			return agg / float64(numConns)
 		}
+		// Every flow envelope must fit inside the slowest class's uplink:
+		// a host whose C sits at or below some ρᵢ cannot regulate flow i
+		// (NewSRL requires ρ < C), and even a host that never forwards
+		// flow i folds W_i = σᵢ/(C−ρᵢ) into its stagger offsets — a
+		// negative W would silently corrupt the schedule. Fail loudly at
+		// build time instead.
+		for g, sp := range s.specs {
+			if sp.Rho >= minMult*conn {
+				panic(fmt.Sprintf(
+					"core: group %d envelope rate %.0f bps exceeds the slowest uplink class capacity %.0f bps (mult %.2g of C=%.0f); lower the load or raise the class multiplier",
+					g, sp.Rho, minMult*conn, minMult, conn))
+			}
+		}
+	}
+	if cfg.Scheme == SchemeCapacityAware {
+		env.capAware = true
+		env.capFactor = cfg.CapacityFactor
 	}
 	s.hosts = make([]*host, cfg.NumHosts)
 	threshold := ThresholdUtilization(numGroups, cfg.Mix.Homogeneous())
@@ -240,7 +369,7 @@ func NewSession(cfg Config) *Session {
 			children[g] = s.trees[g].Children(id)
 		}
 		s.hosts[id] = newHost(id, env, children, cfg.Scheme)
-		if cfg.Scheme == SchemeAdaptive && s.hosts[id].muxes != nil && len(s.hosts[id].muxes) > 0 {
+		if cfg.Scheme == SchemeAdaptive && len(s.hosts[id].muxes) > 0 {
 			s.hosts[id].startController(des.Second, 250*des.Millisecond, threshold)
 		}
 		id := id
@@ -272,7 +401,9 @@ func (s *Session) Run() Result {
 	// Sources: group g's flow enters the network at its tree root. The
 	// root host "receives" at delay zero conceptually; measurement only
 	// counts downstream deliveries, so the source feeds forward() direct.
-	for g, src := range cfg.Workload.BuildSources(cfg.Mix, cfg.TrafficSeed, cfg.EnvelopeMargin, cfg.BurstSec) {
+	sources := cfg.Workload.BuildSourcesN(cfg.Mix, numGroups, cfg.TrafficSeed.Or(cfg.Seed),
+		cfg.EnvelopeMargin, cfg.BurstSec)
+	for g, src := range sources {
 		g := g
 		root := s.trees[g].Source
 		src.Start(s.eng, cfg.Duration, func(p traffic.Packet) {
@@ -289,7 +420,7 @@ func (s *Session) Run() Result {
 		MeanDelay:     s.delays.Mean(),
 		Delivered:     s.deliver,
 		ThresholdUtil: ThresholdUtilization(numGroups, cfg.Mix.Homogeneous()),
-		ConnCapacity:  cfg.Mix.TotalRate() / cfg.Load,
+		ConnCapacity:  cfg.Mix.TotalRateN(numGroups) / cfg.Load,
 		Specs:         s.specs,
 	}
 	for g := 0; g < numGroups; g++ {
@@ -310,6 +441,9 @@ func (s *Session) Run() Result {
 
 // Trees exposes the built group trees (for inspection tools and tests).
 func (s *Session) Trees() []*overlay.Tree { return s.trees }
+
+// Groups exposes the resolved per-group member sets and sources.
+func (s *Session) Groups() []GroupSpec { return s.groups }
 
 // Network exposes the underlay (for inspection tools and tests).
 func (s *Session) Network() *topo.Network { return s.net }

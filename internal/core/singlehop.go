@@ -26,9 +26,10 @@ type SingleHopConfig struct {
 	Duration des.Duration
 	// Seed drives the VBR models.
 	Seed uint64
-	// TrafficSeed separately seeds the workload; 0 means "use Seed" (see
+	// TrafficSeed separately seeds the workload; unset means "use Seed",
+	// and an explicitly set value — including 0 — is honoured (see
 	// Config.TrafficSeed).
-	TrafficSeed uint64
+	TrafficSeed SeedOpt
 	// EnvelopeMargin and EnvelopeHorizonSec as in Config.
 	EnvelopeMargin     float64
 	EnvelopeHorizonSec float64
@@ -71,8 +72,8 @@ func (c *SingleHopConfig) fillDefaults() {
 	if c.BurstSec == 0 {
 		c.BurstSec = DefaultBurstSec
 	}
-	if c.TrafficSeed == 0 {
-		c.TrafficSeed = c.Seed
+	if !c.TrafficSeed.IsSet() {
+		c.TrafficSeed = UseSeed(c.Seed)
 	}
 }
 
@@ -103,7 +104,7 @@ type SingleHopResult struct {
 func RunSingleHop(cfg SingleHopConfig) SingleHopResult {
 	cfg.fillDefaults()
 	return RunSingleHopWith(cfg,
-		cfg.Workload.BuildSources(cfg.Mix, cfg.TrafficSeed, cfg.EnvelopeMargin, cfg.BurstSec))
+		cfg.Workload.BuildSources(cfg.Mix, cfg.TrafficSeed.Or(cfg.Seed), cfg.EnvelopeMargin, cfg.BurstSec))
 }
 
 // RunSingleHopWith executes Simulation I with caller-provided flow
@@ -114,7 +115,7 @@ func RunSingleHopWith(cfg SingleHopConfig, sources []traffic.Source) SingleHopRe
 
 	specs := cfg.Specs
 	if specs == nil {
-		specs = cfg.Workload.BuildSpecs(cfg.Mix, cfg.TrafficSeed, cfg.EnvelopeMargin,
+		specs = cfg.Workload.BuildSpecs(cfg.Mix, cfg.TrafficSeed.Or(cfg.Seed), cfg.EnvelopeMargin,
 			cfg.BurstSec, cfg.EnvelopeHorizonSec)
 	}
 	if len(specs) != len(sources) {

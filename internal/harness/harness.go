@@ -6,7 +6,10 @@
 //
 // Each driver returns structured series/rows and can render itself as the
 // same row layout the paper reports. EXPERIMENTS.md records paper-vs-
-// measured values produced by these drivers.
+// measured values produced by these drivers. ScenarioSweep generalises
+// them: it runs any registered internal/scenario entry over the same
+// pool with the same determinism rules (the paper's Fig. 4/Fig. 6 are
+// the entries "paper-fig4"/"paper-fig6").
 package harness
 
 import (
@@ -126,7 +129,7 @@ func Fig4(mix traffic.Mix, opts Options) Fig4Result {
 		cells[i] = core.RunSingleHop(core.SingleHopConfig{
 			Mix: mix, Load: load, Scheme: schemes[si],
 			Duration: opts.SingleHopDuration, Seed: opts.Seed,
-			TrafficSeed: DeriveSeed(opts.Seed, li), Specs: specs,
+			TrafficSeed: core.UseSeed(DeriveSeed(opts.Seed, li)), Specs: specs,
 		})
 		assertSpecsMatch(specs, cells[i].Specs, load)
 	})
@@ -246,7 +249,7 @@ func Fig6(mix traffic.Mix, opts Options) Fig6Result {
 			Tree:        st.Tree,
 			Duration:    opts.Duration,
 			Seed:        opts.Seed,
-			TrafficSeed: DeriveSeed(opts.Seed, li),
+			TrafficSeed: core.UseSeed(DeriveSeed(opts.Seed, li)),
 			Specs:       specs,
 		})
 		assertSpecsMatch(specs, cells[i].Specs, load)

@@ -55,17 +55,12 @@ func runJobs(n int, opts Options, job func(i int)) {
 	wg.Wait()
 }
 
-// DeriveSeed maps (sweep seed, point index) to the point's traffic seed:
-// a SplitMix64 scramble of both inputs, so neighbouring points get
-// statistically independent streams and the derivation is a pure function
-// — independent of worker count, scheduling, and execution order.
+// DeriveSeed maps (sweep seed, point index) to the point's traffic seed.
+// It is xrand.DeriveSeed — the repository-wide derivation rule — re-
+// exported here because the sweep drivers are its original home and the
+// facade documents it.
 func DeriveSeed(base uint64, point int) uint64 {
-	r := xrand.New(base ^ (uint64(point+1) * 0x9e3779b97f4a7c15))
-	s := r.Uint64()
-	if s == 0 {
-		s = 1 // zero means "unset" to the config layer
-	}
-	return s
+	return xrand.DeriveSeed(base, point)
 }
 
 // sweepSpecs builds the flow envelopes one time for a whole sweep, from

@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
+
+// ScenarioCurve is one combo's series across the load grid.
+type ScenarioCurve struct {
+	Combo scenario.Combo
+	// WDB is the worst-case delay per load.
+	WDB *stats.Series
+	// MeanDelay is the mean delivery delay per load.
+	MeanDelay *stats.Series
+	// Layers is the max tree layer count per load (0 for single-hop).
+	Layers []int
+}
+
+// ScenarioResult is a full scenario sweep: one curve per combo.
+type ScenarioResult struct {
+	Scenario scenario.Scenario
+	Loads    []float64
+	Curves   []ScenarioCurve
+	// Delivered totals packet receptions across every cell of the sweep.
+	Delivered uint64
+}
+
+// ScenarioSweep runs a scenario over its load grid with one engine per
+// (load, combo) cell, fanned out over the same worker pool as the figure
+// drivers and under the same determinism rules: the structural seed
+// (opts.Seed) pins network, membership, and trees across the whole sweep;
+// each load's traffic seed derives from (seed, load index) so combos at
+// one load stay paired; specs are built once and shared read-only.
+// Sequential and parallel execution are bit-identical.
+//
+// Precedence for the grid and duration: an explicit opts value beats the
+// scenario's own, which beats the defaults. The paper's Fig. 4/Fig. 6
+// drivers are the special case ScenarioSweep(Lookup("paper-fig4"/"-fig6"))
+// — pinned by tests in scenario_test.go.
+func ScenarioSweep(sc scenario.Scenario, opts Options) (ScenarioResult, error) {
+	if err := sc.Validate(); err != nil {
+		return ScenarioResult{}, err
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	if opts.NumHosts > 0 {
+		sc.NumHosts = opts.NumHosts
+	}
+	// An explicitly passed grid beats the scenario's own, which beats the
+	// paper grid — mirroring the NumHosts/duration precedence.
+	loads := opts.Loads
+	if len(loads) == 0 {
+		loads = sc.Loads
+	}
+	if len(loads) == 0 {
+		loads = PaperLoads
+	}
+	single := sc.Kind == scenario.KindSingleHop
+	var dur des.Duration
+	switch {
+	case single && opts.SingleHopDuration > 0:
+		dur = opts.SingleHopDuration
+	case !single && opts.Duration > 0:
+		dur = opts.Duration
+	case sc.DurationSec > 0:
+		dur = des.Seconds(sc.DurationSec)
+	case single:
+		dur = 36 * des.Second
+	default:
+		dur = 15 * des.Second
+	}
+
+	mix, err := sc.ParseMix()
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	workload, err := sc.ParseWorkload()
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	specs := core.DefaultSpecsN(workload, mix, sc.GroupCount(), seed)
+
+	res := ScenarioResult{Scenario: sc, Loads: loads}
+	for _, c := range sc.Combos {
+		res.Curves = append(res.Curves, ScenarioCurve{
+			Combo:     c,
+			WDB:       &stats.Series{Name: c.String()},
+			MeanDelay: &stats.Series{Name: c.String() + " mean"},
+			Layers:    make([]int, len(loads)),
+		})
+	}
+
+	combos := sc.Combos
+	type cell struct {
+		wdb, mean float64
+		layers    int
+		delivered uint64
+	}
+	cells := make([]cell, len(loads)*len(combos))
+
+	// Compile every cell's config up front: configuration errors surface
+	// before any engine runs, and the worker job body stays pure.
+	if single {
+		cfgs := make([]core.SingleHopConfig, len(cells))
+		for i := range cells {
+			li, ci := i/len(combos), i%len(combos)
+			cfgs[i], err = sc.SingleHopConfig(combos[ci], loads[li], seed,
+				core.UseSeed(DeriveSeed(seed, li)), dur, specs)
+			if err != nil {
+				return ScenarioResult{}, err
+			}
+		}
+		runJobs(len(cells), opts, func(i int) {
+			r := core.RunSingleHop(cfgs[i])
+			assertSpecsMatch(specs, r.Specs, cfgs[i].Load)
+			cells[i] = cell{wdb: r.WDB, mean: r.MeanDelay, delivered: r.Delivered}
+		})
+	} else {
+		// Membership is a pure function of (scenario, seed): materialise
+		// it once and share it read-only across every cell.
+		groups := sc.Groups(seed)
+		cfgs := make([]core.Config, len(cells))
+		for i := range cells {
+			li, ci := i/len(combos), i%len(combos)
+			cfgs[i], err = sc.SessionConfig(combos[ci], loads[li], seed,
+				core.UseSeed(DeriveSeed(seed, li)), dur, specs, groups)
+			if err != nil {
+				return ScenarioResult{}, err
+			}
+		}
+		runJobs(len(cells), opts, func(i int) {
+			r := core.Run(cfgs[i])
+			assertSpecsMatch(specs, r.Specs, cfgs[i].Load)
+			cells[i] = cell{wdb: r.WDB, mean: r.MeanDelay, layers: r.Layers, delivered: r.Delivered}
+		})
+	}
+
+	for li, load := range loads {
+		for ci := range combos {
+			c := cells[li*len(combos)+ci]
+			res.Curves[ci].WDB.Add(load, c.wdb)
+			res.Curves[ci].MeanDelay.Add(load, c.mean)
+			res.Curves[ci].Layers[li] = c.layers
+			res.Delivered += c.delivered
+		}
+	}
+	return res, nil
+}
+
+// Table renders the WDB curves in the figure layout: one column per
+// combo, one row per load.
+func (r ScenarioResult) Table() *stats.Table {
+	header := []string{"rho*K"}
+	for _, c := range r.Curves {
+		header = append(header, c.Combo.String()+" [s]")
+	}
+	t := stats.NewTable(header...)
+	for i, x := range r.Loads {
+		row := []string{fmt.Sprintf("%.2f", x)}
+		for _, c := range r.Curves {
+			row = append(row, fmt.Sprintf("%.4f", c.WDB.Y[i]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Summary gives the one-line outcome: the winning combo at the heaviest
+// load.
+func (r ScenarioResult) Summary() string {
+	if len(r.Loads) == 0 || len(r.Curves) == 0 {
+		return fmt.Sprintf("scenario %s: empty sweep", r.Scenario.Name)
+	}
+	last := len(r.Loads) - 1
+	best := 0
+	for i, c := range r.Curves {
+		if c.WDB.Y[last] < r.Curves[best].WDB.Y[last] {
+			best = i
+		}
+	}
+	return fmt.Sprintf("scenario %s: best at load %.2f is %v (WDB %.4fs); %d deliveries",
+		r.Scenario.Name, r.Loads[last], r.Curves[best].Combo, r.Curves[best].WDB.Y[last],
+		r.Delivered)
+}

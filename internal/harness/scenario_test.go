@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/scenario"
+	"repro/internal/traffic"
+)
+
+// The paper's figures are registry entries, not special cases: sweeping
+// the paper-fig6 scenario must reproduce the Fig6 driver bit for bit.
+func TestScenarioSweepMatchesFig6(t *testing.T) {
+	opts := Quick(1)
+	opts.NumHosts = 40
+	opts.Loads = []float64{0.45, 0.9}
+	opts.Duration = 6 * des.Second
+
+	fig := Fig6(traffic.MixAudio, opts)
+	sw, err := ScenarioSweep(scenario.MustLookup("paper-fig6"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Curves) != len(Fig6Combos) {
+		t.Fatalf("%d curves, want %d", len(sw.Curves), len(Fig6Combos))
+	}
+	for ci, st := range Fig6Combos {
+		curve := sw.Curves[ci]
+		for i := range opts.Loads {
+			if curve.WDB.Y[i] != fig.Curves[st].Y[i] {
+				t.Fatalf("%v at %.2f: scenario %v vs driver %v",
+					st, opts.Loads[i], curve.WDB.Y[i], fig.Curves[st].Y[i])
+			}
+			if curve.Layers[i] != fig.Layers[st][i] {
+				t.Fatalf("%v layers diverged at %.2f", st, opts.Loads[i])
+			}
+		}
+	}
+}
+
+// Same equivalence for Simulation I: paper-fig4 must reproduce Fig4.
+func TestScenarioSweepMatchesFig4(t *testing.T) {
+	opts := Quick(2)
+	opts.Loads = []float64{0.5, 0.9}
+
+	fig := Fig4(traffic.MixAudio, opts)
+	sw, err := ScenarioSweep(scenario.MustLookup("paper-fig4"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range opts.Loads {
+		if sw.Curves[0].WDB.Y[i] != fig.SigmaRho.Y[i] {
+			t.Fatalf("sigma-rho at %.2f: scenario %v vs driver %v",
+				opts.Loads[i], sw.Curves[0].WDB.Y[i], fig.SigmaRho.Y[i])
+		}
+		if sw.Curves[1].WDB.Y[i] != fig.SRL.Y[i] {
+			t.Fatalf("srl at %.2f: scenario %v vs driver %v",
+				opts.Loads[i], sw.Curves[1].WDB.Y[i], fig.SRL.Y[i])
+		}
+	}
+}
+
+// The scenario sweep inherits the pool's determinism contract: parallel
+// equals sequential bit for bit — including for partial membership,
+// alternate topologies, and heterogeneous uplinks.
+func TestScenarioSweepParallelMatchesSequential(t *testing.T) {
+	for _, name := range []string{"waxman-zipf-16", "transit-stub-dsl-fibre"} {
+		sc := scenario.MustLookup(name).Quick()
+
+		seq := Options{Seed: 3, Sequential: true}
+		a, err := ScenarioSweep(sc, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par := Options{Seed: 3, Workers: 3} // deliberately not a divisor
+		b, err := ScenarioSweep(sc, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Delivered != b.Delivered {
+			t.Fatalf("%s: delivered %d vs %d", name, a.Delivered, b.Delivered)
+		}
+		for ci := range a.Curves {
+			for i := range a.Loads {
+				if a.Curves[ci].WDB.Y[i] != b.Curves[ci].WDB.Y[i] ||
+					a.Curves[ci].MeanDelay.Y[i] != b.Curves[ci].MeanDelay.Y[i] ||
+					a.Curves[ci].Layers[i] != b.Curves[ci].Layers[i] {
+					t.Fatalf("%s: %v at %.2f diverged between sequential and parallel",
+						name, a.Curves[ci].Combo, a.Loads[i])
+				}
+			}
+		}
+	}
+}
+
+// Every registered scenario must build and run at quick scale — the same
+// coverage `make scenarios` smokes from the CLI.
+func TestEveryRegisteredScenarioRunsQuick(t *testing.T) {
+	for _, sc := range scenario.All() {
+		q := sc.Quick()
+		r, err := ScenarioSweep(q, Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if r.Delivered == 0 {
+			t.Fatalf("%s: no deliveries at quick scale", sc.Name)
+		}
+		for _, c := range r.Curves {
+			for i, y := range c.WDB.Y {
+				if y <= 0 {
+					t.Fatalf("%s: %v WDB %v at load %.2f", sc.Name, c.Combo, y, r.Loads[i])
+				}
+			}
+		}
+	}
+}
+
+func TestScenarioSweepRejectsInvalid(t *testing.T) {
+	if _, err := ScenarioSweep(scenario.Scenario{Name: "broken"}, Options{}); err == nil {
+		t.Fatal("invalid scenario must be rejected")
+	}
+}
+
+func TestScenarioTableAndSummary(t *testing.T) {
+	r, err := ScenarioSweep(scenario.MustLookup("ring-sparse").Quick(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Table().String() == "" || r.Summary() == "" {
+		t.Fatal("empty rendering")
+	}
+}

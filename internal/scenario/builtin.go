@@ -1,0 +1,140 @@
+package scenario
+
+// The built-in registry: the paper's two experiment families as plain
+// entries, the production-scale partial-membership benchmark, and
+// structural variations (heterogeneous uplinks, degenerate underlays,
+// stochastic workload) that probe how far the paper's conclusions carry.
+
+// Fig6Combos is the paper's six scheme/tree series, in figure order.
+var Fig6Combos = []Combo{
+	{Scheme: "capacity-aware", Tree: "dsct"},
+	{Scheme: "sigma-rho", Tree: "dsct"},
+	{Scheme: "sigma-rho-lambda", Tree: "dsct"},
+	{Scheme: "capacity-aware", Tree: "nice"},
+	{Scheme: "sigma-rho", Tree: "nice"},
+	{Scheme: "sigma-rho-lambda", Tree: "nice"},
+}
+
+func init() {
+	Register(Scenario{
+		Name: "paper-fig4",
+		Description: "Fig. 4(a): three audio flows through one regulated MUX, " +
+			"(σ,ρ) vs (σ,ρ,λ) over the load grid",
+		Kind: KindSingleHop,
+		Mix:  "audio",
+		Combos: []Combo{
+			{Scheme: "sigma-rho"},
+			{Scheme: "sigma-rho-lambda"},
+		},
+	})
+	Register(Scenario{
+		Name: "paper-fig6",
+		Description: "Fig. 6(a): 665 hosts, three full-membership audio groups " +
+			"on the 19-router backbone, all six scheme/tree combinations",
+		Kind:     KindMultiGroup,
+		Mix:      "audio",
+		NumHosts: 665,
+		Combos:   Fig6Combos,
+	})
+	Register(Scenario{
+		Name: "waxman-zipf-16",
+		Description: "the scale benchmark: 2000 hosts on a 64-router Waxman " +
+			"underlay, 16 overlapping groups with Zipf-skewed membership",
+		Kind:      KindMultiGroup,
+		Mix:       "audio",
+		NumHosts:  2000,
+		NumGroups: 16,
+		Topology:  Topology{Kind: "waxman", Nodes: 64},
+		Membership: Membership{
+			Kind:    "zipf",
+			Skew:    1.0,
+			MinSize: 8,
+		},
+		Combos: []Combo{
+			{Scheme: "sigma-rho-lambda", Tree: "dsct"},
+			{Scheme: "sigma-rho", Tree: "dsct"},
+		},
+		Loads:       []float64{0.5, 0.8, 0.95},
+		DurationSec: 5,
+	})
+	Register(Scenario{
+		Name: "transit-stub-dsl-fibre",
+		Description: "heterogeneous access: 800 hosts on a 52-router transit-stub " +
+			"hierarchy, 8 uniform partial groups, DSL/cable/fibre uplink classes",
+		Kind:      KindMultiGroup,
+		Mix:       "hetero",
+		NumHosts:  800,
+		NumGroups: 8,
+		Topology:  Topology{Kind: "transit-stub", Transits: 4, StubsPerTransit: 3, StubSize: 4},
+		Membership: Membership{
+			Kind:     "uniform",
+			Fraction: 0.25,
+			MinSize:  8,
+		},
+		Capacity: Capacity{
+			Kind: "classes",
+			Classes: []CapacityClass{
+				{Mult: 0.5, Weight: 0.5},
+				{Mult: 1.0, Weight: 0.35},
+				{Mult: 4.0, Weight: 0.15},
+			},
+		},
+		Combos: []Combo{
+			{Scheme: "sigma-rho-lambda", Tree: "dsct"},
+			{Scheme: "adaptive", Tree: "dsct"},
+		},
+		Loads:       []float64{0.35, 0.6},
+		DurationSec: 8,
+	})
+	Register(Scenario{
+		Name: "ring-sparse",
+		Description: "degenerate underlay: 240 hosts on a 24-router ring, where " +
+			"path diameter dominates and DSCT's locality pays most",
+		Kind:     KindMultiGroup,
+		Mix:      "audio",
+		NumHosts: 240,
+		Topology: Topology{Kind: "ring", Nodes: 24},
+		Combos: []Combo{
+			{Scheme: "sigma-rho-lambda", Tree: "dsct"},
+			{Scheme: "sigma-rho-lambda", Tree: "nice"},
+		},
+		Loads:       []float64{0.5, 0.9},
+		DurationSec: 8,
+	})
+	Register(Scenario{
+		Name: "star-hub",
+		Description: "degenerate underlay: 300 hosts on a 16-router star — the " +
+			"underlay contributes nothing, isolating end-host capacity effects",
+		Kind:      KindMultiGroup,
+		Mix:       "video",
+		NumHosts:  300,
+		NumGroups: 4,
+		Topology:  Topology{Kind: "star", Nodes: 16},
+		Membership: Membership{
+			Kind: "zipf",
+			Skew: 0.8,
+		},
+		Combos: []Combo{
+			{Scheme: "sigma-rho-lambda", Tree: "dsct"},
+			{Scheme: "capacity-aware", Tree: "dsct"},
+		},
+		Loads:       []float64{0.5, 0.9},
+		DurationSec: 6,
+	})
+	Register(Scenario{
+		Name: "backbone-vbr",
+		Description: "realism ablation: the paper's backbone driven by stochastic " +
+			"VBR media models instead of envelope-extremal flows",
+		Kind:     KindMultiGroup,
+		Mix:      "hetero",
+		Workload: "vbr",
+		NumHosts: 300,
+		Combos: []Combo{
+			{Scheme: "sigma-rho", Tree: "dsct"},
+			{Scheme: "sigma-rho-lambda", Tree: "dsct"},
+			{Scheme: "adaptive", Tree: "dsct"},
+		},
+		Loads:       []float64{0.5, 0.9},
+		DurationSec: 8,
+	})
+}

@@ -1,0 +1,61 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The registry of named scenarios. Builtins register at init; programs
+// may Register more (e.g. parsed from JSON files) before running sweeps.
+var registry = map[string]Scenario{}
+
+// Register validates s and adds it to the registry. It panics on an
+// invalid scenario or a duplicate name — both are programming errors in
+// the caller, not runtime conditions.
+func Register(s Scenario) {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration of %q", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// Lookup returns the named scenario.
+func Lookup(name string) (Scenario, error) {
+	s, ok := registry[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names())
+	}
+	return s, nil
+}
+
+// MustLookup is Lookup for static names (benchmarks, examples).
+func MustLookup(name string) Scenario {
+	s, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Names lists the registered scenario names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns the registered scenarios in name order.
+func All() []Scenario {
+	names := Names()
+	out := make([]Scenario, 0, len(names))
+	for _, n := range names {
+		out = append(out, registry[n])
+	}
+	return out
+}

@@ -1,0 +1,520 @@
+// Package scenario is the declarative experiment layer above the engines:
+// a Scenario names a complete simulation setup — underlay topology,
+// population, group count, membership model, workload, traffic-control
+// combos, and capacity model — as plain data. Scenarios round-trip through
+// JSON for the CLI, live in a registry of named setups (the paper's Fig. 4
+// and Fig. 6 are two entries, not special cases), and compile into
+// internal/core configs for the harness sweep drivers. The paper measured
+// one point of this space (19-router backbone, 665 hosts, three full-
+// membership groups); everything else the engine can simulate is a
+// Scenario away.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+	"repro/internal/xrand"
+)
+
+// Kind selects the simulation engine a scenario runs on.
+type Kind string
+
+// The two engines.
+const (
+	// KindMultiGroup runs Simulation II: a population of end hosts
+	// forwarding group flows along overlay trees (the default).
+	KindMultiGroup Kind = "multi-group"
+	// KindSingleHop runs Simulation I: K flows through one regulated MUX.
+	KindSingleHop Kind = "single-hop"
+)
+
+// Combo is one traffic-control series of a scenario: a scheme plus (for
+// multi-group scenarios) a tree family.
+type Combo struct {
+	// Scheme: "capacity-aware", "sigma-rho", "sigma-rho-lambda", or
+	// "adaptive".
+	Scheme string `json:"scheme"`
+	// Tree: "dsct" (default) or "nice". Ignored for single-hop scenarios.
+	Tree string `json:"tree,omitempty"`
+}
+
+// String implements fmt.Stringer ("sigma-rho-lambda dsct").
+func (c Combo) String() string {
+	if c.Tree == "" {
+		return c.Scheme
+	}
+	return c.Scheme + " " + c.Tree
+}
+
+// Topology selects and parameterises the underlay generator family.
+// Unset numeric fields take the family defaults in internal/topo.
+type Topology struct {
+	// Kind: "backbone19" (default), "waxman", "transit-stub", "ring",
+	// "star".
+	Kind string `json:"kind,omitempty"`
+	// Nodes is the router count (waxman/ring/star).
+	Nodes int `json:"nodes,omitempty"`
+	// Alpha/Beta are the Waxman edge-probability parameters.
+	Alpha float64 `json:"alpha,omitempty"`
+	Beta  float64 `json:"beta,omitempty"`
+	// Transits/StubsPerTransit/StubSize shape the transit-stub hierarchy.
+	Transits        int `json:"transits,omitempty"`
+	StubsPerTransit int `json:"stubs_per_transit,omitempty"`
+	StubSize        int `json:"stub_size,omitempty"`
+}
+
+// Generator compiles the topology spec into its generator.
+func (t Topology) Generator() (topo.Generator, error) {
+	switch t.Kind {
+	case "", "backbone19":
+		return topo.Backbone19Generator{}, nil
+	case "waxman":
+		return topo.Waxman{N: t.Nodes, Alpha: t.Alpha, Beta: t.Beta}, nil
+	case "transit-stub":
+		return topo.TransitStub{Transits: t.Transits, StubsPerTransit: t.StubsPerTransit,
+			StubSize: t.StubSize}, nil
+	case "ring":
+		return topo.Ring{N: t.Nodes}, nil
+	case "star":
+		return topo.Star{N: t.Nodes}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown topology kind %q", t.Kind)
+	}
+}
+
+// Membership selects how hosts subscribe to groups.
+type Membership struct {
+	// Kind: "all" (default — the paper's every-host-joins-every-group),
+	// "zipf" (group g's size ∝ (g+1)^−Skew — a few hot groups, a long
+	// tail), or "uniform" (every group independently samples
+	// Fraction × NumHosts members).
+	Kind string `json:"kind,omitempty"`
+	// Skew is the Zipf exponent. Default 1.0.
+	Skew float64 `json:"skew,omitempty"`
+	// Fraction is the uniform-model group size as a share of the
+	// population. Default 0.25.
+	Fraction float64 `json:"fraction,omitempty"`
+	// MinSize floors every group's member count. Default 4.
+	MinSize int `json:"min_size,omitempty"`
+}
+
+// Full reports whether the model is the paper's full membership.
+func (m Membership) Full() bool { return m.Kind == "" || m.Kind == "all" }
+
+// Capacity selects the host uplink-capacity model.
+type Capacity struct {
+	// Kind: "uniform" (default — every host at the base C) or "classes".
+	Kind string `json:"kind,omitempty"`
+	// Classes are the weighted capacity tiers of the "classes" model.
+	Classes []CapacityClass `json:"classes,omitempty"`
+}
+
+// CapacityClass mirrors topo.UplinkClass in JSON-friendly form.
+type CapacityClass struct {
+	Mult   float64 `json:"mult"`
+	Weight float64 `json:"weight"`
+}
+
+// Scenario is one named, self-contained experiment setup.
+type Scenario struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Kind defaults to multi-group.
+	Kind Kind `json:"kind,omitempty"`
+	// Mix: "audio" (default), "video", "hetero".
+	Mix string `json:"mix,omitempty"`
+	// Workload: "extremal" (default) or "vbr".
+	Workload string `json:"workload,omitempty"`
+	// NumHosts is the population (multi-group). Default 665.
+	NumHosts int `json:"num_hosts,omitempty"`
+	// NumGroups is the group count. Default 3 (one per mix flow).
+	NumGroups int `json:"num_groups,omitempty"`
+	// Topology, Membership, Capacity select the structural models.
+	Topology   Topology   `json:"topology,omitempty"`
+	Membership Membership `json:"membership,omitempty"`
+	Capacity   Capacity   `json:"capacity,omitempty"`
+	// Combos are the series to sweep. Required.
+	Combos []Combo `json:"combos"`
+	// Loads overrides the sweep's load grid (else the caller's grid).
+	Loads []float64 `json:"loads,omitempty"`
+	// DurationSec overrides the per-run simulated seconds (else the
+	// caller's duration).
+	DurationSec float64 `json:"duration_sec,omitempty"`
+	// ClusterK is the DSCT/NICE cluster parameter. Default 3.
+	ClusterK int `json:"cluster_k,omitempty"`
+	// CapacityFactor is C_out/C for the capacity-aware scheme.
+	CapacityFactor float64 `json:"capacity_factor,omitempty"`
+}
+
+// GroupCount resolves the scenario's number of groups.
+func (s Scenario) GroupCount() int {
+	if s.NumGroups > 0 {
+		return s.NumGroups
+	}
+	return 3
+}
+
+// Hosts resolves the population.
+func (s Scenario) Hosts() int {
+	if s.NumHosts > 0 {
+		return s.NumHosts
+	}
+	return 665
+}
+
+// ParseMix resolves the mix name.
+func (s Scenario) ParseMix() (traffic.Mix, error) {
+	switch s.Mix {
+	case "", "audio":
+		return traffic.MixAudio, nil
+	case "video":
+		return traffic.MixVideo, nil
+	case "hetero":
+		return traffic.MixHetero, nil
+	default:
+		return 0, fmt.Errorf("scenario: unknown mix %q", s.Mix)
+	}
+}
+
+// ParseWorkload resolves the workload name.
+func (s Scenario) ParseWorkload() (core.Workload, error) {
+	switch s.Workload {
+	case "", "extremal":
+		return core.WorkloadExtremal, nil
+	case "vbr":
+		return core.WorkloadVBR, nil
+	default:
+		return 0, fmt.Errorf("scenario: unknown workload %q", s.Workload)
+	}
+}
+
+// ParseScheme resolves a combo's scheme name.
+func ParseScheme(name string) (core.Scheme, error) {
+	switch name {
+	case "capacity-aware":
+		return core.SchemeCapacityAware, nil
+	case "sigma-rho":
+		return core.SchemeSigmaRho, nil
+	case "sigma-rho-lambda":
+		return core.SchemeSRL, nil
+	case "adaptive":
+		return core.SchemeAdaptive, nil
+	default:
+		return 0, fmt.Errorf("scenario: unknown scheme %q", name)
+	}
+}
+
+// ParseTree resolves a combo's tree name.
+func ParseTree(name string) (core.TreeKind, error) {
+	switch name {
+	case "", "dsct":
+		return core.TreeDSCT, nil
+	case "nice":
+		return core.TreeNICE, nil
+	default:
+		return 0, fmt.Errorf("scenario: unknown tree %q", name)
+	}
+}
+
+// Validate checks the scenario compiles: names resolve, dimensions are
+// positive, the load grid is inside (0, 1), and single-hop scenarios use
+// regulated schemes.
+func (s Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	switch s.Kind {
+	case "", KindMultiGroup, KindSingleHop:
+	default:
+		return fmt.Errorf("scenario %s: unknown kind %q", s.Name, s.Kind)
+	}
+	if _, err := s.ParseMix(); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if _, err := s.ParseWorkload(); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if len(s.Combos) == 0 {
+		return fmt.Errorf("scenario %s: needs at least one combo", s.Name)
+	}
+	for _, c := range s.Combos {
+		scheme, err := ParseScheme(c.Scheme)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		if _, err := ParseTree(c.Tree); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		if s.Kind == KindSingleHop && scheme == core.SchemeCapacityAware {
+			return fmt.Errorf("scenario %s: single-hop runs need a regulated scheme", s.Name)
+		}
+	}
+	if _, err := s.Topology.Generator(); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	switch s.Membership.Kind {
+	case "", "all", "zipf", "uniform":
+	default:
+		return fmt.Errorf("scenario %s: unknown membership kind %q", s.Name, s.Membership.Kind)
+	}
+	switch s.Capacity.Kind {
+	case "", "uniform":
+		if len(s.Capacity.Classes) > 0 {
+			return fmt.Errorf("scenario %s: uniform capacity lists classes", s.Name)
+		}
+	case "classes":
+		if len(s.Capacity.Classes) == 0 {
+			return fmt.Errorf("scenario %s: classes capacity model without classes", s.Name)
+		}
+		for _, c := range s.Capacity.Classes {
+			if c.Mult <= 0 || c.Weight <= 0 {
+				return fmt.Errorf("scenario %s: capacity class mult/weight must be positive", s.Name)
+			}
+		}
+	default:
+		return fmt.Errorf("scenario %s: unknown capacity kind %q", s.Name, s.Capacity.Kind)
+	}
+	if s.NumHosts < 0 || s.NumGroups < 0 || s.DurationSec < 0 {
+		return fmt.Errorf("scenario %s: negative dimensions", s.Name)
+	}
+	if s.Kind == KindMultiGroup || s.Kind == "" {
+		if s.Hosts() < 2 {
+			return fmt.Errorf("scenario %s: needs at least two hosts", s.Name)
+		}
+	}
+	for _, l := range s.Loads {
+		if l <= 0 || l >= 1 {
+			return fmt.Errorf("scenario %s: load %v outside (0,1)", s.Name, l)
+		}
+	}
+	return nil
+}
+
+// Groups materialises the membership model for the given structural seed:
+// nil for full membership (core's implicit paper model), else one
+// GroupSpec per group with a deterministically sampled member set and a
+// random member as source. Group g's sample stream derives from
+// xrand.DeriveSeed(seed, g), so membership is a pure function of
+// (scenario, seed) — independent of load, combo, and execution order.
+func (s Scenario) Groups(seed uint64) []core.GroupSpec {
+	if s.Membership.Full() {
+		return nil
+	}
+	n, k := s.Hosts(), s.GroupCount()
+	minSize := s.Membership.MinSize
+	if minSize == 0 {
+		minSize = 4
+	}
+	if minSize > n {
+		minSize = n
+	}
+	sizes := make([]int, k)
+	switch s.Membership.Kind {
+	case "zipf":
+		skew := s.Membership.Skew
+		if skew == 0 {
+			skew = 1.0
+		}
+		norm := 0.0
+		for g := 0; g < k; g++ {
+			norm += math.Pow(float64(g+1), -skew)
+		}
+		for g := 0; g < k; g++ {
+			sizes[g] = int(math.Round(float64(n) * math.Pow(float64(g+1), -skew) / norm))
+		}
+	case "uniform":
+		f := s.Membership.Fraction
+		if f == 0 {
+			f = 0.25
+		}
+		for g := 0; g < k; g++ {
+			sizes[g] = int(math.Round(f * float64(n)))
+		}
+	}
+	groups := make([]core.GroupSpec, k)
+	for g := 0; g < k; g++ {
+		size := sizes[g]
+		if size < minSize {
+			size = minSize
+		}
+		if size > n {
+			size = n
+		}
+		rng := xrand.New(xrand.DeriveSeed(seed, g) ^ 0xa0761d6478bd642f)
+		perm := rng.Perm(n)
+		members := append([]int(nil), perm[:size]...)
+		source := members[0]
+		sort.Ints(members)
+		groups[g] = core.GroupSpec{Source: source, Members: members}
+	}
+	return groups
+}
+
+// UplinkClasses compiles the capacity model.
+func (s Scenario) UplinkClasses() []topo.UplinkClass {
+	if len(s.Capacity.Classes) == 0 {
+		return nil
+	}
+	out := make([]topo.UplinkClass, len(s.Capacity.Classes))
+	for i, c := range s.Capacity.Classes {
+		out[i] = topo.UplinkClass{Mult: c.Mult, Weight: c.Weight}
+	}
+	return out
+}
+
+// SessionConfig compiles one (combo, load) cell of a multi-group scenario
+// into a core config. The caller supplies the structural seed and the
+// per-load traffic seed (sweep drivers derive the latter with
+// xrand.DeriveSeed) plus the pre-built shared specs (nil to let the
+// session measure its own) and the materialised membership (groups —
+// sweep drivers call s.Groups(seed) once and share the result across
+// every cell; nil materialises it here).
+func (s Scenario) SessionConfig(combo Combo, load float64, seed uint64,
+	trafficSeed core.SeedOpt, duration des.Duration, specs []core.FlowSpec,
+	groups []core.GroupSpec) (core.Config, error) {
+	if s.Kind == KindSingleHop {
+		return core.Config{}, fmt.Errorf("scenario %s: single-hop scenario compiled as session", s.Name)
+	}
+	mix, err := s.ParseMix()
+	if err != nil {
+		return core.Config{}, err
+	}
+	workload, err := s.ParseWorkload()
+	if err != nil {
+		return core.Config{}, err
+	}
+	scheme, err := ParseScheme(combo.Scheme)
+	if err != nil {
+		return core.Config{}, err
+	}
+	tree, err := ParseTree(combo.Tree)
+	if err != nil {
+		return core.Config{}, err
+	}
+	gen, err := s.Topology.Generator()
+	if err != nil {
+		return core.Config{}, err
+	}
+	// The slowest uplink class must still fit every flow envelope, or the
+	// session will (rightly) panic at build time; surface it as a config
+	// error here, where the load is known.
+	if classes := s.UplinkClasses(); len(classes) > 0 {
+		k := s.GroupCount()
+		conn := mix.TotalRateN(k) / load
+		minMult := classes[0].Mult
+		for _, c := range classes[1:] {
+			if c.Mult < minMult {
+				minMult = c.Mult
+			}
+		}
+		maxRate := float64(traffic.AudioRate)
+		for i := 0; i < k; i++ {
+			if mix.VideoFlow(i) {
+				maxRate = traffic.VideoRate
+				break
+			}
+		}
+		if core.DefaultEnvelopeMargin*maxRate >= minMult*conn {
+			return core.Config{}, fmt.Errorf(
+				"scenario %s: at load %.2f the slowest uplink class (mult %.2g) offers %.0f bps, at or below the largest flow envelope rate %.0f bps",
+				s.Name, load, minMult, minMult*conn, core.DefaultEnvelopeMargin*maxRate)
+		}
+	}
+	if groups == nil {
+		groups = s.Groups(seed)
+	}
+	return core.Config{
+		NumHosts:       s.Hosts(),
+		Mix:            mix,
+		Load:           load,
+		Scheme:         scheme,
+		Tree:           tree,
+		Duration:       duration,
+		Seed:           seed,
+		TrafficSeed:    trafficSeed,
+		Workload:       workload,
+		ClusterK:       s.ClusterK,
+		CapacityFactor: s.CapacityFactor,
+		Specs:          specs,
+		Topology:       gen,
+		Groups:         groups,
+		NumGroups:      s.GroupCount(),
+		UplinkClasses:  s.UplinkClasses(),
+	}, nil
+}
+
+// SingleHopConfig compiles one (combo, load) cell of a single-hop
+// scenario.
+func (s Scenario) SingleHopConfig(combo Combo, load float64, seed uint64,
+	trafficSeed core.SeedOpt, duration des.Duration, specs []core.FlowSpec) (core.SingleHopConfig, error) {
+	if s.Kind != KindSingleHop {
+		return core.SingleHopConfig{}, fmt.Errorf("scenario %s: multi-group scenario compiled as single hop", s.Name)
+	}
+	mix, err := s.ParseMix()
+	if err != nil {
+		return core.SingleHopConfig{}, err
+	}
+	workload, err := s.ParseWorkload()
+	if err != nil {
+		return core.SingleHopConfig{}, err
+	}
+	scheme, err := ParseScheme(combo.Scheme)
+	if err != nil {
+		return core.SingleHopConfig{}, err
+	}
+	return core.SingleHopConfig{
+		Mix:         mix,
+		Load:        load,
+		Scheme:      scheme,
+		Duration:    duration,
+		Seed:        seed,
+		TrafficSeed: trafficSeed,
+		Workload:    workload,
+		Specs:       specs,
+	}, nil
+}
+
+// Quick returns a reduced-scale copy for tests, smoke targets, and
+// examples: capped population, two loads, short runs. Group count and
+// structural models are preserved so the reduced run still exercises the
+// scenario's shape.
+func (s Scenario) Quick() Scenario {
+	if s.NumHosts == 0 || s.NumHosts > 150 {
+		s.NumHosts = 150
+	}
+	switch len(s.Loads) {
+	case 0:
+		s.Loads = []float64{0.5, 0.9}
+	case 1, 2:
+	default:
+		s.Loads = []float64{s.Loads[0], s.Loads[len(s.Loads)-1]}
+	}
+	if s.DurationSec == 0 || s.DurationSec > 3 {
+		s.DurationSec = 3
+	}
+	return s
+}
+
+// Parse decodes and validates a scenario from JSON.
+func Parse(data []byte) (Scenario, error) {
+	var s Scenario
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Scenario{}, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// JSON encodes the scenario (indented, stable field order).
+func (s Scenario) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -72,6 +72,19 @@ type Host struct {
 	Router      NodeID
 	AccessDelay des.Duration // one-way host<->router propagation
 	Coord       Point
+	// UplinkMult scales this host's output capacity relative to the
+	// session's base per-connection capacity C. 1 (the default) is the
+	// paper's homogeneous population; NetworkConfig.UplinkClasses draws
+	// heterogeneous multipliers (e.g. a DSL/fibre split).
+	UplinkMult float64
+}
+
+// UplinkClass is one capacity tier of a heterogeneous host population.
+type UplinkClass struct {
+	// Mult is the capacity multiplier of hosts in this class.
+	Mult float64
+	// Weight is the class's relative population share.
+	Weight float64
 }
 
 // Network bundles the backbone, its routing tables, and the attached hosts.
@@ -93,6 +106,12 @@ type NetworkConfig struct {
 	AccessDelayMin des.Duration
 	AccessDelayMax des.Duration
 	Seed           uint64
+	// UplinkClasses, when non-empty, assigns each host a capacity
+	// multiplier drawn from the weighted classes. Empty means every host
+	// gets multiplier 1 (the paper's homogeneous population). The class
+	// draw uses its own generator, so enabling heterogeneity never
+	// perturbs the attachment/access-delay stream.
+	UplinkClasses []UplinkClass
 }
 
 func (c *NetworkConfig) fillDefaults() {
@@ -128,6 +147,18 @@ func NewNetwork(backbone *Graph, cfg NetworkConfig) *Network {
 		Hosts:    make([]Host, cfg.NumHosts),
 		byRouter: make([][]int, n),
 	}
+	// Capacity classes draw from a separate stream (see UplinkClasses).
+	var crng *xrand.Rand
+	var classTotal float64
+	if len(cfg.UplinkClasses) > 0 {
+		crng = xrand.New(cfg.Seed ^ 0x94d049bb133111eb)
+		for _, c := range cfg.UplinkClasses {
+			if c.Mult <= 0 || c.Weight <= 0 {
+				panic("topo: uplink class Mult and Weight must be positive")
+			}
+			classTotal += c.Weight
+		}
+	}
 	for h := 0; h < cfg.NumHosts; h++ {
 		// Weighted router choice.
 		pick := rng.Float64() * total
@@ -142,6 +173,18 @@ func NewNetwork(backbone *Graph, cfg NetworkConfig) *Network {
 		span := float64(cfg.AccessDelayMax - cfg.AccessDelayMin)
 		access := cfg.AccessDelayMin + des.Duration(rng.Float64()*span)
 		rc := backbone.Coord(router)
+		mult := 1.0
+		if crng != nil {
+			cpick := crng.Float64() * classTotal
+			mult = cfg.UplinkClasses[len(cfg.UplinkClasses)-1].Mult
+			for _, c := range cfg.UplinkClasses {
+				if cpick < c.Weight {
+					mult = c.Mult
+					break
+				}
+				cpick -= c.Weight
+			}
+		}
 		net.Hosts[h] = Host{
 			ID:          h,
 			Router:      router,
@@ -150,6 +193,7 @@ func NewNetwork(backbone *Graph, cfg NetworkConfig) *Network {
 				X: rc.X + 20*(rng.Float64()-0.5),
 				Y: rc.Y + 20*(rng.Float64()-0.5),
 			},
+			UplinkMult: mult,
 		}
 		net.byRouter[router] = append(net.byRouter[router], h)
 	}

@@ -1,0 +1,125 @@
+package topo
+
+import (
+	"testing"
+)
+
+func generators() []Generator {
+	return []Generator{
+		Backbone19Generator{},
+		Waxman{},
+		Waxman{N: 64},
+		TransitStub{},
+		TransitStub{Transits: 3, StubsPerTransit: 2, StubSize: 5},
+		Ring{},
+		Star{},
+	}
+}
+
+func TestGeneratorsProduceConnectedGraphs(t *testing.T) {
+	for _, gen := range generators() {
+		for seed := uint64(1); seed <= 5; seed++ {
+			g := gen.Build(seed)
+			if g.NumNodes() < 2 {
+				t.Fatalf("%s(seed %d): %d nodes", gen.Name(), seed, g.NumNodes())
+			}
+			if !g.Connected() {
+				t.Fatalf("%s(seed %d): disconnected graph", gen.Name(), seed)
+			}
+			for v := 0; v < g.NumNodes(); v++ {
+				for _, e := range g.Neighbors(NodeID(v)) {
+					if e.Delay <= 0 || e.Capacity <= 0 {
+						t.Fatalf("%s(seed %d): edge %d-%d has delay %v capacity %v",
+							gen.Name(), seed, v, e.To, e.Delay, e.Capacity)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratorsDeterministicPerSeed(t *testing.T) {
+	for _, gen := range generators() {
+		a, b := gen.Build(7), gen.Build(7)
+		if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+			t.Fatalf("%s: same seed, different shape", gen.Name())
+		}
+		da, db := a.FloydWarshall(), b.FloydWarshall()
+		for i := range da {
+			for j := range da[i] {
+				if da[i][j] != db[i][j] {
+					t.Fatalf("%s: same seed, different delays at %d-%d", gen.Name(), i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestWaxmanSeedsDiffer(t *testing.T) {
+	w := Waxman{N: 48}
+	a, b := w.Build(1), w.Build(2)
+	if a.NumEdges() == b.NumEdges() {
+		// Edge counts can collide; fall back to comparing a distance.
+		da, _ := a.Dijkstra(0)
+		db, _ := b.Dijkstra(0)
+		same := true
+		for i := range da {
+			if da[i] != db[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("Waxman ignores its seed")
+		}
+	}
+}
+
+func TestTransitStubNodeCount(t *testing.T) {
+	ts := TransitStub{Transits: 3, StubsPerTransit: 2, StubSize: 5}
+	g := ts.Build(1)
+	if want := 3 * (1 + 2*5); g.NumNodes() != want {
+		t.Fatalf("transit-stub nodes = %d, want %d", g.NumNodes(), want)
+	}
+}
+
+// Heterogeneous uplinks must be purely additive: enabling classes draws
+// from a separate stream, so attachment, access delays, and coordinates
+// stay bit-identical to the homogeneous population.
+func TestUplinkClassesDoNotPerturbAttachment(t *testing.T) {
+	base := NewNetwork(Backbone19(), NetworkConfig{NumHosts: 200, Seed: 5})
+	classes := NewNetwork(Backbone19(), NetworkConfig{NumHosts: 200, Seed: 5,
+		UplinkClasses: []UplinkClass{{Mult: 0.5, Weight: 1}, {Mult: 4, Weight: 1}}})
+	sawHalf, sawQuad := false, false
+	for i := range base.Hosts {
+		b, c := base.Hosts[i], classes.Hosts[i]
+		if b.Router != c.Router || b.AccessDelay != c.AccessDelay || b.Coord != c.Coord {
+			t.Fatalf("host %d attachment perturbed by uplink classes", i)
+		}
+		if b.UplinkMult != 1 {
+			t.Fatalf("host %d default UplinkMult = %v, want 1", i, b.UplinkMult)
+		}
+		switch c.UplinkMult {
+		case 0.5:
+			sawHalf = true
+		case 4:
+			sawQuad = true
+		default:
+			t.Fatalf("host %d UplinkMult = %v, not a class multiplier", i, c.UplinkMult)
+		}
+	}
+	if !sawHalf || !sawQuad {
+		t.Fatal("class draw never produced one of the two classes")
+	}
+}
+
+func TestUplinkClassesDeterministic(t *testing.T) {
+	cfg := NetworkConfig{NumHosts: 100, Seed: 9,
+		UplinkClasses: []UplinkClass{{Mult: 1, Weight: 3}, {Mult: 2, Weight: 1}}}
+	a, b := NewNetwork(Backbone19(), cfg), NewNetwork(Backbone19(), cfg)
+	for i := range a.Hosts {
+		if a.Hosts[i].UplinkMult != b.Hosts[i].UplinkMult {
+			t.Fatalf("host %d class draw not deterministic", i)
+		}
+	}
+}

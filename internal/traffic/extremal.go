@@ -132,37 +132,43 @@ func (e *Extremal) Start(eng *des.Engine, until des.Time, emit func(Packet)) {
 // group the same stream). rhoMargin is the envelope headroom (e.g. 1.04);
 // burstSec sets each flow's σ in seconds of its ρ.
 func ExtremalMix(m Mix, rhoMargin, burstSec float64) []Source {
+	return ExtremalMixN(m, m.NumFlows(), rhoMargin, burstSec)
+}
+
+// ExtremalMixN builds n extremal flows by cycling the mix's three-flow
+// pattern (see Mix.VideoFlow) — the K-group scenario counterpart of
+// ExtremalMix. All flows stay phase-aligned, preserving the multi-group
+// worst case at any K.
+func ExtremalMixN(m Mix, n int, rhoMargin, burstSec float64) []Source {
 	if rhoMargin <= 1 {
 		panic("traffic: rhoMargin must exceed 1")
 	}
-	build := func(flow int, rate, pkt float64) *Extremal {
-		e := NewExtremal(flow, rate, rhoMargin*rate, burstSec)
+	if n < 1 {
+		panic("traffic: ExtremalMixN needs at least one flow")
+	}
+	out := make([]Source, n)
+	for i := 0; i < n; i++ {
+		rate, pkt := float64(AudioRate), 1280.0
+		if m.VideoFlow(i) {
+			rate, pkt = VideoRate, 10_000
+		}
+		e := NewExtremal(i, rate, rhoMargin*rate, burstSec)
 		e.PacketSize = pkt
-		return e
+		out[i] = e
 	}
-	switch m {
-	case MixAudio:
-		return []Source{
-			build(0, AudioRate, 1280), build(1, AudioRate, 1280), build(2, AudioRate, 1280),
-		}
-	case MixVideo:
-		return []Source{
-			build(0, VideoRate, 10_000), build(1, VideoRate, 10_000), build(2, VideoRate, 10_000),
-		}
-	case MixHetero:
-		return []Source{
-			build(0, VideoRate, 10_000), build(1, AudioRate, 1280), build(2, AudioRate, 1280),
-		}
-	default:
-		panic("traffic: unknown mix")
-	}
+	return out
 }
 
 // ExtremalSpecsFor returns the exact flow envelopes of ExtremalMix's
 // flows: (σ + packet, ρ) per flow.
 func ExtremalSpecsFor(m Mix, rhoMargin, burstSec float64) []Envelope {
-	out := make([]Envelope, 0, 3)
-	for _, s := range ExtremalMix(m, rhoMargin, burstSec) {
+	return ExtremalSpecsForN(m, m.NumFlows(), rhoMargin, burstSec)
+}
+
+// ExtremalSpecsForN returns the exact envelopes of ExtremalMixN's flows.
+func ExtremalSpecsForN(m Mix, n int, rhoMargin, burstSec float64) []Envelope {
+	out := make([]Envelope, 0, n)
+	for _, s := range ExtremalMixN(m, n, rhoMargin, burstSec) {
 		out = append(out, s.(*Extremal).Envelope())
 	}
 	return out

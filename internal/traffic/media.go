@@ -234,6 +234,25 @@ func (m Mix) String() string {
 	}
 }
 
+// NumFlows returns the mix's native flow count (the paper's K=3).
+func (m Mix) NumFlows() int { return 3 }
+
+// VideoFlow reports whether flow i of an n-flow instantiation of the mix
+// is a video flow: the mix's three-flow pattern repeats cyclically, so
+// MixHetero at n=6 is video,audio,audio,video,audio,audio.
+func (m Mix) VideoFlow(i int) bool {
+	switch m {
+	case MixAudio:
+		return false
+	case MixVideo:
+		return true
+	case MixHetero:
+		return i%3 == 0
+	default:
+		panic("traffic: unknown mix")
+	}
+}
+
 // Sources instantiates the K=3 flows of the mix. Same-type flows share
 // one stream seed, i.e. the groups carry identical copies of one stream —
 // exactly the paper's Simulation II setup ("each of the three groups is
@@ -241,32 +260,46 @@ func (m Mix) String() string {
 // lockstep, which is what makes the un-staggered (σ, ρ) multiplexer
 // realise its worst case and the staggered (σ, ρ, λ) regulator pay off.
 func (m Mix) Sources(seed uint64) []Source {
+	return m.SourcesN(m.NumFlows(), seed)
+}
+
+// SourcesN instantiates n flows by cycling the mix's three-flow pattern —
+// how a K-group scenario drives K > 3 groups with the paper's media
+// models. As in Sources, same-type flows share one stream seed (lockstep
+// copies, the multi-group worst case); SourcesN(3, seed) is stream-for-
+// stream identical to Sources(seed).
+func (m Mix) SourcesN(n int, seed uint64) []Source {
+	if n < 1 {
+		panic("traffic: SourcesN needs at least one flow")
+	}
 	base := xrand.New(seed)
 	audioSeed, videoSeed := base.Uint64(), base.Uint64()
-	switch m {
-	case MixAudio:
-		return []Source{PaperAudio(0, audioSeed), PaperAudio(1, audioSeed), PaperAudio(2, audioSeed)}
-	case MixVideo:
-		return []Source{PaperVideo(0, videoSeed), PaperVideo(1, videoSeed), PaperVideo(2, videoSeed)}
-	case MixHetero:
-		return []Source{PaperVideo(0, videoSeed), PaperAudio(1, audioSeed), PaperAudio(2, audioSeed)}
-	default:
-		panic("traffic: unknown mix")
+	out := make([]Source, n)
+	for i := 0; i < n; i++ {
+		if m.VideoFlow(i) {
+			out[i] = PaperVideo(i, videoSeed)
+		} else {
+			out[i] = PaperAudio(i, audioSeed)
+		}
 	}
+	return out
 }
 
 // TotalRate returns the aggregate average rate of the mix in bits/second.
-func (m Mix) TotalRate() float64 {
-	switch m {
-	case MixAudio:
-		return 3 * AudioRate
-	case MixVideo:
-		return 3 * VideoRate
-	case MixHetero:
-		return VideoRate + 2*AudioRate
-	default:
-		panic("traffic: unknown mix")
+func (m Mix) TotalRate() float64 { return m.TotalRateN(m.NumFlows()) }
+
+// TotalRateN returns the aggregate average rate of an n-flow
+// instantiation of the mix.
+func (m Mix) TotalRateN(n int) float64 {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		if m.VideoFlow(i) {
+			total += VideoRate
+		} else {
+			total += AudioRate
+		}
 	}
+	return total
 }
 
 // Homogeneous reports whether all flows in the mix share one rate.

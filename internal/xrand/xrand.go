@@ -31,6 +31,25 @@ func (r *Rand) Split() *Rand {
 	return &Rand{state: r.Uint64() ^ 0x9e3779b97f4a7c15}
 }
 
+// DeriveSeed maps (base seed, index) to a derived seed: a SplitMix64
+// scramble of both inputs, so neighbouring indices get statistically
+// independent streams and the derivation is a pure function — independent
+// of worker count, scheduling, and execution order. It never returns 0, so
+// the result is always distinguishable from an unset seed. This is THE
+// seed-derivation rule of the repository: sweep drivers derive per-point
+// traffic seeds with it, sessions derive per-group tree seeds with it, and
+// the scenario layer derives per-group membership streams with it (ad-hoc
+// arithmetic like base*1000+i collides across nearby bases and correlates
+// adjacent streams).
+func DeriveSeed(base uint64, index int) uint64 {
+	r := New(base ^ (uint64(index+1) * 0x9e3779b97f4a7c15))
+	s := r.Uint64()
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

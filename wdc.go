@@ -13,7 +13,9 @@
 //     backbone), both deterministic given their seeds.
 //   - Experiments: drivers that regenerate every figure and table of the
 //     paper's evaluation (Fig4, Fig6, LayerSweep, Fig2Trace, RhoStarTable,
-//     ImprovementTable).
+//     ImprovementTable), and the declarative scenario layer (Scenarios,
+//     ScenarioSweep) that runs named setups far beyond the paper's —
+//     pluggable underlays, partial Zipf membership, heterogeneous uplinks.
 //
 // Quick start:
 //
@@ -30,6 +32,7 @@ import (
 	"repro/internal/calculus"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/scenario"
 	"repro/internal/traffic"
 )
 
@@ -63,6 +66,14 @@ type (
 	LayerSweepResult = harness.LayerSweepResult
 	// SchemeTree names one Fig. 6 scheme/tree combination.
 	SchemeTree = harness.SchemeTree
+	// GroupSpec is one group's explicit member set and source.
+	GroupSpec = core.GroupSpec
+	// SeedOpt is an optional seed whose zero value means "unset".
+	SeedOpt = core.SeedOpt
+	// Scenario is a declarative experiment setup (see internal/scenario).
+	Scenario = scenario.Scenario
+	// ScenarioResult is a full scenario sweep's curves.
+	ScenarioResult = harness.ScenarioResult
 )
 
 // Re-exported enum values.
@@ -105,6 +116,30 @@ func LayerSweep(mix Mix, opts Options) LayerSweepResult { return harness.LayerSw
 // QuickOptions returns reduced-scale sweep options that preserve curve
 // shapes (120 hosts, 5 loads, short runs).
 func QuickOptions(seed uint64) Options { return harness.Quick(seed) }
+
+// Scenario layer.
+
+// UseSeed wraps an explicit seed value (including 0) in a set SeedOpt.
+func UseSeed(v uint64) SeedOpt { return core.UseSeed(v) }
+
+// ScenarioSweep runs a declarative scenario over its load grid under the
+// parallel sweep pool, one engine per (load, combo) cell.
+func ScenarioSweep(sc Scenario, opts Options) (ScenarioResult, error) {
+	return harness.ScenarioSweep(sc, opts)
+}
+
+// Scenarios lists the registered scenarios in name order (the paper's
+// Fig. 4 and Fig. 6 are the entries "paper-fig4" and "paper-fig6").
+func Scenarios() []Scenario { return scenario.All() }
+
+// LookupScenario resolves a registered scenario by name.
+func LookupScenario(name string) (Scenario, error) { return scenario.Lookup(name) }
+
+// MustScenario is LookupScenario for static names (benchmarks, examples).
+func MustScenario(name string) Scenario { return scenario.MustLookup(name) }
+
+// ParseScenario decodes and validates a scenario from JSON.
+func ParseScenario(data []byte) (Scenario, error) { return scenario.Parse(data) }
 
 // PaperLoads is the full 13-point load grid of the paper's figures.
 func PaperLoads() []float64 { return append([]float64(nil), harness.PaperLoads...) }

@@ -90,3 +90,30 @@ func TestFacadeLayerSweep(t *testing.T) {
 		t.Fatalf("layer growth missing: %+v", r.Rows)
 	}
 }
+
+func TestFacadeScenarios(t *testing.T) {
+	if len(Scenarios()) < 6 {
+		t.Fatalf("facade lists %d scenarios, want >= 6", len(Scenarios()))
+	}
+	sc, err := LookupScenario("paper-fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LookupScenario("no-such-scenario"); err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+	data, err := sc.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseScenario(data); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ScenarioSweep(MustScenario("ring-sparse").Quick(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 || len(res.Curves) != 2 {
+		t.Fatalf("facade sweep: %d deliveries, %d curves", res.Delivered, len(res.Curves))
+	}
+}
