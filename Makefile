@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_DATE := $(shell date +%F)
 
-.PHONY: all build test vet fmt check bench bench-json scenarios staticcheck
+.PHONY: all build test race vet fmt check bench bench-json scenarios staticcheck
 
 all: check
 
@@ -12,6 +12,12 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Race detector over the quick test suite (-short skips the two slowest
+# full-sweep tests): the parallel sweep pool and the per-engine isolation
+# invariant are exactly the kind of thing -race catches.
+race:
+	$(GO) test -race -short ./...
 
 vet:
 	$(GO) vet ./...
@@ -23,7 +29,8 @@ fmt:
 check: fmt vet build test
 
 # Smoke-run every registered scenario at reduced scale (the CLI's
-# -scenario all -quick): catches scenario-layer bit-rot in seconds.
+# -scenario all -quick, which iterates the whole registry — including the
+# churn scenarios): catches scenario-layer bit-rot in seconds.
 scenarios:
 	$(GO) run ./cmd/wdcsim -scenario all -quick
 

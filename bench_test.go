@@ -243,6 +243,29 @@ func BenchmarkScenarioScale(b *testing.B) {
 	b.ReportMetric(float64(delivered), "deliveries")
 }
 
+// BenchmarkChurnScale is the dynamic-membership counterpart of
+// BenchmarkScenarioScale: the registered churn-waxman-16 scenario — the
+// same 2000-host, 16-Zipf-group Waxman population with ~10% Poisson
+// membership turnover — at one heavy load, exercising graft, prune,
+// subtree repair, regulator detach/attach, and re-staggering on the hot
+// path alongside regular forwarding.
+func BenchmarkChurnScale(b *testing.B) {
+	sc := MustScenario("churn-waxman-16")
+	var delivered, lost uint64
+	var joins int
+	for i := 0; i < b.N; i++ {
+		r, err := ScenarioSweep(sc, Options{Seed: uint64(i + 1),
+			Loads: []float64{0.8}, Duration: 2 * des.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		delivered, lost, joins = r.Delivered, r.Lost, r.Joins
+	}
+	b.ReportMetric(float64(delivered), "deliveries")
+	b.ReportMetric(float64(lost), "lost")
+	b.ReportMetric(float64(joins), "joins")
+}
+
 // BenchmarkScenarioScaleBuild measures structure construction alone at
 // the scale benchmark's dimensions: Waxman underlay, 2000-host
 // attachment, 16 Zipf member sets, and 16 DSCT trees.

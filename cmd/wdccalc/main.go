@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/calculus"
@@ -19,38 +21,51 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI body: flags parse from args, output goes to the
+// given writers, and the exit code is returned instead of os.Exit-ed.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wdccalc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		rhostar = flag.Bool("rhostar", false, "Theorem 3/4 thresholds")
-		ratio   = flag.Bool("ratio", false, "Theorem 5/6 improvement bounds")
-		duty    = flag.Bool("duty", false, "Eq. (1) duty-cycle parameters")
-		bounds  = flag.Bool("bounds", false, "Lemma 1 / Theorems 1-2 / 7-8 delay bounds")
-		maxK    = flag.Int("maxk", 10, "largest K for -rhostar")
-		k       = flag.Int("k", 3, "number of flows/groups")
-		sigma   = flag.Float64("sigma", 0.02, "burst σ in capacity-seconds")
-		rho     = flag.Float64("rho", 0.3, "per-flow rate ρ as a fraction of capacity")
-		height  = flag.Int("height", 7, "DSCT tree height bound for multicast bounds")
+		rhostar = fs.Bool("rhostar", false, "Theorem 3/4 thresholds")
+		ratio   = fs.Bool("ratio", false, "Theorem 5/6 improvement bounds")
+		duty    = fs.Bool("duty", false, "Eq. (1) duty-cycle parameters")
+		bounds  = fs.Bool("bounds", false, "Lemma 1 / Theorems 1-2 / 7-8 delay bounds")
+		maxK    = fs.Int("maxk", 10, "largest K for -rhostar")
+		k       = fs.Int("k", 3, "number of flows/groups")
+		sigma   = fs.Float64("sigma", 0.02, "burst σ in capacity-seconds")
+		rho     = fs.Float64("rho", 0.3, "per-flow rate ρ as a fraction of capacity")
+		height  = fs.Int("height", 7, "DSCT tree height bound for multicast bounds")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	any := false
 	if *rhostar {
 		any = true
-		fmt.Println("Rate thresholds ρ* (Theorems 3/4):")
-		fmt.Print(harness.RhoStarTable(*maxK))
+		fmt.Fprintln(stdout, "Rate thresholds ρ* (Theorems 3/4):")
+		fmt.Fprint(stdout, harness.RhoStarTable(*maxK))
 	}
 	if *ratio {
 		any = true
-		fmt.Printf("Guaranteed Dg/D̂g improvement bounds, K=%d (Theorems 5/6):\n", *k)
-		fmt.Print(harness.ImprovementTable(*k, nil))
+		fmt.Fprintf(stdout, "Guaranteed Dg/D̂g improvement bounds, K=%d (Theorems 5/6):\n", *k)
+		fmt.Fprint(stdout, harness.ImprovementTable(*k, nil))
 	}
 	if *duty {
 		any = true
 		lam := calculus.Lambda(*rho)
-		fmt.Printf("Duty cycle for σ=%.4g, ρ=%.4g (Eq. 1):\n", *sigma, *rho)
-		fmt.Printf("  λ = 1/(1−ρ)      = %.4f\n", lam)
-		fmt.Printf("  W = σ/(1−ρ)      = %.4fs\n", calculus.WorkPeriod(*sigma, *rho))
-		fmt.Printf("  V = σ/ρ          = %.4fs\n", calculus.Vacation(*sigma, *rho))
-		fmt.Printf("  P = λσ/ρ         = %.4fs\n", calculus.Period(*sigma, *rho))
+		fmt.Fprintf(stdout, "Duty cycle for σ=%.4g, ρ=%.4g (Eq. 1):\n", *sigma, *rho)
+		fmt.Fprintf(stdout, "  λ = 1/(1−ρ)      = %.4f\n", lam)
+		fmt.Fprintf(stdout, "  W = σ/(1−ρ)      = %.4fs\n", calculus.WorkPeriod(*sigma, *rho))
+		fmt.Fprintf(stdout, "  V = σ/ρ          = %.4fs\n", calculus.Vacation(*sigma, *rho))
+		fmt.Fprintf(stdout, "  P = λσ/ρ         = %.4fs\n", calculus.Period(*sigma, *rho))
 	}
 	if *bounds {
 		any = true
@@ -61,16 +76,17 @@ func main() {
 		}
 		dg := calculus.DgHetero(sigmas, rhos)
 		dhat := calculus.DhatHetero(sigmas, rhos)
-		fmt.Printf("Bounds for K=%d identical flows (σ=%.4g, ρ=%.4g):\n", *k, *sigma, *rho)
-		fmt.Printf("  Lemma 1 regulator delay  = %.4fs\n", calculus.Lemma1Delay(*sigma, *sigma, *rho))
-		fmt.Printf("  Remark 1 MUX bound  Dg   = %.4fs\n", dg)
-		fmt.Printf("  Theorem 1 MUX bound D̂g  = %.4fs\n", dhat)
-		fmt.Printf("  Theorem 7 tree bound (H=%d) = %.4fs (σ,ρ,λ) vs %.4fs (σ,ρ)\n",
+		fmt.Fprintf(stdout, "Bounds for K=%d identical flows (σ=%.4g, ρ=%.4g):\n", *k, *sigma, *rho)
+		fmt.Fprintf(stdout, "  Lemma 1 regulator delay  = %.4fs\n", calculus.Lemma1Delay(*sigma, *sigma, *rho))
+		fmt.Fprintf(stdout, "  Remark 1 MUX bound  Dg   = %.4fs\n", dg)
+		fmt.Fprintf(stdout, "  Theorem 1 MUX bound D̂g  = %.4fs\n", dhat)
+		fmt.Fprintf(stdout, "  Theorem 7 tree bound (H=%d) = %.4fs (σ,ρ,λ) vs %.4fs (σ,ρ)\n",
 			*height, calculus.MulticastDhatHetero(*height, sigmas, rhos),
 			calculus.MulticastDgHetero(*height, sigmas, rhos))
 	}
 	if !any {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
+	return 0
 }

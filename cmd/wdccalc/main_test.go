@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllCalcModes(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-rhostar", "-ratio", "-duty", "-bounds"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"Rate thresholds", "improvement bounds", "Duty cycle", "Theorem 7"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestNoModeIsUsageError(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

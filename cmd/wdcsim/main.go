@@ -10,15 +10,19 @@
 //	wdcsim -exp fig4a -adaptive       # add the adaptive algorithm's curve
 //	wdcsim -list-scenarios            # show the scenario registry
 //	wdcsim -scenario waxman-zipf-16   # run one registered scenario
+//	wdcsim -scenario churn-waxman-16  # dynamic membership under churn
 //	wdcsim -scenario all -quick       # smoke every scenario, reduced scale
+//	wdcsim -scenario ring-sparse -json  # machine-readable results
 //
 // Experiments: fig2, fig4a, fig4b, fig4c, fig6a, fig6b, fig6c, table1,
 // table2, table3, rhostar, ratio, all.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -31,37 +35,51 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI body: flags parse from args, output goes to the
+// given writers, and the exit code is returned instead of os.Exit-ed.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wdcsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp           = flag.String("exp", "all", "experiment id (fig2, fig4a-c, fig6a-c, table1-3, rhostar, ratio, all)")
-		scenarioName  = flag.String("scenario", "", "run a registered scenario instead of -exp (or 'all')")
-		listScenarios = flag.Bool("list-scenarios", false, "list the registered scenarios and exit")
-		hosts         = flag.Int("hosts", 0, "override multi-group host count (default 665)")
-		seed          = flag.Uint64("seed", 1, "random seed")
-		quick         = flag.Bool("quick", false, "reduced-scale sweep (120 hosts, 5 loads)")
-		adaptive      = flag.Bool("adaptive", false, "add the adaptive algorithm's curve to fig4 output")
-		durSec        = flag.Float64("duration", 0, "override per-run simulated seconds")
-		sequential    = flag.Bool("sequential", false, "run sweep points sequentially (debugging)")
-		workers       = flag.Int("workers", 0, "sweep worker pool size (default GOMAXPROCS)")
-		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile    = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		exp           = fs.String("exp", "all", "experiment id (fig2, fig4a-c, fig6a-c, table1-3, rhostar, ratio, all)")
+		scenarioName  = fs.String("scenario", "", "run a registered scenario instead of -exp (or 'all')")
+		listScenarios = fs.Bool("list-scenarios", false, "list the registered scenarios and exit")
+		jsonOut       = fs.Bool("json", false, "emit scenario results as JSON (scenario runs only)")
+		hosts         = fs.Int("hosts", 0, "override multi-group host count (default 665)")
+		seed          = fs.Uint64("seed", 1, "random seed")
+		quick         = fs.Bool("quick", false, "reduced-scale sweep (120 hosts, 5 loads)")
+		adaptive      = fs.Bool("adaptive", false, "add the adaptive algorithm's curve to fig4 output")
+		durSec        = fs.Float64("duration", 0, "override per-run simulated seconds")
+		sequential    = fs.Bool("sequential", false, "run sweep points sequentially (debugging)")
+		workers       = fs.Int("workers", 0, "sweep worker pool size (default GOMAXPROCS)")
+		cpuProfile    = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile    = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *listScenarios {
-		printScenarios()
-		return
+		printScenarios(stdout)
+		return 0
 	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "wdcsim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "wdcsim: %v\n", err)
+			return 1
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "wdcsim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "wdcsim: %v\n", err)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -69,13 +87,13 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "wdcsim: %v\n", err)
+				fmt.Fprintf(stderr, "wdcsim: %v\n", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC() // settle the heap so the profile shows retention
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "wdcsim: %v\n", err)
+				fmt.Fprintf(stderr, "wdcsim: %v\n", err)
 			}
 		}()
 	}
@@ -96,15 +114,22 @@ func main() {
 		for _, name := range names {
 			sc, err := scenario.Lookup(name)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "wdcsim: %v\n", err)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "wdcsim: %v\n", err)
+				return 2
 			}
 			if *quick {
 				sc = sc.Quick()
 			}
-			runScenario(sc, opts)
+			if err := runScenario(stdout, sc, opts, *jsonOut); err != nil {
+				fmt.Fprintf(stderr, "wdcsim: %v\n", err)
+				return 1
+			}
 		}
-		return
+		return 0
+	}
+	if *jsonOut {
+		fmt.Fprintln(stderr, "wdcsim: -json applies to -scenario runs only")
+		return 2
 	}
 
 	opts := harness.Options{Seed: *seed, Sequential: *sequential, Workers: *workers}
@@ -123,18 +148,18 @@ func main() {
 	opts.IncludeAdaptive = *adaptive
 
 	runners := map[string]func(){
-		"fig2":    func() { runFig2() },
-		"fig4a":   func() { runFig4("Fig. 4(a) — three 64 kbps audio flows", traffic.MixAudio, opts) },
-		"fig4b":   func() { runFig4("Fig. 4(b) — three 1.5 Mbps video flows", traffic.MixVideo, opts) },
-		"fig4c":   func() { runFig4("Fig. 4(c) — one video + two audio flows", traffic.MixHetero, opts) },
-		"fig6a":   func() { runFig6("Fig. 6(a) — three audio groups", traffic.MixAudio, opts) },
-		"fig6b":   func() { runFig6("Fig. 6(b) — three video groups", traffic.MixVideo, opts) },
-		"fig6c":   func() { runFig6("Fig. 6(c) — heterogeneous groups", traffic.MixHetero, opts) },
-		"table1":  func() { runTable("Table I — layer counts, audio groups", traffic.MixAudio, opts) },
-		"table2":  func() { runTable("Table II — layer counts, video groups", traffic.MixVideo, opts) },
-		"table3":  func() { runTable("Table III — layer counts, heterogeneous groups", traffic.MixHetero, opts) },
-		"rhostar": func() { runRhoStar() },
-		"ratio":   func() { runRatio() },
+		"fig2":    func() { runFig2(stdout) },
+		"fig4a":   func() { runFig4(stdout, "Fig. 4(a) — three 64 kbps audio flows", traffic.MixAudio, opts) },
+		"fig4b":   func() { runFig4(stdout, "Fig. 4(b) — three 1.5 Mbps video flows", traffic.MixVideo, opts) },
+		"fig4c":   func() { runFig4(stdout, "Fig. 4(c) — one video + two audio flows", traffic.MixHetero, opts) },
+		"fig6a":   func() { runFig6(stdout, "Fig. 6(a) — three audio groups", traffic.MixAudio, opts) },
+		"fig6b":   func() { runFig6(stdout, "Fig. 6(b) — three video groups", traffic.MixVideo, opts) },
+		"fig6c":   func() { runFig6(stdout, "Fig. 6(c) — heterogeneous groups", traffic.MixHetero, opts) },
+		"table1":  func() { runTable(stdout, "Table I — layer counts, audio groups", traffic.MixAudio, opts) },
+		"table2":  func() { runTable(stdout, "Table II — layer counts, video groups", traffic.MixVideo, opts) },
+		"table3":  func() { runTable(stdout, "Table III — layer counts, heterogeneous groups", traffic.MixHetero, opts) },
+		"rhostar": func() { runRhoStar(stdout) },
+		"ratio":   func() { runRatio(stdout) },
 	}
 	order := []string{"fig2", "fig4a", "fig4b", "fig4c", "fig6a", "fig6b", "fig6c",
 		"table1", "table2", "table3", "rhostar", "ratio"}
@@ -143,23 +168,24 @@ func main() {
 		for _, id := range order {
 			runners[id]()
 		}
-		return
+		return 0
 	}
-	run, ok := runners[*exp]
+	runExp, ok := runners[*exp]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "wdcsim: unknown experiment %q\n", *exp)
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintf(stderr, "wdcsim: unknown experiment %q\n", *exp)
+		fs.Usage()
+		return 2
 	}
-	run()
+	runExp()
+	return 0
 }
 
-func header(title string) {
-	fmt.Printf("\n== %s ==\n", title)
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
 }
 
-func printScenarios() {
-	t := stats.NewTable("name", "kind", "topology", "hosts", "groups", "membership", "description")
+func printScenarios(w io.Writer) {
+	t := stats.NewTable("name", "kind", "topology", "hosts", "groups", "membership", "churn", "description")
 	for _, sc := range scenario.All() {
 		kind := string(sc.Kind)
 		if kind == "" {
@@ -173,59 +199,71 @@ func printScenarios() {
 		if membership == "" {
 			membership = "all"
 		}
+		churn := sc.Churn.Kind
+		if churn == "" {
+			churn = "-"
+		}
 		hosts, groups := fmt.Sprintf("%d", sc.Hosts()), fmt.Sprintf("%d", sc.GroupCount())
 		if sc.Kind == scenario.KindSingleHop {
 			hosts, groups, topoKind, membership = "-", "-", "-", "-"
 		}
-		t.AddRow(sc.Name, kind, topoKind, hosts, groups, membership, sc.Description)
+		t.AddRow(sc.Name, kind, topoKind, hosts, groups, membership, churn, sc.Description)
 	}
-	fmt.Print(t)
+	fmt.Fprint(w, t)
 }
 
-func runScenario(sc scenario.Scenario, opts harness.Options) {
-	header(fmt.Sprintf("scenario %s — %s", sc.Name, sc.Description))
+func runScenario(w io.Writer, sc scenario.Scenario, opts harness.Options, jsonOut bool) error {
 	r, err := harness.ScenarioSweep(sc, opts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "wdcsim: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Print(r.Table())
-	fmt.Println(r.Summary())
+	if jsonOut {
+		data, err := r.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\n", data)
+		return nil
+	}
+	header(w, fmt.Sprintf("scenario %s — %s", sc.Name, sc.Description))
+	fmt.Fprint(w, r.Table())
+	fmt.Fprintln(w, r.Summary())
+	return nil
 }
 
-func runFig2() {
-	header("Fig. 2 — (σ, ρ, λ) regulator operation (σ=10kb, ρ=250kbps, C=1Mbps)")
+func runFig2(w io.Writer) {
+	header(w, "Fig. 2 — (σ, ρ, λ) regulator operation (σ=10kb, ρ=250kbps, C=1Mbps)")
 	pts := harness.Fig2Trace(10_000, 250_000, 1_000_000, des.Seconds(0.5), 26)
-	fmt.Print(harness.Fig2Table(pts))
+	fmt.Fprint(w, harness.Fig2Table(pts))
 }
 
-func runFig4(title string, mix traffic.Mix, opts harness.Options) {
-	header(title)
+func runFig4(w io.Writer, title string, mix traffic.Mix, opts harness.Options) {
+	header(w, title)
 	r := harness.Fig4(mix, opts)
-	fmt.Print(r.Table())
-	fmt.Println(r.Summary())
+	fmt.Fprint(w, r.Table())
+	fmt.Fprintln(w, r.Summary())
 }
 
-func runFig6(title string, mix traffic.Mix, opts harness.Options) {
-	header(title)
+func runFig6(w io.Writer, title string, mix traffic.Mix, opts harness.Options) {
+	header(w, title)
 	r := harness.Fig6(mix, opts)
-	fmt.Print(r.Table())
-	fmt.Println(r.Summary())
-	fmt.Println("\nLayer counts (feeds Tables I–III):")
-	fmt.Print(r.LayerTable())
+	fmt.Fprint(w, r.Table())
+	fmt.Fprintln(w, r.Summary())
+	fmt.Fprintln(w, "\nLayer counts (feeds Tables I–III):")
+	fmt.Fprint(w, r.LayerTable())
 }
 
-func runTable(title string, mix traffic.Mix, opts harness.Options) {
-	header(title)
-	fmt.Print(harness.LayerSweep(mix, opts).Table())
+func runTable(w io.Writer, title string, mix traffic.Mix, opts harness.Options) {
+	header(w, title)
+	fmt.Fprint(w, harness.LayerSweep(mix, opts).Table())
 }
 
-func runRhoStar() {
-	header("Theorems 3/4 — rate threshold ρ* (paper: 0.73C homog, 0.79C hetero)")
-	fmt.Print(harness.RhoStarTable(10))
+func runRhoStar(w io.Writer) {
+	header(w, "Theorems 3/4 — rate threshold ρ* (paper: 0.73C homog, 0.79C hetero)")
+	fmt.Fprint(w, harness.RhoStarTable(10))
 }
 
-func runRatio() {
-	header("Theorems 5/6 — guaranteed Dg/D̂g improvement bounds (K=3)")
-	fmt.Print(harness.ImprovementTable(3, nil))
+func runRatio(w io.Writer) {
+	header(w, "Theorems 5/6 — guaranteed Dg/D̂g improvement bounds (K=3)")
+	fmt.Fprint(w, harness.ImprovementTable(3, nil))
 }

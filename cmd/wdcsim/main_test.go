@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestListScenarios(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list-scenarios"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"paper-fig4", "paper-fig6", "churn-waxman-16", "waxman-zipf-16"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("listing missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestScenarioRunQuick(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-scenario", "ring-sparse", "-quick", "-duration", "1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "scenario ring-sparse") ||
+		!strings.Contains(out.String(), "deliveries") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestScenarioJSONOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-scenario", "churn-waxman-16", "-quick", "-duration", "1", "-json"},
+		&out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	var rec struct {
+		Scenario string    `json:"scenario"`
+		Loads    []float64 `json:"loads"`
+		Curves   []struct {
+			Combo string    `json:"combo"`
+			WDB   []float64 `json:"wdb"`
+		} `json:"curves"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rec); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if rec.Scenario != "churn-waxman-16" || len(rec.Curves) == 0 || len(rec.Loads) == 0 {
+		t.Fatalf("JSON record incomplete: %+v", rec)
+	}
+}
+
+func TestSingleExperimentQuick(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-exp", "rhostar"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "rate threshold") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errOut); code != 0 {
+		t.Fatalf("-h: exit %d, want 0 (usage is not an error)", code)
+	}
+	if !strings.Contains(errOut.String(), "-scenario") {
+		t.Fatalf("usage text missing:\n%s", errOut.String())
+	}
+}
+
+func TestBadFlagsExitNonZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-exp", "fig99"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown experiment: exit %d", code)
+	}
+	if code := run([]string{"-scenario", "no-such"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown scenario: exit %d", code)
+	}
+	if code := run([]string{"-exp", "fig2", "-json"}, &out, &errOut); code != 2 {
+		t.Fatalf("-json without -scenario: exit %d", code)
+	}
+}

@@ -11,8 +11,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/calculus"
@@ -22,33 +24,53 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI body: flags parse from args, output goes to the
+// given writers, and the exit code is returned instead of os.Exit-ed.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wdctree", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		printBackbone = flag.Bool("print-backbone", false, "print the Fig. 5 backbone topology")
-		heights       = flag.Bool("heights", false, "measured tree heights vs the Lemma 2 bound")
-		build         = flag.String("build", "", "build one tree and print metrics: dsct, nice, flat, flatblind")
-		hosts         = flag.Int("hosts", 665, "host count")
-		k             = flag.Int("k", 3, "cluster parameter")
-		fanout        = flag.Int("fanout", 3, "fanout for flat trees")
-		seed          = flag.Uint64("seed", 1, "random seed")
+		printBackbone = fs.Bool("print-backbone", false, "print the Fig. 5 backbone topology")
+		heights       = fs.Bool("heights", false, "measured tree heights vs the Lemma 2 bound")
+		build         = fs.String("build", "", "build one tree and print metrics: dsct, nice, flat, flatblind")
+		hosts         = fs.Int("hosts", 665, "host count")
+		k             = fs.Int("k", 3, "cluster parameter")
+		fanout        = fs.Int("fanout", 3, "fanout for flat trees")
+		seed          = fs.Uint64("seed", 1, "random seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	switch {
 	case *printBackbone:
-		doBackbone()
+		doBackbone(stdout)
 	case *heights:
-		doHeights(*hosts, *k, *seed)
+		if err := doHeights(stdout, *hosts, *k, *seed); err != nil {
+			fmt.Fprintf(stderr, "wdctree: %v\n", err)
+			return 1
+		}
 	case *build != "":
-		doBuild(*build, *hosts, *k, *fanout, *seed)
+		if err := doBuild(stdout, *build, *hosts, *k, *fanout, *seed); err != nil {
+			fmt.Fprintf(stderr, "wdctree: %v\n", err)
+			return 1
+		}
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
+	return 0
 }
 
-func doBackbone() {
+func doBackbone(w io.Writer) {
 	g := topo.Backbone19()
-	fmt.Printf("Fig. 5 backbone: %d routers, %d links, connected=%v\n",
+	fmt.Fprintf(w, "Fig. 5 backbone: %d routers, %d links, connected=%v\n",
 		g.NumNodes(), g.NumEdges(), g.Connected())
 	t := stats.NewTable("router", "degree", "coord", "links (to:delay)")
 	for v := 0; v < g.NumNodes(); v++ {
@@ -63,7 +85,7 @@ func doBackbone() {
 		t.AddRow(fmt.Sprintf("%d", v), fmt.Sprintf("%d", g.Degree(topo.NodeID(v))),
 			fmt.Sprintf("(%.0f,%.0f)", c.X, c.Y), links)
 	}
-	fmt.Print(t)
+	fmt.Fprint(w, t)
 }
 
 func network(hosts int, seed uint64) (*topo.Network, []int) {
@@ -75,51 +97,59 @@ func network(hosts int, seed uint64) (*topo.Network, []int) {
 	return net, members
 }
 
-func doHeights(hosts, k int, seed uint64) {
+func doHeights(w io.Writer, hosts, k int, seed uint64) error {
 	net, members := network(hosts, seed)
 	t := stats.NewTable("tree", "layers", "height", "Lemma2 bound", "max fanout", "stretch")
 	for _, kind := range []string{"dsct", "nice"} {
 		var tr *overlay.Tree
+		var err error
 		cfg := overlay.Config{K: k, Seed: seed}
 		if kind == "dsct" {
-			tr = overlay.BuildDSCT(net, members, 0, cfg)
+			tr, err = overlay.BuildDSCT(net, members, 0, cfg)
 		} else {
-			tr = overlay.BuildNICE(net, members, 0, cfg)
+			tr, err = overlay.BuildNICE(net, members, 0, cfg)
+		}
+		if err != nil {
+			return err
 		}
 		bound := calculus.DSCTHeightBoundMax(hosts, k)
 		t.AddRow(kind, fmt.Sprintf("%d", tr.Layers()), fmt.Sprintf("%d", tr.Height()),
 			fmt.Sprintf("%d", bound), fmt.Sprintf("%d", tr.MaxFanout()),
 			fmt.Sprintf("%.2f", tr.Stretch(net)))
 	}
-	fmt.Print(t)
+	fmt.Fprint(w, t)
+	return nil
 }
 
-func doBuild(kind string, hosts, k, fanout int, seed uint64) {
+func doBuild(w io.Writer, kind string, hosts, k, fanout int, seed uint64) error {
 	net, members := network(hosts, seed)
 	var tr *overlay.Tree
+	var err error
 	switch kind {
 	case "dsct":
-		tr = overlay.BuildDSCT(net, members, 0, overlay.Config{K: k, Seed: seed})
+		tr, err = overlay.BuildDSCT(net, members, 0, overlay.Config{K: k, Seed: seed})
 	case "nice":
-		tr = overlay.BuildNICE(net, members, 0, overlay.Config{K: k, Seed: seed})
+		tr, err = overlay.BuildNICE(net, members, 0, overlay.Config{K: k, Seed: seed})
 	case "flat":
-		tr = overlay.BuildFlat(net, members, 0, fanout)
+		tr, err = overlay.BuildFlat(net, members, 0, fanout)
 	case "flatblind":
-		tr = overlay.BuildFlatBlind(net, members, 0, fanout, seed)
+		tr, err = overlay.BuildFlatBlind(net, members, 0, fanout, seed)
 	default:
-		fmt.Fprintf(os.Stderr, "wdctree: unknown tree kind %q\n", kind)
-		os.Exit(2)
+		return fmt.Errorf("unknown tree kind %q", kind)
+	}
+	if err != nil {
+		return err
 	}
 	if err := tr.Validate(); err != nil {
-		fmt.Fprintf(os.Stderr, "wdctree: built tree invalid: %v\n", err)
-		os.Exit(1)
+		return fmt.Errorf("built tree invalid: %v", err)
 	}
 	maxStress, avgStress := tr.LinkStress(net)
-	fmt.Printf("%s tree over %d hosts:\n", kind, hosts)
-	fmt.Printf("  layers        %d\n", tr.Layers())
-	fmt.Printf("  height (hops) %d\n", tr.Height())
-	fmt.Printf("  max fanout    %d\n", tr.MaxFanout())
-	fmt.Printf("  avg fanout    %.2f\n", tr.AvgFanout())
-	fmt.Printf("  stretch       %.2f\n", tr.Stretch(net))
-	fmt.Printf("  link stress   max %d, avg %.2f\n", maxStress, avgStress)
+	fmt.Fprintf(w, "%s tree over %d hosts:\n", kind, hosts)
+	fmt.Fprintf(w, "  layers        %d\n", tr.Layers())
+	fmt.Fprintf(w, "  height (hops) %d\n", tr.Height())
+	fmt.Fprintf(w, "  max fanout    %d\n", tr.MaxFanout())
+	fmt.Fprintf(w, "  avg fanout    %.2f\n", tr.AvgFanout())
+	fmt.Fprintf(w, "  stretch       %.2f\n", tr.Stretch(net))
+	fmt.Fprintf(w, "  link stress   max %d, avg %.2f\n", maxStress, avgStress)
+	return nil
 }

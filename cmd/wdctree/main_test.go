@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPrintBackbone(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-print-backbone"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "19 routers") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestHeights(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-heights", "-hosts", "60"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "dsct") || !strings.Contains(out.String(), "nice") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestBuildEachKind(t *testing.T) {
+	for _, kind := range []string{"dsct", "nice", "flat", "flatblind"} {
+		var out, errOut bytes.Buffer
+		if code := run([]string{"-build", kind, "-hosts", "50"}, &out, &errOut); code != 0 {
+			t.Fatalf("%s: exit %d, stderr: %s", kind, code, errOut.String())
+		}
+		if !strings.Contains(out.String(), "layers") {
+			t.Fatalf("%s: unexpected output:\n%s", kind, out.String())
+		}
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("no mode: exit %d", code)
+	}
+	if code := run([]string{"-build", "mesh"}, &out, &errOut); code != 1 {
+		t.Fatalf("unknown kind: exit %d", code)
+	}
+}

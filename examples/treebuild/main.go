@@ -26,7 +26,10 @@ func main() {
 	fmt.Printf("%-24s %-7s %-7s %-11s %-8s %-10s\n",
 		"tree", "layers", "height", "max fanout", "stretch", "max stress")
 
-	show := func(name string, tr *overlay.Tree) {
+	show := func(name string, tr *overlay.Tree, err error) {
+		if err != nil {
+			panic(err)
+		}
 		if err := tr.Validate(); err != nil {
 			panic(err)
 		}
@@ -35,13 +38,15 @@ func main() {
 			name, tr.Layers(), tr.Height(), tr.MaxFanout(), tr.Stretch(net), maxStress)
 	}
 
-	show("DSCT (k=3)", overlay.BuildDSCT(net, members, 0, overlay.Config{Seed: 1}))
-	show("NICE (k=3)", overlay.BuildNICE(net, members, 0, overlay.Config{Seed: 1}))
+	dsct, err := overlay.BuildDSCT(net, members, 0, overlay.Config{Seed: 1})
+	show("DSCT (k=3)", dsct, err)
+	nice, err := overlay.BuildNICE(net, members, 0, overlay.Config{Seed: 1})
+	show("NICE (k=3)", nice, err)
 	// Fig. 1's capacity-aware trees at a light and a heavy load.
 	for _, load := range []float64{0.35, 0.95} {
 		fanout := overlay.FanoutBound(load, 2.0)
-		show(fmt.Sprintf("capacity-aware @%.2f (d=%d)", load, fanout),
-			overlay.BuildFlat(net, members, 0, fanout))
+		flat, err := overlay.BuildFlat(net, members, 0, fanout)
+		show(fmt.Sprintf("capacity-aware @%.2f (d=%d)", load, fanout), flat, err)
 	}
 
 	fmt.Println("\nDSCT trades slightly deeper trees for domain-local hops (lower stretch);")

@@ -1,0 +1,142 @@
+package core
+
+// The session control plane: membership changes are discrete events that
+// graft and prune group members while the simulation runs. A join picks a
+// deterministic graft point (nearest attached member by RTT, inside the
+// Lemma 2 height bound and the cluster fanout cap) and wires the adopting
+// host's forwarding state; a leave prunes the member, re-parents its
+// orphaned subtrees, tears down the departed forwarder's regulator bank
+// (backlog counted as churn loss), and re-staggers any freshly created
+// duty cycles onto the global schedule. Everything is a pure function of
+// (config, events), so churn runs are as reproducible as static ones.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/calculus"
+	"repro/internal/des"
+)
+
+// MembershipEvent is one dynamic membership change: Host joins or leaves
+// Group at simulated time At. Events addressed to the group's source, to
+// a current member (join), or to a non-member (leave) are counted as
+// rejected and otherwise ignored — churn models may race a lifetime
+// expiry against other churn, and a no-op is the right outcome.
+type MembershipEvent struct {
+	At    des.Time
+	Group int
+	Host  int
+	Join  bool
+}
+
+// String implements fmt.Stringer.
+func (e MembershipEvent) String() string {
+	verb := "leave"
+	if e.Join {
+		verb = "join"
+	}
+	return fmt.Sprintf("%v host %d %s group %d", e.At, e.Host, verb, e.Group)
+}
+
+// controlPlane applies membership events to the session's per-group
+// runtime state.
+type controlPlane struct {
+	s *Session
+	// maxFanout and maxHeight bound repairs and grafts: the cluster size
+	// cap 3K−1 of the DSCT/NICE builders, and the Lemma 2 height bound.
+	maxFanout int
+	maxHeight int
+
+	joins, leaves, regrafts, rejected int
+}
+
+func newControlPlane(s *Session) *controlPlane {
+	return &controlPlane{
+		s:         s,
+		maxFanout: 3*s.cfg.ClusterK - 1,
+		maxHeight: calculus.DSCTHeightBoundMax(s.cfg.NumHosts, s.cfg.ClusterK),
+	}
+}
+
+// schedule enqueues the events on the session engine in time order.
+// Events beyond the traffic duration are dropped — the sources have
+// stopped, so late churn would only distort the drain tail.
+func (cp *controlPlane) schedule(events []MembershipEvent) {
+	evs := append([]MembershipEvent(nil), events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	for _, ev := range evs {
+		if ev.At > cp.s.cfg.Duration {
+			continue
+		}
+		ev := ev
+		cp.s.eng.Schedule(ev.At, func() { cp.apply(ev) })
+	}
+}
+
+// apply executes one membership change.
+func (cp *controlPlane) apply(ev MembershipEvent) {
+	if ev.Group < 0 || ev.Group >= len(cp.s.groups) ||
+		ev.Host < 0 || ev.Host >= cp.s.cfg.NumHosts {
+		cp.rejected++
+		return
+	}
+	if ev.Join {
+		cp.join(ev.Group, ev.Host)
+	} else {
+		cp.leave(ev.Group, ev.Host)
+	}
+}
+
+// join grafts host h onto group g: h becomes a member and a leaf of the
+// delivery tree under its graft point, whose host machinery picks up the
+// new child connection (and, if it was not forwarding g before, a
+// re-staggered regulator).
+func (cp *controlPlane) join(g, h int) {
+	st := cp.s.groups[g]
+	if st.member[h] {
+		cp.rejected++
+		return
+	}
+	parent, err := st.tree.GraftPoint(cp.s.net, h, 0, cp.maxFanout, cp.maxHeight)
+	if err != nil {
+		cp.rejected++
+		return
+	}
+	if err := st.tree.Graft(h, parent); err != nil {
+		panic(fmt.Sprintf("core: control plane graft: %v", err))
+	}
+	st.member[h] = true
+	cp.s.hosts[parent].attachChild(g, h)
+	cp.joins++
+}
+
+// leave prunes host h from group g: h's parent stops feeding it, h's own
+// forwarding state for g tears down (regulator backlog abandoned and
+// counted), and each subtree h was feeding re-parents under its repair
+// graft point. Packets to h already in flight are dropped on arrival by
+// Session.receive. The group's source never leaves.
+func (cp *controlPlane) leave(g, h int) {
+	st := cp.s.groups[g]
+	if !st.member[h] || h == st.tree.Source {
+		cp.rejected++
+		return
+	}
+	parent := st.tree.Parent(h)
+	orphans, err := st.tree.Prune(h)
+	if err != nil {
+		panic(fmt.Sprintf("core: control plane prune: %v", err))
+	}
+	st.member[h] = false
+	st.lost += uint64(cp.s.hosts[parent].removeChild(g, h))
+	st.lost += uint64(cp.s.hosts[h].detachGroup(g))
+	parents, err := st.tree.Repair(cp.s.net, orphans, cp.maxFanout, cp.maxHeight)
+	if err != nil {
+		panic(fmt.Sprintf("core: control plane repair: %v", err))
+	}
+	for i, o := range orphans {
+		cp.s.hosts[parents[i]].attachChild(g, o)
+		cp.regrafts++
+	}
+	cp.leaves++
+}

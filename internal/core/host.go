@@ -18,7 +18,8 @@ type hostEnv struct {
 	mults      []float64
 	bursts     []float64
 	discipline mux.Discipline
-	aligned    bool // stagger ablation: align all duty-cycle phases
+	aligned    bool    // stagger ablation: align all duty-cycle phases
+	threshold  float64 // adaptive switching utilisation (for late attach)
 	send       func(from, to int, p traffic.Packet)
 	// capAware selects the capacity-aware connection model: the host's
 	// aggregate uplink of capFactor × its own C splits across its
@@ -58,6 +59,7 @@ type host struct {
 	id      int
 	env     *hostEnv
 	conn    float64 // this host's per-connection capacity
+	scheme  Scheme  // the session's configured scheme
 	mode    Scheme  // the concrete scheme in force at any instant
 	modeSet bool
 
@@ -84,8 +86,8 @@ type host struct {
 // newHost wires a host for its (per-group) child sets. Hosts with no
 // children build no forwarding machinery.
 func newHost(id int, env *hostEnv, children [][]int, initial Scheme) *host {
-	h := &host{id: id, env: env, conn: env.hostConn(id), children: children,
-		muxes: make(map[int]*mux.Mux)}
+	h := &host{id: id, env: env, conn: env.hostConn(id), scheme: initial,
+		children: children, muxes: make(map[int]*mux.Mux)}
 	distinct := make(map[int]bool)
 	for _, cs := range children {
 		for _, c := range cs {
@@ -143,24 +145,36 @@ func (h *host) workPeriod(g int) des.Duration {
 	return des.Seconds(h.env.bursts[g] / (h.conn - h.env.specs[g].Rho))
 }
 
-// startCycles launches the duty cycles of the host's SRL bank. Offsets
-// follow the paper's round-robin stagger — group g starts after the
-// working periods of all groups before it — and are accumulated over the
-// full group index range, so a host that forwards only groups {2, 5}
-// phases them exactly as a host forwarding every group would: the stagger
-// schedule is a per-group global, not a per-host accident of which trees
-// put children here.
-func (h *host) startCycles() {
+// staggerOffset returns group g's phase offset in the global round-robin
+// stagger schedule: the sum of the working periods of all groups before
+// it, accumulated over the full group index range, so a host that
+// forwards only groups {2, 5} phases them exactly as a host forwarding
+// every group would — the stagger schedule is a per-group global, not a
+// per-host accident of which trees put children here.
+func (h *host) staggerOffset(g int) des.Duration {
+	if h.env.aligned {
+		return 0
+	}
 	var offset des.Duration
+	for j := 0; j < g; j++ {
+		offset += h.workPeriod(j)
+	}
+	return offset
+}
+
+// startCycles launches the duty cycles of the host's SRL bank on the
+// paper's round-robin stagger, phase-anchored at simulation time zero: at
+// session build this is the plain staggered start, and for banks
+// (re)started mid-run — an adaptive switch back to (σ, ρ, λ), or a host
+// that begins forwarding because churn grafted children under it — the
+// regulators drop into the phase the global schedule prescribes for the
+// current instant, so re-staggering is deterministic and independent of
+// when (or in what order) hosts pick up forwarding duties.
+func (h *host) startCycles() {
 	for g, r := range h.srlBank {
 		if r != nil {
-			if h.env.aligned {
-				r.StartCycle(0)
-			} else {
-				r.StartCycle(offset)
-			}
+			r.StartCyclePhased(h.staggerOffset(g))
 		}
-		offset += h.workPeriod(g)
 	}
 	h.srlCycling = true
 }
@@ -181,6 +195,44 @@ func (h *host) stopCycles() {
 	}
 }
 
+// ensureSRBank fills the (σ, ρ) bank for every group this host currently
+// forwards, creating the bank on first use. Under static membership this
+// runs once with the build-time child sets; under churn it also fills
+// entries for groups whose children arrived after the bank was built.
+func (h *host) ensureSRBank() {
+	env := h.env
+	if h.srBank == nil {
+		h.srBank = make([]*regulator.SigmaRho, len(env.specs))
+	}
+	for g := range env.specs {
+		if len(h.children[g]) == 0 || h.srBank[g] != nil {
+			continue
+		}
+		g := g
+		h.srBank[g] = regulator.NewSigmaRho(env.eng, env.bursts[g], env.specs[g].Rho,
+			func(p traffic.Packet) { h.replicate(g, p) })
+	}
+}
+
+// ensureSRLBank is ensureSRBank for the (σ, ρ, λ) bank. It does not start
+// duty cycles; the caller staggers them.
+func (h *host) ensureSRLBank() (fresh bool) {
+	env := h.env
+	if h.srlBank == nil {
+		h.srlBank = make([]*regulator.SRL, len(env.specs))
+		fresh = true
+	}
+	for g := range env.specs {
+		if len(h.children[g]) == 0 || h.srlBank[g] != nil {
+			continue
+		}
+		g := g
+		h.srlBank[g] = regulator.NewSRL(env.eng, env.bursts[g], env.specs[g].Rho, h.conn,
+			func(p traffic.Packet) { h.replicate(g, p) })
+	}
+	return fresh
+}
+
 // setMode activates the regulator bank for the given scheme, building
 // banks on first use. Packets already queued in the previous bank keep
 // draining through it (make-before-break), so no traffic is lost on a
@@ -189,35 +241,14 @@ func (h *host) setMode(m Scheme) {
 	if h.modeSet && m == h.mode {
 		return
 	}
-	env := h.env
 	switch m {
 	case SchemeSigmaRho:
-		if h.srBank == nil {
-			h.srBank = make([]*regulator.SigmaRho, len(env.specs))
-			for g := range env.specs {
-				if len(h.children[g]) == 0 {
-					continue
-				}
-				g := g
-				h.srBank[g] = regulator.NewSigmaRho(env.eng, env.bursts[g], env.specs[g].Rho,
-					func(p traffic.Packet) { h.replicate(g, p) })
-			}
-		}
+		h.ensureSRBank()
 		if h.srlCycling {
 			h.stopCycles()
 		}
 	case SchemeSRL:
-		if h.srlBank == nil {
-			h.srlBank = make([]*regulator.SRL, len(env.specs))
-			for g := range env.specs {
-				if len(h.children[g]) == 0 {
-					continue
-				}
-				g := g
-				h.srlBank[g] = regulator.NewSRL(env.eng, env.bursts[g], env.specs[g].Rho, h.conn,
-					func(p traffic.Packet) { h.replicate(g, p) })
-			}
-		} else {
+		if !h.ensureSRLBank() {
 			// Returning to SRL: close the held-open queues before the
 			// stagger re-drives them.
 			for _, r := range h.srlBank {
@@ -237,6 +268,119 @@ func (h *host) setMode(m Scheme) {
 	}
 	h.mode = m
 	h.modeSet = true
+}
+
+// --- Dynamic forwarding state (driven by the session control plane) ---
+
+// childInAnyGroup reports whether c is a child of this host in any group.
+func (h *host) childInAnyGroup(c int) bool {
+	for _, cs := range h.children {
+		for _, x := range cs {
+			if x == c {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// attachChild registers c as a child of this host in group g's tree,
+// wiring the connection MUX and — on a host that was not forwarding at
+// all, or was not forwarding this group — the regulator machinery, with
+// the new duty cycle re-staggered onto the global schedule.
+func (h *host) attachChild(g, c int) {
+	h.children[g] = append(h.children[g], c)
+	if _, ok := h.muxes[c]; !ok {
+		child := c
+		h.muxes[c] = mux.New(h.env.eng, len(h.env.specs), h.env.connectionCapacity(h.id, len(h.muxes)+1),
+			h.env.discipline, func(p traffic.Packet) { h.env.send(h.id, child, p) })
+	}
+	if !h.modeSet {
+		// First forwarding duty of this host's lifetime: bring up the
+		// scheme exactly as a build-time forwarder would, including the
+		// adaptive controller if the session runs one.
+		h.setMode(initialMode(h.scheme))
+		if h.scheme == SchemeAdaptive && h.rate == nil {
+			h.startController(des.Second, 250*des.Millisecond, h.env.threshold)
+		}
+		return
+	}
+	h.attachGroup(g)
+}
+
+// attachGroup ensures the active bank covers group g after its first
+// child arrived mid-run (every other group with children already has its
+// entry, so the ensure helpers create exactly g's regulator). A freshly
+// created (σ, ρ, λ) regulator starts phase-aligned with the stagger
+// schedule the sibling regulators have followed since time zero.
+func (h *host) attachGroup(g int) {
+	switch h.mode {
+	case SchemeSigmaRho:
+		if h.srBank != nil && h.srBank[g] == nil {
+			h.ensureSRBank()
+		}
+	case SchemeSRL:
+		if h.srlBank != nil && h.srlBank[g] == nil {
+			h.ensureSRLBank()
+			if h.srlCycling && h.srlBank[g] != nil {
+				h.srlBank[g].StartCyclePhased(h.staggerOffset(g))
+			}
+		}
+	}
+}
+
+// detachGroup tears down group g's forwarding state at this host: any
+// regulator for g detaches (its backlog is abandoned, a mid-transmission
+// packet completes), the child list empties, and connections left serving
+// no group drop their MUX (in-flight MUX traffic still drains through the
+// engine). Sibling groups' regulators and stagger phases are untouched.
+// Returns the abandoned backlog size for disruption accounting.
+func (h *host) detachGroup(g int) int {
+	lost := 0
+	if h.srBank != nil && h.srBank[g] != nil {
+		lost += h.srBank[g].Detach()
+		h.srBank[g] = nil
+	}
+	if h.srlBank != nil && h.srlBank[g] != nil {
+		r := h.srlBank[g]
+		lost += r.Detach()
+		if r.Transmitting() {
+			// The non-preempted packet completes serialisation, but its
+			// output replicates into the child set this detach is about
+			// to clear — it never reaches anyone, so it counts as lost.
+			lost++
+		}
+		h.srlBank[g] = nil
+	}
+	old := h.children[g]
+	h.children[g] = nil
+	for _, c := range old {
+		if !h.childInAnyGroup(c) {
+			delete(h.muxes, c)
+		}
+	}
+	return lost
+}
+
+// removeChild unregisters c from group g. When that was the host's last
+// child in g the whole group detaches (regulator backlog abandoned — the
+// packets were destined for the departed subtree); the returned count is
+// that abandoned backlog.
+func (h *host) removeChild(g, c int) int {
+	cs := h.children[g]
+	for i, x := range cs {
+		if x == c {
+			h.children[g] = append(cs[:i], cs[i+1:]...)
+			break
+		}
+	}
+	if len(h.children[g]) == 0 {
+		return h.detachGroup(g)
+	}
+	if !h.childInAnyGroup(c) {
+		delete(h.muxes, c)
+	}
+	return 0
 }
 
 // observe feeds the adaptive controller's rate estimator.

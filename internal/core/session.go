@@ -114,6 +114,19 @@ type Config struct {
 	// UplinkClasses draws heterogeneous per-host capacity multipliers
 	// (see topo.UplinkClass). Empty keeps the paper's homogeneous hosts.
 	UplinkClasses []topo.UplinkClass
+
+	// Events, when non-empty, turns on the session control plane: the
+	// listed membership changes are applied as DES events during the run —
+	// joins graft new members onto the group tree, leaves prune them and
+	// repair the orphaned subtrees (see control.go). Requires a regulated
+	// scheme (the capacity-aware comparator's shared tree cannot express
+	// per-group membership drift). An empty Events compiles to exactly the
+	// static session of the paper.
+	Events []MembershipEvent
+	// WindowSec, when > 0, records a max-delay series in buckets of this
+	// many seconds — the transient view of worst-case delay around churn
+	// events. 0 disables windowed measurement.
+	WindowSec float64
 }
 
 func (c *Config) fillDefaults() {
@@ -149,6 +162,12 @@ func (c *Config) fillDefaults() {
 	}
 	if !c.TrafficSeed.IsSet() {
 		c.TrafficSeed = UseSeed(c.Seed)
+	}
+	if len(c.Events) > 0 && !c.Scheme.Regulated() {
+		panic("core: membership churn requires a regulated scheme")
+	}
+	if c.WindowSec < 0 {
+		panic("core: WindowSec must be non-negative")
 	}
 }
 
@@ -233,22 +252,55 @@ type Result struct {
 	ConnCapacity float64
 	// Specs echoes the flow envelopes used, for reuse across a sweep.
 	Specs []FlowSpec
+
+	// Control-plane outcome (zero for static sessions): applied joins and
+	// leaves, orphan subtrees re-parented during repair, and events that
+	// were no-ops (join of a member, leave of a non-member or source).
+	Joins, Leaves, Regrafts, RejectedEvents int
+	// Lost counts disruption casualties: packets that arrived at a host
+	// outside its membership interval (in flight across a leave) plus
+	// regulator backlog abandoned when a forwarder departed.
+	Lost uint64
+	// PerGroupLost breaks Lost down by group.
+	PerGroupLost []uint64
+	// WindowMax is the per-window max-delay series (bucket width
+	// WindowSec); nil unless Config.WindowSec was set.
+	WindowMax []float64
+	// WindowSec echoes the configured bucket width.
+	WindowSec float64
 }
 
-// Session is a fully wired multi-group EMcast simulation.
+// groupState is the mutable per-group runtime: the current member set,
+// the delivery tree, and the disruption tally. The control plane mutates
+// it mid-run; static sessions build it once and never touch it again, so
+// a session with no Events is bit-identical to the pre-control-plane
+// architecture.
+type groupState struct {
+	spec   GroupSpec     // the compiled (initial) membership
+	tree   *overlay.Tree // current delivery tree
+	member []bool        // current membership by host id
+	lost   uint64        // packets lost to membership churn (see Result.Lost)
+}
+
+// Session is a fully wired multi-group EMcast simulation: an immutable
+// compiled substrate (underlay, fabric, flow envelopes, host machinery
+// skeleton) plus the mutable per-group runtime in groups, driven by the
+// control plane when membership events are configured.
 type Session struct {
 	cfg    Config
 	eng    *des.Engine
 	net    *topo.Network
 	fabric *netsim.Fabric
-	groups []GroupSpec
-	trees  []*overlay.Tree
+	env    *hostEnv
 	hosts  []*host
 	specs  []FlowSpec
+	groups []*groupState
+	ctl    *controlPlane // nil for static sessions
 
 	perGroup []stats.MaxTracker
 	delays   stats.Welford
 	deliver  uint64
+	windows  *stats.WindowMax // nil unless cfg.WindowSec > 0
 }
 
 // NewSession builds the network, trees, and host machinery for cfg.
@@ -271,7 +323,7 @@ func NewSession(cfg Config) *Session {
 	} else if len(s.specs) != numGroups {
 		panic(fmt.Sprintf("core: %d specs for %d groups", len(s.specs), numGroups))
 	}
-	s.groups = cfg.resolveGroups(numGroups)
+	groups := cfg.resolveGroups(numGroups)
 
 	// Base per-connection capacity from the x-axis load: sized so a host
 	// carrying every group flow runs at the configured utilisation.
@@ -285,43 +337,61 @@ func NewSession(cfg Config) *Session {
 	// budget ⌊C_out/Σρᵢ⌋ only yields a stable schedule when the same d
 	// children receive every flow. With explicit (possibly disjoint)
 	// member sets no shared tree can span every group, so the scheme
-	// falls back to one capped flat tree per group.
+	// falls back to one capped flat tree per group. A failed build is a
+	// panic here: the configs the scenario layer compiles are validated
+	// before any session exists, so this indicates a programming error.
+	must := func(t *overlay.Tree, err error) *overlay.Tree {
+		if err != nil {
+			panic(err)
+		}
+		return t
+	}
 	build := func(g int, tc overlay.Config) *overlay.Tree {
 		if cfg.Tree == TreeNICE {
-			return overlay.BuildNICE(s.net, s.groups[g].Members, s.groups[g].Source, tc)
+			return must(overlay.BuildNICE(s.net, groups[g].Members, groups[g].Source, tc))
 		}
-		return overlay.BuildDSCT(s.net, s.groups[g].Members, s.groups[g].Source, tc)
+		return must(overlay.BuildDSCT(s.net, groups[g].Members, groups[g].Source, tc))
 	}
-	s.trees = make([]*overlay.Tree, numGroups)
+	trees := make([]*overlay.Tree, numGroups)
 	if cfg.Scheme == SchemeCapacityAware {
 		fanout := overlay.FanoutBound(cfg.Load, cfg.CapacityFactor)
 		if cfg.Groups == nil {
 			var shared *overlay.Tree
-			members := s.groups[0].Members
+			members := groups[0].Members
 			if cfg.Tree == TreeNICE {
-				shared = overlay.BuildFlatBlind(s.net, members, 0, fanout, xrand.DeriveSeed(cfg.Seed, 0))
+				shared = must(overlay.BuildFlatBlind(s.net, members, 0, fanout, xrand.DeriveSeed(cfg.Seed, 0)))
 			} else {
-				shared = overlay.BuildFlat(s.net, members, 0, fanout)
+				shared = must(overlay.BuildFlat(s.net, members, 0, fanout))
 			}
-			for g := range s.trees {
-				s.trees[g] = shared
+			for g := range trees {
+				trees[g] = shared
 			}
 		} else {
-			for g := range s.trees {
+			for g := range trees {
 				if cfg.Tree == TreeNICE {
-					s.trees[g] = overlay.BuildFlatBlind(s.net, s.groups[g].Members,
-						s.groups[g].Source, fanout, xrand.DeriveSeed(cfg.Seed, g))
+					trees[g] = must(overlay.BuildFlatBlind(s.net, groups[g].Members,
+						groups[g].Source, fanout, xrand.DeriveSeed(cfg.Seed, g)))
 				} else {
-					s.trees[g] = overlay.BuildFlat(s.net, s.groups[g].Members,
-						s.groups[g].Source, fanout)
+					trees[g] = must(overlay.BuildFlat(s.net, groups[g].Members,
+						groups[g].Source, fanout))
 				}
 			}
 		}
 	} else {
 		for g := 0; g < numGroups; g++ {
 			tc := overlay.Config{K: cfg.ClusterK, Seed: xrand.DeriveSeed(cfg.Seed, g)}
-			s.trees[g] = build(g, tc)
+			trees[g] = build(g, tc)
 		}
+	}
+
+	// Per-group runtime: the mutable state the control plane drives.
+	s.groups = make([]*groupState, numGroups)
+	for g := range s.groups {
+		member := make([]bool, cfg.NumHosts)
+		for _, m := range groups[g].Members {
+			member[m] = true
+		}
+		s.groups[g] = &groupState{spec: groups[g], tree: trees[g], member: member}
 	}
 
 	// Host machinery.
@@ -334,6 +404,7 @@ func NewSession(cfg Config) *Session {
 		aligned:    cfg.StaggerAligned,
 		send:       func(from, to int, p traffic.Packet) { s.fabric.Send(from, to, p) },
 	}
+	s.env = env
 	if len(cfg.UplinkClasses) > 0 {
 		env.mults = make([]float64, cfg.NumHosts)
 		minMult := s.net.Hosts[0].UplinkMult
@@ -363,10 +434,13 @@ func NewSession(cfg Config) *Session {
 	}
 	s.hosts = make([]*host, cfg.NumHosts)
 	threshold := ThresholdUtilization(numGroups, cfg.Mix.Homogeneous())
+	env.threshold = threshold
 	for id := 0; id < cfg.NumHosts; id++ {
 		children := make([][]int, numGroups)
 		for g := 0; g < numGroups; g++ {
-			children[g] = s.trees[g].Children(id)
+			// Copy: trees own their child slices and the control plane
+			// mutates host child sets independently of tree bookkeeping.
+			children[g] = append([]int(nil), trees[g].Children(id)...)
 		}
 		s.hosts[id] = newHost(id, env, children, cfg.Scheme)
 		if cfg.Scheme == SchemeAdaptive && len(s.hosts[id].muxes) > 0 {
@@ -377,17 +451,35 @@ func NewSession(cfg Config) *Session {
 	}
 
 	s.perGroup = make([]stats.MaxTracker, numGroups)
+	if cfg.WindowSec > 0 {
+		s.windows = stats.NewWindowMax(cfg.WindowSec)
+	}
+	if len(cfg.Events) > 0 {
+		s.ctl = newControlPlane(s)
+		s.ctl.schedule(cfg.Events)
+	}
 	return s
 }
 
 // receive records delivery of a group packet at a member and hands it to
-// the host's forwarding pipeline.
+// the host's forwarding pipeline. A packet arriving at a host outside its
+// membership interval — it was in flight when the host left the group —
+// is dropped and counted as churn loss, never measured or forwarded: the
+// membership invariant the control-plane tests pin down.
 func (s *Session) receive(id int, p traffic.Packet) {
 	g := p.Flow
+	st := s.groups[g]
+	if !st.member[id] {
+		st.lost++
+		return
+	}
 	d := p.Delay(s.eng.Now()).Seconds()
 	s.perGroup[g].Observe(d, p.ID)
 	s.delays.Add(d)
 	s.deliver++
+	if s.windows != nil {
+		s.windows.Observe(s.eng.Now().Seconds(), d)
+	}
 	h := s.hosts[id]
 	h.observe(p)
 	h.forward(g, p)
@@ -405,7 +497,7 @@ func (s *Session) Run() Result {
 		cfg.EnvelopeMargin, cfg.BurstSec)
 	for g, src := range sources {
 		g := g
-		root := s.trees[g].Source
+		root := s.groups[g].tree.Source
 		src.Start(s.eng, cfg.Duration, func(p traffic.Packet) {
 			s.hosts[root].observe(p)
 			s.hosts[root].forward(g, p)
@@ -417,33 +509,63 @@ func (s *Session) Run() Result {
 	res := Result{
 		PerGroupWDB:   make([]float64, numGroups),
 		TreeLayers:    make([]int, numGroups),
+		PerGroupLost:  make([]uint64, numGroups),
 		MeanDelay:     s.delays.Mean(),
 		Delivered:     s.deliver,
 		ThresholdUtil: ThresholdUtilization(numGroups, cfg.Mix.Homogeneous()),
 		ConnCapacity:  cfg.Mix.TotalRateN(numGroups) / cfg.Load,
 		Specs:         s.specs,
+		WindowSec:     cfg.WindowSec,
 	}
 	for g := 0; g < numGroups; g++ {
 		res.PerGroupWDB[g] = s.perGroup[g].Max()
 		if res.PerGroupWDB[g] > res.WDB {
 			res.WDB = res.PerGroupWDB[g]
 		}
-		res.TreeLayers[g] = s.trees[g].Layers()
+		res.TreeLayers[g] = s.groups[g].tree.Layers()
 		if res.TreeLayers[g] > res.Layers {
 			res.Layers = res.TreeLayers[g]
 		}
+		res.PerGroupLost[g] = s.groups[g].lost
+		res.Lost += s.groups[g].lost
 	}
 	for _, h := range s.hosts {
 		res.ModeSwitches += h.switches
 	}
+	if s.ctl != nil {
+		res.Joins, res.Leaves = s.ctl.joins, s.ctl.leaves
+		res.Regrafts, res.RejectedEvents = s.ctl.regrafts, s.ctl.rejected
+	}
+	if s.windows != nil {
+		res.WindowMax = s.windows.Series()
+	}
 	return res
 }
 
-// Trees exposes the built group trees (for inspection tools and tests).
-func (s *Session) Trees() []*overlay.Tree { return s.trees }
+// Trees exposes the current group trees (for inspection tools and tests).
+// Under churn the trees reflect the membership at the time of the call.
+func (s *Session) Trees() []*overlay.Tree {
+	out := make([]*overlay.Tree, len(s.groups))
+	for g, st := range s.groups {
+		out[g] = st.tree
+	}
+	return out
+}
 
-// Groups exposes the resolved per-group member sets and sources.
-func (s *Session) Groups() []GroupSpec { return s.groups }
+// Groups exposes the compiled (initial) per-group member sets and
+// sources; the control plane's mutations are visible through IsMember and
+// Trees instead.
+func (s *Session) Groups() []GroupSpec {
+	out := make([]GroupSpec, len(s.groups))
+	for g, st := range s.groups {
+		out[g] = st.spec
+	}
+	return out
+}
+
+// IsMember reports host id's current membership in group g — the live
+// control-plane state, which static sessions never change.
+func (s *Session) IsMember(g, id int) bool { return s.groups[g].member[id] }
 
 // Network exposes the underlay (for inspection tools and tests).
 func (s *Session) Network() *topo.Network { return s.net }

@@ -67,6 +67,9 @@ func TestFig4WithAdaptive(t *testing.T) {
 }
 
 func TestFig6ShapeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig. 6 sweep; skipped in -short (the race job's quick suite)")
+	}
 	o := Quick(1)
 	o.NumHosts = 60
 	o.Loads = []float64{0.4, 0.9}

@@ -1,12 +1,15 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 
+	"repro/internal/calculus"
 	"repro/internal/core"
 	"repro/internal/des"
 	"repro/internal/scenario"
 	"repro/internal/stats"
+	"repro/internal/traffic"
 )
 
 // ScenarioCurve is one combo's series across the load grid.
@@ -18,6 +21,24 @@ type ScenarioCurve struct {
 	MeanDelay *stats.Series
 	// Layers is the max tree layer count per load (0 for single-hop).
 	Layers []int
+	// Bound is the theoretical worst-case multicast delay per load
+	// (Remark 2 for (σ,ρ), Theorem 7 for (σ,ρ,λ), at the measured layer
+	// count and the slowest uplink class's capacity); 0 where no closed
+	// form applies (capacity-aware, adaptive, single-hop).
+	Bound []float64
+	// Violations counts loads whose measured WDB exceeded Bound — under
+	// static membership this stays 0; churn repair transients may breach
+	// the static bound, which is exactly what the metric surfaces.
+	Violations int
+	// Lost is the per-load churn-disruption count (packets dropped outside
+	// membership intervals plus regulator backlog abandoned at departures).
+	Lost []uint64
+	// WindowMax holds the per-load windowed max-delay series (bucket
+	// width WindowSec) — the transient view around churn events. Empty
+	// when the scenario sets no window.
+	WindowMax [][]float64
+	// WindowSec is the window bucket width (0 when unset).
+	WindowSec float64
 }
 
 // ScenarioResult is a full scenario sweep: one curve per combo.
@@ -27,6 +48,9 @@ type ScenarioResult struct {
 	Curves   []ScenarioCurve
 	// Delivered totals packet receptions across every cell of the sweep.
 	Delivered uint64
+	// Churn disruption totals across every cell (zero without churn).
+	Joins, Leaves, Regrafts int
+	Lost                    uint64
 }
 
 // ScenarioSweep runs a scenario over its load grid with one engine per
@@ -93,6 +117,8 @@ func ScenarioSweep(sc scenario.Scenario, opts Options) (ScenarioResult, error) {
 			WDB:       &stats.Series{Name: c.String()},
 			MeanDelay: &stats.Series{Name: c.String() + " mean"},
 			Layers:    make([]int, len(loads)),
+			Bound:     make([]float64, len(loads)),
+			Lost:      make([]uint64, len(loads)),
 		})
 	}
 
@@ -101,6 +127,12 @@ func ScenarioSweep(sc scenario.Scenario, opts Options) (ScenarioResult, error) {
 		wdb, mean float64
 		layers    int
 		delivered uint64
+		lost      uint64
+		joins     int
+		leaves    int
+		regrafts  int
+		windows   []float64
+		windowSec float64
 	}
 	cells := make([]cell, len(loads)*len(combos))
 
@@ -137,7 +169,10 @@ func ScenarioSweep(sc scenario.Scenario, opts Options) (ScenarioResult, error) {
 		runJobs(len(cells), opts, func(i int) {
 			r := core.Run(cfgs[i])
 			assertSpecsMatch(specs, r.Specs, cfgs[i].Load)
-			cells[i] = cell{wdb: r.WDB, mean: r.MeanDelay, layers: r.Layers, delivered: r.Delivered}
+			cells[i] = cell{wdb: r.WDB, mean: r.MeanDelay, layers: r.Layers,
+				delivered: r.Delivered, lost: r.Lost,
+				joins: r.Joins, leaves: r.Leaves, regrafts: r.Regrafts,
+				windows: r.WindowMax, windowSec: r.WindowSec}
 		})
 	}
 
@@ -147,10 +182,75 @@ func ScenarioSweep(sc scenario.Scenario, opts Options) (ScenarioResult, error) {
 			res.Curves[ci].WDB.Add(load, c.wdb)
 			res.Curves[ci].MeanDelay.Add(load, c.mean)
 			res.Curves[ci].Layers[li] = c.layers
+			res.Curves[ci].Lost[li] = c.lost
+			if c.windows != nil {
+				if res.Curves[ci].WindowMax == nil {
+					res.Curves[ci].WindowMax = make([][]float64, len(loads))
+				}
+				res.Curves[ci].WindowMax[li] = c.windows
+				res.Curves[ci].WindowSec = c.windowSec
+			}
+			bound := theoryBound(sc, combos[ci], mix, specs, load, c.layers)
+			res.Curves[ci].Bound[li] = bound
+			if bound > 0 && c.wdb > bound {
+				res.Curves[ci].Violations++
+			}
 			res.Delivered += c.delivered
+			res.Lost += c.lost
+			res.Joins += c.joins
+			res.Leaves += c.leaves
+			res.Regrafts += c.regrafts
 		}
 	}
 	return res, nil
+}
+
+// theoryBound computes the closed-form worst-case multicast delay for one
+// (combo, load) cell: Remark 2's (H−1)·Dg for (σ, ρ) end hosts, Theorem
+// 7's (H−1)·D̂g for (σ, ρ, λ), at the cell's measured layer count, with
+// every envelope normalised by the slowest uplink class's connection
+// capacity (the binding hop). Schemes without a closed form — capacity-
+// aware reshaping, the adaptive switcher mid-flight — report 0.
+func theoryBound(sc scenario.Scenario, combo scenario.Combo, mix traffic.Mix,
+	specs []core.FlowSpec, load float64, layers int) float64 {
+	if sc.Kind == scenario.KindSingleHop || layers < 2 {
+		return 0
+	}
+	scheme, err := scenario.ParseScheme(combo.Scheme)
+	if err != nil || (scheme != core.SchemeSigmaRho && scheme != core.SchemeSRL) {
+		return 0
+	}
+	// Under churn the reported layer count is an end-of-run snapshot; the
+	// whole-run WDB must be compared against a height that held at every
+	// instant. The control plane enforces the Lemma 2 height bound on
+	// grafts and repairs, so bound at that cap instead of the snapshot.
+	if sc.Churn.Enabled() {
+		k := sc.ClusterK
+		if k == 0 {
+			k = 3
+		}
+		layers = calculus.DSCTHeightBoundMax(sc.Hosts(), k) + 1
+	}
+	conn := mix.TotalRateN(len(specs)) / load
+	minMult := 1.0
+	if classes := sc.UplinkClasses(); len(classes) > 0 {
+		minMult = classes[0].Mult
+		for _, c := range classes[1:] {
+			if c.Mult < minMult {
+				minMult = c.Mult
+			}
+		}
+	}
+	c := minMult * conn
+	sigmas := make([]float64, len(specs))
+	rhos := make([]float64, len(specs))
+	for i, sp := range specs {
+		sigmas[i], rhos[i] = calculus.Normalize(sp.Sigma, sp.Rho, c)
+	}
+	if scheme == core.SchemeSRL {
+		return calculus.MulticastDhatHetero(layers, sigmas, rhos)
+	}
+	return calculus.MulticastDgHetero(layers, sigmas, rhos)
 }
 
 // Table renders the WDB curves in the figure layout: one column per
@@ -172,7 +272,7 @@ func (r ScenarioResult) Table() *stats.Table {
 }
 
 // Summary gives the one-line outcome: the winning combo at the heaviest
-// load.
+// load, plus the churn disruption totals when membership was dynamic.
 func (r ScenarioResult) Summary() string {
 	if len(r.Loads) == 0 || len(r.Curves) == 0 {
 		return fmt.Sprintf("scenario %s: empty sweep", r.Scenario.Name)
@@ -184,7 +284,73 @@ func (r ScenarioResult) Summary() string {
 			best = i
 		}
 	}
-	return fmt.Sprintf("scenario %s: best at load %.2f is %v (WDB %.4fs); %d deliveries",
+	out := fmt.Sprintf("scenario %s: best at load %.2f is %v (WDB %.4fs); %d deliveries",
 		r.Scenario.Name, r.Loads[last], r.Curves[best].Combo, r.Curves[best].WDB.Y[last],
 		r.Delivered)
+	if r.Joins+r.Leaves > 0 {
+		out += fmt.Sprintf("; churn: %d joins, %d leaves, %d regrafts, %d packets lost",
+			r.Joins, r.Leaves, r.Regrafts, r.Lost)
+	}
+	return out
+}
+
+// scenarioJSON is the machine-readable sweep record, the structured
+// counterpart of Table/Summary so bench and CI tooling stops scraping
+// text tables.
+type scenarioJSON struct {
+	Scenario  string             `json:"scenario"`
+	Kind      string             `json:"kind"`
+	Loads     []float64          `json:"loads"`
+	Delivered uint64             `json:"delivered"`
+	Joins     int                `json:"joins,omitempty"`
+	Leaves    int                `json:"leaves,omitempty"`
+	Regrafts  int                `json:"regrafts,omitempty"`
+	Lost      uint64             `json:"lost,omitempty"`
+	Curves    []scenarioCurveRec `json:"curves"`
+}
+
+type scenarioCurveRec struct {
+	Combo      string      `json:"combo"`
+	WDB        []float64   `json:"wdb"`
+	MeanDelay  []float64   `json:"mean_delay"`
+	Layers     []int       `json:"layers,omitempty"`
+	Bound      []float64   `json:"bound,omitempty"`
+	Violations int         `json:"violations"`
+	Lost       []uint64    `json:"lost,omitempty"`
+	WindowSec  float64     `json:"window_sec,omitempty"`
+	WindowMax  [][]float64 `json:"window_max,omitempty"`
+}
+
+// JSON renders the sweep as an indented machine-readable record: per-combo
+// max delay, mean delay, layer counts, theory bound, bound violations, and
+// churn losses over the load grid.
+func (r ScenarioResult) JSON() ([]byte, error) {
+	kind := string(r.Scenario.Kind)
+	if kind == "" {
+		kind = string(scenario.KindMultiGroup)
+	}
+	rec := scenarioJSON{
+		Scenario:  r.Scenario.Name,
+		Kind:      kind,
+		Loads:     r.Loads,
+		Delivered: r.Delivered,
+		Joins:     r.Joins,
+		Leaves:    r.Leaves,
+		Regrafts:  r.Regrafts,
+		Lost:      r.Lost,
+	}
+	for _, c := range r.Curves {
+		rec.Curves = append(rec.Curves, scenarioCurveRec{
+			Combo:      c.Combo.String(),
+			WDB:        c.WDB.Y,
+			MeanDelay:  c.MeanDelay.Y,
+			Layers:     c.Layers,
+			Bound:      c.Bound,
+			Violations: c.Violations,
+			Lost:       c.Lost,
+			WindowSec:  c.WindowSec,
+			WindowMax:  c.WindowMax,
+		})
+	}
+	return json.MarshalIndent(rec, "", "  ")
 }

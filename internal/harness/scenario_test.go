@@ -96,6 +96,9 @@ func TestScenarioSweepParallelMatchesSequential(t *testing.T) {
 // Every registered scenario must build and run at quick scale — the same
 // coverage `make scenarios` smokes from the CLI.
 func TestEveryRegisteredScenarioRunsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-registry smoke; skipped in -short (the race job's quick suite)")
+	}
 	for _, sc := range scenario.All() {
 		q := sc.Quick()
 		r, err := ScenarioSweep(q, Options{Seed: 1})

@@ -21,16 +21,17 @@ type Config struct {
 	Seed uint64
 }
 
-func (c *Config) fillDefaults() {
+func (c *Config) fillDefaults() error {
 	if c.K == 0 {
 		c.K = 3
 	}
 	if c.K < 2 {
-		panic("overlay: cluster parameter K must be >= 2")
+		return fmt.Errorf("overlay: cluster parameter K must be >= 2, got %d", c.K)
 	}
 	if c.SizeCap != 0 && c.SizeCap < 2 {
-		panic("overlay: SizeCap must be 0 (none) or >= 2")
+		return fmt.Errorf("overlay: SizeCap must be 0 (none) or >= 2, got %d", c.SizeCap)
 	}
+	return nil
 }
 
 // clusterize partitions ids (in the given order) into proximity clusters.
@@ -99,20 +100,16 @@ func buildHierarchy(t *Tree, net *topo.Network, layer []int, source int, k, size
 	return layer[0]
 }
 
-func checkMembership(members []int, source int) {
+func checkMembership(members []int, source int) error {
 	if len(members) == 0 {
-		panic("overlay: empty member set")
+		return fmt.Errorf("overlay: empty member set")
 	}
-	found := false
 	for _, m := range members {
 		if m == source {
-			found = true
-			break
+			return nil
 		}
 	}
-	if !found {
-		panic(fmt.Sprintf("overlay: source %d not in member set", source))
-	}
+	return fmt.Errorf("overlay: source %d not in member set of %d hosts", source, len(members))
 }
 
 // BuildDSCT constructs the paper's DSCT tree (Section V): members are
@@ -120,10 +117,16 @@ func checkMembership(members []int, source int) {
 // backbone router), each domain builds an intra-cluster hierarchy bottom-
 // up, and the surviving local cores build the inter-cluster hierarchy.
 // The delivery tree is rooted at the multicast source (the source wins
-// core election in every cluster containing it).
-func BuildDSCT(net *topo.Network, members []int, source int, cfg Config) *Tree {
-	cfg.fillDefaults()
-	checkMembership(members, source)
+// core election in every cluster containing it). A bad member set or
+// cluster configuration is reported as an error, not a panic, so scenario
+// sweeps can surface the offending spec instead of crashing mid-run.
+func BuildDSCT(net *topo.Network, members []int, source int, cfg Config) (*Tree, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if err := checkMembership(members, source); err != nil {
+		return nil, err
+	}
 	rng := xrand.New(cfg.Seed ^ 0x5851f42d4c957f2d)
 	t := newTree(source, members)
 	inGroup := make(map[int]bool, len(members))
@@ -146,7 +149,7 @@ func BuildDSCT(net *topo.Network, members []int, source int, cfg Config) *Tree {
 		localCores = append(localCores, buildHierarchy(t, net, domain, source, cfg.K, cfg.SizeCap, rng))
 	}
 	buildHierarchy(t, net, localCores, source, cfg.K, cfg.SizeCap, rng)
-	return t
+	return t, nil
 }
 
 // BuildNICE constructs a NICE-style tree (ref [8]): the same hierarchical
@@ -154,15 +157,19 @@ func BuildDSCT(net *topo.Network, members []int, source int, cfg Config) *Tree {
 // bottom layer is visited in seeded random order, so low-layer clusters
 // freely span backbone domains. Cluster sizes and leader election follow
 // the NICE rules ([k, 3k−1], RTT centre).
-func BuildNICE(net *topo.Network, members []int, source int, cfg Config) *Tree {
-	cfg.fillDefaults()
-	checkMembership(members, source)
+func BuildNICE(net *topo.Network, members []int, source int, cfg Config) (*Tree, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if err := checkMembership(members, source); err != nil {
+		return nil, err
+	}
 	rng := xrand.New(cfg.Seed ^ 0x9e3779b97f4a7c15)
 	t := newTree(source, members)
 	layer := append([]int(nil), members...)
 	rng.ShuffleInts(layer)
 	buildHierarchy(t, net, layer, source, cfg.K, cfg.SizeCap, rng)
-	return t
+	return t, nil
 }
 
 // FanoutBound is the capacity-aware child budget of Fig. 1: a host whose
@@ -203,10 +210,12 @@ func CapacityConfig(base Config, load, factor float64) Config {
 // a cluster-size cap on the hierarchy builders, the flat builder bounds
 // each host's *total* fanout, which is what the capacity budget
 // ⌊C_out/Σρᵢ⌋ actually constrains.
-func BuildFlat(net *topo.Network, members []int, source, fanout int) *Tree {
-	checkMembership(members, source)
+func BuildFlat(net *topo.Network, members []int, source, fanout int) (*Tree, error) {
+	if err := checkMembership(members, source); err != nil {
+		return nil, err
+	}
 	if fanout < 1 {
-		panic("overlay: fanout must be >= 1")
+		return nil, fmt.Errorf("overlay: fanout must be >= 1, got %d", fanout)
 	}
 	t := newTree(source, members)
 	unattached := make([]int, 0, len(members)-1)
@@ -230,16 +239,18 @@ func BuildFlat(net *topo.Network, members []int, source, fanout int) *Tree {
 		}
 		unattached = unattached[take:]
 	}
-	return t
+	return t, nil
 }
 
 // BuildFlatBlind is BuildFlat without locality: children are adopted in a
 // seeded random order instead of nearest-by-RTT, so overlay hops freely
 // span backbone domains — the capacity-aware NICE comparator.
-func BuildFlatBlind(net *topo.Network, members []int, source, fanout int, seed uint64) *Tree {
-	checkMembership(members, source)
+func BuildFlatBlind(net *topo.Network, members []int, source, fanout int, seed uint64) (*Tree, error) {
+	if err := checkMembership(members, source); err != nil {
+		return nil, err
+	}
 	if fanout < 1 {
-		panic("overlay: fanout must be >= 1")
+		return nil, fmt.Errorf("overlay: fanout must be >= 1, got %d", fanout)
 	}
 	rng := xrand.New(seed ^ 0xa24baed4963ee407)
 	t := newTree(source, members)
@@ -264,5 +275,5 @@ func BuildFlatBlind(net *topo.Network, members []int, source, fanout int, seed u
 		}
 		unattached = unattached[take:]
 	}
-	return t
+	return t, nil
 }

@@ -1,0 +1,202 @@
+package overlay
+
+// Incremental tree operations for the event-driven session control plane:
+// members graft and prune mid-run, and the subtrees orphaned by a
+// departing forwarder re-attach under the Lemma 2 height bound. The
+// build-time invariants (single parent, membership-internal edges, no
+// cycles) are re-checked incrementally here instead of only at
+// construction time; genuine impossibilities (a cycle through the parent
+// map) remain panics, while caller mistakes return errors.
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/topo"
+)
+
+// depthAttached returns the hop distance from the source to h and whether
+// h is connected to the source at all — false for orphan subtree roots
+// awaiting Repair and for every node inside such a detached subtree.
+func (t *Tree) depthAttached(h int) (int, bool) {
+	d, v := 0, h
+	for {
+		p, ok := t.parent[v]
+		if !ok {
+			return 0, false
+		}
+		if p < 0 {
+			return d, true
+		}
+		v = p
+		d++
+		if d > len(t.Members) {
+			panic("overlay: parent cycle")
+		}
+	}
+}
+
+// SubtreeHeight returns the height of the subtree rooted at h (0 for a
+// leaf), following child edges only — valid for detached subtrees too.
+func (t *Tree) SubtreeHeight(h int) int {
+	height := 0
+	level := []int{h}
+	for {
+		var next []int
+		for _, v := range level {
+			next = append(next, t.child[v]...)
+		}
+		if len(next) == 0 {
+			return height
+		}
+		height++
+		level = next
+		if height > len(t.Members) {
+			panic("overlay: child cycle")
+		}
+	}
+}
+
+// Graft attaches h under parent: either a brand-new member joining the
+// group, or a detached subtree root left by Prune (whose descendants stay
+// members throughout). The parent must be a member attached to the
+// source, which also guarantees acyclicity — a detached subtree cannot
+// contain an attached node.
+func (t *Tree) Graft(h, parent int) error {
+	if h == t.Source {
+		return fmt.Errorf("overlay: cannot graft the source %d", h)
+	}
+	if _, has := t.parent[h]; has {
+		return fmt.Errorf("overlay: graft of %d, which is already attached (parent %d)", h, t.parent[h])
+	}
+	if !t.member[parent] {
+		return fmt.Errorf("overlay: graft of %d under non-member %d", h, parent)
+	}
+	if _, ok := t.depthAttached(parent); !ok {
+		return fmt.Errorf("overlay: graft of %d under detached member %d", h, parent)
+	}
+	if !t.member[h] {
+		t.member[h] = true
+		t.Members = append(t.Members, h)
+	}
+	t.setParent(h, parent)
+	return nil
+}
+
+// Prune removes member h from the tree: h leaves the member set and its
+// children become detached orphan subtree roots (returned in child
+// order), which the caller must re-attach with Repair. Pruning the source
+// is an error — a group's flow enters at its root, so the control plane
+// never churns it out.
+func (t *Tree) Prune(h int) ([]int, error) {
+	if h == t.Source {
+		return nil, fmt.Errorf("overlay: cannot prune the source %d", h)
+	}
+	if !t.member[h] {
+		return nil, fmt.Errorf("overlay: prune of non-member %d", h)
+	}
+	p, ok := t.parent[h]
+	if !ok {
+		return nil, fmt.Errorf("overlay: prune of already-detached member %d", h)
+	}
+	siblings := t.child[p]
+	for i, c := range siblings {
+		if c == h {
+			t.child[p] = append(siblings[:i], siblings[i+1:]...)
+			break
+		}
+	}
+	if len(t.child[p]) == 0 {
+		delete(t.child, p)
+	}
+	delete(t.parent, h)
+	delete(t.member, h)
+	for i, m := range t.Members {
+		if m == h {
+			t.Members = append(t.Members[:i], t.Members[i+1:]...)
+			break
+		}
+	}
+	orphans := append([]int(nil), t.child[h]...)
+	delete(t.child, h)
+	for _, o := range orphans {
+		delete(t.parent, o)
+	}
+	return orphans, nil
+}
+
+// GraftPoint picks the deterministic adoption parent for a node — a fresh
+// joiner, or an orphan subtree root of height subHeight: the attached
+// member nearest to h by RTT (ties broken by id) whose fanout stays below
+// maxFanout and whose depth keeps depth+1+subHeight within maxHeight (the
+// Lemma 2 bound). When no member satisfies both constraints they relax in
+// order — first fanout, then height — so a graft point always exists
+// while the tree has an attached member besides h's own subtree. A
+// non-positive maxFanout or maxHeight disables that constraint.
+func (t *Tree) GraftPoint(net *topo.Network, h, subHeight, maxFanout, maxHeight int) (int, error) {
+	type candidate struct {
+		id  int
+		rtt des.Duration
+		ok  bool
+	}
+	better := func(best candidate, id int, rtt des.Duration) bool {
+		if !best.ok {
+			return true
+		}
+		if rtt != best.rtt {
+			return rtt < best.rtt
+		}
+		return id < best.id
+	}
+	var full, loose, any candidate
+	for _, m := range t.Members {
+		if m == h {
+			continue
+		}
+		depth, attached := t.depthAttached(m)
+		if !attached {
+			continue
+		}
+		rtt := net.RTT(h, m)
+		if better(any, m, rtt) {
+			any = candidate{id: m, rtt: rtt, ok: true}
+		}
+		heightOK := maxHeight <= 0 || depth+1+subHeight <= maxHeight
+		if heightOK && better(loose, m, rtt) {
+			loose = candidate{id: m, rtt: rtt, ok: true}
+		}
+		fanoutOK := maxFanout <= 0 || len(t.child[m]) < maxFanout
+		if heightOK && fanoutOK && better(full, m, rtt) {
+			full = candidate{id: m, rtt: rtt, ok: true}
+		}
+	}
+	switch {
+	case full.ok:
+		return full.id, nil
+	case loose.ok:
+		return loose.id, nil
+	case any.ok:
+		return any.id, nil
+	default:
+		return -1, fmt.Errorf("overlay: no attached member to graft %d under", h)
+	}
+}
+
+// Repair re-attaches the orphan subtree roots left by Prune, each under
+// its GraftPoint, and returns the parent chosen for each orphan in input
+// order. Repairing in input order is deterministic: earlier re-attached
+// subtrees become candidates for later orphans.
+func (t *Tree) Repair(net *topo.Network, orphans []int, maxFanout, maxHeight int) ([]int, error) {
+	parents := make([]int, len(orphans))
+	for i, o := range orphans {
+		p, err := t.GraftPoint(net, o, t.SubtreeHeight(o), maxFanout, maxHeight)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.Graft(o, p); err != nil {
+			return nil, err
+		}
+		parents[i] = p
+	}
+	return parents, nil
+}

@@ -20,9 +20,36 @@ func allMembers(n int) []int {
 	return ms
 }
 
+func mustDSCT(t testing.TB, net *topo.Network, members []int, source int, cfg Config) *Tree {
+	t.Helper()
+	tr, err := BuildDSCT(net, members, source, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func mustNICE(t testing.TB, net *topo.Network, members []int, source int, cfg Config) *Tree {
+	t.Helper()
+	tr, err := BuildNICE(net, members, source, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func mustFlat(t testing.TB, net *topo.Network, members []int, source, fanout int) *Tree {
+	t.Helper()
+	tr, err := BuildFlat(net, members, source, fanout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
 func TestBuildDSCTSpansAndValidates(t *testing.T) {
 	net := network(200, 1)
-	tree := BuildDSCT(net, allMembers(200), 0, Config{Seed: 1})
+	tree := mustDSCT(t, net, allMembers(200), 0, Config{Seed: 1})
 	if err := tree.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -36,14 +63,14 @@ func TestBuildDSCTSpansAndValidates(t *testing.T) {
 
 func TestBuildDSCTDeterministic(t *testing.T) {
 	net := network(120, 2)
-	a := BuildDSCT(net, allMembers(120), 5, Config{Seed: 9})
-	b := BuildDSCT(net, allMembers(120), 5, Config{Seed: 9})
+	a := mustDSCT(t, net, allMembers(120), 5, Config{Seed: 9})
+	b := mustDSCT(t, net, allMembers(120), 5, Config{Seed: 9})
 	for _, m := range a.Members {
 		if a.Parent(m) != b.Parent(m) {
 			t.Fatalf("member %d parents differ", m)
 		}
 	}
-	c := BuildDSCT(net, allMembers(120), 5, Config{Seed: 10})
+	c := mustDSCT(t, net, allMembers(120), 5, Config{Seed: 10})
 	diff := false
 	for _, m := range a.Members {
 		if a.Parent(m) != c.Parent(m) {
@@ -63,7 +90,7 @@ func TestDSCTHeightWithinLemma2Bound(t *testing.T) {
 	for trial := 0; trial < 15; trial++ {
 		n := 10 + rng.Intn(600)
 		net := network(n, uint64(trial))
-		tree := BuildDSCT(net, allMembers(n), rng.Intn(n), Config{Seed: uint64(trial)})
+		tree := mustDSCT(t, net, allMembers(n), rng.Intn(n), Config{Seed: uint64(trial)})
 		if err := tree.Validate(); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -80,7 +107,7 @@ func TestDSCTHeightWithinLemma2Bound(t *testing.T) {
 
 func TestDSCTSingleMember(t *testing.T) {
 	net := network(10, 4)
-	tree := BuildDSCT(net, []int{3}, 3, Config{})
+	tree := mustDSCT(t, net, []int{3}, 3, Config{})
 	if err := tree.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -97,8 +124,8 @@ func TestDSCTLocalityBeatsNICE(t *testing.T) {
 	members := allMembers(300)
 	var dsctStretch, niceStretch float64
 	for seed := uint64(0); seed < 5; seed++ {
-		dsctStretch += BuildDSCT(net, members, 0, Config{Seed: seed}).Stretch(net)
-		niceStretch += BuildNICE(net, members, 0, Config{Seed: seed}).Stretch(net)
+		dsctStretch += mustDSCT(t, net, members, 0, Config{Seed: seed}).Stretch(net)
+		niceStretch += mustNICE(t, net, members, 0, Config{Seed: seed}).Stretch(net)
 	}
 	if dsctStretch >= niceStretch {
 		t.Fatalf("DSCT stretch %v >= NICE stretch %v", dsctStretch/5, niceStretch/5)
@@ -107,7 +134,7 @@ func TestDSCTLocalityBeatsNICE(t *testing.T) {
 
 func TestBuildNICEValidates(t *testing.T) {
 	net := network(150, 5)
-	tree := BuildNICE(net, allMembers(150), 7, Config{Seed: 3})
+	tree := mustNICE(t, net, allMembers(150), 7, Config{Seed: 3})
 	if err := tree.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +146,7 @@ func TestBuildNICEValidates(t *testing.T) {
 func TestSubsetMembership(t *testing.T) {
 	net := network(100, 6)
 	members := []int{2, 3, 5, 8, 13, 21, 34, 55, 89}
-	tree := BuildDSCT(net, members, 13, Config{Seed: 1})
+	tree := mustDSCT(t, net, members, 13, Config{Seed: 1})
 	if err := tree.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -136,8 +163,8 @@ func TestSubsetMembership(t *testing.T) {
 func TestCapacityCapShrinksFanoutAndDeepens(t *testing.T) {
 	net := network(400, 8)
 	members := allMembers(400)
-	free := BuildDSCT(net, members, 0, Config{Seed: 2})
-	capped := BuildDSCT(net, members, 0, Config{Seed: 2, SizeCap: 3})
+	free := mustDSCT(t, net, members, 0, Config{Seed: 2})
+	capped := mustDSCT(t, net, members, 0, Config{Seed: 2, SizeCap: 3})
 	if err := capped.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -185,8 +212,8 @@ func TestCapacityAwareLayersGrowWithLoad(t *testing.T) {
 	// the unconstrained tree's layer count is load-independent.
 	net := network(500, 9)
 	members := allMembers(500)
-	low := BuildDSCT(net, members, 0, CapacityConfig(Config{Seed: 4}, 0.35, 1.5))
-	high := BuildDSCT(net, members, 0, CapacityConfig(Config{Seed: 4}, 0.95, 1.5))
+	low := mustDSCT(t, net, members, 0, CapacityConfig(Config{Seed: 4}, 0.35, 1.5))
+	high := mustDSCT(t, net, members, 0, CapacityConfig(Config{Seed: 4}, 0.95, 1.5))
 	if low.Layers() >= high.Layers() {
 		t.Fatalf("layers low=%d high=%d — no growth with load", low.Layers(), high.Layers())
 	}
@@ -197,14 +224,14 @@ func TestBuildFlatFig1Shapes(t *testing.T) {
 	// ⇒ star. Two groups ⇒ fanout 2 ⇒ two-level tree.
 	net := network(5, 10)
 	members := allMembers(5)
-	star := BuildFlat(net, members, 0, 5)
+	star := mustFlat(t, net, members, 0, 5)
 	if err := star.Validate(); err != nil {
 		t.Fatal(err)
 	}
 	if star.Height() != 1 || len(star.Children(0)) != 4 {
 		t.Fatalf("fanout-5 tree: height %d, children %d", star.Height(), len(star.Children(0)))
 	}
-	deep := BuildFlat(net, members, 0, 2)
+	deep := mustFlat(t, net, members, 0, 2)
 	if err := deep.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +242,7 @@ func TestBuildFlatFig1Shapes(t *testing.T) {
 
 func TestBuildFlatRespectsFanout(t *testing.T) {
 	net := network(100, 11)
-	tree := BuildFlat(net, allMembers(100), 0, 3)
+	tree := mustFlat(t, net, allMembers(100), 0, 3)
 	if err := tree.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +253,7 @@ func TestBuildFlatRespectsFanout(t *testing.T) {
 
 func TestTreeMetrics(t *testing.T) {
 	net := network(50, 12)
-	tree := BuildDSCT(net, allMembers(50), 0, Config{Seed: 6})
+	tree := mustDSCT(t, net, allMembers(50), 0, Config{Seed: 6})
 	if tree.AvgFanout() <= 0 {
 		t.Fatal("avg fanout must be positive")
 	}
@@ -252,7 +279,7 @@ func TestTreeMetrics(t *testing.T) {
 
 func TestValidateCatchesCorruption(t *testing.T) {
 	net := network(30, 13)
-	tree := BuildDSCT(net, allMembers(30), 0, Config{Seed: 1})
+	tree := mustDSCT(t, net, allMembers(30), 0, Config{Seed: 1})
 	// Detach a member.
 	var victim int
 	for _, m := range tree.Members {
@@ -269,7 +296,7 @@ func TestValidateCatchesCorruption(t *testing.T) {
 
 func TestValidateCatchesCycle(t *testing.T) {
 	net := network(30, 14)
-	tree := BuildDSCT(net, allMembers(30), 0, Config{Seed: 1})
+	tree := mustDSCT(t, net, allMembers(30), 0, Config{Seed: 1})
 	// Create a cycle between two non-source members.
 	var a, b = -1, -1
 	for _, m := range tree.Members {
@@ -290,25 +317,32 @@ func TestValidateCatchesCycle(t *testing.T) {
 	}
 }
 
-func TestBuilderPanics(t *testing.T) {
+// The public build API reports bad specs as errors, not panics, so a
+// scenario sweep can surface the offending configuration.
+func TestBuilderErrors(t *testing.T) {
 	net := network(10, 15)
-	for i, fn := range []func(){
-		func() { BuildDSCT(net, nil, 0, Config{}) },
-		func() { BuildDSCT(net, []int{1, 2}, 5, Config{}) }, // source not member
-		func() { BuildDSCT(net, []int{1, 2}, 1, Config{K: 1}) },
-		func() { BuildDSCT(net, []int{1, 2}, 1, Config{SizeCap: 1}) },
-		func() { BuildFlat(net, []int{1, 2}, 1, 0) },
-		func() { FanoutBound(0, 1) },
+	for i, fn := range []func() error{
+		func() error { _, err := BuildDSCT(net, nil, 0, Config{}); return err },
+		func() error { _, err := BuildDSCT(net, []int{1, 2}, 5, Config{}); return err }, // source not member
+		func() error { _, err := BuildDSCT(net, []int{1, 2}, 1, Config{K: 1}); return err },
+		func() error { _, err := BuildDSCT(net, []int{1, 2}, 1, Config{SizeCap: 1}); return err },
+		func() error { _, err := BuildNICE(net, nil, 0, Config{}); return err },
+		func() error { _, err := BuildFlat(net, []int{1, 2}, 1, 0); return err },
+		func() error { _, err := BuildFlatBlind(net, []int{1, 2}, 5, 2, 1); return err },
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatalf("case %d: no panic", i)
-				}
-			}()
-			fn()
-		}()
+		if fn() == nil {
+			t.Fatalf("case %d: no error", i)
+		}
 	}
+	// Internal invariants stay panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("FanoutBound(0,1): no panic")
+			}
+		}()
+		FanoutBound(0, 1)
+	}()
 }
 
 func TestSetParentGuards(t *testing.T) {
@@ -372,7 +406,7 @@ func BenchmarkBuildDSCT665(b *testing.B) {
 	members := allMembers(665)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		BuildDSCT(net, members, 0, Config{Seed: uint64(i)})
+		mustDSCT(b, net, members, 0, Config{Seed: uint64(i)})
 	}
 }
 
@@ -381,6 +415,6 @@ func BenchmarkBuildNICE665(b *testing.B) {
 	members := allMembers(665)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		BuildNICE(net, members, 0, Config{Seed: uint64(i)})
+		mustNICE(b, net, members, 0, Config{Seed: uint64(i)})
 	}
 }

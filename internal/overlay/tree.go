@@ -22,6 +22,7 @@ type Tree struct {
 	Members []int
 	parent  map[int]int
 	child   map[int][]int
+	member  map[int]bool
 }
 
 func newTree(source int, members []int) *Tree {
@@ -30,6 +31,10 @@ func newTree(source int, members []int) *Tree {
 		Members: append([]int(nil), members...),
 		parent:  make(map[int]int, len(members)),
 		child:   make(map[int][]int),
+		member:  make(map[int]bool, len(members)),
+	}
+	for _, m := range members {
+		t.member[m] = true
 	}
 	t.parent[source] = -1
 	return t
@@ -48,6 +53,9 @@ func (t *Tree) setParent(node, parent int) {
 
 // Parent returns the parent of member h, or -1 for the source.
 func (t *Tree) Parent(h int) int { return t.parent[h] }
+
+// IsMember reports whether h is currently in the tree's member set.
+func (t *Tree) IsMember(h int) bool { return t.member[h] }
 
 // Children returns h's direct children (owned by the tree; do not mutate).
 func (t *Tree) Children(h int) []int { return t.child[h] }

@@ -129,7 +129,8 @@ type SigmaRho struct {
 	tokens     float64
 	lastUpdate des.Time
 	serving    bool
-	retry      func() // stored token-wait callback
+	retry      func()    // stored token-wait callback
+	retryEv    des.Event // pending token-wait event (for Detach)
 }
 
 // NewSigmaRho returns a (σ, ρ) regulator starting with a full bucket.
@@ -206,8 +207,19 @@ func (s *SigmaRho) serve() {
 			wait = 1
 		}
 		s.serving = true
-		s.eng.ScheduleIn(wait, s.retry)
+		s.retryEv = s.eng.ScheduleIn(wait, s.retry)
 		return
 	}
 	s.serving = false
+}
+
+// Detach takes the regulator permanently out of service: the pending
+// token-wait (if any) is cancelled and the backlog abandoned. It returns
+// the number of queued packets dropped, so the control plane can account
+// them as lost when a forwarder departs.
+func (s *SigmaRho) Detach() int {
+	s.eng.Cancel(s.retryEv)
+	s.retryEv = des.Event{}
+	s.serving = false
+	return s.q.len()
 }

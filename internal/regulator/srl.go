@@ -88,6 +88,12 @@ func (r *SRL) QueueLen() int { return r.q.len() }
 // On reports whether the regulator is currently in its working state.
 func (r *SRL) On() bool { return r.on }
 
+// Transmitting reports whether a packet is mid-serialisation. After a
+// Detach it stays true until the non-preempted packet completes — a
+// caller tearing down the output path can use it to account that
+// packet's output as lost too.
+func (r *SRL) Transmitting() bool { return r.transmitting }
+
 // EmittedBits returns the cumulative output.
 func (r *SRL) EmittedBits() float64 { return r.emittedBits }
 
@@ -145,8 +151,45 @@ func (r *SRL) StartCycle(offset des.Duration) {
 	}
 	r.cycling = true
 	r.stopCycle = false
+	onPhase, _ := r.phases()
+	r.onEv = r.eng.ScheduleIn(offset, onPhase)
+}
+
+// StartCyclePhased begins the duty cycle mid-phase, as if it had been
+// running since simulation time zero with the given offset: the regulator
+// enters the on/off state the global schedule prescribes for Now and
+// continues from there. At time zero it is StartCycle exactly; mid-run it
+// is how the control plane re-staggers a freshly attached regulator so
+// its working periods interleave with siblings that have been cycling
+// since the start — attach order and attach time drop out of the phase.
+func (r *SRL) StartCyclePhased(offset des.Duration) {
+	now := r.eng.Now()
+	if now <= offset {
+		r.StartCycle(offset - now)
+		return
+	}
+	if r.cycling {
+		panic("regulator: SRL cycle already started")
+	}
+	r.cycling = true
+	r.stopCycle = false
+	onPhase, offPhase := r.phases()
+	w, p := r.WorkPeriod(), r.Period()
+	pos := (now - offset) % p
+	if pos < w {
+		// Inside a working period: turn on and finish it.
+		r.SetOn(true)
+		r.onEv = r.eng.ScheduleIn(w-pos, offPhase)
+	} else {
+		// Inside a vacation: stay off until the next working period.
+		r.SetOn(false)
+		r.onEv = r.eng.ScheduleIn(p-pos, onPhase)
+	}
+}
+
+// phases builds the self-rescheduling on/off callbacks of the duty cycle.
+func (r *SRL) phases() (onPhase, offPhase func()) {
 	w, v := r.WorkPeriod(), r.Vacation()
-	var onPhase, offPhase func()
 	onPhase = func() {
 		if r.stopCycle {
 			return
@@ -161,7 +204,7 @@ func (r *SRL) StartCycle(offset des.Duration) {
 		r.SetOn(false)
 		r.onEv = r.eng.ScheduleIn(v, onPhase)
 	}
-	r.onEv = r.eng.ScheduleIn(offset, onPhase)
+	return onPhase, offPhase
 }
 
 // StopCycle halts the duty cycle, leaving the regulator in its current
@@ -171,6 +214,25 @@ func (r *SRL) StopCycle() {
 	r.cycling = false
 	r.eng.Cancel(r.onEv)
 	r.onEv = des.Event{}
+}
+
+// Detach takes the regulator permanently out of service: the duty cycle
+// stops, the gate closes, and no further packets are emitted — except a
+// packet already mid-transmission, which completes (switching is
+// non-preemptive). It returns the number of queued packets abandoned, so
+// the control plane can account them as lost during repair. Sibling
+// regulators are untouched: their phases come from the global stagger
+// schedule, not from this regulator's presence.
+func (r *SRL) Detach() int {
+	if r.cycling {
+		r.StopCycle()
+	}
+	r.SetOn(false)
+	dropped := r.q.len()
+	if r.transmitting {
+		dropped-- // the in-flight packet still departs
+	}
+	return dropped
 }
 
 // Stagger coordinates the K (σ, ρ, λ) regulators of one end host: it

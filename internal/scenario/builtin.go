@@ -58,6 +58,37 @@ func init() {
 		DurationSec: 5,
 	})
 	Register(Scenario{
+		Name: "churn-waxman-16",
+		Description: "dynamic membership: the scale benchmark under ~10% turnover — " +
+			"2000 hosts, 64-router Waxman, 16 Zipf groups, Poisson joins, exponential lifetimes",
+		Kind:      KindMultiGroup,
+		Mix:       "audio",
+		NumHosts:  2000,
+		NumGroups: 16,
+		Topology:  Topology{Kind: "waxman", Nodes: 64},
+		Membership: Membership{
+			Kind:    "zipf",
+			Skew:    1.0,
+			MinSize: 8,
+		},
+		// ~2% of each group's population arrives per second; over the 5 s
+		// run that is ~10% membership turnover per group, with mean 2 s
+		// stays so most churned-in members also depart mid-run.
+		Churn: Churn{
+			Kind:            "poisson",
+			TurnoverPerSec:  0.02,
+			MeanLifetimeSec: 2,
+			StartSec:        0.5,
+		},
+		WindowSec: 0.5,
+		Combos: []Combo{
+			{Scheme: "sigma-rho-lambda", Tree: "dsct"},
+			{Scheme: "sigma-rho", Tree: "dsct"},
+		},
+		Loads:       []float64{0.5, 0.8},
+		DurationSec: 5,
+	})
+	Register(Scenario{
 		Name: "transit-stub-dsl-fibre",
 		Description: "heterogeneous access: 800 hosts on a 52-router transit-stub " +
 			"hierarchy, 8 uniform partial groups, DSL/cable/fibre uplink classes",

@@ -1,0 +1,217 @@
+package scenario
+
+// The churn model: scenarios describe membership dynamics declaratively
+// (Poisson join arrivals, exponential or Pareto session lifetimes, per-
+// group rates) and the model materialises into a concrete schedule of
+// core.MembershipEvents — a pure function of (scenario, seed, duration),
+// drawn on dedicated xrand streams so enabling churn never perturbs the
+// membership, tree, or traffic streams of the static scenario it extends.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/xrand"
+)
+
+// Churn configures session-level membership churn for a multi-group
+// scenario with partial membership. The model is M/G/∞-style: each group
+// sees a Poisson process of join arrivals, each arrival picks a host
+// uniformly among current non-members, stays for a drawn lifetime, and
+// leaves. Initial members (including every group source) never churn out.
+type Churn struct {
+	// Kind: "" (off) or "poisson".
+	Kind string `json:"kind,omitempty"`
+	// Rate is the per-group join-arrival rate in arrivals/second. Set
+	// exactly one of Rate, TurnoverPerSec, and PerGroupRates.
+	Rate float64 `json:"rate,omitempty"`
+	// TurnoverPerSec sizes the arrival rate relative to the group:
+	// rate_g = TurnoverPerSec × |initial members of g| — so "0.02" means
+	// roughly 2% of the group's population joins (and later leaves) per
+	// simulated second, independent of how skewed the group sizes are.
+	TurnoverPerSec float64 `json:"turnover_per_sec,omitempty"`
+	// PerGroupRates gives each group its own arrivals/second (length must
+	// equal the group count).
+	PerGroupRates []float64 `json:"per_group_rates,omitempty"`
+	// Lifetime: "exponential" (default) or "pareto" (heavy-tailed).
+	Lifetime string `json:"lifetime,omitempty"`
+	// MeanLifetimeSec is the mean session lifetime. Default 2.
+	MeanLifetimeSec float64 `json:"mean_lifetime_sec,omitempty"`
+	// ParetoAlpha is the Pareto shape (> 1 so the mean exists). Default 1.5.
+	ParetoAlpha float64 `json:"pareto_alpha,omitempty"`
+	// StartSec holds churn off during warm-up. Default 0.
+	StartSec float64 `json:"start_sec,omitempty"`
+}
+
+// Enabled reports whether the scenario has churn configured.
+func (c Churn) Enabled() bool { return c.Kind != "" }
+
+// validate checks the churn spec against the scenario's dimensions.
+func (c Churn) validate(name string, groupCount int) error {
+	switch c.Kind {
+	case "":
+		return nil
+	case "poisson":
+	default:
+		return fmt.Errorf("scenario %s: unknown churn kind %q", name, c.Kind)
+	}
+	set := 0
+	if c.Rate > 0 {
+		set++
+	}
+	if c.TurnoverPerSec > 0 {
+		set++
+	}
+	if len(c.PerGroupRates) > 0 {
+		set++
+	}
+	if set != 1 {
+		return fmt.Errorf("scenario %s: churn needs exactly one of rate, turnover_per_sec, per_group_rates", name)
+	}
+	if len(c.PerGroupRates) > 0 && len(c.PerGroupRates) != groupCount {
+		return fmt.Errorf("scenario %s: %d per-group churn rates for %d groups",
+			name, len(c.PerGroupRates), groupCount)
+	}
+	for _, r := range c.PerGroupRates {
+		if r < 0 {
+			return fmt.Errorf("scenario %s: negative churn rate %v", name, r)
+		}
+	}
+	if c.Rate < 0 || c.TurnoverPerSec < 0 || c.MeanLifetimeSec < 0 || c.StartSec < 0 {
+		return fmt.Errorf("scenario %s: negative churn parameter", name)
+	}
+	switch c.Lifetime {
+	case "", "exponential":
+	case "pareto":
+		if c.ParetoAlpha != 0 && c.ParetoAlpha <= 1 {
+			return fmt.Errorf("scenario %s: pareto_alpha must be > 1 for a finite mean", name)
+		}
+	default:
+		return fmt.Errorf("scenario %s: unknown churn lifetime %q", name, c.Lifetime)
+	}
+	return nil
+}
+
+// meanLifetime resolves the configured mean lifetime in seconds.
+func (c Churn) meanLifetime() float64 {
+	if c.MeanLifetimeSec > 0 {
+		return c.MeanLifetimeSec
+	}
+	return 2
+}
+
+// drawLifetime samples one session lifetime in seconds.
+func (c Churn) drawLifetime(rng *xrand.Rand) float64 {
+	mean := c.meanLifetime()
+	if c.Lifetime == "pareto" {
+		alpha := c.ParetoAlpha
+		if alpha == 0 {
+			alpha = 1.5
+		}
+		return rng.Pareto(mean*(alpha-1)/alpha, alpha)
+	}
+	return rng.Exp(mean)
+}
+
+// churnStream salts the per-group churn streams away from the membership
+// streams derived from the same (seed, group) pair.
+const churnStream = 0xc4ceb9fe1a85ec53
+
+// ChurnEvents materialises the scenario's churn model into a concrete
+// membership event schedule over the given run duration: a pure function
+// of (scenario, seed, duration), independent of load, combo, worker
+// count, and execution order. groups is the materialised membership
+// (s.Groups(seed)); passing nil materialises it here. A scenario without
+// churn — or with full membership, which leaves no host to join — yields
+// nil.
+func (s Scenario) ChurnEvents(seed uint64, duration des.Duration, groups []core.GroupSpec) []core.MembershipEvent {
+	if !s.Churn.Enabled() {
+		return nil
+	}
+	if groups == nil {
+		groups = s.Groups(seed)
+	}
+	if groups == nil {
+		return nil
+	}
+	n := s.Hosts()
+	durSec := duration.Seconds()
+	var events []core.MembershipEvent
+	for g := range groups {
+		rate := s.Churn.Rate
+		if s.Churn.TurnoverPerSec > 0 {
+			rate = s.Churn.TurnoverPerSec * float64(len(groups[g].Members))
+		}
+		if len(s.Churn.PerGroupRates) > 0 {
+			rate = s.Churn.PerGroupRates[g]
+		}
+		if rate <= 0 {
+			continue
+		}
+		rng := xrand.New(xrand.DeriveSeed(seed, g) ^ churnStream)
+		member := make([]bool, n)
+		count := 0
+		for _, m := range groups[g].Members {
+			member[m] = true
+			count++
+		}
+		// Pending departures of churned-in members, kept sorted by time.
+		type departure struct {
+			at   float64
+			host int
+		}
+		var pending []departure
+		pop := func(until float64) {
+			for len(pending) > 0 && pending[0].at <= until {
+				d := pending[0]
+				pending = pending[1:]
+				events = append(events, core.MembershipEvent{
+					At: des.Seconds(d.at), Group: g, Host: d.host})
+				member[d.host] = false
+				count--
+			}
+		}
+		t := s.Churn.StartSec
+		for {
+			t += rng.Exp(1 / rate)
+			if t >= durSec {
+				break
+			}
+			pop(t)
+			free := n - count
+			if free == 0 {
+				continue // everyone is a member; the arrival is lost
+			}
+			// Uniform pick among current non-members.
+			idx := rng.Intn(free)
+			host := -1
+			for h := 0; h < n; h++ {
+				if !member[h] {
+					if idx == 0 {
+						host = h
+						break
+					}
+					idx--
+				}
+			}
+			events = append(events, core.MembershipEvent{
+				At: des.Seconds(t), Group: g, Host: host, Join: true})
+			member[host] = true
+			count++
+			leaveAt := t + s.Churn.drawLifetime(rng)
+			if leaveAt < durSec {
+				i := sort.Search(len(pending), func(i int) bool { return pending[i].at > leaveAt })
+				pending = append(pending, departure{})
+				copy(pending[i+1:], pending[i:])
+				pending[i] = departure{at: leaveAt, host: host}
+			}
+		}
+		pop(durSec)
+	}
+	// Merge the per-group schedules chronologically; the stable sort keeps
+	// group order on ties, so the merged schedule is deterministic.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return events
+}

@@ -1,0 +1,193 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/des"
+)
+
+func churnScenario() Scenario {
+	return Scenario{
+		Name:       "churn-test",
+		NumHosts:   120,
+		NumGroups:  4,
+		Membership: Membership{Kind: "uniform", Fraction: 0.3},
+		Churn:      Churn{Kind: "poisson", Rate: 3, MeanLifetimeSec: 1},
+		Combos:     []Combo{{Scheme: "sigma-rho-lambda"}},
+	}
+}
+
+func TestChurnEventsDeterministicAndWellFormed(t *testing.T) {
+	sc := churnScenario()
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a := sc.ChurnEvents(5, 4*des.Second, nil)
+	b := sc.ChurnEvents(5, 4*des.Second, nil)
+	if len(a) == 0 {
+		t.Fatal("no churn events materialised")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic: %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Chronological, in range, and every leave matches an earlier join of
+	// a churned-in host (initial members never leave).
+	groups := sc.Groups(5)
+	member := make([]map[int]bool, len(groups))
+	initial := make([]map[int]bool, len(groups))
+	for g, spec := range groups {
+		member[g] = map[int]bool{}
+		initial[g] = map[int]bool{}
+		for _, m := range spec.Members {
+			member[g][m] = true
+			initial[g][m] = true
+		}
+	}
+	var last des.Time
+	joins, leaves := 0, 0
+	for i, ev := range a {
+		if ev.At < last {
+			t.Fatalf("event %d out of order", i)
+		}
+		last = ev.At
+		if ev.At > 4*des.Second {
+			t.Fatalf("event %d beyond duration: %v", i, ev.At)
+		}
+		if ev.Group < 0 || ev.Group >= 4 || ev.Host < 0 || ev.Host >= 120 {
+			t.Fatalf("event %d out of range: %+v", i, ev)
+		}
+		if ev.Join {
+			if member[ev.Group][ev.Host] {
+				t.Fatalf("event %d joins an existing member: %+v", i, ev)
+			}
+			member[ev.Group][ev.Host] = true
+			joins++
+		} else {
+			if !member[ev.Group][ev.Host] {
+				t.Fatalf("event %d leaves a non-member: %+v", i, ev)
+			}
+			if initial[ev.Group][ev.Host] {
+				t.Fatalf("event %d churns out an initial member: %+v", i, ev)
+			}
+			if ev.Host == groups[ev.Group].Source {
+				t.Fatalf("event %d churns out the source: %+v", i, ev)
+			}
+			member[ev.Group][ev.Host] = false
+			leaves++
+		}
+	}
+	if joins == 0 || leaves == 0 {
+		t.Fatalf("schedule has %d joins, %d leaves — want both", joins, leaves)
+	}
+}
+
+// Enabling churn must not perturb the static streams: membership and
+// session config (minus events/window) stay identical.
+func TestChurnDoesNotPerturbStaticStreams(t *testing.T) {
+	sc := churnScenario()
+	static := sc
+	static.Churn = Churn{}
+	if ga, gb := sc.Groups(9), static.Groups(9); len(ga) != len(gb) {
+		t.Fatal("group counts diverged")
+	} else {
+		for g := range ga {
+			if ga[g].Source != gb[g].Source || len(ga[g].Members) != len(gb[g].Members) {
+				t.Fatalf("group %d membership perturbed by churn", g)
+			}
+			for i := range ga[g].Members {
+				if ga[g].Members[i] != gb[g].Members[i] {
+					t.Fatalf("group %d member %d perturbed", g, i)
+				}
+			}
+		}
+	}
+	ca, err := sc.SessionConfig(sc.Combos[0], 0.7, 9, core.UseSeed(1), 3*des.Second, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := static.SessionConfig(sc.Combos[0], 0.7, 9, core.UseSeed(1), 3*des.Second, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ca.Events) == 0 || len(cb.Events) != 0 {
+		t.Fatalf("events: churn %d, static %d", len(ca.Events), len(cb.Events))
+	}
+	if ca.Seed != cb.Seed || ca.NumHosts != cb.NumHosts || len(ca.Groups) != len(cb.Groups) {
+		t.Fatal("static config fields perturbed by churn")
+	}
+}
+
+func TestChurnTurnoverScalesWithGroupSize(t *testing.T) {
+	sc := churnScenario()
+	sc.Membership = Membership{Kind: "zipf", Skew: 1.2, MinSize: 4}
+	sc.Churn = Churn{Kind: "poisson", TurnoverPerSec: 0.05, MeanLifetimeSec: 1}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	groups := sc.Groups(3)
+	events := sc.ChurnEvents(3, 10*des.Second, groups)
+	joins := make([]int, len(groups))
+	for _, ev := range events {
+		if ev.Join {
+			joins[ev.Group]++
+		}
+	}
+	// The largest (first) Zipf group must see more arrivals than the
+	// smallest — the rates scale with group size.
+	if joins[0] <= joins[len(groups)-1] {
+		t.Fatalf("turnover not size-scaled: %v", joins)
+	}
+}
+
+func TestChurnValidation(t *testing.T) {
+	bad := []func(*Scenario){
+		func(s *Scenario) { s.Churn.Kind = "flash-crowd" },
+		func(s *Scenario) { s.Churn.Rate = 0 }, // no rate at all
+		func(s *Scenario) { s.Churn.TurnoverPerSec = 1 },
+		func(s *Scenario) { s.Churn.PerGroupRates = []float64{1, 2} }, // wrong length
+		func(s *Scenario) { s.Churn.Lifetime = "weibull" },
+		func(s *Scenario) { s.Churn.Lifetime = "pareto"; s.Churn.ParetoAlpha = 0.9 },
+		func(s *Scenario) { s.Membership = Membership{} }, // full membership
+		func(s *Scenario) { s.Combos = append(s.Combos, Combo{Scheme: "capacity-aware"}) },
+		func(s *Scenario) { s.Kind = KindSingleHop },
+	}
+	for i, mutate := range bad {
+		sc := churnScenario()
+		mutate(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Fatalf("case %d: invalid churn scenario accepted", i)
+		}
+	}
+	ok := churnScenario()
+	ok.Churn = Churn{Kind: "poisson", PerGroupRates: []float64{1, 0, 2, 3},
+		Lifetime: "pareto", ParetoAlpha: 1.5}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid pareto/per-group churn rejected: %v", err)
+	}
+}
+
+func TestChurnScenarioRegisteredAndRoundTrips(t *testing.T) {
+	sc := MustLookup("churn-waxman-16")
+	if !sc.Churn.Enabled() {
+		t.Fatal("churn-waxman-16 has no churn")
+	}
+	data, err := sc.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Churn.Kind != sc.Churn.Kind || back.Churn.TurnoverPerSec != sc.Churn.TurnoverPerSec ||
+		back.Churn.MeanLifetimeSec != sc.Churn.MeanLifetimeSec ||
+		back.Churn.StartSec != sc.Churn.StartSec || back.WindowSec != sc.WindowSec {
+		t.Fatalf("churn spec did not round-trip: %+v vs %+v", back.Churn, sc.Churn)
+	}
+}

@@ -140,6 +140,13 @@ type Scenario struct {
 	Topology   Topology   `json:"topology,omitempty"`
 	Membership Membership `json:"membership,omitempty"`
 	Capacity   Capacity   `json:"capacity,omitempty"`
+	// Churn turns on dynamic membership (see churn.go). Requires partial
+	// membership and regulated combos.
+	Churn Churn `json:"churn,omitempty"`
+	// WindowSec sets the windowed max-delay bucket width in seconds for
+	// transient measurement; 0 defaults to 1 s when churn is enabled and
+	// off otherwise.
+	WindowSec float64 `json:"window_sec,omitempty"`
 	// Combos are the series to sweep. Required.
 	Combos []Combo `json:"combos"`
 	// Loads overrides the sweep's load grid (else the caller's grid).
@@ -281,8 +288,24 @@ func (s Scenario) Validate() error {
 	default:
 		return fmt.Errorf("scenario %s: unknown capacity kind %q", s.Name, s.Capacity.Kind)
 	}
-	if s.NumHosts < 0 || s.NumGroups < 0 || s.DurationSec < 0 {
+	if s.NumHosts < 0 || s.NumGroups < 0 || s.DurationSec < 0 || s.WindowSec < 0 {
 		return fmt.Errorf("scenario %s: negative dimensions", s.Name)
+	}
+	if err := s.Churn.validate(s.Name, s.GroupCount()); err != nil {
+		return err
+	}
+	if s.Churn.Enabled() {
+		if s.Kind == KindSingleHop {
+			return fmt.Errorf("scenario %s: churn needs a multi-group scenario", s.Name)
+		}
+		if s.Membership.Full() {
+			return fmt.Errorf("scenario %s: churn needs partial membership (with full membership there is no host left to join)", s.Name)
+		}
+		for _, c := range s.Combos {
+			if scheme, _ := ParseScheme(c.Scheme); scheme == core.SchemeCapacityAware {
+				return fmt.Errorf("scenario %s: churn requires regulated combos (capacity-aware trees cannot express membership drift)", s.Name)
+			}
+		}
 	}
 	if s.Kind == KindMultiGroup || s.Kind == "" {
 		if s.Hosts() < 2 {
@@ -430,6 +453,16 @@ func (s Scenario) SessionConfig(combo Combo, load float64, seed uint64,
 	if groups == nil {
 		groups = s.Groups(seed)
 	}
+	// Churn compiles to a concrete membership event schedule: a pure
+	// function of (scenario, seed, duration) on dedicated streams, so the
+	// same cell always sees the same churn regardless of load, combo, or
+	// sweep parallelism — and a churn-free scenario compiles to the exact
+	// static config it always did.
+	events := s.ChurnEvents(seed, duration, groups)
+	window := s.WindowSec
+	if window == 0 && s.Churn.Enabled() {
+		window = 1
+	}
 	return core.Config{
 		NumHosts:       s.Hosts(),
 		Mix:            mix,
@@ -447,6 +480,8 @@ func (s Scenario) SessionConfig(combo Combo, load float64, seed uint64,
 		Groups:         groups,
 		NumGroups:      s.GroupCount(),
 		UplinkClasses:  s.UplinkClasses(),
+		Events:         events,
+		WindowSec:      window,
 	}, nil
 }
 

@@ -1,0 +1,51 @@
+package stats
+
+// WindowMax accumulates a max-per-window time series: samples fold into
+// fixed-width time buckets, and the series of per-bucket maxima shows how
+// an extreme metric (worst-case delay) evolves over a run — the transient
+// view needed around membership-churn events, where a single end-of-run
+// maximum would hide when the excursion happened.
+type WindowMax struct {
+	width   float64
+	buckets []float64
+	filled  []bool
+}
+
+// NewWindowMax returns an accumulator with the given bucket width in the
+// sample's time unit (seconds throughout this repository). It panics on a
+// non-positive width.
+func NewWindowMax(width float64) *WindowMax {
+	if width <= 0 {
+		panic("stats: window width must be positive")
+	}
+	return &WindowMax{width: width}
+}
+
+// Width returns the bucket width.
+func (w *WindowMax) Width() float64 { return w.width }
+
+// Observe folds sample x at time t into its bucket. Negative times fold
+// into bucket 0.
+func (w *WindowMax) Observe(t, x float64) {
+	i := 0
+	if t > 0 {
+		i = int(t / w.width)
+	}
+	for len(w.buckets) <= i {
+		w.buckets = append(w.buckets, 0)
+		w.filled = append(w.filled, false)
+	}
+	if !w.filled[i] || x > w.buckets[i] {
+		w.buckets[i] = x
+		w.filled[i] = true
+	}
+}
+
+// Series returns a copy of the per-bucket maxima, index i covering times
+// [i·width, (i+1)·width). Buckets with no samples hold 0.
+func (w *WindowMax) Series() []float64 {
+	return append([]float64(nil), w.buckets...)
+}
+
+// NumWindows returns how many buckets have been opened.
+func (w *WindowMax) NumWindows() int { return len(w.buckets) }

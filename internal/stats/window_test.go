@@ -1,0 +1,47 @@
+package stats
+
+import "testing"
+
+func TestWindowMaxBucketsAndSeries(t *testing.T) {
+	w := NewWindowMax(1.0)
+	w.Observe(0.2, 3)
+	w.Observe(0.9, 1)
+	w.Observe(2.5, 7)
+	w.Observe(2.6, 4)
+	got := w.Series()
+	want := []float64{3, 0, 7}
+	if len(got) != len(want) {
+		t.Fatalf("series length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if w.NumWindows() != 3 || w.Width() != 1.0 {
+		t.Fatalf("NumWindows=%d Width=%v", w.NumWindows(), w.Width())
+	}
+}
+
+func TestWindowMaxNegativeTimeAndZeroSamples(t *testing.T) {
+	w := NewWindowMax(0.5)
+	w.Observe(-1, 2)
+	w.Observe(0.1, 0) // a genuine 0 sample must register
+	if s := w.Series(); s[0] != 2 {
+		t.Fatalf("bucket 0 = %v, want 2", s[0])
+	}
+	w2 := NewWindowMax(0.5)
+	w2.Observe(0.1, 0)
+	if s := w2.Series(); len(s) != 1 || s[0] != 0 {
+		t.Fatalf("zero-sample bucket = %v", s)
+	}
+}
+
+func TestWindowMaxPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for width 0")
+		}
+	}()
+	NewWindowMax(0)
+}

@@ -74,6 +74,12 @@ type (
 	Scenario = scenario.Scenario
 	// ScenarioResult is a full scenario sweep's curves.
 	ScenarioResult = harness.ScenarioResult
+	// MembershipEvent is one dynamic membership change applied by the
+	// session control plane (host joins or leaves a group mid-run).
+	MembershipEvent = core.MembershipEvent
+	// Churn is a scenario's declarative membership-churn model (Poisson
+	// arrivals, exponential/Pareto lifetimes).
+	Churn = scenario.Churn
 )
 
 // Re-exported enum values.
