@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_DATE := $(shell date +%F)
 
-.PHONY: all build test race vet fmt check bench bench-json scenarios staticcheck
+.PHONY: all build test race vet fmt check bench bench-json scenarios shards staticcheck
 
 all: check
 
@@ -33,6 +33,15 @@ check: fmt vet build test
 # churn scenarios): catches scenario-layer bit-rot in seconds.
 scenarios:
 	$(GO) run ./cmd/wdcsim -scenario all -quick
+
+# Sharded-mode suite, mirroring `make race`: every shard differential and
+# determinism test across a shard-count matrix (WDCSIM_SHARDS overrides
+# the default of 4 in the tests). Catches partition, lookahead, mailbox-
+# merge, and barrier regressions that a single shard count might mask.
+shards:
+	WDCSIM_SHARDS=2 $(GO) test -run Shard ./...
+	WDCSIM_SHARDS=4 $(GO) test -run Shard ./...
+	WDCSIM_SHARDS=8 $(GO) test -run Shard ./...
 
 # Static analysis. Skips with a notice when the binary is missing so the
 # target is safe on minimal containers; CI installs staticcheck and runs

@@ -9,6 +9,7 @@ package wdc
 //
 //	go test -bench=. -benchmem
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
@@ -264,6 +265,62 @@ func BenchmarkChurnScale(b *testing.B) {
 	b.ReportMetric(float64(delivered), "deliveries")
 	b.ReportMetric(float64(lost), "lost")
 	b.ReportMetric(float64(joins), "joins")
+}
+
+// BenchmarkShardScale measures the sharded conservative-parallel engine
+// on the headroom workload: one waxman-zipf-64 cell (10k hosts, 64 Zipf
+// groups, 128-router Waxman) at load 0.8, reduced duration, across shard
+// counts. shards=1 is the sequential engine (the fallback path), so the
+// sub-benchmark ratios are the intra-run speedup; delivery totals are
+// identical across shard counts by the determinism contract. Build time
+// is excluded — the benchmark isolates Run, the part sharding targets.
+func BenchmarkShardScale(b *testing.B) {
+	sc := MustScenario("waxman-zipf-64")
+	cfg, err := sc.SessionConfig(sc.Combos[0], 0.8, 1, UseSeed(2), 2*des.Second, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var delivered uint64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg.Shards = shards
+				s := core.NewShardedSession(cfg)
+				b.StartTimer()
+				r := s.Run()
+				delivered = r.Delivered
+			}
+			b.ReportMetric(float64(delivered), "deliveries")
+		})
+	}
+}
+
+// BenchmarkShardScaleChurn is BenchmarkShardScale on the dynamic-
+// membership workload (churn-waxman-16 at full population), exercising
+// the quiesce-barrier control-plane path under sharding.
+func BenchmarkShardScaleChurn(b *testing.B) {
+	sc := MustScenario("churn-waxman-16")
+	groups := sc.Groups(1)
+	cfg, err := sc.SessionConfig(sc.Combos[0], 0.8, 1, UseSeed(2), 2*des.Second, nil, groups)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var delivered, lost uint64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg.Shards = shards
+				s := core.NewShardedSession(cfg)
+				b.StartTimer()
+				r := s.Run()
+				delivered, lost = r.Delivered, r.Lost
+			}
+			b.ReportMetric(float64(delivered), "deliveries")
+			b.ReportMetric(float64(lost), "lost")
+		})
+	}
 }
 
 // BenchmarkScenarioScaleBuild measures structure construction alone at

@@ -13,9 +13,18 @@
 //	wdcsim -scenario churn-waxman-16  # dynamic membership under churn
 //	wdcsim -scenario all -quick       # smoke every scenario, reduced scale
 //	wdcsim -scenario ring-sparse -json  # machine-readable results
+//	wdcsim -scenario waxman-zipf-64 -shards 8  # sharded 10k-host session
 //
 // Experiments: fig2, fig4a, fig4b, fig4c, fig6a, fig6b, fig6c, table1,
 // table2, table3, rhostar, ratio, all.
+//
+// -shards N (default GOMAXPROCS) runs each multi-group session as a
+// sharded conservative-parallel simulation; physics are identical to the
+// sequential engine (deliveries, losses, worst-case delays), so it is
+// purely a wall-clock lever for big sessions. The one shard-count-
+// dependent output is the reported mean delay's last few bits (per-shard
+// Welford accumulators merge in shard order); pass -shards 1 when
+// byte-identical output across machines matters more than speed.
 package main
 
 import (
@@ -55,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		durSec        = fs.Float64("duration", 0, "override per-run simulated seconds")
 		sequential    = fs.Bool("sequential", false, "run sweep points sequentially (debugging)")
 		workers       = fs.Int("workers", 0, "sweep worker pool size (default GOMAXPROCS)")
+		shards        = fs.Int("shards", runtime.GOMAXPROCS(0), "per-run shard count for multi-group sessions (1 = sequential engine)")
 		cpuProfile    = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile    = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -102,7 +112,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// Scenario sweeps resolve their own grid/duration, so only pass
 		// what the user explicitly overrode on the command line.
 		opts := harness.Options{Seed: *seed, Sequential: *sequential, Workers: *workers,
-			NumHosts: *hosts}
+			NumHosts: *hosts, Shards: *shards}
 		if *durSec > 0 {
 			opts.Duration = des.Seconds(*durSec)
 			opts.SingleHopDuration = des.Seconds(*durSec)
@@ -138,6 +148,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts.Sequential = *sequential
 		opts.Workers = *workers
 	}
+	opts.Shards = *shards
 	if *hosts > 0 {
 		opts.NumHosts = *hosts
 	}

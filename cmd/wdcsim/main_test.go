@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -16,6 +17,52 @@ func TestListScenarios(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("listing missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestListScenariosSortedStable pins the listing order: registry entries
+// print in sorted name order, identically across invocations — never in
+// map-iteration order.
+func TestListScenariosSortedStable(t *testing.T) {
+	render := func() string {
+		var out, errOut bytes.Buffer
+		if code := run([]string{"-list-scenarios"}, &out, &errOut); code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+		}
+		return out.String()
+	}
+	first := render()
+	lines := strings.Split(strings.TrimSpace(first), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("listing too short:\n%s", first)
+	}
+	var names []string
+	for _, line := range lines[1:] { // skip header
+		fields := strings.Fields(line)
+		if len(fields) > 0 {
+			names = append(names, fields[0])
+		}
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("scenario names not sorted: %v", names)
+	}
+	for i := 0; i < 5; i++ {
+		if render() != first {
+			t.Fatal("listing not stable across invocations")
+		}
+	}
+}
+
+// TestScenarioShardsFlag smoke-tests a sharded scenario run through the
+// CLI.
+func TestScenarioShardsFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-scenario", "waxman-zipf-16", "-quick", "-duration", "1", "-shards", "3"},
+		&out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "deliveries") {
+		t.Fatalf("unexpected output:\n%s", out.String())
 	}
 }
 

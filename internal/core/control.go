@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/calculus"
 	"repro/internal/des"
+	"repro/internal/topo"
 )
 
 // MembershipEvent is one dynamic membership change: Host joins or leaves
@@ -39,10 +40,16 @@ func (e MembershipEvent) String() string {
 	return fmt.Sprintf("%v host %d %s group %d", e.At, e.Host, verb, e.Group)
 }
 
-// controlPlane applies membership events to the session's per-group
-// runtime state.
+// controlPlane applies membership events to a session's per-group runtime
+// state. It holds the substrate's shared structures and the host array
+// directly rather than a *Session, because both the sequential Session and
+// the sharded session drive the same control plane — the former through
+// engine events, the latter through coordinator barriers that quiesce
+// every shard before a mutation spanning them.
 type controlPlane struct {
-	s *Session
+	net    *topo.Network
+	groups []*groupState
+	hosts  []*host
 	// maxFanout and maxHeight bound repairs and grafts: the cluster size
 	// cap 3K−1 of the DSCT/NICE builders, and the Lemma 2 height bound.
 	maxFanout int
@@ -51,33 +58,49 @@ type controlPlane struct {
 	joins, leaves, regrafts, rejected int
 }
 
-func newControlPlane(s *Session) *controlPlane {
+func newControlPlane(sub *substrate, hosts []*host) *controlPlane {
 	return &controlPlane{
-		s:         s,
-		maxFanout: 3*s.cfg.ClusterK - 1,
-		maxHeight: calculus.DSCTHeightBoundMax(s.cfg.NumHosts, s.cfg.ClusterK),
+		net:       sub.net,
+		groups:    sub.groups,
+		hosts:     hosts,
+		maxFanout: 3*sub.cfg.ClusterK - 1,
+		maxHeight: calculus.DSCTHeightBoundMax(sub.cfg.NumHosts, sub.cfg.ClusterK),
 	}
 }
 
-// schedule enqueues the events on the session engine in time order.
-// Events beyond the traffic duration are dropped — the sources have
+// sortedEventsWithin returns the events at or before duration, stably
+// sorted by time — the application order both execution modes share.
+// Events beyond the traffic duration are dropped: the sources have
 // stopped, so late churn would only distort the drain tail.
-func (cp *controlPlane) schedule(events []MembershipEvent) {
+func sortedEventsWithin(events []MembershipEvent, duration des.Duration) []MembershipEvent {
 	evs := append([]MembershipEvent(nil), events...)
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	n := 0
 	for _, ev := range evs {
-		if ev.At > cp.s.cfg.Duration {
-			continue
+		if ev.At <= duration {
+			evs[n] = ev
+			n++
 		}
+	}
+	return evs[:n]
+}
+
+// schedule enqueues the events on the given engine in time order — the
+// sequential execution path. Scheduling at build time gives the events
+// the lowest sequence numbers at their timestamps, so they win same-time
+// ties against packet events; coordinator barriers reproduce exactly this
+// ordering in sharded runs.
+func (cp *controlPlane) schedule(eng *des.Engine, duration des.Duration, events []MembershipEvent) {
+	for _, ev := range sortedEventsWithin(events, duration) {
 		ev := ev
-		cp.s.eng.Schedule(ev.At, func() { cp.apply(ev) })
+		eng.Schedule(ev.At, func() { cp.apply(ev) })
 	}
 }
 
 // apply executes one membership change.
 func (cp *controlPlane) apply(ev MembershipEvent) {
-	if ev.Group < 0 || ev.Group >= len(cp.s.groups) ||
-		ev.Host < 0 || ev.Host >= cp.s.cfg.NumHosts {
+	if ev.Group < 0 || ev.Group >= len(cp.groups) ||
+		ev.Host < 0 || ev.Host >= len(cp.hosts) {
 		cp.rejected++
 		return
 	}
@@ -93,12 +116,12 @@ func (cp *controlPlane) apply(ev MembershipEvent) {
 // new child connection (and, if it was not forwarding g before, a
 // re-staggered regulator).
 func (cp *controlPlane) join(g, h int) {
-	st := cp.s.groups[g]
+	st := cp.groups[g]
 	if st.member[h] {
 		cp.rejected++
 		return
 	}
-	parent, err := st.tree.GraftPoint(cp.s.net, h, 0, cp.maxFanout, cp.maxHeight)
+	parent, err := st.tree.GraftPoint(cp.net, h, 0, cp.maxFanout, cp.maxHeight)
 	if err != nil {
 		cp.rejected++
 		return
@@ -107,7 +130,7 @@ func (cp *controlPlane) join(g, h int) {
 		panic(fmt.Sprintf("core: control plane graft: %v", err))
 	}
 	st.member[h] = true
-	cp.s.hosts[parent].attachChild(g, h)
+	cp.hosts[parent].attachChild(g, h)
 	cp.joins++
 }
 
@@ -117,7 +140,7 @@ func (cp *controlPlane) join(g, h int) {
 // graft point. Packets to h already in flight are dropped on arrival by
 // Session.receive. The group's source never leaves.
 func (cp *controlPlane) leave(g, h int) {
-	st := cp.s.groups[g]
+	st := cp.groups[g]
 	if !st.member[h] || h == st.tree.Source {
 		cp.rejected++
 		return
@@ -128,14 +151,14 @@ func (cp *controlPlane) leave(g, h int) {
 		panic(fmt.Sprintf("core: control plane prune: %v", err))
 	}
 	st.member[h] = false
-	st.lost += uint64(cp.s.hosts[parent].removeChild(g, h))
-	st.lost += uint64(cp.s.hosts[h].detachGroup(g))
-	parents, err := st.tree.Repair(cp.s.net, orphans, cp.maxFanout, cp.maxHeight)
+	st.lost += uint64(cp.hosts[parent].removeChild(g, h))
+	st.lost += uint64(cp.hosts[h].detachGroup(g))
+	parents, err := st.tree.Repair(cp.net, orphans, cp.maxFanout, cp.maxHeight)
 	if err != nil {
 		panic(fmt.Sprintf("core: control plane repair: %v", err))
 	}
 	for i, o := range orphans {
-		cp.s.hosts[parents[i]].attachChild(g, o)
+		cp.hosts[parents[i]].attachChild(g, o)
 		cp.regrafts++
 	}
 	cp.leaves++

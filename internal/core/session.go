@@ -10,7 +10,6 @@ import (
 	"repro/internal/stats"
 	"repro/internal/topo"
 	"repro/internal/traffic"
-	"repro/internal/xrand"
 )
 
 // TreeKind selects the overlay architecture of Simulation II.
@@ -127,6 +126,14 @@ type Config struct {
 	// many seconds — the transient view of worst-case delay around churn
 	// events. 0 disables windowed measurement.
 	WindowSec float64
+
+	// Shards, when > 1, runs the session as a sharded conservative-
+	// parallel simulation: hosts partition into router-granular shards,
+	// each with a private engine, advanced in lock-step epochs by a
+	// des.Coordinator (see shard.go). 0 or 1 selects the sequential
+	// engine, which is the bit-identity baseline. Sharded execution
+	// requires PipeTransit; New falls back to sequential otherwise.
+	Shards int
 }
 
 func (c *Config) fillDefaults() {
@@ -168,6 +175,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.WindowSec < 0 {
 		panic("core: WindowSec must be non-negative")
+	}
+	if c.Shards < 0 {
+		panic("core: Shards must be non-negative")
 	}
 }
 
@@ -305,146 +315,41 @@ type Session struct {
 
 // NewSession builds the network, trees, and host machinery for cfg.
 func NewSession(cfg Config) *Session {
-	cfg.fillDefaults()
-	s := &Session{cfg: cfg, eng: des.New()}
-	s.net = topo.NewNetwork(cfg.Topology.Build(cfg.Seed), topo.NetworkConfig{
-		NumHosts:      cfg.NumHosts,
-		Seed:          cfg.Seed,
-		UplinkClasses: cfg.UplinkClasses,
-	})
+	return newSessionFrom(compileSubstrate(cfg))
+}
+
+// newSessionFrom wires the sequential engine over a compiled substrate.
+// The wiring order (hosts in id order, controllers immediately after their
+// host, control plane last) fixes the engine's event sequence numbers and
+// is pinned by the golden bit-identity tests.
+func newSessionFrom(sub *substrate) *Session {
+	cfg := sub.cfg
+	s := &Session{cfg: cfg, eng: des.New(), net: sub.net, specs: sub.specs, groups: sub.groups}
 	s.fabric = netsim.NewFabric(s.eng, s.net, netsim.FabricConfig{Mode: cfg.Transit})
 
-	// Flow envelopes: one flow per group.
-	numGroups := cfg.groupCount()
-	s.specs = cfg.Specs
-	if s.specs == nil {
-		s.specs = cfg.Workload.BuildSpecsN(cfg.Mix, numGroups, cfg.TrafficSeed.Or(cfg.Seed),
-			cfg.EnvelopeMargin, cfg.BurstSec, cfg.EnvelopeHorizonSec)
-	} else if len(s.specs) != numGroups {
-		panic(fmt.Sprintf("core: %d specs for %d groups", len(s.specs), numGroups))
-	}
-	groups := cfg.resolveGroups(numGroups)
-
-	// Base per-connection capacity from the x-axis load: sized so a host
-	// carrying every group flow runs at the configured utilisation.
-	conn := cfg.Mix.TotalRateN(numGroups) / cfg.Load
-
-	// Trees. Regulated schemes build one tree per group over the group's
-	// member set, rooted at its source. The capacity-aware scheme under
-	// the paper's full-membership model instead shares a single
-	// cluster-capped tree across all groups, exactly as the paper's
-	// Fig. 1(b) reconstructs one tree carrying both flows: its fanout
-	// budget ⌊C_out/Σρᵢ⌋ only yields a stable schedule when the same d
-	// children receive every flow. With explicit (possibly disjoint)
-	// member sets no shared tree can span every group, so the scheme
-	// falls back to one capped flat tree per group. A failed build is a
-	// panic here: the configs the scenario layer compiles are validated
-	// before any session exists, so this indicates a programming error.
-	must := func(t *overlay.Tree, err error) *overlay.Tree {
-		if err != nil {
-			panic(err)
-		}
-		return t
-	}
-	build := func(g int, tc overlay.Config) *overlay.Tree {
-		if cfg.Tree == TreeNICE {
-			return must(overlay.BuildNICE(s.net, groups[g].Members, groups[g].Source, tc))
-		}
-		return must(overlay.BuildDSCT(s.net, groups[g].Members, groups[g].Source, tc))
-	}
-	trees := make([]*overlay.Tree, numGroups)
-	if cfg.Scheme == SchemeCapacityAware {
-		fanout := overlay.FanoutBound(cfg.Load, cfg.CapacityFactor)
-		if cfg.Groups == nil {
-			var shared *overlay.Tree
-			members := groups[0].Members
-			if cfg.Tree == TreeNICE {
-				shared = must(overlay.BuildFlatBlind(s.net, members, 0, fanout, xrand.DeriveSeed(cfg.Seed, 0)))
-			} else {
-				shared = must(overlay.BuildFlat(s.net, members, 0, fanout))
-			}
-			for g := range trees {
-				trees[g] = shared
-			}
-		} else {
-			for g := range trees {
-				if cfg.Tree == TreeNICE {
-					trees[g] = must(overlay.BuildFlatBlind(s.net, groups[g].Members,
-						groups[g].Source, fanout, xrand.DeriveSeed(cfg.Seed, g)))
-				} else {
-					trees[g] = must(overlay.BuildFlat(s.net, groups[g].Members,
-						groups[g].Source, fanout))
-				}
-			}
-		}
-	} else {
-		for g := 0; g < numGroups; g++ {
-			tc := overlay.Config{K: cfg.ClusterK, Seed: xrand.DeriveSeed(cfg.Seed, g)}
-			trees[g] = build(g, tc)
-		}
-	}
-
-	// Per-group runtime: the mutable state the control plane drives.
-	s.groups = make([]*groupState, numGroups)
-	for g := range s.groups {
-		member := make([]bool, cfg.NumHosts)
-		for _, m := range groups[g].Members {
-			member[m] = true
-		}
-		s.groups[g] = &groupState{spec: groups[g], tree: trees[g], member: member}
-	}
-
+	numGroups := sub.numGroups()
 	// Host machinery.
 	env := &hostEnv{
 		eng:        s.eng,
 		specs:      s.specs,
-		conn:       conn,
-		bursts:     RegulatorBursts(s.specs, conn),
+		conn:       sub.conn,
+		mults:      sub.mults,
+		bursts:     RegulatorBursts(s.specs, sub.conn),
 		discipline: cfg.Discipline,
 		aligned:    cfg.StaggerAligned,
+		threshold:  sub.threshold,
 		send:       func(from, to int, p traffic.Packet) { s.fabric.Send(from, to, p) },
 	}
 	s.env = env
-	if len(cfg.UplinkClasses) > 0 {
-		env.mults = make([]float64, cfg.NumHosts)
-		minMult := s.net.Hosts[0].UplinkMult
-		for id := range env.mults {
-			env.mults[id] = s.net.Hosts[id].UplinkMult
-			if env.mults[id] < minMult {
-				minMult = env.mults[id]
-			}
-		}
-		// Every flow envelope must fit inside the slowest class's uplink:
-		// a host whose C sits at or below some ρᵢ cannot regulate flow i
-		// (NewSRL requires ρ < C), and even a host that never forwards
-		// flow i folds W_i = σᵢ/(C−ρᵢ) into its stagger offsets — a
-		// negative W would silently corrupt the schedule. Fail loudly at
-		// build time instead.
-		for g, sp := range s.specs {
-			if sp.Rho >= minMult*conn {
-				panic(fmt.Sprintf(
-					"core: group %d envelope rate %.0f bps exceeds the slowest uplink class capacity %.0f bps (mult %.2g of C=%.0f); lower the load or raise the class multiplier",
-					g, sp.Rho, minMult*conn, minMult, conn))
-			}
-		}
-	}
 	if cfg.Scheme == SchemeCapacityAware {
 		env.capAware = true
 		env.capFactor = cfg.CapacityFactor
 	}
 	s.hosts = make([]*host, cfg.NumHosts)
-	threshold := ThresholdUtilization(numGroups, cfg.Mix.Homogeneous())
-	env.threshold = threshold
 	for id := 0; id < cfg.NumHosts; id++ {
-		children := make([][]int, numGroups)
-		for g := 0; g < numGroups; g++ {
-			// Copy: trees own their child slices and the control plane
-			// mutates host child sets independently of tree bookkeeping.
-			children[g] = append([]int(nil), trees[g].Children(id)...)
-		}
-		s.hosts[id] = newHost(id, env, children, cfg.Scheme)
+		s.hosts[id] = newHost(id, env, sub.childrenOf(id), cfg.Scheme)
 		if cfg.Scheme == SchemeAdaptive && len(s.hosts[id].muxes) > 0 {
-			s.hosts[id].startController(des.Second, 250*des.Millisecond, threshold)
+			s.hosts[id].startController(des.Second, 250*des.Millisecond, sub.threshold)
 		}
 		id := id
 		s.fabric.SetReceiver(id, func(p traffic.Packet) { s.receive(id, p) })
@@ -455,8 +360,8 @@ func NewSession(cfg Config) *Session {
 		s.windows = stats.NewWindowMax(cfg.WindowSec)
 	}
 	if len(cfg.Events) > 0 {
-		s.ctl = newControlPlane(s)
-		s.ctl.schedule(cfg.Events)
+		s.ctl = newControlPlane(sub, s.hosts)
+		s.ctl.schedule(s.eng, cfg.Duration, cfg.Events)
 	}
 	return s
 }
@@ -570,7 +475,8 @@ func (s *Session) IsMember(g, id int) bool { return s.groups[g].member[id] }
 // Network exposes the underlay (for inspection tools and tests).
 func (s *Session) Network() *topo.Network { return s.net }
 
-// Run builds a session for cfg and runs it.
+// Run builds a session for cfg and runs it: sequential by default,
+// sharded conservative-parallel when cfg.Shards > 1 (see shard.go).
 func Run(cfg Config) Result {
-	return NewSession(cfg).Run()
+	return New(cfg).Run()
 }

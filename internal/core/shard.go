@@ -1,0 +1,297 @@
+package core
+
+// Sharded conservative-parallel execution of a multi-group session: the
+// host population partitions into router-granular shards (whole local
+// domains stay together), each shard owns a private engine with its own
+// fabric view, regulator banks, MUXes, and shard-local measurement, and a
+// des.Coordinator advances the shards in lock-step epochs whose width is
+// the minimum cross-shard propagation delay. Packets whose destination
+// lives on another shard hand off through the coordinator's per-pair
+// mailboxes and are merged into the destination engine at epoch barriers
+// under the (at, lamport, srcShard, seq) total order, so runs are
+// bit-stable for a fixed shard count. Control-plane membership events —
+// which mutate trees and host state spanning shards — apply at
+// coordinator barriers with every engine quiesced at exactly the event
+// time, reproducing the sequential engine's "control events win same-time
+// ties" rule.
+//
+// Shards=1 never reaches this file: New compiles it to the sequential
+// Session, whose output is pinned bit-for-bit by the golden tests.
+
+import (
+	"repro/internal/des"
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// Runner is a built session (sequential or sharded) ready to Run once.
+type Runner interface {
+	Run() Result
+}
+
+// New builds the session runner cfg asks for: a sharded conservative-
+// parallel session when Shards > 1 and the transit model allows it
+// (PipeTransit — QueuedTransit serialises through router links that are
+// shared state across shards), otherwise the sequential Session.
+func New(cfg Config) Runner {
+	if cfg.Shards > 1 && cfg.Transit == netsim.PipeTransit {
+		return NewShardedSession(cfg)
+	}
+	return NewSession(cfg)
+}
+
+// shardRuntime is one shard's private execution state: an engine, a
+// fabric bound to it, the host environment, and shard-local measurement
+// (merged after the run — observation must never cross shards mid-run).
+type shardRuntime struct {
+	id     int
+	eng    *des.Engine
+	fabric *netsim.Fabric
+	env    *hostEnv
+
+	perGroup []stats.MaxTracker
+	delays   stats.Welford
+	deliver  uint64
+	lost     []uint64         // per-group churn drops observed at owned hosts
+	windows  *stats.WindowMax // nil unless cfg.WindowSec > 0
+}
+
+// ShardedSession runs one multi-group session across multiple engines.
+// Build with NewShardedSession (or core.New), run once with Run.
+type ShardedSession struct {
+	sub   *substrate
+	seq   *Session // non-nil when the partition degenerates to one shard
+	owner []int    // host id -> shard
+	sh    []*shardRuntime
+	hosts []*host // global host array, each wired to its owning shard's env
+	coord *des.Coordinator
+	ctl   *controlPlane
+}
+
+// NewShardedSession compiles cfg for sharded execution. The structural
+// substrate (network, envelopes, member sets, trees) is identical to the
+// sequential build; only the wiring differs. When the topology yields a
+// single populated shard (or cfg.Shards <= 1) the session falls back to
+// the sequential engine — the two are equivalent, the sequential one is
+// just cheaper.
+func NewShardedSession(cfg Config) *ShardedSession {
+	sub := compileSubstrate(cfg)
+	cfg = sub.cfg
+	s := &ShardedSession{sub: sub}
+	owner := netsim.PartitionHosts(sub.net, cfg.Shards)
+	nsh := netsim.NumShards(owner)
+	lookahead, haveCross := netsim.Lookahead(sub.net, owner)
+	if nsh <= 1 || cfg.Shards <= 1 {
+		s.seq = newSessionFrom(sub)
+		return s
+	}
+	if !haveCross {
+		// Multiple shards but no cross-shard pair can exist (disconnected
+		// populations): epochs may be unbounded.
+		lookahead = des.Time(1)<<62 - 1
+	}
+	s.owner = owner
+
+	engines := make([]*des.Engine, nsh)
+	for i := range engines {
+		engines[i] = des.New()
+	}
+	s.coord = des.NewCoordinator(engines, lookahead)
+
+	numGroups := sub.numGroups()
+	s.sh = make([]*shardRuntime, nsh)
+	for si := 0; si < nsh; si++ {
+		si := si
+		sh := &shardRuntime{
+			id:       si,
+			eng:      engines[si],
+			perGroup: make([]stats.MaxTracker, numGroups),
+			lost:     make([]uint64, numGroups),
+		}
+		if cfg.WindowSec > 0 {
+			sh.windows = stats.NewWindowMax(cfg.WindowSec)
+		}
+		sh.fabric = netsim.NewFabric(sh.eng, sub.net, netsim.FabricConfig{
+			Mode:  cfg.Transit,
+			Local: func(h int) bool { return owner[h] == si },
+			Remote: func(dst int, at des.Time, p traffic.Packet) {
+				t := owner[dst]
+				s.coord.Post(si, t, at, func() { s.sh[t].fabric.Deliver(dst, p) })
+			},
+		})
+		sh.env = &hostEnv{
+			eng:        sh.eng,
+			specs:      sub.specs,
+			conn:       sub.conn,
+			mults:      sub.mults,
+			bursts:     RegulatorBursts(sub.specs, sub.conn),
+			discipline: cfg.Discipline,
+			aligned:    cfg.StaggerAligned,
+			threshold:  sub.threshold,
+			send:       func(from, to int, p traffic.Packet) { sh.fabric.Send(from, to, p) },
+		}
+		if cfg.Scheme == SchemeCapacityAware {
+			sh.env.capAware = true
+			sh.env.capFactor = cfg.CapacityFactor
+		}
+		s.sh[si] = sh
+	}
+
+	// Hosts wire in global id order, exactly as the sequential build does:
+	// each shard engine's event sequence is then the projection of the
+	// sequential schedule onto its hosts.
+	s.hosts = make([]*host, cfg.NumHosts)
+	for id := 0; id < cfg.NumHosts; id++ {
+		sh := s.sh[owner[id]]
+		s.hosts[id] = newHost(id, sh.env, sub.childrenOf(id), cfg.Scheme)
+		if cfg.Scheme == SchemeAdaptive && len(s.hosts[id].muxes) > 0 {
+			s.hosts[id].startController(des.Second, 250*des.Millisecond, sub.threshold)
+		}
+		id, sh := id, sh
+		sh.fabric.SetReceiver(id, func(p traffic.Packet) { s.receive(sh, id, p) })
+	}
+
+	if len(cfg.Events) > 0 {
+		s.ctl = newControlPlane(sub, s.hosts)
+		events := sortedEventsWithin(cfg.Events, cfg.Duration)
+		var times []des.Time
+		for _, ev := range events {
+			if len(times) == 0 || ev.At != times[len(times)-1] {
+				times = append(times, ev.At)
+			}
+		}
+		next := 0
+		s.coord.AtBarriers(times, func(at des.Time) {
+			// Apply every event at this instant in the shared sorted
+			// order, with all shards quiesced at exactly `at` — the same
+			// mutation order the sequential engine's tie-break produces.
+			for next < len(events) && events[next].At == at {
+				s.ctl.apply(events[next])
+				next++
+			}
+		})
+	}
+	return s
+}
+
+// Shards reports how many shards the session actually runs on (1 when the
+// partition degenerated to the sequential engine).
+func (s *ShardedSession) Shards() int {
+	if s.seq != nil {
+		return 1
+	}
+	return len(s.sh)
+}
+
+// Lookahead reports the conservative epoch width (0 for the sequential
+// fallback).
+func (s *ShardedSession) Lookahead() des.Duration {
+	if s.seq != nil {
+		return 0
+	}
+	return s.coord.Lookahead()
+}
+
+// receive is the shard-local delivery path — Session.receive with every
+// observation folded into the owning shard's accumulators. Membership
+// reads are safe: the bitmaps only change at coordinator barriers, when
+// no shard is executing.
+func (s *ShardedSession) receive(sh *shardRuntime, id int, p traffic.Packet) {
+	g := p.Flow
+	st := s.sub.groups[g]
+	if !st.member[id] {
+		sh.lost[g]++
+		return
+	}
+	d := p.Delay(sh.eng.Now()).Seconds()
+	sh.perGroup[g].Observe(d, p.ID)
+	sh.delays.Add(d)
+	sh.deliver++
+	if sh.windows != nil {
+		sh.windows.Observe(sh.eng.Now().Seconds(), d)
+	}
+	h := s.hosts[id]
+	h.observe(p)
+	h.forward(g, p)
+}
+
+// Run drives the sharded simulation for the configured duration plus the
+// drain tail and returns the merged measurements. Merge order is fixed
+// (group-major, shard-minor), so results are deterministic for a given
+// shard count.
+func (s *ShardedSession) Run() Result {
+	if s.seq != nil {
+		return s.seq.Run()
+	}
+	cfg := s.sub.cfg
+	numGroups := s.sub.numGroups()
+	// Sources: group g's flow enters at its tree root, on the root's
+	// shard. Sources are built in group order from the same derived
+	// streams as the sequential run, so emissions are identical.
+	sources := cfg.Workload.BuildSourcesN(cfg.Mix, numGroups, cfg.TrafficSeed.Or(cfg.Seed),
+		cfg.EnvelopeMargin, cfg.BurstSec)
+	for g, src := range sources {
+		g := g
+		root := s.sub.groups[g].tree.Source
+		rootHost := s.hosts[root]
+		src.Start(s.sh[s.owner[root]].eng, cfg.Duration, func(p traffic.Packet) {
+			rootHost.observe(p)
+			rootHost.forward(g, p)
+		})
+	}
+	// Drain tail: generous for duty-cycle vacations at every hop.
+	s.coord.Run(cfg.Duration + 20*des.Second)
+
+	res := Result{
+		PerGroupWDB:   make([]float64, numGroups),
+		TreeLayers:    make([]int, numGroups),
+		PerGroupLost:  make([]uint64, numGroups),
+		ThresholdUtil: s.sub.threshold,
+		ConnCapacity:  s.sub.conn,
+		Specs:         s.sub.specs,
+		WindowSec:     cfg.WindowSec,
+	}
+	var delays stats.Welford
+	var windows *stats.WindowMax
+	for _, sh := range s.sh {
+		delays.Merge(sh.delays)
+		res.Delivered += sh.deliver
+		if sh.windows != nil {
+			if windows == nil {
+				windows = stats.NewWindowMax(cfg.WindowSec)
+			}
+			windows.Merge(sh.windows)
+		}
+	}
+	res.MeanDelay = delays.Mean()
+	for g := 0; g < numGroups; g++ {
+		var mt stats.MaxTracker
+		lost := s.sub.groups[g].lost // control-plane losses (quiesced writes)
+		for _, sh := range s.sh {
+			mt.Merge(sh.perGroup[g])
+			lost += sh.lost[g]
+		}
+		res.PerGroupWDB[g] = mt.Max()
+		if res.PerGroupWDB[g] > res.WDB {
+			res.WDB = res.PerGroupWDB[g]
+		}
+		res.TreeLayers[g] = s.sub.groups[g].tree.Layers()
+		if res.TreeLayers[g] > res.Layers {
+			res.Layers = res.TreeLayers[g]
+		}
+		res.PerGroupLost[g] = lost
+		res.Lost += lost
+	}
+	for _, h := range s.hosts {
+		res.ModeSwitches += h.switches
+	}
+	if s.ctl != nil {
+		res.Joins, res.Leaves = s.ctl.joins, s.ctl.leaves
+		res.Regrafts, res.RejectedEvents = s.ctl.regrafts, s.ctl.rejected
+	}
+	if windows != nil {
+		res.WindowMax = windows.Series()
+	}
+	return res
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"math"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// testShardCount honours the WDCSIM_SHARDS env var (the CI shard matrix);
+// default 4.
+func testShardCount(t testing.TB) int {
+	if v := os.Getenv("WDCSIM_SHARDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad WDCSIM_SHARDS=%q", v)
+		}
+		return n
+	}
+	return 4
+}
+
+func shardBaseConfig(seed uint64) Config {
+	return Config{
+		NumHosts:  240,
+		Mix:       traffic.MixAudio,
+		Load:      0.8,
+		Scheme:    SchemeSRL,
+		Duration:  3 * des.Second,
+		Seed:      seed,
+		Topology:  topo.Waxman{N: 24},
+		NumGroups: 6,
+		Groups: []GroupSpec{
+			// Mixed full and partial membership; sources spread out.
+			{Source: 0},
+			{Source: 5},
+			{Source: 17, Members: rangeMembers(10, 120)},
+			{Source: 60, Members: rangeMembers(40, 200)},
+			{Source: 100, Members: rangeMembers(100, 240)},
+			{Source: 3, Members: rangeMembers(0, 80)},
+		},
+	}
+}
+
+func rangeMembers(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// assertResultsEquivalent compares the physics-level outcome of two runs:
+// identical deliveries, losses, per-group worst-case delays (bit for bit),
+// and tree layers. MeanDelay is compared loosely — the Welford merge
+// changes float summation order, not the sample set.
+func assertResultsEquivalent(t *testing.T, label string, seqr, shr Result) {
+	t.Helper()
+	if seqr.Delivered != shr.Delivered {
+		t.Errorf("%s: delivered %d (sequential) vs %d (sharded)", label, seqr.Delivered, shr.Delivered)
+	}
+	if seqr.Lost != shr.Lost {
+		t.Errorf("%s: lost %d vs %d", label, seqr.Lost, shr.Lost)
+	}
+	for g := range seqr.PerGroupWDB {
+		if seqr.PerGroupWDB[g] != shr.PerGroupWDB[g] {
+			t.Errorf("%s: group %d WDB %.17g vs %.17g", label, g, seqr.PerGroupWDB[g], shr.PerGroupWDB[g])
+		}
+		if seqr.PerGroupLost[g] != shr.PerGroupLost[g] {
+			t.Errorf("%s: group %d lost %d vs %d", label, g, seqr.PerGroupLost[g], shr.PerGroupLost[g])
+		}
+	}
+	if seqr.WDB != shr.WDB {
+		t.Errorf("%s: WDB %.17g vs %.17g", label, seqr.WDB, shr.WDB)
+	}
+	if seqr.Layers != shr.Layers {
+		t.Errorf("%s: layers %d vs %d", label, seqr.Layers, shr.Layers)
+	}
+	if seqr.Joins != shr.Joins || seqr.Leaves != shr.Leaves ||
+		seqr.Regrafts != shr.Regrafts || seqr.RejectedEvents != shr.RejectedEvents {
+		t.Errorf("%s: control counters (%d,%d,%d,%d) vs (%d,%d,%d,%d)", label,
+			seqr.Joins, seqr.Leaves, seqr.Regrafts, seqr.RejectedEvents,
+			shr.Joins, shr.Leaves, shr.Regrafts, shr.RejectedEvents)
+	}
+	if len(seqr.WindowMax) != len(shr.WindowMax) {
+		t.Errorf("%s: window series length %d vs %d", label, len(seqr.WindowMax), len(shr.WindowMax))
+	} else {
+		for i := range seqr.WindowMax {
+			if seqr.WindowMax[i] != shr.WindowMax[i] {
+				t.Errorf("%s: window %d max %.17g vs %.17g", label, i, seqr.WindowMax[i], shr.WindowMax[i])
+			}
+		}
+	}
+	if seqr.Delivered > 0 && math.Abs(seqr.MeanDelay-shr.MeanDelay) > 1e-9*math.Max(1, seqr.MeanDelay) {
+		t.Errorf("%s: mean delay %v vs %v beyond merge tolerance", label, seqr.MeanDelay, shr.MeanDelay)
+	}
+}
+
+// TestShardedMatchesSequential is the core differential test: a sharded
+// run must reproduce the sequential run's physics exactly — same
+// deliveries, same losses, same per-group worst-case delays.
+func TestShardedMatchesSequential(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeSRL, SchemeSigmaRho} {
+		cfg := shardBaseConfig(11)
+		cfg.Scheme = scheme
+		seqr := Run(cfg)
+		cfg.Shards = testShardCount(t)
+		s := NewShardedSession(cfg)
+		if s.Shards() < 2 {
+			t.Fatalf("partition degenerated to %d shards", s.Shards())
+		}
+		if la := s.Lookahead(); la <= 0 {
+			t.Fatalf("lookahead %v", la)
+		}
+		shr := s.Run()
+		if seqr.Delivered == 0 {
+			t.Fatal("no deliveries — test workload is broken")
+		}
+		assertResultsEquivalent(t, scheme.String(), seqr, shr)
+	}
+}
+
+// TestShardedMatchesSequentialUnderChurn adds membership events: grafts,
+// prunes, repairs, and regulator teardowns must apply at quiesced
+// barriers and reproduce the sequential outcome exactly.
+func TestShardedMatchesSequentialUnderChurn(t *testing.T) {
+	cfg := shardBaseConfig(13)
+	cfg.WindowSec = 0.5
+	cfg.Events = []MembershipEvent{
+		{At: des.Seconds(0.4), Group: 2, Host: 130, Join: true},
+		{At: des.Seconds(0.4), Group: 3, Host: 10, Join: true},
+		{At: des.Seconds(0.7), Group: 2, Host: 30},
+		{At: des.Seconds(1.1), Group: 4, Host: 150},
+		{At: des.Seconds(1.1), Group: 2, Host: 130},
+		{At: des.Seconds(1.6), Group: 5, Host: 200, Join: true}, // out of member range: join anyway
+		{At: des.Seconds(2.0), Group: 3, Host: 60},
+		{At: des.Seconds(9.0), Group: 2, Host: 11}, // beyond duration: dropped
+	}
+	seqr := Run(cfg)
+	if seqr.Joins == 0 || seqr.Leaves == 0 {
+		t.Fatalf("churn workload inert: %+v", seqr)
+	}
+	cfg.Shards = testShardCount(t)
+	shr := Run(cfg)
+	assertResultsEquivalent(t, "churn", seqr, shr)
+}
+
+// TestShardedAdaptiveMatchesSequential covers the adaptive controller's
+// per-host tickers and mode switches under sharding.
+func TestShardedAdaptiveMatchesSequential(t *testing.T) {
+	cfg := shardBaseConfig(17)
+	cfg.Scheme = SchemeAdaptive
+	cfg.Duration = 2 * des.Second
+	seqr := Run(cfg)
+	cfg.Shards = testShardCount(t)
+	shr := Run(cfg)
+	assertResultsEquivalent(t, "adaptive", seqr, shr)
+	if seqr.ModeSwitches != shr.ModeSwitches {
+		t.Errorf("mode switches %d vs %d", seqr.ModeSwitches, shr.ModeSwitches)
+	}
+}
+
+// TestShardedDeterministicRepeatedRuns pins the fixed-N determinism
+// contract: two sharded runs of the same config are identical in every
+// field, including the merge-order-sensitive ones.
+func TestShardedDeterministicRepeatedRuns(t *testing.T) {
+	cfg := shardBaseConfig(19)
+	cfg.Shards = testShardCount(t)
+	cfg.Events = []MembershipEvent{
+		{At: des.Seconds(0.5), Group: 2, Host: 130, Join: true},
+		{At: des.Seconds(1.2), Group: 2, Host: 30},
+	}
+	a := Run(cfg)
+	for i := 0; i < 3; i++ {
+		b := Run(cfg)
+		if math.Float64bits(a.WDB) != math.Float64bits(b.WDB) ||
+			math.Float64bits(a.MeanDelay) != math.Float64bits(b.MeanDelay) ||
+			a.Delivered != b.Delivered || a.Lost != b.Lost {
+			t.Fatalf("run %d diverged: %+v vs %+v", i, a, b)
+		}
+		for g := range a.PerGroupWDB {
+			if math.Float64bits(a.PerGroupWDB[g]) != math.Float64bits(b.PerGroupWDB[g]) {
+				t.Fatalf("run %d group %d WDB bits diverged", i, g)
+			}
+		}
+	}
+}
+
+// TestShardedFallsBackSequentially pins the degenerate paths: Shards<=1,
+// a single-shard partition, and QueuedTransit all compile to the
+// sequential engine.
+func TestShardedFallsBackSequentially(t *testing.T) {
+	cfg := Config{NumHosts: 40, Mix: traffic.MixAudio, Load: 0.6, Scheme: SchemeSRL,
+		Duration: des.Second, Seed: 3, Shards: 1}
+	s := NewShardedSession(cfg) // Shards=1 partition degenerates inside
+	if s.Shards() != 1 {
+		t.Fatalf("Shards=1 partition used %d shards", s.Shards())
+	}
+	if s.Lookahead() != 0 {
+		t.Fatalf("sequential fallback reports lookahead %v", s.Lookahead())
+	}
+	if _, ok := New(cfg).(*Session); !ok {
+		t.Fatal("Shards=1 did not compile to the sequential Session")
+	}
+	cfg.Shards = 4
+	cfg.Transit = netsim.QueuedTransit
+	if _, ok := New(cfg).(*Session); !ok {
+		t.Fatal("QueuedTransit did not fall back to the sequential Session")
+	}
+	// The fallback still runs (and matches the plain sequential result).
+	cfg.Transit = netsim.PipeTransit
+	cfg.Shards = 1
+	a := NewShardedSession(cfg).Run()
+	b := Run(Config{NumHosts: 40, Mix: traffic.MixAudio, Load: 0.6, Scheme: SchemeSRL,
+		Duration: des.Second, Seed: 3})
+	if a.Delivered != b.Delivered || a.WDB != b.WDB {
+		t.Fatalf("fallback run diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestShardedStaticEqualsShards1Bits: for a static session the sharded
+// per-group maxima must be bit-identical to the sequential ones (the same
+// packets see the same delays; only observation is distributed).
+func TestShardedStaticEqualsShards1Bits(t *testing.T) {
+	cfg := Config{NumHosts: 120, Mix: traffic.MixAudio, Load: 0.9, Scheme: SchemeSigmaRho,
+		Duration: 2 * des.Second, Seed: 23, NumGroups: 4}
+	seqr := Run(cfg)
+	cfg.Shards = testShardCount(t)
+	shr := Run(cfg)
+	for g := range seqr.PerGroupWDB {
+		if math.Float64bits(seqr.PerGroupWDB[g]) != math.Float64bits(shr.PerGroupWDB[g]) {
+			t.Fatalf("group %d WDB bits %016x vs %016x", g,
+				math.Float64bits(seqr.PerGroupWDB[g]), math.Float64bits(shr.PerGroupWDB[g]))
+		}
+	}
+	if seqr.Delivered != shr.Delivered {
+		t.Fatalf("delivered %d vs %d", seqr.Delivered, shr.Delivered)
+	}
+}

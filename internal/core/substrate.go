@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/overlay"
+	"repro/internal/topo"
+	"repro/internal/xrand"
+)
+
+// substrate is the engine-independent compiled structure of a session:
+// everything NewSession derives from a Config before any simulation
+// machinery is wired — the underlay network, flow envelopes, resolved
+// member sets, delivery trees, base connection capacity, and uplink
+// multipliers. It is the shared front half of both the sequential Session
+// and the sharded session: compiling it involves no engine, so sequential
+// and sharded builds start from bit-identical structure.
+//
+// The groups field is the mutable per-group runtime (trees and member
+// bitmaps the control plane drives), so a substrate belongs to exactly
+// one session; compile a fresh one per run.
+type substrate struct {
+	cfg       Config // fillDefaults applied
+	net       *topo.Network
+	specs     []FlowSpec
+	groups    []*groupState
+	conn      float64   // base per-connection capacity C (bits/second)
+	mults     []float64 // per-host uplink multipliers; nil when homogeneous
+	threshold float64   // adaptive switching utilisation
+}
+
+func (sub *substrate) numGroups() int { return len(sub.specs) }
+
+// compileSubstrate validates cfg and builds the session structure. The
+// derivation order and every random stream match the pre-shard NewSession
+// exactly — pinned by the paper-fig4/paper-fig6 golden bit-identity tests.
+func compileSubstrate(cfg Config) *substrate {
+	cfg.fillDefaults()
+	sub := &substrate{cfg: cfg}
+	sub.net = topo.NewNetwork(cfg.Topology.Build(cfg.Seed), topo.NetworkConfig{
+		NumHosts:      cfg.NumHosts,
+		Seed:          cfg.Seed,
+		UplinkClasses: cfg.UplinkClasses,
+	})
+
+	// Flow envelopes: one flow per group.
+	numGroups := cfg.groupCount()
+	sub.specs = cfg.Specs
+	if sub.specs == nil {
+		sub.specs = cfg.Workload.BuildSpecsN(cfg.Mix, numGroups, cfg.TrafficSeed.Or(cfg.Seed),
+			cfg.EnvelopeMargin, cfg.BurstSec, cfg.EnvelopeHorizonSec)
+	} else if len(sub.specs) != numGroups {
+		panic(fmt.Sprintf("core: %d specs for %d groups", len(sub.specs), numGroups))
+	}
+	groups := cfg.resolveGroups(numGroups)
+
+	// Base per-connection capacity from the x-axis load: sized so a host
+	// carrying every group flow runs at the configured utilisation.
+	sub.conn = cfg.Mix.TotalRateN(numGroups) / cfg.Load
+
+	// Trees. Regulated schemes build one tree per group over the group's
+	// member set, rooted at its source. The capacity-aware scheme under
+	// the paper's full-membership model instead shares a single
+	// cluster-capped tree across all groups, exactly as the paper's
+	// Fig. 1(b) reconstructs one tree carrying both flows: its fanout
+	// budget ⌊C_out/Σρᵢ⌋ only yields a stable schedule when the same d
+	// children receive every flow. With explicit (possibly disjoint)
+	// member sets no shared tree can span every group, so the scheme
+	// falls back to one capped flat tree per group. A failed build is a
+	// panic here: the configs the scenario layer compiles are validated
+	// before any session exists, so this indicates a programming error.
+	must := func(t *overlay.Tree, err error) *overlay.Tree {
+		if err != nil {
+			panic(err)
+		}
+		return t
+	}
+	build := func(g int, tc overlay.Config) *overlay.Tree {
+		if cfg.Tree == TreeNICE {
+			return must(overlay.BuildNICE(sub.net, groups[g].Members, groups[g].Source, tc))
+		}
+		return must(overlay.BuildDSCT(sub.net, groups[g].Members, groups[g].Source, tc))
+	}
+	trees := make([]*overlay.Tree, numGroups)
+	if cfg.Scheme == SchemeCapacityAware {
+		fanout := overlay.FanoutBound(cfg.Load, cfg.CapacityFactor)
+		if cfg.Groups == nil {
+			var shared *overlay.Tree
+			members := groups[0].Members
+			if cfg.Tree == TreeNICE {
+				shared = must(overlay.BuildFlatBlind(sub.net, members, 0, fanout, xrand.DeriveSeed(cfg.Seed, 0)))
+			} else {
+				shared = must(overlay.BuildFlat(sub.net, members, 0, fanout))
+			}
+			for g := range trees {
+				trees[g] = shared
+			}
+		} else {
+			for g := range trees {
+				if cfg.Tree == TreeNICE {
+					trees[g] = must(overlay.BuildFlatBlind(sub.net, groups[g].Members,
+						groups[g].Source, fanout, xrand.DeriveSeed(cfg.Seed, g)))
+				} else {
+					trees[g] = must(overlay.BuildFlat(sub.net, groups[g].Members,
+						groups[g].Source, fanout))
+				}
+			}
+		}
+	} else {
+		for g := 0; g < numGroups; g++ {
+			tc := overlay.Config{K: cfg.ClusterK, Seed: xrand.DeriveSeed(cfg.Seed, g)}
+			trees[g] = build(g, tc)
+		}
+	}
+
+	// Per-group runtime: the mutable state the control plane drives.
+	sub.groups = make([]*groupState, numGroups)
+	for g := range sub.groups {
+		member := make([]bool, cfg.NumHosts)
+		for _, m := range groups[g].Members {
+			member[m] = true
+		}
+		sub.groups[g] = &groupState{spec: groups[g], tree: trees[g], member: member}
+	}
+
+	if len(cfg.UplinkClasses) > 0 {
+		sub.mults = make([]float64, cfg.NumHosts)
+		minMult := sub.net.Hosts[0].UplinkMult
+		for id := range sub.mults {
+			sub.mults[id] = sub.net.Hosts[id].UplinkMult
+			if sub.mults[id] < minMult {
+				minMult = sub.mults[id]
+			}
+		}
+		// Every flow envelope must fit inside the slowest class's uplink:
+		// a host whose C sits at or below some ρᵢ cannot regulate flow i
+		// (NewSRL requires ρ < C), and even a host that never forwards
+		// flow i folds W_i = σᵢ/(C−ρᵢ) into its stagger offsets — a
+		// negative W would silently corrupt the schedule. Fail loudly at
+		// build time instead.
+		for g, sp := range sub.specs {
+			if sp.Rho >= minMult*sub.conn {
+				panic(fmt.Sprintf(
+					"core: group %d envelope rate %.0f bps exceeds the slowest uplink class capacity %.0f bps (mult %.2g of C=%.0f); lower the load or raise the class multiplier",
+					g, sp.Rho, minMult*sub.conn, minMult, sub.conn))
+			}
+		}
+	}
+	sub.threshold = ThresholdUtilization(numGroups, cfg.Mix.Homogeneous())
+	return sub
+}
+
+// childrenOf returns host id's per-group child sets, copied: trees own
+// their child slices and the control plane mutates host child sets
+// independently of tree bookkeeping.
+func (sub *substrate) childrenOf(id int) [][]int {
+	children := make([][]int, len(sub.groups))
+	for g, st := range sub.groups {
+		children[g] = append([]int(nil), st.tree.Children(id)...)
+	}
+	return children
+}

@@ -51,13 +51,36 @@ func (t Time) String() string { return fmt.Sprintf("%.3fms", t.Millis()) }
 // event is the pooled queue record. Records are recycled through the
 // engine's free list after firing or reaping; gen distinguishes the
 // incarnations so stale handles become harmless no-ops.
+//
+// Events fire in (at, prio, seq) order. prio is the event's scheduling
+// time: Schedule stamps it with Now, which is non-decreasing in seq, so
+// for a purely local engine the order is identical to the seed's (at,
+// seq). Its purpose is cross-shard merging (shard.go): a message posted at
+// sender time t but materialised in the destination engine at a later
+// epoch barrier carries prio = t, which restores exactly the tie-break a
+// sequential run would have given an event scheduled at t — without it,
+// systematic same-timestamp ties (burst cascades phase-locked on the
+// serialisation grid) would resolve by drain order instead of send order.
 type event struct {
 	at       Time
+	prio     Time
 	seq      uint64
 	fn       func()
 	next     *event // bucket chain / free-list link
 	gen      uint32
 	canceled bool
+}
+
+// eventLess is the engine's total firing order (seq is unique, so the
+// order is strict).
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.seq < b.seq
 }
 
 // Event is a cancelable handle to a scheduled callback. It is a small
@@ -149,6 +172,15 @@ func (e *Engine) release(ev *event) {
 // (before Now) panics: it always indicates a model bug, and silently
 // reordering time would destroy the causality the simulation depends on.
 func (e *Engine) Schedule(at Time, fn func()) Event {
+	return e.SchedulePrio(at, e.now, fn)
+}
+
+// SchedulePrio is Schedule with an explicit tie-break priority in place of
+// the default Now stamp: among events firing at the same instant, lower
+// prio fires first (seq still breaks exact prio ties). The shard
+// coordinator uses it to materialise cross-shard messages under their
+// sender-side scheduling time; local simulation code should use Schedule.
+func (e *Engine) SchedulePrio(at, prio Time, fn func()) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("des: scheduling at %v before now %v", at, e.now))
 	}
@@ -157,6 +189,7 @@ func (e *Engine) Schedule(at Time, fn func()) Event {
 	}
 	ev := e.alloc()
 	ev.at = at
+	ev.prio = prio
 	ev.seq = e.seq
 	ev.fn = fn
 	e.seq++

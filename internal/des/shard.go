@@ -1,0 +1,345 @@
+package des
+
+// Conservative-parallel execution: a Coordinator advances N independent
+// Engines (shards) in lock-step epochs whose width is the model's
+// conservative lookahead — the minimum simulated delay any cross-shard
+// interaction can have. Within an epoch every shard executes only events
+// that fire strictly before the epoch's end, so no shard can observe an
+// effect another shard has not yet produced: a cross-shard message sent at
+// local time t arrives at t + d with d >= lookahead >= the remaining epoch
+// width, i.e. always in a later epoch, and the coordinator moves it into
+// the destination engine at the epoch barrier before that epoch begins.
+//
+// Determinism contract. A sharded run must be bit-stable for a fixed shard
+// count regardless of OS scheduling. Three mechanisms guarantee it:
+//
+//  1. Each shard's engine is strictly sequential and only its own worker
+//     goroutine touches it during an epoch.
+//  2. Cross-shard messages travel through per-(src, dst) mailboxes that
+//     only the source shard appends to; at the barrier the coordinator
+//     merges a destination's inbound messages under the explicit total
+//     order (at, lamport, srcShard, seq) — arrival time, the sender's
+//     clock at send, the sending shard, and a per-sender monotone counter
+//     — and schedules them in that order, so destination-engine tie-breaks
+//     (its internal seq) are independent of thread interleaving.
+//  3. Barrier callbacks (the session control plane) run on the
+//     coordinator goroutine while every engine is quiesced at exactly the
+//     barrier time, before any same-time events execute — mirroring the
+//     sequential engine, where control events are scheduled at build time
+//     and therefore win every same-timestamp tie.
+//
+// Epochs are demand-driven: each epoch starts at the global minimum next
+// event time, so idle stretches (drain tails, sparse scenarios) cost one
+// barrier instead of thousands.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NextAt reports the firing time of the earliest pending event, or false
+// when the queue is empty.
+func (e *Engine) NextAt() (Time, bool) {
+	ev := e.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
+// RunBefore executes every event with firing time strictly before bound,
+// then advances the clock to exactly bound (never backward). It is the
+// epoch step of conservative-parallel execution: unlike RunUntil it leaves
+// events at the bound itself unfired, so a barrier action at the bound
+// runs before same-time events, exactly as a build-time-scheduled event
+// would in a sequential run.
+func (e *Engine) RunBefore(bound Time) {
+	e.running = true
+	for e.running {
+		nxt := e.peek()
+		if nxt == nil || nxt.at >= bound {
+			break
+		}
+		e.ready[e.readyHead] = nil
+		e.readyHead++
+		e.exec(nxt)
+	}
+	e.running = false
+	if e.now < bound {
+		e.now = bound
+	}
+}
+
+// shardMsg is one cross-shard event in flight between epochs. Its fields
+// are the explicit merge key; fn runs on the destination engine at `at`.
+type shardMsg struct {
+	at      Time   // delivery time on the destination engine
+	lamport Time   // the sender's clock when the message was posted
+	src     int    // sending shard
+	seq     uint64 // per-sender monotone counter
+	fn      func()
+}
+
+// msgLess is the total order cross-shard messages merge under. seq is
+// unique per src, so the order is strict.
+func msgLess(a, b shardMsg) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.lamport != b.lamport {
+		return a.lamport < b.lamport
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+// Coordinator drives a set of shard engines through conservative epochs.
+// Build it with NewCoordinator, register any barrier actions, then call
+// Run once. Coordinators are single-use.
+type Coordinator struct {
+	engines   []*Engine
+	lookahead Time
+
+	outbox [][][]shardMsg // [src][dst] mailboxes, appended by src's worker
+	seq    []uint64       // per-src message counter
+	merge  []shardMsg     // reusable barrier merge buffer
+
+	barriers  []Time     // ascending, distinct quiesce points
+	onBarrier func(Time) // runs with every engine quiesced at the time
+	active    []int      // reusable per-epoch dispatch list
+
+	// Diagnostics.
+	epochs   uint64
+	messages uint64
+}
+
+// NewCoordinator returns a coordinator over the given engines with the
+// given conservative lookahead. The lookahead must be positive: a model
+// with zero minimum cross-shard delay cannot be conservatively
+// parallelised. Engines must be fresh (at time zero, nothing fired).
+func NewCoordinator(engines []*Engine, lookahead Duration) *Coordinator {
+	if len(engines) == 0 {
+		panic("des: coordinator needs at least one engine")
+	}
+	if lookahead <= 0 {
+		panic("des: conservative lookahead must be positive")
+	}
+	n := len(engines)
+	out := make([][][]shardMsg, n)
+	for i := range out {
+		out[i] = make([][]shardMsg, n)
+	}
+	return &Coordinator{
+		engines:   engines,
+		lookahead: lookahead,
+		outbox:    out,
+		seq:       make([]uint64, n),
+	}
+}
+
+// Lookahead returns the conservative epoch width.
+func (c *Coordinator) Lookahead() Time { return c.lookahead }
+
+// Epochs reports how many epochs have been executed.
+func (c *Coordinator) Epochs() uint64 { return c.epochs }
+
+// Messages reports how many cross-shard messages have been relayed.
+func (c *Coordinator) Messages() uint64 { return c.messages }
+
+// AtBarriers registers global quiesce points: at each listed time, after
+// every event before it has executed and before any event at it does, fn
+// runs on the coordinator goroutine with all engines stopped at exactly
+// that time. times must be ascending and distinct. Used for control-plane
+// events that mutate state spanning shards.
+func (c *Coordinator) AtBarriers(times []Time, fn func(Time)) {
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			panic("des: barrier times must be ascending and distinct")
+		}
+	}
+	if len(times) > 0 && fn == nil {
+		panic("des: barrier times without a barrier func")
+	}
+	c.barriers = append([]Time(nil), times...)
+	c.onBarrier = fn
+}
+
+// Post sends a cross-shard event: fn will run on shard dst's engine at
+// absolute time at. It must be called from src's goroutine while src's
+// epoch is executing (or while all shards are quiesced). Posting below
+// the conservative lookahead is a model bug — it means the declared
+// minimum cross-shard delay was wrong — and panics rather than silently
+// corrupting causality.
+func (c *Coordinator) Post(src, dst int, at Time, fn func()) {
+	if src == dst {
+		panic("des: Post between a shard and itself; schedule locally instead")
+	}
+	now := c.engines[src].Now()
+	if at-now < c.lookahead {
+		panic(fmt.Sprintf("des: cross-shard post %v ahead of shard %d at %v violates lookahead %v",
+			at-now, src, now, c.lookahead))
+	}
+	c.seq[src]++
+	c.outbox[src][dst] = append(c.outbox[src][dst],
+		shardMsg{at: at, lamport: now, src: src, seq: c.seq[src], fn: fn})
+}
+
+// drain merges every mailbox into its destination engine in (at, lamport,
+// src, seq) order. Called only while all shards are quiesced.
+func (c *Coordinator) drain() {
+	for dst, eng := range c.engines {
+		buf := c.merge[:0]
+		for src := range c.engines {
+			if q := c.outbox[src][dst]; len(q) > 0 {
+				buf = append(buf, q...)
+				// Release the closures (and their captured packets) from
+				// the truncated mailbox's backing array — without this the
+				// high-water-mark slots pin them for the coordinator's
+				// lifetime.
+				for i := range q {
+					q[i].fn = nil
+				}
+				c.outbox[src][dst] = q[:0]
+			}
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		sort.Slice(buf, func(i, j int) bool { return msgLess(buf[i], buf[j]) })
+		for i := range buf {
+			// prio = lamport: the message fires among the destination's
+			// same-timestamp events exactly where an event scheduled at
+			// the sender's send time would have — the engine orders by
+			// (at, prio, seq), and the sorted insertion fixes seq order
+			// within equal (at, prio).
+			eng.SchedulePrio(buf[i].at, buf[i].lamport, buf[i].fn)
+			buf[i].fn = nil
+		}
+		c.messages += uint64(len(buf))
+		c.merge = buf[:0]
+	}
+}
+
+// satAdd returns a+b, saturating instead of overflowing — the lookahead is
+// "infinite" when a partition has no cross-shard pairs at all.
+func satAdd(a, b Time) Time {
+	const maxTime = Time(1)<<62 - 1
+	if b > maxTime-a {
+		return maxTime
+	}
+	return a + b
+}
+
+// Run executes every event with firing time at or before deadline across
+// all shards, honouring the registered barriers, then leaves every
+// engine's clock at exactly deadline (the RunUntil contract). Events
+// beyond the deadline stay queued, as with RunUntil.
+func (c *Coordinator) Run(deadline Time) {
+	n := len(c.engines)
+	work := make([]chan Time, n)
+	done := make(chan int, n)
+	for i := range work {
+		work[i] = make(chan Time)
+		go func(i int, ch chan Time) {
+			for end := range ch {
+				c.engines[i].RunBefore(end)
+				done <- i
+			}
+		}(i, work[i])
+	}
+	defer func() {
+		for _, ch := range work {
+			close(ch)
+		}
+	}()
+
+	bi := 0
+	for {
+		c.drain()
+		// Global minimum next event time. Engines are quiesced here, so no
+		// event can appear before it.
+		next, any := Time(0), false
+		for _, e := range c.engines {
+			if at, ok := e.NextAt(); ok && (!any || at < next) {
+				next, any = at, true
+			}
+		}
+		// Barriers beyond the deadline never fire, matching the sequential
+		// control plane's "late events are dropped" rule.
+		nextBarrier, haveBarrier := Time(0), false
+		if bi < len(c.barriers) && c.barriers[bi] <= deadline {
+			nextBarrier, haveBarrier = c.barriers[bi], true
+		}
+		if !any || next > deadline {
+			if !haveBarrier {
+				break
+			}
+			// Nothing to execute before the barrier: quiesce and apply.
+			c.quiesce(nextBarrier)
+			c.onBarrier(nextBarrier)
+			bi++
+			continue
+		}
+		if haveBarrier && nextBarrier <= next {
+			// The barrier precedes (or ties) the next event; barrier
+			// actions win same-time ties, as in the sequential engine.
+			c.quiesce(nextBarrier)
+			c.onBarrier(nextBarrier)
+			bi++
+			continue
+		}
+		end := satAdd(next, c.lookahead)
+		if haveBarrier && nextBarrier < end {
+			end = nextBarrier
+		}
+		if deadline < end-1 {
+			end = deadline + 1
+		}
+		c.runEpoch(end, work, done)
+	}
+	for _, e := range c.engines {
+		// The final epoch may have parked clocks at deadline+1; settle on
+		// the RunUntil contract.
+		e.now = deadline
+	}
+}
+
+// quiesce parks every engine's clock at exactly t. Callable only when no
+// engine has an event before t.
+func (c *Coordinator) quiesce(t Time) {
+	for _, e := range c.engines {
+		if e.now < t {
+			e.now = t
+		}
+	}
+}
+
+// runEpoch advances every shard to end, executing events before it. Shards
+// with no events in the window are parked directly; a lone active shard
+// runs inline to skip the handoff.
+func (c *Coordinator) runEpoch(end Time, work []chan Time, done chan int) {
+	c.epochs++
+	active := c.active[:0]
+	for i, e := range c.engines {
+		if at, ok := e.NextAt(); ok && at < end {
+			active = append(active, i)
+			continue
+		}
+		if e.now < end {
+			e.now = end
+		}
+	}
+	c.active = active
+	if len(active) == 1 {
+		c.engines[active[0]].RunBefore(end)
+		return
+	}
+	for _, i := range active {
+		work[i] <- end
+	}
+	for range active {
+		<-done
+	}
+}

@@ -1,0 +1,209 @@
+package des
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCoordinatorMergesDeterministically drives four shards that ping-pong
+// cross-shard messages concurrently and checks the per-shard event logs are
+// identical across repeated runs — the fixed-N determinism contract,
+// independent of OS goroutine scheduling. Each shard appends only to its
+// own log (the same isolation the simulator's shard-local stats rely on).
+func TestCoordinatorMergesDeterministically(t *testing.T) {
+	const shards = 4
+	run := func() [shards][]string {
+		var logs [shards][]string
+		engines := make([]*Engine, shards)
+		for i := range engines {
+			engines[i] = New()
+		}
+		c := NewCoordinator(engines, Millisecond)
+		// Every shard runs a ticker that posts round-robin to the next
+		// shard; arrivals log on the destination's own slice.
+		for src := 0; src < shards; src++ {
+			src := src
+			hop := 0
+			engines[src].ScheduleEvery(Time(src+1)*100*Microsecond, 700*Microsecond, func() {
+				hop++
+				h := hop
+				at := engines[src].Now() + Millisecond + Time(h)*17
+				dst := (src + 1 + h%2) % shards
+				if dst == src {
+					return
+				}
+				c.Post(src, dst, at, func() {
+					logs[dst] = append(logs[dst], fmt.Sprintf("s%d<-s%d hop%d@%v", dst, src, h, engines[dst].Now()))
+				})
+			})
+		}
+		c.Run(30 * Millisecond)
+		return logs
+	}
+	first := run()
+	total := 0
+	for _, l := range first {
+		total += len(l)
+	}
+	if total == 0 {
+		t.Fatal("workload produced no cross-shard messages")
+	}
+	for i := 0; i < 10; i++ {
+		got := run()
+		for s := range got {
+			if fmt.Sprint(got[s]) != fmt.Sprint(first[s]) {
+				t.Fatalf("run %d shard %d diverged:\n%v\nvs\n%v", i, s, got[s], first[s])
+			}
+		}
+	}
+}
+
+// TestCoordinatorCrossShardOrder pins the merge order with single-shard
+// epochs (each shard only ever has events in disjoint windows, so the
+// shared log is safe).
+func TestCoordinatorCrossShardOrder(t *testing.T) {
+	var log []string
+	engines := []*Engine{New(), New(), New()}
+	c := NewCoordinator(engines, Millisecond)
+	// Shards 1 and 2 each post to shard 0, arriving at the same time.
+	// Shard 1's send happens at a later lamport time, so shard 2's message
+	// must run first despite the higher shard index posting... lamport
+	// wins over src.
+	engines[1].Schedule(2*Millisecond, func() {
+		c.Post(1, 0, 10*Millisecond, func() { log = append(log, "from1@2") })
+	})
+	engines[2].Schedule(1*Millisecond, func() {
+		c.Post(2, 0, 10*Millisecond, func() { log = append(log, "from2@1") })
+	})
+	c.Run(20 * Millisecond)
+	if len(log) != 2 || log[0] != "from2@1" || log[1] != "from1@2" {
+		t.Fatalf("merge order = %v, want [from2@1 from1@2] (lamport before src)", log)
+	}
+	if c.Messages() != 2 {
+		t.Fatalf("messages = %d, want 2", c.Messages())
+	}
+}
+
+// TestCoordinatorBarrierBeatsSameTimeEvents checks the sequential tie
+// rule: a barrier action at time t runs before any engine event at t, and
+// with every engine's clock parked at exactly t.
+func TestCoordinatorBarrierBeatsSameTimeEvents(t *testing.T) {
+	var log []string
+	engines := []*Engine{New(), New()}
+	c := NewCoordinator(engines, Millisecond)
+	engines[0].Schedule(5*Millisecond, func() { log = append(log, "event@5") })
+	c.AtBarriers([]Time{5 * Millisecond, 15 * Millisecond}, func(at Time) {
+		for i, e := range engines {
+			if e.Now() != at {
+				t.Fatalf("barrier at %v: engine %d clock %v", at, i, e.Now())
+			}
+		}
+		log = append(log, fmt.Sprintf("barrier@%v", at.Millis()))
+	})
+	c.Run(20 * Millisecond)
+	want := "[barrier@5 event@5 barrier@15]"
+	if fmt.Sprint(log) != want {
+		t.Fatalf("log = %v, want %v", log, want)
+	}
+}
+
+// TestCoordinatorBarriersBeyondDeadlineDropped mirrors the control plane's
+// rule that events after the traffic horizon never apply.
+func TestCoordinatorBarriersBeyondDeadlineDropped(t *testing.T) {
+	fired := 0
+	engines := []*Engine{New()}
+	c := NewCoordinator(engines, Millisecond)
+	c.AtBarriers([]Time{5 * Millisecond, 15 * Millisecond}, func(Time) { fired++ })
+	c.Run(10 * Millisecond)
+	if fired != 1 {
+		t.Fatalf("barriers fired = %d, want 1 (the 15ms barrier is beyond the deadline)", fired)
+	}
+	if got := engines[0].Now(); got != 10*Millisecond {
+		t.Fatalf("final clock = %v, want 10ms", got)
+	}
+}
+
+// TestCoordinatorLookaheadViolationPanics pins the causality guard.
+func TestCoordinatorLookaheadViolationPanics(t *testing.T) {
+	engines := []*Engine{New(), New()}
+	c := NewCoordinator(engines, Millisecond)
+	engines[0].Schedule(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("posting below the lookahead did not panic")
+			}
+		}()
+		c.Post(0, 1, 100, func() {}) // 100ns << 1ms lookahead
+	})
+	c.Run(Millisecond)
+}
+
+// TestCoordinatorMatchesSequentialEngine runs the same self-rescheduling
+// workload on one engine via RunUntil and on the same model split over a
+// coordinator with an idle peer shard; counts and final clocks must agree.
+func TestCoordinatorMatchesSequentialEngine(t *testing.T) {
+	load := func(e *Engine) *int {
+		count := new(int)
+		var tick func()
+		tick = func() {
+			*count++
+			e.ScheduleIn(700*Microsecond, tick)
+		}
+		e.ScheduleIn(0, tick)
+		return count
+	}
+	seq := New()
+	seqCount := load(seq)
+	seq.RunUntil(50 * Millisecond)
+
+	shard := New()
+	shardCount := load(shard)
+	c := NewCoordinator([]*Engine{shard, New()}, 2*Millisecond)
+	c.Run(50 * Millisecond)
+
+	if *seqCount != *shardCount {
+		t.Fatalf("event counts: sequential %d, sharded %d", *seqCount, *shardCount)
+	}
+	if seq.Now() != shard.Now() {
+		t.Fatalf("clocks: sequential %v, sharded %v", seq.Now(), shard.Now())
+	}
+	if shard.Pending() == 0 {
+		t.Fatal("ticker should still be pending beyond the deadline")
+	}
+}
+
+// TestRunBeforeExcludesBound pins RunBefore's strict bound and clock
+// advance.
+func TestRunBeforeExcludesBound(t *testing.T) {
+	e := New()
+	var fired []Time
+	e.Schedule(1*Millisecond, func() { fired = append(fired, e.Now()) })
+	e.Schedule(2*Millisecond, func() { fired = append(fired, e.Now()) })
+	e.RunBefore(2 * Millisecond)
+	if len(fired) != 1 || fired[0] != Millisecond {
+		t.Fatalf("fired = %v, want exactly the 1ms event", fired)
+	}
+	if e.Now() != 2*Millisecond {
+		t.Fatalf("clock = %v, want 2ms", e.Now())
+	}
+	e.RunBefore(2*Millisecond + 1)
+	if len(fired) != 2 {
+		t.Fatalf("the 2ms event did not fire under an exclusive 2ms+1 bound")
+	}
+}
+
+// TestNextAt pins the non-consuming peek.
+func TestNextAt(t *testing.T) {
+	e := New()
+	if _, ok := e.NextAt(); ok {
+		t.Fatal("empty engine reported a next event")
+	}
+	e.Schedule(3*Millisecond, func() {})
+	at, ok := e.NextAt()
+	if !ok || at != 3*Millisecond {
+		t.Fatalf("NextAt = %v,%v want 3ms,true", at, ok)
+	}
+	if e.Pending() != 1 {
+		t.Fatal("NextAt consumed the event")
+	}
+}

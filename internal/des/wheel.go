@@ -15,12 +15,14 @@ import "math/bits"
 // to a 256-bit bitmap scan per non-empty bucket plus one small sort when a
 // bottom-level bucket is drained.
 //
-// Ordering is bit-for-bit the seed's: events fire in strict (at, seq)
-// order, seq being the monotone schedule counter, so ties on the timestamp
-// are FIFO. The wheel only ever buckets events; the actual firing order
-// within a bottom-level bucket is fixed by sorting its chain on (at, seq)
-// when it is promoted to the ready run. seq is unique, so the sort has a
-// single valid result and stability is irrelevant.
+// Ordering is bit-for-bit the seed's: events fire in strict (at, prio,
+// seq) order — prio being the scheduling-time stamp (monotone in seq for
+// a local engine, so this degenerates to the seed's (at, seq) FIFO tie-
+// break; see des.go on SchedulePrio for why sharded merging needs the
+// explicit middle key). The wheel only ever buckets events; the actual
+// firing order within a bottom-level bucket is fixed by sorting its chain
+// on (at, prio, seq) when it is promoted to the ready run. seq is unique,
+// so the sort has a single valid result and stability is irrelevant.
 //
 // Cursor invariants:
 //
@@ -138,8 +140,7 @@ func (e *Engine) insertReady(ev *event) {
 	lo, hi := e.readyHead, len(e.ready)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		m := e.ready[mid]
-		if m.at < ev.at || (m.at == ev.at && m.seq < ev.seq) {
+		if eventLess(e.ready[mid], ev) {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -251,16 +252,16 @@ func (e *Engine) advanceTo(t int64) {
 	sortReady(e.ready[e.readyHead:])
 }
 
-// sortReady orders a ready run by (at, seq). Chains are short in steady
-// state (a bottom-level bucket spans ~1 µs), so insertion sort wins; the
-// comparison is a strict total order because seq is unique.
+// sortReady orders a ready run by (at, prio, seq). Chains are short in
+// steady state (a bottom-level bucket spans ~1 µs), so insertion sort
+// wins; the comparison is a strict total order because seq is unique.
 func sortReady(evs []*event) {
 	for i := 1; i < len(evs); i++ {
 		ev := evs[i]
 		j := i
 		for j > 0 {
 			p := evs[j-1]
-			if p.at < ev.at || (p.at == ev.at && p.seq < ev.seq) {
+			if eventLess(p, ev) {
 				break
 			}
 			evs[j] = p
@@ -289,10 +290,10 @@ func (e *Engine) next() *event {
 	return ev
 }
 
-// overflowHeap is a plain binary min-heap on (at, seq) for events beyond
-// the wheel horizon. It is cold storage: real runs never reach it (the
-// horizon is ~73 simulated minutes), so no indexing or eager removal —
-// canceled records are reaped when they surface.
+// overflowHeap is a plain binary min-heap on (at, prio, seq) for events
+// beyond the wheel horizon. It is cold storage: real runs never reach it
+// (the horizon is ~73 simulated minutes), so no indexing or eager removal
+// — canceled records are reaped when they surface.
 type overflowHeap struct {
 	evs []*event
 }
@@ -300,9 +301,7 @@ type overflowHeap struct {
 func (h *overflowHeap) len() int     { return len(h.evs) }
 func (h *overflowHeap) peek() *event { return h.evs[0] }
 
-func overflowLess(a, b *event) bool {
-	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
-}
+func overflowLess(a, b *event) bool { return eventLess(a, b) }
 
 func (h *overflowHeap) push(ev *event) {
 	h.evs = append(h.evs, ev)

@@ -48,6 +48,14 @@ type Options struct {
 	Sequential bool
 	// Workers bounds the sweep worker pool. 0 means GOMAXPROCS.
 	Workers int
+	// Shards, when > 1, runs each multi-group session as a sharded
+	// conservative-parallel simulation (core.Config.Shards): parallelism
+	// *within* a run, complementing the pool's parallelism *across* runs.
+	// Physics are preserved (delivery/loss/WDB match the sequential
+	// engine); use it when a single big session, not the sweep, is the
+	// bottleneck — sweeps with many cells usually saturate the cores
+	// already, and shard workers then compete with pool workers.
+	Shards int
 }
 
 func (o *Options) fill() {
@@ -251,6 +259,7 @@ func Fig6(mix traffic.Mix, opts Options) Fig6Result {
 			Seed:        opts.Seed,
 			TrafficSeed: core.UseSeed(DeriveSeed(opts.Seed, li)),
 			Specs:       specs,
+			Shards:      opts.Shards,
 		})
 		assertSpecsMatch(specs, cells[i].Specs, load)
 	})

@@ -166,6 +166,11 @@ func ScenarioSweep(sc scenario.Scenario, opts Options) (ScenarioResult, error) {
 				return ScenarioResult{}, err
 			}
 		}
+		if opts.Shards > 1 {
+			for i := range cfgs {
+				cfgs[i].Shards = opts.Shards
+			}
+		}
 		runJobs(len(cells), opts, func(i int) {
 			r := core.Run(cfgs[i])
 			assertSpecsMatch(specs, r.Specs, cfgs[i].Load)

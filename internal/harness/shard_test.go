@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"math"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/scenario"
+)
+
+func envShards(t testing.TB) int {
+	if v := os.Getenv("WDCSIM_SHARDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad WDCSIM_SHARDS=%q", v)
+		}
+		return n
+	}
+	return 4
+}
+
+// TestShardDifferentialChurnWaxman16 is the acceptance differential: the
+// full-scale churn-waxman-16 cell (2000 hosts, 16 Zipf groups, Poisson
+// churn on a 64-router Waxman underlay) run sharded must agree with the
+// shards=1 run on delivery count, loss count, and per-group max delay.
+func TestShardDifferentialChurnWaxman16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale differential; skipped under -short")
+	}
+	sc := scenario.MustLookup("churn-waxman-16")
+	groups := sc.Groups(1)
+	cfg, err := sc.SessionConfig(sc.Combos[0], 0.8, 1, core.UseSeed(2),
+		2*des.Second, nil, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqr := core.Run(cfg)
+	if seqr.Delivered == 0 || seqr.Joins == 0 {
+		t.Fatalf("inert workload: %+v", seqr)
+	}
+	cfg.Shards = envShards(t)
+	shr := core.Run(cfg)
+
+	if seqr.Delivered != shr.Delivered {
+		t.Errorf("delivery count: %d sequential vs %d sharded", seqr.Delivered, shr.Delivered)
+	}
+	if seqr.Lost != shr.Lost {
+		t.Errorf("loss count: %d sequential vs %d sharded", seqr.Lost, shr.Lost)
+	}
+	for g := range seqr.PerGroupWDB {
+		if math.Float64bits(seqr.PerGroupWDB[g]) != math.Float64bits(shr.PerGroupWDB[g]) {
+			t.Errorf("group %d max delay: %.17g vs %.17g", g, seqr.PerGroupWDB[g], shr.PerGroupWDB[g])
+		}
+	}
+	if seqr.Joins != shr.Joins || seqr.Leaves != shr.Leaves || seqr.Regrafts != shr.Regrafts {
+		t.Errorf("churn counters (%d,%d,%d) vs (%d,%d,%d)",
+			seqr.Joins, seqr.Leaves, seqr.Regrafts, shr.Joins, shr.Leaves, shr.Regrafts)
+	}
+}
+
+// TestScenarioSweepShardsOption plumbs Options.Shards end to end through
+// a reduced sweep and checks the totals match the unsharded sweep.
+func TestScenarioSweepShardsOption(t *testing.T) {
+	sc := scenario.MustLookup("waxman-zipf-16").Quick()
+	base := Options{Seed: 5, Loads: []float64{0.8}, Duration: des.Second}
+	a, err := ScenarioSweep(sc, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := base
+	sharded.Shards = envShards(t)
+	b, err := ScenarioSweep(sc, sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Delivered != b.Delivered || a.Lost != b.Lost {
+		t.Fatalf("sweep totals diverged: %d/%d vs %d/%d", a.Delivered, a.Lost, b.Delivered, b.Lost)
+	}
+	for ci := range a.Curves {
+		for li := range a.Loads {
+			if a.Curves[ci].WDB.Y[li] != b.Curves[ci].WDB.Y[li] {
+				t.Fatalf("combo %d load %d WDB %v vs %v", ci, li,
+					a.Curves[ci].WDB.Y[li], b.Curves[ci].WDB.Y[li])
+			}
+		}
+	}
+}

@@ -200,6 +200,9 @@ type Fabric struct {
 	// [from][to], plus per-host access links.
 	links  map[topo.NodeID]map[topo.NodeID]*Link
 	access []*Link // host uplink+downlink combined as one serialising stage
+	// Sharded delivery (see FabricConfig.Local/Remote).
+	local  func(host int) bool
+	remote func(dst int, at des.Time, p traffic.Packet)
 	// Delivered counts packets handed to receivers.
 	Delivered uint64
 }
@@ -210,15 +213,33 @@ type FabricConfig struct {
 	// AccessCapacity is the host access-link rate for QueuedTransit
 	// (bits/second). Zero selects 100 Mbit/s.
 	AccessCapacity float64
+	// Local and Remote, when set together, shard the fabric for
+	// conservative-parallel execution: this instance owns the hosts Local
+	// reports true for, and a packet addressed to any other host is handed
+	// to Remote with its computed arrival time instead of being scheduled
+	// here — the peer shard delivers it through its own Fabric.Deliver.
+	// Sharded delivery requires PipeTransit: QueuedTransit serialises
+	// through router links that would be shared mutable state across
+	// shards.
+	Local  func(host int) bool
+	Remote func(dst int, at des.Time, p traffic.Packet)
 }
 
 // NewFabric builds the transport over the given network.
 func NewFabric(eng *des.Engine, net *topo.Network, cfg FabricConfig) *Fabric {
+	if (cfg.Remote == nil) != (cfg.Local == nil) {
+		panic("netsim: sharded fabric needs both Local and Remote")
+	}
+	if cfg.Remote != nil && cfg.Mode != PipeTransit {
+		panic("netsim: sharded delivery requires PipeTransit")
+	}
 	f := &Fabric{
 		eng:       eng,
 		net:       net,
 		mode:      cfg.Mode,
 		receivers: make([]func(traffic.Packet), len(net.Hosts)),
+		local:     cfg.Local,
+		remote:    cfg.Remote,
 	}
 	f.pipes = newFlightPool(eng, func(tr transit) { f.deliver(tr.dst, tr.p) })
 	f.uplinks = newFlightPool(eng, func(tr transit) { f.arriveAtRouter(tr.via, tr) })
@@ -255,9 +276,15 @@ func (f *Fabric) SetReceiver(host int, fn func(traffic.Packet)) {
 }
 
 // Send carries p from host src to host dst and invokes dst's receiver.
+// On a sharded fabric, packets to hosts owned by other shards are handed
+// to the Remote hook with their arrival time instead.
 func (f *Fabric) Send(src, dst int, p traffic.Packet) {
 	if src == dst {
 		f.deliver(dst, p)
+		return
+	}
+	if f.remote != nil && !f.local(dst) {
+		f.remote(dst, f.eng.Now()+f.net.Latency(src, dst), p)
 		return
 	}
 	switch f.mode {
@@ -284,6 +311,11 @@ func (f *Fabric) arriveAtRouter(r topo.NodeID, tr transit) {
 	}
 	f.links[r][next].Send(tr)
 }
+
+// Deliver hands p to host's receiver directly — the entry point a peer
+// shard's coordinator uses for cross-shard arrivals at their scheduled
+// time.
+func (f *Fabric) Deliver(host int, p traffic.Packet) { f.deliver(host, p) }
 
 func (f *Fabric) deliver(host int, p traffic.Packet) {
 	f.Delivered++

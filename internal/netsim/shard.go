@@ -1,0 +1,153 @@
+package netsim
+
+// Sharding support: partitioning the host population for conservative-
+// parallel execution and extracting the model's lookahead — the minimum
+// simulated latency any cross-shard packet can have, which bounds how far
+// shards may run ahead of each other.
+//
+// Hosts are partitioned at router granularity: a router's whole local
+// domain shares a shard. Same-router hosts exchange packets in as little
+// as two access delays (~0.2 ms), while inter-domain paths also pay at
+// least one backbone hop; keeping domains intact therefore multiplies the
+// conservative lookahead — and with it the epoch width — by the backbone
+// delay, and it keeps DSCT's domain-local traffic (the bulk of a tree's
+// edges) off the cross-shard path entirely.
+
+import (
+	"sort"
+
+	"repro/internal/des"
+	"repro/internal/topo"
+)
+
+// PartitionHosts assigns whole router domains to at most n shards,
+// balancing attached-host counts greedily (largest domain into the least-
+// loaded shard, ties to the lowest index — a deterministic function of the
+// network alone). It returns owner[host] = shard; the number of shards
+// actually used is max(owner)+1, which is below n when the network has
+// fewer populated domains than requested shards. n <= 1 yields the
+// all-zero single-shard assignment.
+func PartitionHosts(net *topo.Network, n int) []int {
+	owner := make([]int, len(net.Hosts))
+	if n <= 1 {
+		return owner
+	}
+	type domain struct{ router, hosts int }
+	var domains []domain
+	for r := 0; r < net.Backbone.NumNodes(); r++ {
+		if c := len(net.HostsAtRouter(topo.NodeID(r))); c > 0 {
+			domains = append(domains, domain{router: r, hosts: c})
+		}
+	}
+	if n > len(domains) {
+		n = len(domains)
+	}
+	if n <= 1 {
+		return owner
+	}
+	sort.Slice(domains, func(i, j int) bool {
+		if domains[i].hosts != domains[j].hosts {
+			return domains[i].hosts > domains[j].hosts
+		}
+		return domains[i].router < domains[j].router
+	})
+	load := make([]int, n)
+	shardOf := make([]int, net.Backbone.NumNodes())
+	for _, d := range domains {
+		best := 0
+		for s := 1; s < n; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		shardOf[d.router] = best
+		load[best] += d.hosts
+	}
+	for h := range net.Hosts {
+		owner[h] = shardOf[net.Hosts[h].Router]
+	}
+	return owner
+}
+
+// NumShards returns the shard count an owner assignment actually uses.
+func NumShards(owner []int) int {
+	max := 0
+	for _, s := range owner {
+		if s > max {
+			max = s
+		}
+	}
+	return max + 1
+}
+
+// Lookahead returns the conservative cross-shard lookahead under the given
+// owner assignment: the exact minimum host-to-host propagation latency
+// (access + backbone shortest path + access, the PipeTransit delivery
+// delay) over all pairs of hosts in different shards. With router-granular
+// partitioning cross-shard pairs always sit on different routers, so the
+// minimum is found over populated router pairs using each router's
+// smallest access delay — O(routers²), not O(hosts²). It returns ok=false
+// when no cross-shard pair exists (a single populated shard), in which
+// case the caller may treat the lookahead as unbounded.
+func Lookahead(net *topo.Network, owner []int) (la des.Duration, ok bool) {
+	const none = des.Time(1)<<62 - 1
+	nr := net.Backbone.NumNodes()
+	minAccess := make([]des.Duration, nr)
+	secondAccess := make([]des.Duration, nr)
+	shardOf := make([]int, nr)
+	mixed := make([]bool, nr)
+	for r := range minAccess {
+		minAccess[r] = none
+		secondAccess[r] = none
+		shardOf[r] = -1
+	}
+	for h := range net.Hosts {
+		r := net.Hosts[h].Router
+		d := net.Hosts[h].AccessDelay
+		if d < minAccess[r] {
+			minAccess[r], secondAccess[r] = d, minAccess[r]
+		} else if d < secondAccess[r] {
+			secondAccess[r] = d
+		}
+		if shardOf[r] < 0 {
+			shardOf[r] = owner[h]
+		} else if shardOf[r] != owner[h] {
+			mixed[r] = true
+		}
+	}
+	best := none
+	// A router whose domain spans shards (not produced by PartitionHosts,
+	// but legal input) bounds the lookahead by its two smallest access
+	// delays — a conservative floor for any same-router cross-shard pair.
+	for r := 0; r < nr; r++ {
+		if mixed[r] && secondAccess[r] != none {
+			if d := minAccess[r] + secondAccess[r]; d < best {
+				best = d
+			}
+		}
+	}
+	for a := 0; a < nr; a++ {
+		if minAccess[a] == none {
+			continue
+		}
+		for b := a + 1; b < nr; b++ {
+			if minAccess[b] == none {
+				continue
+			}
+			if shardOf[a] == shardOf[b] && !mixed[a] && !mixed[b] {
+				continue
+			}
+			core := net.Routes.Delay[a][b]
+			if core < 0 {
+				continue // unreachable pair cannot exchange packets
+			}
+			if d := minAccess[a] + core + minAccess[b]; d < best {
+				best = d
+			}
+		}
+	}
+	if best == none {
+		return 0, false
+	}
+	return best, true
+}

@@ -58,6 +58,27 @@ func init() {
 		DurationSec: 5,
 	})
 	Register(Scenario{
+		Name: "waxman-zipf-64",
+		Description: "the sharding headroom benchmark: 10k hosts on a 128-router " +
+			"Waxman underlay, 64 overlapping Zipf groups — 5x the scale benchmark, " +
+			"sized for multi-core sharded runs (wdcsim -shards N)",
+		Kind:      KindMultiGroup,
+		Mix:       "audio",
+		NumHosts:  10000,
+		NumGroups: 64,
+		Topology:  Topology{Kind: "waxman", Nodes: 128},
+		Membership: Membership{
+			Kind:    "zipf",
+			Skew:    1.0,
+			MinSize: 8,
+		},
+		Combos: []Combo{
+			{Scheme: "sigma-rho-lambda", Tree: "dsct"},
+		},
+		Loads:       []float64{0.8},
+		DurationSec: 5,
+	})
+	Register(Scenario{
 		Name: "churn-waxman-16",
 		Description: "dynamic membership: the scale benchmark under ~10% turnover — " +
 			"2000 hosts, 64-router Waxman, 16 Zipf groups, Poisson joins, exponential lifetimes",

@@ -121,6 +121,26 @@ func (m *MaxTracker) Observe(x float64, tag uint64) {
 	}
 }
 
+// Merge folds another tracker into m, so per-shard trackers can be
+// combined after a sharded run. On an exact tie the receiver's tag wins;
+// merging shards in a fixed order therefore keeps the combined tag
+// deterministic.
+func (m *MaxTracker) Merge(o MaxTracker) {
+	if o.n == 0 {
+		return
+	}
+	if m.n == 0 {
+		*m = o
+		return
+	}
+	m.n += o.n
+	if o.atMax && (!m.atMax || o.max > m.max) {
+		m.max = o.max
+		m.tag = o.tag
+		m.atMax = true
+	}
+}
+
 // Max returns the largest observation, or 0 if none were recorded.
 func (m *MaxTracker) Max() float64 { return m.max }
 

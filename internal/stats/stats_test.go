@@ -249,3 +249,34 @@ func TestReservoirPanics(t *testing.T) {
 	}()
 	NewReservoir(0, xrand.New(1).Uint64)
 }
+
+func TestMaxTrackerMerge(t *testing.T) {
+	var a, b, empty MaxTracker
+	a.Observe(1.5, 10)
+	a.Observe(0.5, 11)
+	b.Observe(2.5, 20)
+	b.Observe(2.0, 21)
+	a.Merge(b)
+	if a.Max() != 2.5 || a.Tag() != 20 || a.Count() != 4 {
+		t.Fatalf("merged = max %v tag %d n %d", a.Max(), a.Tag(), a.Count())
+	}
+	// Merging an empty tracker is a no-op; merging into an empty adopts.
+	before := a
+	a.Merge(empty)
+	if a != before {
+		t.Fatalf("empty merge changed the tracker")
+	}
+	var c MaxTracker
+	c.Merge(a)
+	if c != a {
+		t.Fatalf("merge into empty did not adopt")
+	}
+	// Exact tie: the receiver's tag wins, so shard-order merges are stable.
+	var x, y MaxTracker
+	x.Observe(3.0, 1)
+	y.Observe(3.0, 2)
+	x.Merge(y)
+	if x.Tag() != 1 {
+		t.Fatalf("tie tag = %d, want the receiver's 1", x.Tag())
+	}
+}

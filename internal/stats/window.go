@@ -41,6 +41,29 @@ func (w *WindowMax) Observe(t, x float64) {
 	}
 }
 
+// Merge folds another accumulator's buckets into w (per-bucket max), so
+// per-shard series can be combined after a sharded run. The widths must
+// match; merging is commutative, so the result is independent of shard
+// order.
+func (w *WindowMax) Merge(o *WindowMax) {
+	if o == nil {
+		return
+	}
+	if w.width != o.width {
+		panic("stats: merging WindowMax accumulators with different widths")
+	}
+	for len(w.buckets) < len(o.buckets) {
+		w.buckets = append(w.buckets, 0)
+		w.filled = append(w.filled, false)
+	}
+	for i, filled := range o.filled {
+		if filled && (!w.filled[i] || o.buckets[i] > w.buckets[i]) {
+			w.buckets[i] = o.buckets[i]
+			w.filled[i] = true
+		}
+	}
+}
+
 // Series returns a copy of the per-bucket maxima, index i covering times
 // [i·width, (i+1)·width). Buckets with no samples hold 0.
 func (w *WindowMax) Series() []float64 {

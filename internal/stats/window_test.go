@@ -45,3 +45,33 @@ func TestWindowMaxPanicsOnBadWidth(t *testing.T) {
 	}()
 	NewWindowMax(0)
 }
+
+func TestWindowMaxMerge(t *testing.T) {
+	a := NewWindowMax(1)
+	b := NewWindowMax(1)
+	a.Observe(0.5, 1.0)
+	a.Observe(1.5, 4.0)
+	b.Observe(1.2, 2.0)
+	b.Observe(3.7, 9.0) // longer series
+	a.Merge(b)
+	want := []float64{1, 4, 0, 9}
+	got := a.Series()
+	if len(got) != len(want) {
+		t.Fatalf("series %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	a.Merge(nil) // no-op
+	if len(a.Series()) != 4 {
+		t.Fatal("nil merge changed the series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width mismatch did not panic")
+		}
+	}()
+	a.Merge(NewWindowMax(2))
+}
