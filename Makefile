@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_DATE := $(shell date +%F)
 
-.PHONY: all build test race vet fmt check bench bench-json scenarios shards staticcheck
+.PHONY: all build test race vet fmt check bench bench-json scenarios shards staticcheck fuzz
 
 all: check
 
@@ -42,6 +42,16 @@ shards:
 	WDCSIM_SHARDS=2 $(GO) test -run Shard ./...
 	WDCSIM_SHARDS=4 $(GO) test -run Shard ./...
 	WDCSIM_SHARDS=8 $(GO) test -run Shard ./...
+
+# Coverage-guided fuzzing of the invariant-heavy corners: the timing
+# wheel's cursor-behind merge-insert and the overlay graft-point
+# selector. 30 s per target — long enough to grow a corpus, short enough
+# for a CI side job (wired in as non-blocking; run longer locally when
+# touching either subsystem).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzWheelCursorBehind -fuzztime $(FUZZTIME) ./internal/des
+	$(GO) test -run '^$$' -fuzz FuzzGraftPoint -fuzztime $(FUZZTIME) ./internal/overlay
 
 # Static analysis. Skips with a notice when the binary is missing so the
 # target is safe on minimal containers; CI installs staticcheck and runs

@@ -267,6 +267,52 @@ func BenchmarkChurnScale(b *testing.B) {
 	b.ReportMetric(float64(joins), "joins")
 }
 
+// BenchmarkStrategyScale runs one waxman-zipf-16 cell per registered
+// overlay strategy (2000 hosts, 16 Zipf groups, load 0.8, (σ, ρ, λ))
+// and reports each strategy's worst-case delay alongside its wall
+// clock — the engine-level strategy comparison EXPERIMENTS.md records.
+func BenchmarkStrategyScale(b *testing.B) {
+	sc := MustScenario("waxman-zipf-16")
+	for _, strat := range Strategies() {
+		b.Run("strategy="+strat, func(b *testing.B) {
+			var wdb float64
+			for i := 0; i < b.N; i++ {
+				r, err := ScenarioSweep(sc, Options{Seed: uint64(i + 1), Strategy: strat,
+					Loads: []float64{0.8}, Duration: 2 * des.Second})
+				if err != nil {
+					b.Fatal(err)
+				}
+				wdb = r.Curves[0].WDB.Y[0]
+			}
+			b.ReportMetric(wdb, "wdb-s")
+		})
+	}
+}
+
+// BenchmarkReoptChurnScale is BenchmarkChurnScale with the online
+// re-optimization plane running: the registered reopt-churn-waxman-16
+// scenario's dsct cell at load 0.8 — measurement accumulation on every
+// delivery plus periodic rewire passes on top of the churn control
+// plane. The delta against BenchmarkChurnScale is the plane's total
+// overhead; reopts/moves report how much rewiring actually happened.
+func BenchmarkReoptChurnScale(b *testing.B) {
+	sc := MustScenario("reopt-churn-waxman-16")
+	sc.Combos = sc.Combos[:1]
+	var r ScenarioResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = ScenarioSweep(sc, Options{Seed: uint64(i + 1),
+			Loads: []float64{0.8}, Duration: 2 * des.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.Delivered), "deliveries")
+	b.ReportMetric(float64(r.Lost), "lost")
+	b.ReportMetric(float64(r.Reopts), "reopts")
+	b.ReportMetric(float64(r.ReoptMoves), "moves")
+}
+
 // BenchmarkShardScale measures the sharded conservative-parallel engine
 // on the headroom workload: one waxman-zipf-64 cell (10k hosts, 64 Zipf
 // groups, 128-router Waxman) at load 0.8, reduced duration, across shard

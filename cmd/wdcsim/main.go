@@ -14,6 +14,9 @@
 //	wdcsim -scenario all -quick       # smoke every scenario, reduced scale
 //	wdcsim -scenario ring-sparse -json  # machine-readable results
 //	wdcsim -scenario waxman-zipf-64 -shards 8  # sharded 10k-host session
+//	wdcsim -scenario spt-waxman-16    # overlay-strategy comparison
+//	wdcsim -scenario waxman-zipf-16 -strategy spt  # force one strategy
+//	wdcsim -scenario reopt-churn-waxman-16  # online tree re-optimization
 //
 // Experiments: fig2, fig4a, fig4b, fig4c, fig6a, fig6b, fig6c, table1,
 // table2, table3, rhostar, ratio, all.
@@ -55,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		exp           = fs.String("exp", "all", "experiment id (fig2, fig4a-c, fig6a-c, table1-3, rhostar, ratio, all)")
 		scenarioName  = fs.String("scenario", "", "run a registered scenario instead of -exp (or 'all')")
+		strategyName  = fs.String("strategy", "", "force every regulated combo of a scenario run onto this overlay strategy (dsct, nice, spt, greedy)")
 		listScenarios = fs.Bool("list-scenarios", false, "list the registered scenarios and exit")
 		jsonOut       = fs.Bool("json", false, "emit scenario results as JSON (scenario runs only)")
 		hosts         = fs.Int("hosts", 0, "override multi-group host count (default 665)")
@@ -112,7 +116,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// Scenario sweeps resolve their own grid/duration, so only pass
 		// what the user explicitly overrode on the command line.
 		opts := harness.Options{Seed: *seed, Sequential: *sequential, Workers: *workers,
-			NumHosts: *hosts, Shards: *shards}
+			NumHosts: *hosts, Shards: *shards, Strategy: *strategyName}
 		if *durSec > 0 {
 			opts.Duration = des.Seconds(*durSec)
 			opts.SingleHopDuration = des.Seconds(*durSec)
@@ -139,6 +143,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *jsonOut {
 		fmt.Fprintln(stderr, "wdcsim: -json applies to -scenario runs only")
+		return 2
+	}
+	if *strategyName != "" {
+		fmt.Fprintln(stderr, "wdcsim: -strategy applies to -scenario runs only")
 		return 2
 	}
 
@@ -238,6 +246,10 @@ func runScenario(w io.Writer, sc scenario.Scenario, opts harness.Options, jsonOu
 	}
 	header(w, fmt.Sprintf("scenario %s — %s", sc.Name, sc.Description))
 	fmt.Fprint(w, r.Table())
+	if sc.Kind != scenario.KindSingleHop {
+		fmt.Fprintf(w, "\nPer-strategy comparison at load %.2f:\n", r.Loads[len(r.Loads)-1])
+		fmt.Fprint(w, r.StrategyTable())
+	}
 	fmt.Fprintln(w, r.Summary())
 	return nil
 }

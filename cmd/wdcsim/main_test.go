@@ -131,3 +131,32 @@ func TestBadFlagsExitNonZero(t *testing.T) {
 		t.Fatalf("-json without -scenario: exit %d", code)
 	}
 }
+
+// TestScenarioStrategyFlag forces a scenario run onto one overlay
+// strategy and checks the comparison table reflects it.
+func TestScenarioStrategyFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-scenario", "waxman-zipf-16", "-quick", "-duration", "1",
+		"-strategy", "greedy"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Per-strategy comparison") ||
+		!strings.Contains(out.String(), "greedy") {
+		t.Fatalf("strategy table missing:\n%s", out.String())
+	}
+	if code := run([]string{"-scenario", "waxman-zipf-16", "-quick", "-strategy", "no-such"},
+		&out, &errOut); code == 0 {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+// -strategy only applies to scenario runs, like -json.
+func TestStrategyFlagRequiresScenario(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-exp", "fig2", "-strategy", "spt"}, &out, &errOut); code != 2 {
+		t.Fatalf("-strategy without -scenario: exit %d", code)
+	}
+	if !strings.Contains(errOut.String(), "-strategy") {
+		t.Fatalf("unhelpful error: %s", errOut.String())
+	}
+}

@@ -8,8 +8,15 @@
 // load and prints the worst-case multicast delays and the tree layer
 // counts (the Tables I–III metric).
 //
-// Run with the full 665-host population via cmd/wdcsim -exp fig6a, and
-// the full 2000-host scenario via cmd/wdcsim -scenario waxman-zipf-16.
+// Part 3 selects overlay strategies by name (wdc.Config.Strategy) to
+// compare the paper's DSCT against the delay-weighted shortest-path and
+// capacity-aware greedy trees, then runs a session with the online
+// re-optimization plane rewiring the tree from measured delays mid-run.
+//
+// Run with the full 665-host population via cmd/wdcsim -exp fig6a, the
+// full 2000-host scenario via cmd/wdcsim -scenario waxman-zipf-16, and
+// the strategy comparison via cmd/wdcsim -scenario spt-waxman-16 (or any
+// scenario with -strategy <name>).
 package main
 
 import (
@@ -86,4 +93,42 @@ func main() {
 	}
 	fmt.Print(res.Table())
 	fmt.Println(res.Summary())
+
+	// Part 3a: pluggable overlay strategies. The same session compiled
+	// through each registered tree-construction strategy — DSCT's
+	// proximity clusters against the delay-weighted shortest-path tree
+	// and the capacity-scaled greedy fanout tree.
+	fmt.Printf("\nOverlay strategies (%d hosts x 3 groups, load %.2f, (σ,ρ,λ)):\n\n", hosts, load)
+	for _, strat := range wdc.Strategies() {
+		r := wdc.Run(wdc.Config{
+			NumHosts: hosts,
+			Mix:      wdc.MixAudio,
+			Load:     load,
+			Scheme:   wdc.SchemeSRL,
+			Strategy: strat,
+			Duration: 10 * des.Second,
+			Seed:     1,
+		})
+		fmt.Printf("%-8s WDB %.3fs  mean %.4fs  layers %d\n", strat, r.WDB, r.MeanDelay, r.Layers)
+	}
+
+	// Part 3b: online re-optimization. Start from the location-blind NICE
+	// tree (plenty to improve) and let periodic measurement-driven passes
+	// rewire the worst members under hysteresis.
+	static := wdc.Config{
+		NumHosts: hosts,
+		Mix:      wdc.MixAudio,
+		Load:     load,
+		Scheme:   wdc.SchemeSRL,
+		Strategy: "nice",
+		Duration: 10 * des.Second,
+		Seed:     1,
+	}
+	reopt := static
+	reopt.Reopt = wdc.ReoptConfig{Every: des.Second, MinImprove: 0.05, MaxMoves: 3}
+	a, b := wdc.Run(static), wdc.Run(reopt)
+	fmt.Printf("\nOnline re-optimization on the nice tree:\n")
+	fmt.Printf("static  WDB %.3fs  mean %.4fs\n", a.WDB, a.MeanDelay)
+	fmt.Printf("reopt   WDB %.3fs  mean %.4fs  (%d passes accepted, %d members moved, %d lost)\n",
+		b.WDB, b.MeanDelay, b.Reopts, b.ReoptMoves, b.Lost)
 }

@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/calculus"
 	"repro/internal/des"
 	"repro/internal/topo"
 )
@@ -50,21 +49,15 @@ type controlPlane struct {
 	net    *topo.Network
 	groups []*groupState
 	hosts  []*host
-	// maxFanout and maxHeight bound repairs and grafts: the cluster size
-	// cap 3K−1 of the DSCT/NICE builders, and the Lemma 2 height bound.
-	maxFanout int
-	maxHeight int
 
 	joins, leaves, regrafts, rejected int
 }
 
 func newControlPlane(sub *substrate, hosts []*host) *controlPlane {
 	return &controlPlane{
-		net:       sub.net,
-		groups:    sub.groups,
-		hosts:     hosts,
-		maxFanout: 3*sub.cfg.ClusterK - 1,
-		maxHeight: calculus.DSCTHeightBoundMax(sub.cfg.NumHosts, sub.cfg.ClusterK),
+		net:    sub.net,
+		groups: sub.groups,
+		hosts:  hosts,
 	}
 }
 
@@ -117,11 +110,11 @@ func (cp *controlPlane) apply(ev MembershipEvent) {
 // re-staggered regulator).
 func (cp *controlPlane) join(g, h int) {
 	st := cp.groups[g]
-	if st.member[h] {
+	if st.member[h] || st.strat == nil {
 		cp.rejected++
 		return
 	}
-	parent, err := st.tree.GraftPoint(cp.net, h, 0, cp.maxFanout, cp.maxHeight)
+	parent, err := st.strat.GraftPoint(cp.net, st.tree, h, 0, st.lim)
 	if err != nil {
 		cp.rejected++
 		return
@@ -141,7 +134,7 @@ func (cp *controlPlane) join(g, h int) {
 // Session.receive. The group's source never leaves.
 func (cp *controlPlane) leave(g, h int) {
 	st := cp.groups[g]
-	if !st.member[h] || h == st.tree.Source {
+	if !st.member[h] || h == st.tree.Source || st.strat == nil {
 		cp.rejected++
 		return
 	}
@@ -153,7 +146,11 @@ func (cp *controlPlane) leave(g, h int) {
 	st.member[h] = false
 	st.lost += uint64(cp.hosts[parent].removeChild(g, h))
 	st.lost += uint64(cp.hosts[h].detachGroup(g))
-	parents, err := st.tree.Repair(cp.net, orphans, cp.maxFanout, cp.maxHeight)
+	// Repair through the group's strategy: the cluster strategies resolve
+	// to the pre-strategy RTT-nearest protocol, spt repairs by path delay.
+	parents, err := st.tree.RepairWith(orphans, func(o, subHeight int) (int, error) {
+		return st.strat.GraftPoint(cp.net, st.tree, o, subHeight, st.lim)
+	})
 	if err != nil {
 		panic(fmt.Sprintf("core: control plane repair: %v", err))
 	}

@@ -59,6 +59,18 @@ type Config struct {
 	Scheme Scheme
 	// Tree selects DSCT or NICE.
 	Tree TreeKind
+	// Strategy names the overlay tree-construction strategy from the
+	// overlay registry ("dsct", "nice", "spt", "greedy", ...). Empty
+	// derives it from Tree, preserving the legacy enum: TreeDSCT → "dsct",
+	// TreeNICE → "nice". The capacity-aware scheme keeps its own flat
+	// shared-tree construction and rejects an explicit strategy.
+	Strategy string
+	// Reopt configures the online tree re-optimization plane: periodic
+	// DES events that rewire (or rebuild) each group's delivery tree from
+	// measured per-member delay estimates, under hysteresis. The zero
+	// value disables it, leaving the session byte-identical to a static
+	// build. Requires a regulated scheme. See reopt.go.
+	Reopt ReoptConfig
 	// Duration is the simulated time; WDB is the max delay observed.
 	// Default 5 s.
 	Duration des.Duration
@@ -173,12 +185,28 @@ func (c *Config) fillDefaults() {
 	if len(c.Events) > 0 && !c.Scheme.Regulated() {
 		panic("core: membership churn requires a regulated scheme")
 	}
+	if c.Strategy != "" && c.Scheme == SchemeCapacityAware {
+		panic("core: the capacity-aware scheme builds its own shared flat tree; Strategy does not apply")
+	}
+	c.Reopt.fillDefaults(c.Scheme)
 	if c.WindowSec < 0 {
 		panic("core: WindowSec must be non-negative")
 	}
 	if c.Shards < 0 {
 		panic("core: Shards must be non-negative")
 	}
+}
+
+// strategyName resolves the session's overlay strategy name: the explicit
+// Strategy when set, else the legacy Tree enum's name.
+func (c *Config) strategyName() string {
+	if c.Strategy != "" {
+		return c.Strategy
+	}
+	if c.Tree == TreeNICE {
+		return "nice"
+	}
+	return "dsct"
 }
 
 // groupCount resolves the session's number of groups. Call after
@@ -267,6 +295,11 @@ type Result struct {
 	// leaves, orphan subtrees re-parented during repair, and events that
 	// were no-ops (join of a member, leave of a non-member or source).
 	Joins, Leaves, Regrafts, RejectedEvents int
+	// Re-optimization outcome (zero unless Config.Reopt is enabled):
+	// accepted tree changes (rewires plus rebuilds), members re-parented
+	// by those changes, and per-group passes that evaluated a candidate
+	// but kept the tree (hysteresis held, or no candidate improved).
+	Reopts, ReoptMoves, ReoptRejected int
 	// Lost counts disruption casualties: packets that arrived at a host
 	// outside its membership interval (in flight across a leave) plus
 	// regulator backlog abandoned when a forwarder departed.
@@ -290,6 +323,15 @@ type groupState struct {
 	tree   *overlay.Tree // current delivery tree
 	member []bool        // current membership by host id
 	lost   uint64        // packets lost to membership churn (see Result.Lost)
+	// strat and lim are the strategy that built the tree and its graft
+	// constraints, kept so churn grafts/repairs and re-optimization use
+	// strategy-specific placement. Nil for the capacity-aware scheme's
+	// shared flat trees, which the control plane never mutates.
+	strat overlay.Strategy
+	lim   overlay.Limits
+	// treeCfg is the overlay build configuration the tree was compiled
+	// with, reused (with a derived seed) by full rebuilds.
+	treeCfg overlay.Config
 }
 
 // Session is a fully wired multi-group EMcast simulation: an immutable
@@ -306,6 +348,7 @@ type Session struct {
 	specs  []FlowSpec
 	groups []*groupState
 	ctl    *controlPlane // nil for static sessions
+	ro     *reoptPlane   // nil unless cfg.Reopt is enabled
 
 	perGroup []stats.MaxTracker
 	delays   stats.Welford
@@ -363,6 +406,16 @@ func newSessionFrom(sub *substrate) *Session {
 		s.ctl = newControlPlane(sub, s.hosts)
 		s.ctl.schedule(s.eng, cfg.Duration, cfg.Events)
 	}
+	if cfg.Reopt.Enabled() {
+		// Scheduled after the membership events so that at a shared
+		// instant churn applies first, then the pass sees the churned
+		// tree — the order the sharded coordinator barriers reproduce.
+		s.ro = newReoptPlane(sub, s.hosts)
+		for _, at := range reoptTimes(cfg.Reopt.Every, cfg.Duration) {
+			at := at
+			s.eng.Schedule(at, func() { s.ro.reoptimize(at) })
+		}
+	}
 	return s
 }
 
@@ -384,6 +437,9 @@ func (s *Session) receive(id int, p traffic.Packet) {
 	s.deliver++
 	if s.windows != nil {
 		s.windows.Observe(s.eng.Now().Seconds(), d)
+	}
+	if s.ro != nil {
+		s.ro.observe(g, id, d)
 	}
 	h := s.hosts[id]
 	h.observe(p)
@@ -440,6 +496,9 @@ func (s *Session) Run() Result {
 	if s.ctl != nil {
 		res.Joins, res.Leaves = s.ctl.joins, s.ctl.leaves
 		res.Regrafts, res.RejectedEvents = s.ctl.regrafts, s.ctl.rejected
+	}
+	if s.ro != nil {
+		res.Reopts, res.ReoptMoves, res.ReoptRejected = s.ro.accepted, s.ro.moves, s.ro.rejected
 	}
 	if s.windows != nil {
 		res.WindowMax = s.windows.Series()

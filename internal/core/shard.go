@@ -19,6 +19,8 @@ package core
 // Session, whose output is pinned bit-for-bit by the golden tests.
 
 import (
+	"sort"
+
 	"repro/internal/des"
 	"repro/internal/netsim"
 	"repro/internal/stats"
@@ -67,6 +69,7 @@ type ShardedSession struct {
 	hosts []*host // global host array, each wired to its owning shard's env
 	coord *des.Coordinator
 	ctl   *controlPlane
+	ro    *reoptPlane
 }
 
 // NewShardedSession compiles cfg for sharded execution. The structural
@@ -152,16 +155,37 @@ func NewShardedSession(cfg Config) *ShardedSession {
 		sh.fabric.SetReceiver(id, func(p traffic.Packet) { s.receive(sh, id, p) })
 	}
 
+	var events []MembershipEvent
 	if len(cfg.Events) > 0 {
 		s.ctl = newControlPlane(sub, s.hosts)
-		events := sortedEventsWithin(cfg.Events, cfg.Duration)
+		events = sortedEventsWithin(cfg.Events, cfg.Duration)
+	}
+	var reopts []des.Time
+	if cfg.Reopt.Enabled() {
+		s.ro = newReoptPlane(sub, s.hosts)
+		reopts = reoptTimes(cfg.Reopt.Every, cfg.Duration)
+	}
+	if len(events) > 0 || len(reopts) > 0 {
+		// One merged ascending barrier list for both control planes: at a
+		// shared instant the membership events apply first, then the
+		// re-optimization pass — the order the sequential engine's
+		// build-time scheduling produces.
 		var times []des.Time
 		for _, ev := range events {
 			if len(times) == 0 || ev.At != times[len(times)-1] {
 				times = append(times, ev.At)
 			}
 		}
-		next := 0
+		for _, at := range reopts {
+			i := sort.Search(len(times), func(i int) bool { return times[i] >= at })
+			if i < len(times) && times[i] == at {
+				continue
+			}
+			times = append(times, 0)
+			copy(times[i+1:], times[i:])
+			times[i] = at
+		}
+		next, nextRo := 0, 0
 		s.coord.AtBarriers(times, func(at des.Time) {
 			// Apply every event at this instant in the shared sorted
 			// order, with all shards quiesced at exactly `at` — the same
@@ -169,6 +193,10 @@ func NewShardedSession(cfg Config) *ShardedSession {
 			for next < len(events) && events[next].At == at {
 				s.ctl.apply(events[next])
 				next++
+			}
+			if nextRo < len(reopts) && reopts[nextRo] == at {
+				s.ro.reoptimize(at)
+				nextRo++
 			}
 		})
 	}
@@ -210,6 +238,11 @@ func (s *ShardedSession) receive(sh *shardRuntime, id int, p traffic.Packet) {
 	sh.deliver++
 	if sh.windows != nil {
 		sh.windows.Observe(sh.eng.Now().Seconds(), d)
+	}
+	if s.ro != nil {
+		// Safe across shards: host id is owned by exactly one shard, so
+		// each (group, host) estimate cell has a single writer.
+		s.ro.observe(g, id, d)
 	}
 	h := s.hosts[id]
 	h.observe(p)
@@ -289,6 +322,9 @@ func (s *ShardedSession) Run() Result {
 	if s.ctl != nil {
 		res.Joins, res.Leaves = s.ctl.joins, s.ctl.leaves
 		res.Regrafts, res.RejectedEvents = s.ctl.regrafts, s.ctl.rejected
+	}
+	if s.ro != nil {
+		res.Reopts, res.ReoptMoves, res.ReoptRejected = s.ro.accepted, s.ro.moves, s.ro.rejected
 	}
 	if windows != nil {
 		res.WindowMax = windows.Series()

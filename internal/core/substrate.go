@@ -75,13 +75,9 @@ func compileSubstrate(cfg Config) *substrate {
 		}
 		return t
 	}
-	build := func(g int, tc overlay.Config) *overlay.Tree {
-		if cfg.Tree == TreeNICE {
-			return must(overlay.BuildNICE(sub.net, groups[g].Members, groups[g].Source, tc))
-		}
-		return must(overlay.BuildDSCT(sub.net, groups[g].Members, groups[g].Source, tc))
-	}
 	trees := make([]*overlay.Tree, numGroups)
+	treeCfgs := make([]overlay.Config, numGroups)
+	var strat overlay.Strategy
 	if cfg.Scheme == SchemeCapacityAware {
 		fanout := overlay.FanoutBound(cfg.Load, cfg.CapacityFactor)
 		if cfg.Groups == nil {
@@ -107,9 +103,19 @@ func compileSubstrate(cfg Config) *substrate {
 			}
 		}
 	} else {
+		// Regulated schemes build through the named overlay strategy —
+		// "dsct" and "nice" resolve to the exact builders (and random
+		// streams) the pre-strategy substrate called, pinned by the golden
+		// bit-identity tests.
+		var err error
+		strat, err = overlay.LookupStrategy(cfg.strategyName())
+		if err != nil {
+			panic(fmt.Sprintf("core: %v", err))
+		}
 		for g := 0; g < numGroups; g++ {
 			tc := overlay.Config{K: cfg.ClusterK, Seed: xrand.DeriveSeed(cfg.Seed, g)}
-			trees[g] = build(g, tc)
+			treeCfgs[g] = tc
+			trees[g] = must(strat.Build(sub.net, groups[g].Members, groups[g].Source, tc))
 		}
 	}
 
@@ -121,6 +127,11 @@ func compileSubstrate(cfg Config) *substrate {
 			member[m] = true
 		}
 		sub.groups[g] = &groupState{spec: groups[g], tree: trees[g], member: member}
+		if strat != nil {
+			sub.groups[g].strat = strat
+			sub.groups[g].lim = strat.Limits(treeCfgs[g], cfg.NumHosts)
+			sub.groups[g].treeCfg = treeCfgs[g]
+		}
 	}
 
 	if len(cfg.UplinkClasses) > 0 {

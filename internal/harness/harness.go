@@ -56,6 +56,11 @@ type Options struct {
 	// bottleneck — sweeps with many cells usually saturate the cores
 	// already, and shard workers then compete with pool workers.
 	Shards int
+	// Strategy, when non-empty, forces every regulated combo of a
+	// scenario sweep onto the named overlay strategy (wdcsim -strategy),
+	// overriding per-combo tree/strategy selections. Combos that become
+	// identical under the override are deduplicated.
+	Strategy string
 }
 
 func (o *Options) fill() {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/calculus"
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/overlay"
 	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/traffic"
@@ -39,6 +40,10 @@ type ScenarioCurve struct {
 	WindowMax [][]float64
 	// WindowSec is the window bucket width (0 when unset).
 	WindowSec float64
+	// Reopts and ReoptMoves total the accepted re-optimization passes and
+	// the members they re-parented across the load grid (zero unless the
+	// scenario enables re-optimization).
+	Reopts, ReoptMoves int
 }
 
 // ScenarioResult is a full scenario sweep: one curve per combo.
@@ -51,6 +56,8 @@ type ScenarioResult struct {
 	// Churn disruption totals across every cell (zero without churn).
 	Joins, Leaves, Regrafts int
 	Lost                    uint64
+	// Re-optimization totals across every cell (zero unless enabled).
+	Reopts, ReoptMoves int
 }
 
 // ScenarioSweep runs a scenario over its load grid with one engine per
@@ -75,6 +82,28 @@ func ScenarioSweep(sc scenario.Scenario, opts Options) (ScenarioResult, error) {
 	}
 	if opts.NumHosts > 0 {
 		sc.NumHosts = opts.NumHosts
+	}
+	if opts.Strategy != "" {
+		// Force the sweep onto one strategy: clear per-combo selections
+		// (on a copy — the combo slice may be shared with the registry)
+		// and deduplicate combos the override made identical. Capacity-
+		// aware combos keep their own construction and are untouched.
+		sc.Strategy = opts.Strategy
+		var combos []scenario.Combo
+		seen := map[string]bool{}
+		for _, c := range sc.Combos {
+			if scheme, err := scenario.ParseScheme(c.Scheme); err == nil && scheme != core.SchemeCapacityAware {
+				c.Tree, c.Strategy = "", ""
+			}
+			if key := c.String(); !seen[key] {
+				seen[key] = true
+				combos = append(combos, c)
+			}
+		}
+		sc.Combos = combos
+		if err := sc.Validate(); err != nil {
+			return ScenarioResult{}, err
+		}
 	}
 	// An explicitly passed grid beats the scenario's own, which beats the
 	// paper grid — mirroring the NumHosts/duration precedence.
@@ -124,15 +153,17 @@ func ScenarioSweep(sc scenario.Scenario, opts Options) (ScenarioResult, error) {
 
 	combos := sc.Combos
 	type cell struct {
-		wdb, mean float64
-		layers    int
-		delivered uint64
-		lost      uint64
-		joins     int
-		leaves    int
-		regrafts  int
-		windows   []float64
-		windowSec float64
+		wdb, mean  float64
+		layers     int
+		delivered  uint64
+		lost       uint64
+		joins      int
+		leaves     int
+		regrafts   int
+		reopts     int
+		reoptMoves int
+		windows    []float64
+		windowSec  float64
 	}
 	cells := make([]cell, len(loads)*len(combos))
 
@@ -177,6 +208,7 @@ func ScenarioSweep(sc scenario.Scenario, opts Options) (ScenarioResult, error) {
 			cells[i] = cell{wdb: r.WDB, mean: r.MeanDelay, layers: r.Layers,
 				delivered: r.Delivered, lost: r.Lost,
 				joins: r.Joins, leaves: r.Leaves, regrafts: r.Regrafts,
+				reopts: r.Reopts, reoptMoves: r.ReoptMoves,
 				windows: r.WindowMax, windowSec: r.WindowSec}
 		})
 	}
@@ -195,6 +227,8 @@ func ScenarioSweep(sc scenario.Scenario, opts Options) (ScenarioResult, error) {
 				res.Curves[ci].WindowMax[li] = c.windows
 				res.Curves[ci].WindowSec = c.windowSec
 			}
+			res.Curves[ci].Reopts += c.reopts
+			res.Curves[ci].ReoptMoves += c.reoptMoves
 			bound := theoryBound(sc, combos[ci], mix, specs, load, c.layers)
 			res.Curves[ci].Bound[li] = bound
 			if bound > 0 && c.wdb > bound {
@@ -205,6 +239,8 @@ func ScenarioSweep(sc scenario.Scenario, opts Options) (ScenarioResult, error) {
 			res.Joins += c.joins
 			res.Leaves += c.leaves
 			res.Regrafts += c.regrafts
+			res.Reopts += c.reopts
+			res.ReoptMoves += c.reoptMoves
 		}
 	}
 	return res, nil
@@ -225,16 +261,21 @@ func theoryBound(sc scenario.Scenario, combo scenario.Combo, mix traffic.Mix,
 	if err != nil || (scheme != core.SchemeSigmaRho && scheme != core.SchemeSRL) {
 		return 0
 	}
-	// Under churn the reported layer count is an end-of-run snapshot; the
-	// whole-run WDB must be compared against a height that held at every
-	// instant. The control plane enforces the Lemma 2 height bound on
-	// grafts and repairs, so bound at that cap instead of the snapshot.
-	if sc.Churn.Enabled() {
-		k := sc.ClusterK
-		if k == 0 {
-			k = 3
+	// Under churn or re-optimization the reported layer count is an
+	// end-of-run snapshot; the whole-run WDB must be compared against a
+	// height that held at every instant. The control plane enforces the
+	// strategy's height bound on grafts, repairs, and rewires — for the
+	// cluster strategies that is the Lemma 2 bound — so bound at that cap
+	// instead of the snapshot. Strategies without a closed-form height
+	// bound (spt, greedy) fall back to the snapshot, so their churn-time
+	// bound column is best-effort.
+	if sc.Churn.Enabled() || sc.Reopt.Enabled() {
+		if strat, err := overlay.LookupStrategy(strategyName(sc, combo)); err == nil {
+			lim := strat.Limits(overlay.Config{K: sc.ClusterK}, sc.Hosts())
+			if lim.MaxHeight > 0 {
+				layers = lim.MaxHeight + 1
+			}
 		}
-		layers = calculus.DSCTHeightBoundMax(sc.Hosts(), k) + 1
 	}
 	conn := mix.TotalRateN(len(specs)) / load
 	minMult := 1.0
@@ -256,6 +297,60 @@ func theoryBound(sc scenario.Scenario, combo scenario.Combo, mix traffic.Mix,
 		return calculus.MulticastDhatHetero(layers, sigmas, rhos)
 	}
 	return calculus.MulticastDgHetero(layers, sigmas, rhos)
+}
+
+// strategyName resolves the overlay strategy in force for a combo —
+// StrategyFor, with the legacy dsct default made explicit so bound and
+// table code can always name the strategy.
+func strategyName(sc scenario.Scenario, combo scenario.Combo) string {
+	if sc.Kind == scenario.KindSingleHop {
+		return ""
+	}
+	if name := sc.StrategyFor(combo); name != "" {
+		return name
+	}
+	if scheme, err := scenario.ParseScheme(combo.Scheme); err == nil && scheme == core.SchemeCapacityAware {
+		return "flat"
+	}
+	return "dsct"
+}
+
+// StrategyTable renders the comparative per-strategy view of a sweep:
+// one row per combo with its resolved overlay strategy, the worst-case
+// and mean delay at the heaviest load, the theory bound and its violation
+// count, and the disruption totals (churn losses, re-optimization
+// activity) — the at-a-glance answer to "which strategy wins here".
+func (r ScenarioResult) StrategyTable() *stats.Table {
+	t := stats.NewTable("combo", "strategy", "wdb [s]", "mean [s]", "layers",
+		"bound [s]", "viol", "lost", "reopts", "moves")
+	if len(r.Loads) == 0 {
+		return t
+	}
+	last := len(r.Loads) - 1
+	for _, c := range r.Curves {
+		strat := strategyName(r.Scenario, c.Combo)
+		if strat == "" {
+			strat = "-"
+		}
+		bound := "-"
+		if c.Bound[last] > 0 {
+			bound = fmt.Sprintf("%.4f", c.Bound[last])
+		}
+		var lost uint64
+		for _, l := range c.Lost {
+			lost += l
+		}
+		t.AddRow(c.Combo.Scheme, strat,
+			fmt.Sprintf("%.4f", c.WDB.Y[last]),
+			fmt.Sprintf("%.4f", c.MeanDelay.Y[last]),
+			fmt.Sprintf("%d", c.Layers[last]),
+			bound,
+			fmt.Sprintf("%d", c.Violations),
+			fmt.Sprintf("%d", lost),
+			fmt.Sprintf("%d", c.Reopts),
+			fmt.Sprintf("%d", c.ReoptMoves))
+	}
+	return t
 }
 
 // Table renders the WDB curves in the figure layout: one column per
@@ -296,6 +391,9 @@ func (r ScenarioResult) Summary() string {
 		out += fmt.Sprintf("; churn: %d joins, %d leaves, %d regrafts, %d packets lost",
 			r.Joins, r.Leaves, r.Regrafts, r.Lost)
 	}
+	if r.Reopts+r.ReoptMoves > 0 {
+		out += fmt.Sprintf("; reopt: %d accepted passes, %d members moved", r.Reopts, r.ReoptMoves)
+	}
 	return out
 }
 
@@ -311,17 +409,22 @@ type scenarioJSON struct {
 	Leaves    int                `json:"leaves,omitempty"`
 	Regrafts  int                `json:"regrafts,omitempty"`
 	Lost      uint64             `json:"lost,omitempty"`
+	Reopts    int                `json:"reopts,omitempty"`
+	Moves     int                `json:"reopt_moves,omitempty"`
 	Curves    []scenarioCurveRec `json:"curves"`
 }
 
 type scenarioCurveRec struct {
 	Combo      string      `json:"combo"`
+	Strategy   string      `json:"strategy,omitempty"`
 	WDB        []float64   `json:"wdb"`
 	MeanDelay  []float64   `json:"mean_delay"`
 	Layers     []int       `json:"layers,omitempty"`
 	Bound      []float64   `json:"bound,omitempty"`
 	Violations int         `json:"violations"`
 	Lost       []uint64    `json:"lost,omitempty"`
+	Reopts     int         `json:"reopts,omitempty"`
+	Moves      int         `json:"reopt_moves,omitempty"`
 	WindowSec  float64     `json:"window_sec,omitempty"`
 	WindowMax  [][]float64 `json:"window_max,omitempty"`
 }
@@ -343,10 +446,13 @@ func (r ScenarioResult) JSON() ([]byte, error) {
 		Leaves:    r.Leaves,
 		Regrafts:  r.Regrafts,
 		Lost:      r.Lost,
+		Reopts:    r.Reopts,
+		Moves:     r.ReoptMoves,
 	}
 	for _, c := range r.Curves {
 		rec.Curves = append(rec.Curves, scenarioCurveRec{
 			Combo:      c.Combo.String(),
+			Strategy:   strategyName(r.Scenario, c.Combo),
 			WDB:        c.WDB.Y,
 			MeanDelay:  c.MeanDelay.Y,
 			Layers:     c.Layers,

@@ -88,3 +88,96 @@ func TestScenarioSweepShardsOption(t *testing.T) {
 		}
 	}
 }
+
+// TestShardDifferentialReoptChurnWaxman16 is the re-optimization
+// acceptance differential: the full-scale reopt-churn-waxman-16 cell
+// (2000 hosts, 16 Zipf groups, Poisson churn, 1 s measurement-driven
+// rewire passes) run sharded must agree with the shards=1 run on
+// delivery count, loss count, per-group max-delay bits, and the churn
+// and re-optimization counters — re-optimization passes apply at
+// coordinator quiesce barriers, so nothing may drift.
+func TestShardDifferentialReoptChurnWaxman16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale differential; skipped under -short")
+	}
+	sc := scenario.MustLookup("reopt-churn-waxman-16")
+	groups := sc.Groups(1)
+	cfg, err := sc.SessionConfig(sc.Combos[0], 0.8, 1, core.UseSeed(2),
+		2*des.Second, nil, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqr := core.Run(cfg)
+	if seqr.Delivered == 0 || seqr.Joins == 0 {
+		t.Fatalf("inert workload: %+v", seqr)
+	}
+	if seqr.Reopts+seqr.ReoptRejected == 0 {
+		t.Fatal("no re-optimization passes evaluated")
+	}
+	cfg.Shards = envShards(t)
+	shr := core.Run(cfg)
+
+	if seqr.Delivered != shr.Delivered {
+		t.Errorf("delivery count: %d sequential vs %d sharded", seqr.Delivered, shr.Delivered)
+	}
+	if seqr.Lost != shr.Lost {
+		t.Errorf("loss count: %d sequential vs %d sharded", seqr.Lost, shr.Lost)
+	}
+	for g := range seqr.PerGroupWDB {
+		if math.Float64bits(seqr.PerGroupWDB[g]) != math.Float64bits(shr.PerGroupWDB[g]) {
+			t.Errorf("group %d max delay: %.17g vs %.17g", g, seqr.PerGroupWDB[g], shr.PerGroupWDB[g])
+		}
+	}
+	if seqr.Joins != shr.Joins || seqr.Leaves != shr.Leaves || seqr.Regrafts != shr.Regrafts {
+		t.Errorf("churn counters (%d,%d,%d) vs (%d,%d,%d)",
+			seqr.Joins, seqr.Leaves, seqr.Regrafts, shr.Joins, shr.Leaves, shr.Regrafts)
+	}
+	if seqr.Reopts != shr.Reopts || seqr.ReoptMoves != shr.ReoptMoves || seqr.ReoptRejected != shr.ReoptRejected {
+		t.Errorf("reopt counters (%d,%d,%d) vs (%d,%d,%d)",
+			seqr.Reopts, seqr.ReoptMoves, seqr.ReoptRejected, shr.Reopts, shr.ReoptMoves, shr.ReoptRejected)
+	}
+}
+
+// TestScenarioSweepStrategyOption forces a sweep onto one strategy and
+// checks the override reaches the compiled configs: the forced sweep
+// must equal a sweep of the scenario with the strategy set declaratively.
+func TestScenarioSweepStrategyOption(t *testing.T) {
+	sc := scenario.MustLookup("waxman-zipf-16").Quick()
+	opts := Options{Seed: 5, Loads: []float64{0.8}, Duration: des.Second}
+	forcedOpts := opts
+	forcedOpts.Strategy = "greedy"
+	forced, err := ScenarioSweep(sc, forcedOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	declared := sc
+	declared.Strategy = "greedy"
+	declared.Combos = []scenario.Combo{
+		{Scheme: "sigma-rho-lambda"},
+		{Scheme: "sigma-rho"},
+	}
+	want, err := ScenarioSweep(declared, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.Delivered != want.Delivered {
+		t.Fatalf("forced sweep delivered %d, declarative %d", forced.Delivered, want.Delivered)
+	}
+	for i := range forced.Curves {
+		for j := range forced.Loads {
+			if math.Float64bits(forced.Curves[i].WDB.Y[j]) != math.Float64bits(want.Curves[i].WDB.Y[j]) {
+				t.Fatalf("curve %d load %d: WDB %.17g vs %.17g",
+					i, j, forced.Curves[i].WDB.Y[j], want.Curves[i].WDB.Y[j])
+			}
+		}
+	}
+	// The forced sweep must differ from the unforced dsct baseline —
+	// otherwise the override silently did nothing.
+	base, err := ScenarioSweep(sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(base.Curves[0].WDB.Y[0]) == math.Float64bits(forced.Curves[0].WDB.Y[0]) {
+		t.Fatal("greedy override produced the dsct result")
+	}
+}

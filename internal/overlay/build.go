@@ -17,9 +17,17 @@ type Config struct {
 	// variant, where a host may only feed ⌊C_out/Σρᵢ⌋ children so the
 	// cluster it leads cannot exceed that fanout + 1.
 	SizeCap int
+	// Fanout is the "greedy" strategy's base child budget per host,
+	// scaled by each host's uplink-class multiplier and floored at 1.
+	// Default 4. The cluster strategies ignore it.
+	Fanout int
 	// Seed drives the random cluster-size draws.
 	Seed uint64
 }
+
+// DefaultGreedyFanout is the greedy strategy's base child budget when
+// Config.Fanout is unset.
+const DefaultGreedyFanout = 4
 
 func (c *Config) fillDefaults() error {
 	if c.K == 0 {
@@ -31,85 +39,13 @@ func (c *Config) fillDefaults() error {
 	if c.SizeCap != 0 && c.SizeCap < 2 {
 		return fmt.Errorf("overlay: SizeCap must be 0 (none) or >= 2, got %d", c.SizeCap)
 	}
+	if c.Fanout < 0 {
+		return fmt.Errorf("overlay: Fanout must be non-negative, got %d", c.Fanout)
+	}
+	if c.Fanout == 0 {
+		c.Fanout = DefaultGreedyFanout
+	}
 	return nil
-}
-
-// clusterize partitions ids (in the given order) into proximity clusters.
-// Each cluster is seeded by the first unassigned member and completed with
-// its nearest unassigned neighbours by RTT. Sizes are drawn from
-// [k, 3k−1], capped by sizeCap, exactly as the DSCT paper specifies: when
-// no more than the maximum cluster size remains, the remainder forms the
-// final cluster.
-func clusterize(net *topo.Network, ids []int, k, sizeCap int, rng *xrand.Rand) [][]int {
-	limit := 3*k - 1
-	lo := k
-	if sizeCap >= 2 && sizeCap < limit {
-		limit = sizeCap
-		if lo > limit {
-			lo = limit
-		}
-	}
-	unassigned := append([]int(nil), ids...)
-	var clusters [][]int
-	for len(unassigned) > 0 {
-		size := len(unassigned)
-		if size > limit {
-			size = rng.IntRange(lo, limit)
-		}
-		pivot := unassigned[0]
-		rest := unassigned[1:]
-		sortByRTT(net, pivot, rest)
-		cluster := make([]int, 0, size)
-		cluster = append(cluster, pivot)
-		cluster = append(cluster, rest[:size-1]...)
-		clusters = append(clusters, cluster)
-		unassigned = append(unassigned[:0], rest[size-1:]...)
-	}
-	return clusters
-}
-
-// pickCore selects the cluster core: the multicast source always wins its
-// clusters (so the delivery tree roots at the source); otherwise the RTT
-// centroid leads.
-func pickCore(net *topo.Network, cluster []int, source int) int {
-	for _, m := range cluster {
-		if m == source {
-			return source
-		}
-	}
-	return rttCentroid(net, cluster)
-}
-
-// buildHierarchy runs the layered clustering loop over one ordered member
-// set, assigning parent edges into t, and returns the surviving top core.
-func buildHierarchy(t *Tree, net *topo.Network, layer []int, source int, k, sizeCap int, rng *xrand.Rand) int {
-	for len(layer) > 1 {
-		clusters := clusterize(net, layer, k, sizeCap, rng)
-		next := make([]int, 0, len(clusters))
-		for _, cluster := range clusters {
-			core := pickCore(net, cluster, source)
-			for _, m := range cluster {
-				if m != core {
-					t.setParent(m, core)
-				}
-			}
-			next = append(next, core)
-		}
-		layer = next
-	}
-	return layer[0]
-}
-
-func checkMembership(members []int, source int) error {
-	if len(members) == 0 {
-		return fmt.Errorf("overlay: empty member set")
-	}
-	for _, m := range members {
-		if m == source {
-			return nil
-		}
-	}
-	return fmt.Errorf("overlay: source %d not in member set of %d hosts", source, len(members))
 }
 
 // BuildDSCT constructs the paper's DSCT tree (Section V): members are

@@ -182,14 +182,88 @@ func (t *Tree) GraftPoint(net *topo.Network, h, subHeight, maxFanout, maxHeight 
 	}
 }
 
-// Repair re-attaches the orphan subtree roots left by Prune, each under
-// its GraftPoint, and returns the parent chosen for each orphan in input
-// order. Repairing in input order is deterministic: earlier re-attached
-// subtrees become candidates for later orphans.
-func (t *Tree) Repair(net *topo.Network, orphans []int, maxFanout, maxHeight int) ([]int, error) {
+// InSubtree reports whether h lies in the subtree rooted at root
+// (including root itself), following child edges only — valid for
+// detached subtrees too.
+func (t *Tree) InSubtree(root, h int) bool {
+	if root == h {
+		return true
+	}
+	steps := 0
+	level := []int{root}
+	for len(level) > 0 {
+		var next []int
+		for _, v := range level {
+			for _, c := range t.child[v] {
+				if c == h {
+					return true
+				}
+				next = append(next, c)
+			}
+		}
+		level = next
+		steps++
+		if steps > len(t.Members) {
+			panic("overlay: child cycle")
+		}
+	}
+	return false
+}
+
+// Reparent moves attached member h — with its whole subtree — under
+// newParent: the re-optimization plane's local rewire. Unlike Prune+Graft
+// it never leaves the member set or the subtree's internal edges, so a
+// rewire is purely an edge swap. The new parent must be an attached
+// member outside h's own subtree (which rules out cycles).
+func (t *Tree) Reparent(h, newParent int) error {
+	if h == t.Source {
+		return fmt.Errorf("overlay: cannot reparent the source %d", h)
+	}
+	if !t.member[h] {
+		return fmt.Errorf("overlay: reparent of non-member %d", h)
+	}
+	old, ok := t.parent[h]
+	if !ok {
+		return fmt.Errorf("overlay: reparent of detached member %d", h)
+	}
+	if newParent == old {
+		return fmt.Errorf("overlay: reparent of %d under its current parent %d", h, old)
+	}
+	if !t.member[newParent] {
+		return fmt.Errorf("overlay: reparent of %d under non-member %d", h, newParent)
+	}
+	if _, attached := t.depthAttached(newParent); !attached {
+		return fmt.Errorf("overlay: reparent of %d under detached member %d", h, newParent)
+	}
+	if t.InSubtree(h, newParent) {
+		return fmt.Errorf("overlay: reparent of %d under its own descendant %d", h, newParent)
+	}
+	siblings := t.child[old]
+	for i, c := range siblings {
+		if c == h {
+			t.child[old] = append(siblings[:i], siblings[i+1:]...)
+			break
+		}
+	}
+	if len(t.child[old]) == 0 {
+		delete(t.child, old)
+	}
+	t.parent[h] = newParent
+	t.child[newParent] = append(t.child[newParent], h)
+	return nil
+}
+
+// RepairWith re-attaches the orphan subtree roots left by Prune, each
+// under the parent the choose function picks for (orphan, subtree
+// height), and returns the parent chosen for each orphan in input order.
+// Repairing in input order is deterministic: earlier re-attached
+// subtrees become candidates for later orphans. The control plane passes
+// the group strategy's GraftPoint as choose, so repairs follow the rule
+// that built the tree.
+func (t *Tree) RepairWith(orphans []int, choose func(orphan, subHeight int) (int, error)) ([]int, error) {
 	parents := make([]int, len(orphans))
 	for i, o := range orphans {
-		p, err := t.GraftPoint(net, o, t.SubtreeHeight(o), maxFanout, maxHeight)
+		p, err := choose(o, t.SubtreeHeight(o))
 		if err != nil {
 			return nil, err
 		}
@@ -199,4 +273,13 @@ func (t *Tree) Repair(net *topo.Network, orphans []int, maxFanout, maxHeight int
 		parents[i] = p
 	}
 	return parents, nil
+}
+
+// Repair is RepairWith under the fixed RTT-nearest graft rule of
+// Tree.GraftPoint — the pre-strategy repair protocol, which the cluster
+// strategies still resolve to.
+func (t *Tree) Repair(net *topo.Network, orphans []int, maxFanout, maxHeight int) ([]int, error) {
+	return t.RepairWith(orphans, func(o, subHeight int) (int, error) {
+		return t.GraftPoint(net, o, subHeight, maxFanout, maxHeight)
+	})
 }

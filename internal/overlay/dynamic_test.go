@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/calculus"
+	"repro/internal/xrand"
 )
 
 func TestGraftAddsMemberAndValidates(t *testing.T) {
@@ -195,5 +196,90 @@ func TestSubtreeHeight(t *testing.T) {
 	}
 	if h := tr.SubtreeHeight(3); h != 0 {
 		t.Fatalf("SubtreeHeight(leaf) = %d, want 0", h)
+	}
+}
+
+// TestDynamicsPropertyInvariants is the property test for the dynamic
+// tree operations: after many random graft/prune/repair cycles (the
+// control plane's exact call pattern) a DSCT tree must still satisfy the
+// structural invariants — it spans exactly its member set acyclically
+// (Validate), the height stays within the Lemma 2 bound for the host
+// population, and no member's fanout exceeds the worse of the 3K−1
+// cluster cap and the build-time maximum (a core that led clusters on
+// several layers can start above the cap; grafts must then never widen
+// it further, because GraftPoint only targets members below the cap).
+// Constraint relaxation inside GraftPoint (fanout first, then height)
+// only triggers when no conforming member exists; with this population
+// there is always slack, so the caps must hold exactly.
+func TestDynamicsPropertyInvariants(t *testing.T) {
+	const (
+		hosts  = 140
+		k      = 3
+		cap    = 3*k - 1
+		cycles = 400
+	)
+	bound := calculus.DSCTHeightBoundMax(hosts, k)
+	for _, seed := range []uint64{1, 2, 3} {
+		net := network(hosts, seed)
+		tree := mustDSCT(t, net, allMembers(100), 0, Config{Seed: seed})
+		rng := xrand.New(seed ^ 0xbf58476d1ce4e5b9)
+		member := make(map[int]bool, 100)
+		for _, m := range tree.Members {
+			member[m] = true
+		}
+		fanoutCap := cap
+		if f := tree.MaxFanout(); f > fanoutCap {
+			fanoutCap = f
+		}
+		check := func(step int) {
+			t.Helper()
+			if err := tree.Validate(); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			if f := tree.MaxFanout(); f > fanoutCap {
+				t.Fatalf("seed %d step %d: fanout %d exceeds cap %d", seed, step, f, fanoutCap)
+			}
+			if h := tree.Height(); h > bound {
+				t.Fatalf("seed %d step %d: height %d exceeds Lemma 2 bound %d", seed, step, h, bound)
+			}
+		}
+		for step := 0; step < cycles; step++ {
+			join := rng.Intn(2) == 0
+			if tree.Size() <= 5 {
+				join = true // keep the tree from draining away
+			} else if tree.Size() >= hosts {
+				join = false
+			}
+			if join {
+				// Pick a random non-member to graft.
+				h := rng.Intn(hosts)
+				for member[h] {
+					h = (h + 1) % hosts
+				}
+				p, err := tree.GraftPoint(net, h, 0, cap, bound)
+				if err != nil {
+					t.Fatalf("seed %d step %d: %v", seed, step, err)
+				}
+				if err := tree.Graft(h, p); err != nil {
+					t.Fatalf("seed %d step %d: %v", seed, step, err)
+				}
+				member[h] = true
+			} else {
+				// Pick a random non-source member to prune, then repair.
+				h := rng.Intn(hosts)
+				for !member[h] || h == tree.Source {
+					h = (h + 1) % hosts
+				}
+				orphans, err := tree.Prune(h)
+				if err != nil {
+					t.Fatalf("seed %d step %d: %v", seed, step, err)
+				}
+				member[h] = false
+				if _, err := tree.Repair(net, orphans, cap, bound); err != nil {
+					t.Fatalf("seed %d step %d: %v", seed, step, err)
+				}
+			}
+			check(step)
+		}
 	}
 }

@@ -110,6 +110,62 @@ func init() {
 		DurationSec: 5,
 	})
 	Register(Scenario{
+		Name: "spt-waxman-16",
+		Description: "strategy comparison: the scale benchmark shape with the paper's " +
+			"DSCT against the delay-weighted shortest-path and capacity-aware greedy strategies",
+		Kind:      KindMultiGroup,
+		Mix:       "audio",
+		NumHosts:  2000,
+		NumGroups: 16,
+		Topology:  Topology{Kind: "waxman", Nodes: 64},
+		Membership: Membership{
+			Kind:    "zipf",
+			Skew:    1.0,
+			MinSize: 8,
+		},
+		Combos: []Combo{
+			{Scheme: "sigma-rho-lambda", Tree: "dsct"},
+			{Scheme: "sigma-rho-lambda", Strategy: "spt"},
+			{Scheme: "sigma-rho-lambda", Strategy: "greedy"},
+		},
+		Loads:       []float64{0.5, 0.8},
+		DurationSec: 5,
+	})
+	Register(Scenario{
+		Name: "reopt-churn-waxman-16",
+		Description: "online re-optimization: the churn benchmark with periodic " +
+			"measurement-driven tree rewires (1 s period, 5% hysteresis) repairing churn damage",
+		Kind:      KindMultiGroup,
+		Mix:       "audio",
+		NumHosts:  2000,
+		NumGroups: 16,
+		Topology:  Topology{Kind: "waxman", Nodes: 64},
+		Membership: Membership{
+			Kind:    "zipf",
+			Skew:    1.0,
+			MinSize: 8,
+		},
+		Churn: Churn{
+			Kind:            "poisson",
+			TurnoverPerSec:  0.02,
+			MeanLifetimeSec: 2,
+			StartSec:        0.5,
+		},
+		Reopt: Reoptimize{
+			EverySec:    1,
+			MinImprove:  0.05,
+			CooldownSec: 1,
+			MaxMoves:    4,
+		},
+		WindowSec: 0.5,
+		Combos: []Combo{
+			{Scheme: "sigma-rho-lambda", Tree: "dsct"},
+			{Scheme: "sigma-rho-lambda", Strategy: "spt"},
+		},
+		Loads:       []float64{0.5, 0.8},
+		DurationSec: 5,
+	})
+	Register(Scenario{
 		Name: "transit-stub-dsl-fibre",
 		Description: "heterogeneous access: 800 hosts on a 52-router transit-stub " +
 			"hierarchy, 8 uniform partial groups, DSL/cable/fibre uplink classes",

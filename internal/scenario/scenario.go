@@ -16,8 +16,11 @@ import (
 	"math"
 	"sort"
 
+	"bytes"
+
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/overlay"
 	"repro/internal/topo"
 	"repro/internal/traffic"
 	"repro/internal/xrand"
@@ -36,21 +39,33 @@ const (
 )
 
 // Combo is one traffic-control series of a scenario: a scheme plus (for
-// multi-group scenarios) a tree family.
+// multi-group scenarios) a tree family or overlay strategy.
 type Combo struct {
 	// Scheme: "capacity-aware", "sigma-rho", "sigma-rho-lambda", or
 	// "adaptive".
 	Scheme string `json:"scheme"`
-	// Tree: "dsct" (default) or "nice". Ignored for single-hop scenarios.
+	// Tree: "dsct" (default) or "nice" — the legacy name for the two
+	// paper tree families. Ignored for single-hop scenarios. Mutually
+	// exclusive with Strategy.
 	Tree string `json:"tree,omitempty"`
+	// Strategy names an overlay strategy from the registry ("dsct",
+	// "nice", "spt", "greedy", ...), overriding both Tree and the
+	// scenario-level Strategy for this series — so one scenario can
+	// compare strategies side by side. Requires a regulated scheme.
+	Strategy string `json:"strategy,omitempty"`
 }
 
-// String implements fmt.Stringer ("sigma-rho-lambda dsct").
+// String implements fmt.Stringer ("sigma-rho-lambda dsct",
+// "sigma-rho-lambda spt").
 func (c Combo) String() string {
-	if c.Tree == "" {
+	switch {
+	case c.Strategy != "":
+		return c.Scheme + " " + c.Strategy
+	case c.Tree != "":
+		return c.Scheme + " " + c.Tree
+	default:
 		return c.Scheme
 	}
-	return c.Scheme + " " + c.Tree
 }
 
 // Topology selects and parameterises the underlay generator family.
@@ -140,9 +155,19 @@ type Scenario struct {
 	Topology   Topology   `json:"topology,omitempty"`
 	Membership Membership `json:"membership,omitempty"`
 	Capacity   Capacity   `json:"capacity,omitempty"`
+	// Strategy names the default overlay strategy for every combo that
+	// does not pick its own (via Combo.Strategy or the legacy Combo.Tree).
+	// Capacity-aware combos keep their own flat shared-tree construction
+	// and ignore it.
+	Strategy string `json:"strategy,omitempty"`
 	// Churn turns on dynamic membership (see churn.go). Requires partial
 	// membership and regulated combos.
 	Churn Churn `json:"churn,omitempty"`
+	// Reopt turns on measurement-driven online tree re-optimization:
+	// periodic passes that rewire (or rebuild) each group's tree from
+	// measured per-member delays under hysteresis. Requires regulated
+	// combos and a multi-group scenario.
+	Reopt Reoptimize `json:"reoptimize,omitempty"`
 	// WindowSec sets the windowed max-delay bucket width in seconds for
 	// transient measurement; 0 defaults to 1 s when churn is enabled and
 	// off otherwise.
@@ -218,6 +243,24 @@ func ParseScheme(name string) (core.Scheme, error) {
 	}
 }
 
+// StrategyFor resolves the overlay strategy name in force for one combo:
+// the combo's own Strategy, else its legacy Tree name, else the
+// scenario-level default, else "" (core's dsct default). Capacity-aware
+// combos always resolve to "" — they build their own shared flat tree.
+func (s Scenario) StrategyFor(c Combo) string {
+	if scheme, err := ParseScheme(c.Scheme); err == nil && scheme == core.SchemeCapacityAware {
+		return ""
+	}
+	switch {
+	case c.Strategy != "":
+		return c.Strategy
+	case c.Tree != "":
+		return c.Tree
+	default:
+		return s.Strategy
+	}
+}
+
 // ParseTree resolves a combo's tree name.
 func ParseTree(name string) (core.TreeKind, error) {
 	switch name {
@@ -259,8 +302,24 @@ func (s Scenario) Validate() error {
 		if _, err := ParseTree(c.Tree); err != nil {
 			return fmt.Errorf("scenario %s: %w", s.Name, err)
 		}
+		if c.Strategy != "" {
+			if c.Tree != "" {
+				return fmt.Errorf("scenario %s: combo %q sets both tree and strategy", s.Name, c.String())
+			}
+			if scheme == core.SchemeCapacityAware {
+				return fmt.Errorf("scenario %s: capacity-aware combos build their own shared tree; strategy %q does not apply", s.Name, c.Strategy)
+			}
+			if _, err := overlay.LookupStrategy(c.Strategy); err != nil {
+				return fmt.Errorf("scenario %s: %w", s.Name, err)
+			}
+		}
 		if s.Kind == KindSingleHop && scheme == core.SchemeCapacityAware {
 			return fmt.Errorf("scenario %s: single-hop runs need a regulated scheme", s.Name)
+		}
+	}
+	if s.Strategy != "" {
+		if _, err := overlay.LookupStrategy(s.Strategy); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
 		}
 	}
 	if _, err := s.Topology.Generator(); err != nil {
@@ -304,6 +363,19 @@ func (s Scenario) Validate() error {
 		for _, c := range s.Combos {
 			if scheme, _ := ParseScheme(c.Scheme); scheme == core.SchemeCapacityAware {
 				return fmt.Errorf("scenario %s: churn requires regulated combos (capacity-aware trees cannot express membership drift)", s.Name)
+			}
+		}
+	}
+	if err := s.Reopt.validate(s.Name); err != nil {
+		return err
+	}
+	if s.Reopt.Enabled() {
+		if s.Kind == KindSingleHop {
+			return fmt.Errorf("scenario %s: re-optimization needs a multi-group scenario", s.Name)
+		}
+		for _, c := range s.Combos {
+			if scheme, _ := ParseScheme(c.Scheme); scheme == core.SchemeCapacityAware {
+				return fmt.Errorf("scenario %s: re-optimization requires regulated combos (capacity-aware trees cannot be rewired)", s.Name)
 			}
 		}
 	}
@@ -469,6 +541,7 @@ func (s Scenario) SessionConfig(combo Combo, load float64, seed uint64,
 		Load:           load,
 		Scheme:         scheme,
 		Tree:           tree,
+		Strategy:       s.StrategyFor(combo),
 		Duration:       duration,
 		Seed:           seed,
 		TrafficSeed:    trafficSeed,
@@ -481,6 +554,7 @@ func (s Scenario) SessionConfig(combo Combo, load float64, seed uint64,
 		NumGroups:      s.GroupCount(),
 		UplinkClasses:  s.UplinkClasses(),
 		Events:         events,
+		Reopt:          s.Reopt.compile(),
 		WindowSec:      window,
 	}, nil
 }
@@ -537,11 +611,22 @@ func (s Scenario) Quick() Scenario {
 	return s
 }
 
-// Parse decodes and validates a scenario from JSON.
+// Parse decodes and validates a scenario from JSON. Decoding is strict:
+// a key the spec does not define (a misspelt "stratagy", a field from a
+// newer version) is an error, not a silently ignored no-op that runs the
+// default configuration.
 func Parse(data []byte) (Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
 	var s Scenario
-	if err := json.Unmarshal(data, &s); err != nil {
+	if err := dec.Decode(&s); err != nil {
 		return Scenario{}, fmt.Errorf("scenario: %w", err)
+	}
+	if dec.More() {
+		// json.Unmarshal rejected trailing data; keep that strictness
+		// through the Decoder switch (a concatenated second spec or merge
+		// artifact must not be silently dropped).
+		return Scenario{}, fmt.Errorf("scenario: trailing data after the spec")
 	}
 	if err := s.Validate(); err != nil {
 		return Scenario{}, err

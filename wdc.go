@@ -32,6 +32,7 @@ import (
 	"repro/internal/calculus"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/overlay"
 	"repro/internal/scenario"
 	"repro/internal/traffic"
 )
@@ -80,6 +81,14 @@ type (
 	// Churn is a scenario's declarative membership-churn model (Poisson
 	// arrivals, exponential/Pareto lifetimes).
 	Churn = scenario.Churn
+	// ReoptConfig parameterises the online tree re-optimization plane:
+	// periodic measurement-driven rewires/rebuilds under hysteresis.
+	ReoptConfig = core.ReoptConfig
+	// Reoptimize is a scenario's declarative re-optimization spec.
+	Reoptimize = scenario.Reoptimize
+	// ScenarioCombo is one traffic-control series of a scenario (scheme
+	// plus tree family or overlay strategy).
+	ScenarioCombo = scenario.Combo
 )
 
 // Re-exported enum values.
@@ -111,6 +120,11 @@ func Run(cfg Config) Result { return core.Run(cfg) }
 
 // RunSingleHop executes one single-regulated-hop run (Simulation I).
 func RunSingleHop(cfg SingleHopConfig) SingleHopResult { return core.RunSingleHop(cfg) }
+
+// Strategies lists the registered overlay tree-construction strategies
+// ("dsct", "nice", "spt", "greedy", ...), selectable via Config.Strategy,
+// scenario specs, and wdcsim -strategy.
+func Strategies() []string { return overlay.StrategyNames() }
 
 // Experiment drivers.
 
