@@ -30,9 +30,14 @@ check: fmt vet build test
 
 # Smoke-run every registered scenario at reduced scale (the CLI's
 # -scenario all -quick, which iterates the whole registry — including the
-# churn scenarios): catches scenario-layer bit-rot in seconds.
+# churn and fault-injection scenarios): catches scenario-layer bit-rot in
+# seconds. The explicit fault-builtin runs exercise the recovery tables in
+# both engines: sequential and sharded (fault events at quiesce barriers).
 scenarios:
 	$(GO) run ./cmd/wdcsim -scenario all -quick
+	$(GO) run ./cmd/wdcsim -scenario outage-waxman-16 -quick -shards 1
+	$(GO) run ./cmd/wdcsim -scenario outage-waxman-16 -quick -shards 4
+	$(GO) run ./cmd/wdcsim -scenario epoch-churn-waxman-16 -quick -shards 4
 
 # Sharded-mode suite, mirroring `make race`: every shard differential and
 # determinism test across a shard-count matrix (WDCSIM_SHARDS overrides
@@ -44,14 +49,16 @@ shards:
 	WDCSIM_SHARDS=8 $(GO) test -run Shard ./...
 
 # Coverage-guided fuzzing of the invariant-heavy corners: the timing
-# wheel's cursor-behind merge-insert and the overlay graft-point
-# selector. 30 s per target — long enough to grow a corpus, short enough
-# for a CI side job (wired in as non-blocking; run longer locally when
-# touching either subsystem).
+# wheel's cursor-behind merge-insert, the overlay graft-point selector,
+# and the batch prune/repair path the fault plane drives. 30 s per
+# target — long enough to grow a corpus, short enough for a CI side job
+# (wired in as non-blocking; run longer locally when touching either
+# subsystem).
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzWheelCursorBehind -fuzztime $(FUZZTIME) ./internal/des
 	$(GO) test -run '^$$' -fuzz FuzzGraftPoint -fuzztime $(FUZZTIME) ./internal/overlay
+	$(GO) test -run '^$$' -fuzz FuzzBatchRepair -fuzztime $(FUZZTIME) ./internal/overlay
 
 # Static analysis. Skips with a notice when the binary is missing so the
 # target is safe on minimal containers; CI installs staticcheck and runs

@@ -17,6 +17,8 @@
 //	wdcsim -scenario spt-waxman-16    # overlay-strategy comparison
 //	wdcsim -scenario waxman-zipf-16 -strategy spt  # force one strategy
 //	wdcsim -scenario reopt-churn-waxman-16  # online tree re-optimization
+//	wdcsim -scenario outage-waxman-16       # domain outage + partition/heal
+//	wdcsim -scenario epoch-churn-waxman-16  # mass-leave epochs under churn
 //
 // Experiments: fig2, fig4a, fig4b, fig4c, fig6a, fig6b, fig6c, table1,
 // table2, table3, rhostar, ratio, all.
@@ -249,6 +251,10 @@ func runScenario(w io.Writer, sc scenario.Scenario, opts harness.Options, jsonOu
 	if sc.Kind != scenario.KindSingleHop {
 		fmt.Fprintf(w, "\nPer-strategy comparison at load %.2f:\n", r.Loads[len(r.Loads)-1])
 		fmt.Fprint(w, r.StrategyTable())
+	}
+	if r.HasFaults() {
+		fmt.Fprintf(w, "\nFault events and recovery at load %.2f:\n", r.Loads[len(r.Loads)-1])
+		fmt.Fprint(w, r.FaultTable())
 	}
 	fmt.Fprintln(w, r.Summary())
 	return nil

@@ -49,6 +49,10 @@ type controlPlane struct {
 	net    *topo.Network
 	groups []*groupState
 	hosts  []*host
+	// down, when the session has a fault plane, is its outage bitmap
+	// (shared slice): hosts under an outage are barred from joining until
+	// restored. Nil without faults.
+	down []bool
 
 	joins, leaves, regrafts, rejected int
 }
@@ -110,7 +114,7 @@ func (cp *controlPlane) apply(ev MembershipEvent) {
 // re-staggered regulator).
 func (cp *controlPlane) join(g, h int) {
 	st := cp.groups[g]
-	if st.member[h] || st.strat == nil {
+	if st.member[h] || st.strat == nil || (cp.down != nil && cp.down[h]) {
 		cp.rejected++
 		return
 	}
@@ -138,6 +142,13 @@ func (cp *controlPlane) leave(g, h int) {
 		cp.rejected++
 		return
 	}
+	if !st.tree.Attached(h) {
+		// h sits in a partition-severed subtree: no repair happens on the
+		// dark side (see faults.go), so its orphans join the deferred set
+		// instead of re-grafting. Unreachable without an active partition.
+		cp.leaveDetached(g, h)
+		return
+	}
 	parent := st.tree.Parent(h)
 	orphans, err := st.tree.Prune(h)
 	if err != nil {
@@ -158,5 +169,35 @@ func (cp *controlPlane) leave(g, h int) {
 		cp.hosts[parents[i]].attachChild(g, o)
 		cp.regrafts++
 	}
+	cp.leaves++
+}
+
+// leaveDetached prunes a member inside a partition-severed subtree: the
+// member's forwarding state tears down exactly as on an attached leave,
+// but its children become detached roots themselves and wait in the
+// group's deferred-repair set for the heal — repairs only happen on the
+// attached side of a cut.
+func (cp *controlPlane) leaveDetached(g, h int) {
+	st := cp.groups[g]
+	parent, hasParent := st.tree.ParentOf(h)
+	orphans, err := st.tree.PruneAll([]int{h})
+	if err != nil {
+		panic(fmt.Sprintf("core: control plane prune: %v", err))
+	}
+	st.member[h] = false
+	if hasParent {
+		st.lost += uint64(cp.hosts[parent].removeChild(g, h))
+	}
+	st.lost += uint64(cp.hosts[h].detachGroup(g))
+	// h, if it was itself a parked root, is replaced by its children.
+	n := 0
+	for _, r := range st.detached {
+		if r != h {
+			st.detached[n] = r
+			n++
+		}
+	}
+	st.detached = append(st.detached[:n], orphans...)
+	sort.Ints(st.detached)
 	cp.leaves++
 }

@@ -180,6 +180,12 @@ func (ro *reoptPlane) pass(g int, at des.Time) {
 	if st.strat == nil || at < ro.cooldown[g] {
 		return
 	}
+	if len(st.detached) > 0 {
+		// A partition severed subtrees off this group's tree; the rewire
+		// candidate scan and the rebuild both assume every member is
+		// attached, so the pass holds off until the heal re-attaches them.
+		return
+	}
 	if ro.cfg.Rebuild {
 		ro.rebuild(g, at)
 		return

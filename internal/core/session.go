@@ -134,6 +134,14 @@ type Config struct {
 	// per-group membership drift). An empty Events compiles to exactly the
 	// static session of the paper.
 	Events []MembershipEvent
+	// Faults, when non-empty, turns on the fault-injection plane: the
+	// listed correlated failures (domain outages, partition/heal, mass
+	// membership transitions) execute as DES events during the run and
+	// their recovery is measured per event (see faults.go). Requires a
+	// regulated scheme, like Events. The schedule is validated strictly at
+	// build time; an empty Faults compiles to exactly the fault-free
+	// session.
+	Faults []FaultEvent
 	// WindowSec, when > 0, records a max-delay series in buckets of this
 	// many seconds — the transient view of worst-case delay around churn
 	// events. 0 disables windowed measurement.
@@ -184,6 +192,9 @@ func (c *Config) fillDefaults() {
 	}
 	if len(c.Events) > 0 && !c.Scheme.Regulated() {
 		panic("core: membership churn requires a regulated scheme")
+	}
+	if len(c.Faults) > 0 && !c.Scheme.Regulated() {
+		panic("core: fault injection requires a regulated scheme")
 	}
 	if c.Strategy != "" && c.Scheme == SchemeCapacityAware {
 		panic("core: the capacity-aware scheme builds its own shared flat tree; Strategy does not apply")
@@ -311,6 +322,17 @@ type Result struct {
 	WindowMax []float64
 	// WindowSec echoes the configured bucket width.
 	WindowSec float64
+
+	// Faults reports each injected fault event's measured impact and
+	// recovery, in schedule order; empty unless Config.Faults was set.
+	Faults []FaultOutcome
+	// FaultLost totals the loss attributed to fault events: regulator
+	// backlog abandoned by fault teardowns (also counted in Lost, like
+	// churn teardowns) plus partition-cut drops (CutLost).
+	FaultLost uint64
+	// CutLost counts packets dropped crossing an active partition cut —
+	// underlay loss, disjoint from the membership accounting in Lost.
+	CutLost uint64
 }
 
 // groupState is the mutable per-group runtime: the current member set,
@@ -332,6 +354,11 @@ type groupState struct {
 	// treeCfg is the overlay build configuration the tree was compiled
 	// with, reused (with a derived seed) by full rebuilds.
 	treeCfg overlay.Config
+	// detached parks the subtree roots a partition severed off the tree,
+	// ascending, until the heal re-attaches them (see faults.go). While it
+	// is non-empty the tree does not span the member set and the reopt
+	// plane holds off.
+	detached []int
 }
 
 // Session is a fully wired multi-group EMcast simulation: an immutable
@@ -349,6 +376,9 @@ type Session struct {
 	groups []*groupState
 	ctl    *controlPlane // nil for static sessions
 	ro     *reoptPlane   // nil unless cfg.Reopt is enabled
+	fp     *faultPlane   // nil unless cfg.Faults is set
+
+	faultCut []uint64 // per fault event: packets dropped at its cut
 
 	perGroup []stats.MaxTracker
 	delays   stats.Welford
@@ -368,7 +398,13 @@ func NewSession(cfg Config) *Session {
 func newSessionFrom(sub *substrate) *Session {
 	cfg := sub.cfg
 	s := &Session{cfg: cfg, eng: des.New(), net: sub.net, specs: sub.specs, groups: sub.groups}
-	s.fabric = netsim.NewFabric(s.eng, s.net, netsim.FabricConfig{Mode: cfg.Transit})
+	// The Drop hook reads the fault plane through s at send time; it is
+	// nil — zero overhead, byte-identical fabric — without faults.
+	var drop func(src, dst int) bool
+	if len(cfg.Faults) > 0 {
+		drop = func(src, dst int) bool { return s.fp.cutDrop(s.faultCut, src, dst) }
+	}
+	s.fabric = netsim.NewFabric(s.eng, s.net, netsim.FabricConfig{Mode: cfg.Transit, Drop: drop})
 
 	numGroups := sub.numGroups()
 	// Host machinery.
@@ -402,8 +438,19 @@ func newSessionFrom(sub *substrate) *Session {
 	if cfg.WindowSec > 0 {
 		s.windows = stats.NewWindowMax(cfg.WindowSec)
 	}
+	if len(cfg.Faults) > 0 {
+		// Scheduled before the membership events so that at a shared
+		// instant faults apply first, then churn — the order the sharded
+		// coordinator barriers reproduce.
+		s.fp = newFaultPlane(sub, s.hosts, faultsWithin(cfg.Faults, cfg.Duration))
+		s.faultCut = make([]uint64, len(s.fp.events))
+		s.fp.schedule(s.eng)
+	}
 	if len(cfg.Events) > 0 {
 		s.ctl = newControlPlane(sub, s.hosts)
+		if s.fp != nil {
+			s.ctl.down = s.fp.down
+		}
 		s.ctl.schedule(s.eng, cfg.Duration, cfg.Events)
 	}
 	if cfg.Reopt.Enabled() {
@@ -440,6 +487,9 @@ func (s *Session) receive(id int, p traffic.Packet) {
 	}
 	if s.ro != nil {
 		s.ro.observe(g, id, d)
+	}
+	if s.fp != nil {
+		s.fp.onDeliver(g, id, s.eng.Now())
 	}
 	h := s.hosts[id]
 	h.observe(p)
@@ -502,6 +552,9 @@ func (s *Session) Run() Result {
 	}
 	if s.windows != nil {
 		res.WindowMax = s.windows.Series()
+	}
+	if s.fp != nil {
+		s.fp.finish(&res, s.faultCut)
 	}
 	return res
 }

@@ -57,6 +57,7 @@ type shardRuntime struct {
 	deliver  uint64
 	lost     []uint64         // per-group churn drops observed at owned hosts
 	windows  *stats.WindowMax // nil unless cfg.WindowSec > 0
+	faultCut []uint64         // per fault event: cut drops at owned senders
 }
 
 // ShardedSession runs one multi-group session across multiple engines.
@@ -70,6 +71,7 @@ type ShardedSession struct {
 	coord *des.Coordinator
 	ctl   *controlPlane
 	ro    *reoptPlane
+	fp    *faultPlane
 }
 
 // NewShardedSession compiles cfg for sharded execution. The structural
@@ -102,6 +104,11 @@ func NewShardedSession(cfg Config) *ShardedSession {
 	}
 	s.coord = des.NewCoordinator(engines, lookahead)
 
+	var faults []FaultEvent
+	if len(cfg.Faults) > 0 {
+		faults = faultsWithin(cfg.Faults, cfg.Duration)
+	}
+
 	numGroups := sub.numGroups()
 	s.sh = make([]*shardRuntime, nsh)
 	for si := 0; si < nsh; si++ {
@@ -115,6 +122,14 @@ func NewShardedSession(cfg Config) *ShardedSession {
 		if cfg.WindowSec > 0 {
 			sh.windows = stats.NewWindowMax(cfg.WindowSec)
 		}
+		// The Drop hook reads the fault plane through s at send time (the
+		// plane is built after the hosts); cut drops tally shard-locally
+		// and merge in shard order after the run.
+		var drop func(src, dst int) bool
+		if len(faults) > 0 {
+			sh.faultCut = make([]uint64, len(faults))
+			drop = func(src, dst int) bool { return s.fp.cutDrop(sh.faultCut, src, dst) }
+		}
 		sh.fabric = netsim.NewFabric(sh.eng, sub.net, netsim.FabricConfig{
 			Mode:  cfg.Transit,
 			Local: func(h int) bool { return owner[h] == si },
@@ -122,6 +137,7 @@ func NewShardedSession(cfg Config) *ShardedSession {
 				t := owner[dst]
 				s.coord.Post(si, t, at, func() { s.sh[t].fabric.Deliver(dst, p) })
 			},
+			Drop: drop,
 		})
 		sh.env = &hostEnv{
 			eng:        sh.eng,
@@ -155,9 +171,15 @@ func NewShardedSession(cfg Config) *ShardedSession {
 		sh.fabric.SetReceiver(id, func(p traffic.Packet) { s.receive(sh, id, p) })
 	}
 
+	if len(faults) > 0 {
+		s.fp = newFaultPlane(sub, s.hosts, faults)
+	}
 	var events []MembershipEvent
 	if len(cfg.Events) > 0 {
 		s.ctl = newControlPlane(sub, s.hosts)
+		if s.fp != nil {
+			s.ctl.down = s.fp.down
+		}
 		events = sortedEventsWithin(cfg.Events, cfg.Duration)
 	}
 	var reopts []des.Time
@@ -165,31 +187,37 @@ func NewShardedSession(cfg Config) *ShardedSession {
 		s.ro = newReoptPlane(sub, s.hosts)
 		reopts = reoptTimes(cfg.Reopt.Every, cfg.Duration)
 	}
-	if len(events) > 0 || len(reopts) > 0 {
-		// One merged ascending barrier list for both control planes: at a
-		// shared instant the membership events apply first, then the
-		// re-optimization pass — the order the sequential engine's
-		// build-time scheduling produces.
+	if len(faults) > 0 || len(events) > 0 || len(reopts) > 0 {
+		// One merged ascending barrier list for all three planes: at a
+		// shared instant the faults apply first, then the membership
+		// events, then the re-optimization pass — the order the sequential
+		// engine's build-time scheduling produces.
 		var times []des.Time
+		for _, ev := range faults {
+			times = append(times, ev.At)
+		}
 		for _, ev := range events {
-			if len(times) == 0 || ev.At != times[len(times)-1] {
-				times = append(times, ev.At)
+			times = append(times, ev.At)
+		}
+		times = append(times, reopts...)
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		n := 0
+		for i, at := range times {
+			if i == 0 || at != times[n-1] {
+				times[n] = at
+				n++
 			}
 		}
-		for _, at := range reopts {
-			i := sort.Search(len(times), func(i int) bool { return times[i] >= at })
-			if i < len(times) && times[i] == at {
-				continue
-			}
-			times = append(times, 0)
-			copy(times[i+1:], times[i:])
-			times[i] = at
-		}
-		next, nextRo := 0, 0
+		times = times[:n]
+		nextF, next, nextRo := 0, 0, 0
 		s.coord.AtBarriers(times, func(at des.Time) {
 			// Apply every event at this instant in the shared sorted
 			// order, with all shards quiesced at exactly `at` — the same
 			// mutation order the sequential engine's tie-break produces.
+			for nextF < len(faults) && faults[nextF].At == at {
+				s.fp.apply(nextF)
+				nextF++
+			}
 			for next < len(events) && events[next].At == at {
 				s.ctl.apply(events[next])
 				next++
@@ -243,6 +271,11 @@ func (s *ShardedSession) receive(sh *shardRuntime, id int, p traffic.Packet) {
 		// Safe across shards: host id is owned by exactly one shard, so
 		// each (group, host) estimate cell has a single writer.
 		s.ro.observe(g, id, d)
+	}
+	if s.fp != nil {
+		// Same single-writer argument: only id's owning shard delivers to
+		// it, so its firstAt cell has one writer.
+		s.fp.onDeliver(g, id, sh.eng.Now())
 	}
 	h := s.hosts[id]
 	h.observe(p)
@@ -328,6 +361,15 @@ func (s *ShardedSession) Run() Result {
 	}
 	if windows != nil {
 		res.WindowMax = windows.Series()
+	}
+	if s.fp != nil {
+		cut := make([]uint64, len(s.fp.events))
+		for _, sh := range s.sh {
+			for i, n := range sh.faultCut {
+				cut[i] += n
+			}
+		}
+		s.fp.finish(&res, cut)
 	}
 	return res
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"os"
+	"reflect"
 	"strconv"
 	"testing"
 
@@ -98,6 +99,13 @@ func assertResultsEquivalent(t *testing.T, label string, seqr, shr Result) {
 	}
 	if seqr.Delivered > 0 && math.Abs(seqr.MeanDelay-shr.MeanDelay) > 1e-9*math.Max(1, seqr.MeanDelay) {
 		t.Errorf("%s: mean delay %v vs %v beyond merge tolerance", label, seqr.MeanDelay, shr.MeanDelay)
+	}
+	if seqr.CutLost != shr.CutLost || seqr.FaultLost != shr.FaultLost {
+		t.Errorf("%s: fault losses (cut %d, fault %d) vs (cut %d, fault %d)", label,
+			seqr.CutLost, seqr.FaultLost, shr.CutLost, shr.FaultLost)
+	}
+	if !reflect.DeepEqual(seqr.Faults, shr.Faults) {
+		t.Errorf("%s: fault outcomes diverged:\n  sequential %+v\n  sharded    %+v", label, seqr.Faults, shr.Faults)
 	}
 }
 

@@ -44,6 +44,13 @@ type ScenarioCurve struct {
 	// the members they re-parented across the load grid (zero unless the
 	// scenario enables re-optimization).
 	Reopts, ReoptMoves int
+	// Faults holds the per-load fault outcomes — one record per injected
+	// fault event with its measured impact and recovery time. Nil when the
+	// scenario injects no faults.
+	Faults [][]core.FaultOutcome
+	// CutLost is the per-load count of packets dropped at partition cuts
+	// (disjoint from Lost, which counts teardown backlog).
+	CutLost []uint64
 }
 
 // ScenarioResult is a full scenario sweep: one curve per combo.
@@ -58,6 +65,10 @@ type ScenarioResult struct {
 	Lost                    uint64
 	// Re-optimization totals across every cell (zero unless enabled).
 	Reopts, ReoptMoves int
+	// Fault-attributed losses across every cell (zero without faults):
+	// FaultLost is teardown backlog plus cut drops attributed to fault
+	// events; CutLost is the partition-cut share alone.
+	FaultLost, CutLost uint64
 }
 
 // ScenarioSweep runs a scenario over its load grid with one engine per
@@ -164,6 +175,9 @@ func ScenarioSweep(sc scenario.Scenario, opts Options) (ScenarioResult, error) {
 		reoptMoves int
 		windows    []float64
 		windowSec  float64
+		faults     []core.FaultOutcome
+		faultLost  uint64
+		cutLost    uint64
 	}
 	cells := make([]cell, len(loads)*len(combos))
 
@@ -209,7 +223,8 @@ func ScenarioSweep(sc scenario.Scenario, opts Options) (ScenarioResult, error) {
 				delivered: r.Delivered, lost: r.Lost,
 				joins: r.Joins, leaves: r.Leaves, regrafts: r.Regrafts,
 				reopts: r.Reopts, reoptMoves: r.ReoptMoves,
-				windows: r.WindowMax, windowSec: r.WindowSec}
+				windows: r.WindowMax, windowSec: r.WindowSec,
+				faults: r.Faults, faultLost: r.FaultLost, cutLost: r.CutLost}
 		})
 	}
 
@@ -229,6 +244,16 @@ func ScenarioSweep(sc scenario.Scenario, opts Options) (ScenarioResult, error) {
 			}
 			res.Curves[ci].Reopts += c.reopts
 			res.Curves[ci].ReoptMoves += c.reoptMoves
+			if c.faults != nil {
+				if res.Curves[ci].Faults == nil {
+					res.Curves[ci].Faults = make([][]core.FaultOutcome, len(loads))
+					res.Curves[ci].CutLost = make([]uint64, len(loads))
+				}
+				res.Curves[ci].Faults[li] = c.faults
+				res.Curves[ci].CutLost[li] = c.cutLost
+				res.FaultLost += c.faultLost
+				res.CutLost += c.cutLost
+			}
 			bound := theoryBound(sc, combos[ci], mix, specs, load, c.layers)
 			res.Curves[ci].Bound[li] = bound
 			if bound > 0 && c.wdb > bound {
@@ -353,6 +378,63 @@ func (r ScenarioResult) StrategyTable() *stats.Table {
 	return t
 }
 
+// FaultTable renders the recovery view of a fault-injection sweep at the
+// heaviest load: one row per (combo, fault event) with the event's reach,
+// the orphan subtrees re-grafted while handling it, the loss attributed
+// to it, the measured service-interruption time, and the transient WDB
+// spike — the peak of the windowed max-delay series in the second after
+// the event struck. Returns an empty table when the sweep injected no
+// faults.
+func (r ScenarioResult) FaultTable() *stats.Table {
+	t := stats.NewTable("combo", "strategy", "event", "at [s]", "group",
+		"hosts", "regrafts", "lost", "recov [s]", "spike [s]")
+	if len(r.Loads) == 0 {
+		return t
+	}
+	last := len(r.Loads) - 1
+	for _, c := range r.Curves {
+		if c.Faults == nil || c.Faults[last] == nil {
+			continue
+		}
+		strat := strategyName(r.Scenario, c.Combo)
+		if strat == "" {
+			strat = "-"
+		}
+		for _, oc := range c.Faults[last] {
+			group := "-"
+			if oc.Group >= 0 {
+				group = fmt.Sprintf("%d", oc.Group)
+			}
+			recov := fmt.Sprintf("%.4f", oc.RecoverySec)
+			if oc.Unrecovered > 0 {
+				recov += fmt.Sprintf(" (+%d open)", oc.Unrecovered)
+			}
+			spike := "-"
+			if c.WindowSec > 0 && c.WindowMax != nil && len(c.WindowMax[last]) > 0 {
+				spike = fmt.Sprintf("%.4f",
+					stats.MaxIn(c.WindowMax[last], c.WindowSec, oc.AtSec, oc.AtSec+1))
+			}
+			t.AddRow(c.Combo.Scheme, strat, oc.Kind,
+				fmt.Sprintf("%.2f", oc.AtSec), group,
+				fmt.Sprintf("%d", oc.Hosts),
+				fmt.Sprintf("%d", oc.Regrafts),
+				fmt.Sprintf("%d", oc.Lost),
+				recov, spike)
+		}
+	}
+	return t
+}
+
+// HasFaults reports whether any curve carries fault outcomes.
+func (r ScenarioResult) HasFaults() bool {
+	for _, c := range r.Curves {
+		if c.Faults != nil {
+			return true
+		}
+	}
+	return false
+}
+
 // Table renders the WDB curves in the figure layout: one column per
 // combo, one row per load.
 func (r ScenarioResult) Table() *stats.Table {
@@ -394,6 +476,10 @@ func (r ScenarioResult) Summary() string {
 	if r.Reopts+r.ReoptMoves > 0 {
 		out += fmt.Sprintf("; reopt: %d accepted passes, %d members moved", r.Reopts, r.ReoptMoves)
 	}
+	if r.HasFaults() {
+		out += fmt.Sprintf("; faults: %d packets lost to fault events (%d at partition cuts)",
+			r.FaultLost, r.CutLost)
+	}
 	return out
 }
 
@@ -411,6 +497,8 @@ type scenarioJSON struct {
 	Lost      uint64             `json:"lost,omitempty"`
 	Reopts    int                `json:"reopts,omitempty"`
 	Moves     int                `json:"reopt_moves,omitempty"`
+	FaultLost uint64             `json:"fault_lost,omitempty"`
+	CutLost   uint64             `json:"cut_lost,omitempty"`
 	Curves    []scenarioCurveRec `json:"curves"`
 }
 
@@ -427,6 +515,10 @@ type scenarioCurveRec struct {
 	Moves      int         `json:"reopt_moves,omitempty"`
 	WindowSec  float64     `json:"window_sec,omitempty"`
 	WindowMax  [][]float64 `json:"window_max,omitempty"`
+	// Faults nests the per-load fault outcomes (reusing the core record's
+	// JSON shape); CutLost is the per-load partition-drop tally.
+	Faults  [][]core.FaultOutcome `json:"faults,omitempty"`
+	CutLost []uint64              `json:"cut_lost,omitempty"`
 }
 
 // JSON renders the sweep as an indented machine-readable record: per-combo
@@ -448,6 +540,8 @@ func (r ScenarioResult) JSON() ([]byte, error) {
 		Lost:      r.Lost,
 		Reopts:    r.Reopts,
 		Moves:     r.ReoptMoves,
+		FaultLost: r.FaultLost,
+		CutLost:   r.CutLost,
 	}
 	for _, c := range r.Curves {
 		rec.Curves = append(rec.Curves, scenarioCurveRec{
@@ -461,6 +555,8 @@ func (r ScenarioResult) JSON() ([]byte, error) {
 			Lost:       c.Lost,
 			WindowSec:  c.WindowSec,
 			WindowMax:  c.WindowMax,
+			Faults:     c.Faults,
+			CutLost:    c.CutLost,
 		})
 	}
 	return json.MarshalIndent(rec, "", "  ")

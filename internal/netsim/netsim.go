@@ -203,6 +203,7 @@ type Fabric struct {
 	// Sharded delivery (see FabricConfig.Local/Remote).
 	local  func(host int) bool
 	remote func(dst int, at des.Time, p traffic.Packet)
+	drop   func(src, dst int) bool
 	// Delivered counts packets handed to receivers.
 	Delivered uint64
 }
@@ -223,6 +224,14 @@ type FabricConfig struct {
 	// shards.
 	Local  func(host int) bool
 	Remote func(dst int, at des.Time, p traffic.Packet)
+	// Drop, when set, is consulted for every host-to-host send with
+	// src != dst; returning true discards the packet before it enters the
+	// underlay — the fault plane's partition cut. The hook runs before the
+	// sharded Remote handoff, so every execution mode makes the drop
+	// decision at the same point: send time, at the sender. Packets already
+	// in flight when a cut opens still deliver. The hook owns its own
+	// accounting; the fabric counts nothing for dropped packets.
+	Drop func(src, dst int) bool
 }
 
 // NewFabric builds the transport over the given network.
@@ -240,6 +249,7 @@ func NewFabric(eng *des.Engine, net *topo.Network, cfg FabricConfig) *Fabric {
 		receivers: make([]func(traffic.Packet), len(net.Hosts)),
 		local:     cfg.Local,
 		remote:    cfg.Remote,
+		drop:      cfg.Drop,
 	}
 	f.pipes = newFlightPool(eng, func(tr transit) { f.deliver(tr.dst, tr.p) })
 	f.uplinks = newFlightPool(eng, func(tr transit) { f.arriveAtRouter(tr.via, tr) })
@@ -281,6 +291,9 @@ func (f *Fabric) SetReceiver(host int, fn func(traffic.Packet)) {
 func (f *Fabric) Send(src, dst int, p traffic.Packet) {
 	if src == dst {
 		f.deliver(dst, p)
+		return
+	}
+	if f.drop != nil && f.drop(src, dst) {
 		return
 	}
 	if f.remote != nil && !f.local(dst) {

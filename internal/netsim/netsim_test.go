@@ -291,3 +291,38 @@ func BenchmarkFabricQueuedSend(b *testing.B) {
 		}
 	}
 }
+
+// TestFabricDropHook: the partition hook runs once per send, after the
+// self-send shortcut; a dropped packet never reaches the receiver and is
+// not counted as delivered — the hook owns the accounting.
+func TestFabricDropHook(t *testing.T) {
+	net := testNetwork(t)
+	eng := des.New()
+	dropped := 0
+	cut := true
+	f := NewFabric(eng, net, FabricConfig{Mode: PipeTransit,
+		Drop: func(src, dst int) bool {
+			if cut && src == 3 {
+				dropped++
+				return true
+			}
+			return false
+		}})
+	got := 0
+	f.SetReceiver(7, func(traffic.Packet) { got++ })
+	f.SetReceiver(3, func(traffic.Packet) { got++ })
+	eng.Schedule(0, func() { f.Send(3, 7, traffic.Packet{ID: 1, Size: 100}) })
+	eng.Schedule(0, func() { f.Send(3, 3, traffic.Packet{ID: 2, Size: 100}) }) // self-send bypasses the hook
+	eng.Schedule(des.Millisecond, func() { cut = false })
+	eng.Schedule(2*des.Millisecond, func() { f.Send(3, 7, traffic.Packet{ID: 3, Size: 100}) })
+	eng.Run()
+	if dropped != 1 {
+		t.Fatalf("hook dropped %d packets, want 1", dropped)
+	}
+	if got != 2 {
+		t.Fatalf("delivered %d packets, want 2 (self-send + post-heal)", got)
+	}
+	if f.Delivered != 2 {
+		t.Fatalf("delivered counter = %d, want 2", f.Delivered)
+	}
+}

@@ -10,6 +10,7 @@ package overlay
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/des"
 	"repro/internal/topo"
@@ -122,6 +123,109 @@ func (t *Tree) Prune(h int) ([]int, error) {
 	for _, o := range orphans {
 		delete(t.parent, o)
 	}
+	return orphans, nil
+}
+
+// Detach severs the parent edge of attached member h, leaving h as a
+// detached subtree root; h and its descendants stay members throughout —
+// the partition primitive: a severed subtree keeps its internal shape and
+// re-attaches wholesale (Graft of the root) at the heal.
+func (t *Tree) Detach(h int) error {
+	if h == t.Source {
+		return fmt.Errorf("overlay: cannot detach the source %d", h)
+	}
+	if !t.member[h] {
+		return fmt.Errorf("overlay: detach of non-member %d", h)
+	}
+	p, ok := t.parent[h]
+	if !ok {
+		return fmt.Errorf("overlay: detach of already-detached member %d", h)
+	}
+	siblings := t.child[p]
+	for i, c := range siblings {
+		if c == h {
+			t.child[p] = append(siblings[:i], siblings[i+1:]...)
+			break
+		}
+	}
+	if len(t.child[p]) == 0 {
+		delete(t.child, p)
+	}
+	delete(t.parent, h)
+	return nil
+}
+
+// PruneAll removes a whole batch of members in one step — a correlated
+// failure (domain outage, mass leave) taking out many forwarders at the
+// same DES instant. Victims may be attached or detached; edges between two
+// victims vanish with them. It returns the surviving subtree roots newly
+// detached by the removal, sorted ascending by host id.
+//
+// That ascending order is the pinned batch-repair order: RepairWith
+// processes orphans in input order (earlier re-attached subtrees become
+// candidates for later ones), and both the sequential engine and the
+// sharded coordinator repair mass-failure orphans in exactly this order,
+// which is what keeps their runs bit-identical. Do not reorder.
+func (t *Tree) PruneAll(victims []int) ([]int, error) {
+	if len(victims) == 0 {
+		return nil, nil
+	}
+	vs := make(map[int]bool, len(victims))
+	for _, v := range victims {
+		if v == t.Source {
+			return nil, fmt.Errorf("overlay: cannot prune the source %d", v)
+		}
+		if !t.member[v] {
+			return nil, fmt.Errorf("overlay: prune of non-member %d", v)
+		}
+		if vs[v] {
+			return nil, fmt.Errorf("overlay: duplicate victim %d", v)
+		}
+		vs[v] = true
+	}
+	// Unhook each victim from a surviving parent (victim-to-victim edges
+	// disappear when the victims' own child lists are dropped below).
+	for _, v := range victims {
+		p, ok := t.parent[v]
+		if ok && p >= 0 && !vs[p] {
+			siblings := t.child[p]
+			for i, c := range siblings {
+				if c == v {
+					t.child[p] = append(siblings[:i], siblings[i+1:]...)
+					break
+				}
+			}
+			if len(t.child[p]) == 0 {
+				delete(t.child, p)
+			}
+		}
+		delete(t.parent, v)
+	}
+	// Surviving children of victims lose their parent edge and become the
+	// detached roots of disjoint subtrees (a deeper survivor under another
+	// victim is its own root — its edge was severed too, not inherited).
+	var orphans []int
+	for _, v := range victims {
+		for _, c := range t.child[v] {
+			if !vs[c] {
+				delete(t.parent, c)
+				orphans = append(orphans, c)
+			}
+		}
+		delete(t.child, v)
+	}
+	for _, v := range victims {
+		delete(t.member, v)
+	}
+	n := 0
+	for _, m := range t.Members {
+		if !vs[m] {
+			t.Members[n] = m
+			n++
+		}
+	}
+	t.Members = t.Members[:n]
+	sort.Ints(orphans)
 	return orphans, nil
 }
 

@@ -54,6 +54,20 @@ func (t *Tree) setParent(node, parent int) {
 // Parent returns the parent of member h, or -1 for the source.
 func (t *Tree) Parent(h int) int { return t.parent[h] }
 
+// ParentOf returns h's parent edge and whether one exists — unlike Parent
+// it distinguishes a detached member (no edge) from a child of host 0.
+func (t *Tree) ParentOf(h int) (int, bool) {
+	p, ok := t.parent[h]
+	return p, ok
+}
+
+// Attached reports whether member h is connected to the source. Detached
+// subtree roots (and every node inside such a subtree) report false.
+func (t *Tree) Attached(h int) bool {
+	_, ok := t.depthAttached(h)
+	return ok
+}
+
 // IsMember reports whether h is currently in the tree's member set.
 func (t *Tree) IsMember(h int) bool { return t.member[h] }
 

@@ -110,6 +110,68 @@ func init() {
 		DurationSec: 5,
 	})
 	Register(Scenario{
+		Name: "outage-waxman-16",
+		Description: "correlated failures: the scale benchmark hit by a seeded " +
+			"router-domain outage (1 s, restored) and a seeded substrate partition " +
+			"(0.6 s, healed), recovery metrics per strategy",
+		Kind:      KindMultiGroup,
+		Mix:       "audio",
+		NumHosts:  2000,
+		NumGroups: 16,
+		Topology:  Topology{Kind: "waxman", Nodes: 64},
+		Membership: Membership{
+			Kind:    "zipf",
+			Skew:    1.0,
+			MinSize: 8,
+		},
+		// Fault times sit inside the Quick() 3 s cap so the smoke run
+		// still exercises every event kind.
+		Faults: []FaultSpec{
+			{Kind: "domain_outage", AtSec: 1.0, DurationSec: 1.0, Seeded: true},
+			{Kind: "partition", AtSec: 2.2, Seeded: true},
+			{Kind: "heal", AtSec: 2.8},
+		},
+		WindowSec: 0.25,
+		Combos: []Combo{
+			{Scheme: "sigma-rho-lambda", Tree: "dsct"},
+			{Scheme: "sigma-rho-lambda", Strategy: "spt"},
+		},
+		Loads:       []float64{0.5, 0.8},
+		DurationSec: 5,
+	})
+	Register(Scenario{
+		Name: "epoch-churn-waxman-16",
+		Description: "membership shocks under churn: the churn benchmark with a " +
+			"30% mass leave and a staged 25% epoch transition on the two hottest groups",
+		Kind:      KindMultiGroup,
+		Mix:       "audio",
+		NumHosts:  2000,
+		NumGroups: 16,
+		Topology:  Topology{Kind: "waxman", Nodes: 64},
+		Membership: Membership{
+			Kind:    "zipf",
+			Skew:    1.0,
+			MinSize: 8,
+		},
+		Churn: Churn{
+			Kind:            "poisson",
+			TurnoverPerSec:  0.01,
+			MeanLifetimeSec: 2,
+			StartSec:        0.5,
+		},
+		Faults: []FaultSpec{
+			{Kind: "mass_leave", AtSec: 1.2, Group: 0, Fraction: 0.3},
+			{Kind: "epoch_transition", AtSec: 2.0, DurationSec: 0.6, Group: 1, Fraction: 0.25},
+		},
+		WindowSec: 0.25,
+		Combos: []Combo{
+			{Scheme: "sigma-rho-lambda", Tree: "dsct"},
+			{Scheme: "sigma-rho", Tree: "dsct"},
+		},
+		Loads:       []float64{0.5, 0.8},
+		DurationSec: 5,
+	})
+	Register(Scenario{
 		Name: "spt-waxman-16",
 		Description: "strategy comparison: the scale benchmark shape with the paper's " +
 			"DSCT against the delay-weighted shortest-path and capacity-aware greedy strategies",

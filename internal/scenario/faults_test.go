@@ -1,0 +1,241 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/des"
+)
+
+func faultScenario() Scenario {
+	return Scenario{
+		Name:       "fault-test",
+		NumHosts:   160,
+		NumGroups:  4,
+		Topology:   Topology{Kind: "waxman", Nodes: 16},
+		Membership: Membership{Kind: "uniform", Fraction: 0.3},
+		Faults: []FaultSpec{
+			{Kind: "domain_outage", AtSec: 0.5, DurationSec: 1.0, Seeded: true},
+			{Kind: "mass_leave", AtSec: 1.0, Group: 1, Fraction: 0.4},
+			{Kind: "partition", AtSec: 1.5, Seeded: true},
+			{Kind: "heal", AtSec: 2.0},
+			{Kind: "epoch_transition", AtSec: 2.4, DurationSec: 0.5, Group: 2, Fraction: 0.25},
+		},
+		Combos: []Combo{{Scheme: "sigma-rho-lambda"}},
+	}
+}
+
+func TestFaultEventsDeterministicAndWellFormed(t *testing.T) {
+	sc := faultScenario()
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := sc.FaultEvents(5, 4*des.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sc.FaultEvents(5, 4*des.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("no fault events compiled")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("non-deterministic compile:\n%v\nvs\n%v", a, b)
+	}
+	// The five specs expand to: outage, restore, mass_leave, partition,
+	// heal, mass_join, mass_leave — chronological.
+	wantKinds := []core.FaultKind{core.FaultOutage, core.FaultMassLeave, core.FaultRestore,
+		core.FaultPartition, core.FaultHeal, core.FaultMassJoin, core.FaultMassLeave}
+	if len(a) != len(wantKinds) {
+		t.Fatalf("%d events, want %d: %v", len(a), len(wantKinds), a)
+	}
+	var last des.Time
+	for i, ev := range a {
+		if ev.Kind != wantKinds[i] {
+			t.Fatalf("event %d is %v, want %v", i, ev.Kind, wantKinds[i])
+		}
+		if ev.At < last {
+			t.Fatalf("event %d out of order", i)
+		}
+		last = ev.At
+	}
+	// The restore mirrors its outage's hosts; the heal pairs its partition.
+	if !reflect.DeepEqual(a[0].Hosts, a[2].Hosts) || a[0].ID != a[2].ID {
+		t.Fatalf("restore does not mirror the outage: %v vs %v", a[0], a[2])
+	}
+	if a[3].ID != a[4].ID {
+		t.Fatalf("heal pairs partition %d, want %d", a[4].ID, a[3].ID)
+	}
+	// Mass cohorts: ascending host ids, drawn from the right pools, sized
+	// by the fraction (ceil(0.4 × 48) = 20 leavers for group 1).
+	groups := sc.Groups(5)
+	member := make(map[int]bool)
+	for _, m := range groups[1].Members {
+		member[m] = true
+	}
+	leave := a[1]
+	if leave.Group != 1 || len(leave.Hosts) != 20 {
+		t.Fatalf("mass_leave cohort: %+v", leave)
+	}
+	for _, h := range leave.Hosts {
+		if !member[h] || h == groups[1].Source {
+			t.Fatalf("mass_leave victim %d not a removable member", h)
+		}
+	}
+	join := a[5]
+	member = make(map[int]bool)
+	for _, m := range groups[2].Members {
+		member[m] = true
+	}
+	for _, h := range join.Hosts {
+		if member[h] {
+			t.Fatalf("epoch joiner %d already a member", h)
+		}
+	}
+	// A shorter duration sees a strict prefix: the draws never shift.
+	short, err := sc.FaultEvents(5, des.Seconds(1.6), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(short, a[:4]) {
+		t.Fatalf("short run is not a prefix:\n%v\nvs\n%v", short, a[:4])
+	}
+}
+
+func TestFaultsDoNotPerturbStaticStreams(t *testing.T) {
+	plain := faultScenario()
+	plain.Faults = nil
+	withFaults := faultScenario()
+	// Membership, churn, and the compiled session's structural streams must
+	// be identical with and without faults.
+	ga, gb := plain.Groups(9), withFaults.Groups(9)
+	if !reflect.DeepEqual(ga, gb) {
+		t.Fatal("faults perturbed the membership stream")
+	}
+	ca, err := plain.SessionConfig(plain.Combos[0], 0.7, 9, core.UseSeed(2), 3*des.Second, nil, ga)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := withFaults.SessionConfig(withFaults.Combos[0], 0.7, 9, core.UseSeed(2), 3*des.Second, nil, gb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cb.Faults) == 0 {
+		t.Fatal("fault scenario compiled no fault events")
+	}
+	cb.Faults = nil
+	// Faults force a default measurement window; aside from that the
+	// configs must be identical.
+	if ca.WindowSec != 0 || cb.WindowSec != 1 {
+		t.Fatalf("window defaults: %v vs %v", ca.WindowSec, cb.WindowSec)
+	}
+	cb.WindowSec = 0
+	if !reflect.DeepEqual(ca, cb) {
+		t.Fatalf("faults perturbed the static config:\n%+v\nvs\n%+v", ca, cb)
+	}
+}
+
+func TestFaultSpecValidation(t *testing.T) {
+	cases := []struct {
+		label string
+		mut   func(*Scenario)
+	}{
+		{"unknown kind", func(s *Scenario) { s.Faults[0].Kind = "meteor" }},
+		{"at zero", func(s *Scenario) { s.Faults[0].AtSec = 0 }},
+		{"negative duration", func(s *Scenario) { s.Faults[0].DurationSec = -1 }},
+		{"seeded outage with router", func(s *Scenario) { s.Faults[0].Router = 3 }},
+		{"outage with routers list", func(s *Scenario) { s.Faults[0].Routers = []int{1} }},
+		{"fraction on outage", func(s *Scenario) { s.Faults[0].Fraction = 0.5 }},
+		{"group on outage", func(s *Scenario) { s.Faults[0].Group = 1 }},
+		{"fraction out of range", func(s *Scenario) { s.Faults[1].Fraction = 1.5 }},
+		{"group out of range", func(s *Scenario) { s.Faults[1].Group = 9 }},
+		{"duration on mass_leave", func(s *Scenario) { s.Faults[1].DurationSec = 1 }},
+		{"partition both seeded and listed", func(s *Scenario) { s.Faults[2].Routers = []int{1} }},
+		{"heal with fields", func(s *Scenario) { s.Faults[3].Seeded = true }},
+		{"heal before partition", func(s *Scenario) { s.Faults[3].AtSec = 1.5 }},
+		{"epoch without duration", func(s *Scenario) { s.Faults[4].DurationSec = 0 }},
+		{"overlapping partitions", func(s *Scenario) {
+			s.Faults = append(s.Faults, FaultSpec{Kind: "partition", AtSec: 1.7, Seeded: true})
+		}},
+		{"heal without partition", func(s *Scenario) {
+			s.Faults = append(s.Faults, FaultSpec{Kind: "heal", AtSec: 3.5})
+		}},
+		{"single-hop", func(s *Scenario) { s.Kind = KindSingleHop }},
+		{"capacity-aware combo", func(s *Scenario) { s.Combos[0].Scheme = "capacity-aware" }},
+		{"mass kinds need partial membership", func(s *Scenario) { s.Membership = Membership{} }},
+	}
+	for _, c := range cases {
+		sc := faultScenario()
+		c.mut(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: validated", c.label)
+		}
+	}
+	// Outage and partition alone are fine under full membership.
+	sc := faultScenario()
+	sc.Membership = Membership{}
+	sc.Faults = []FaultSpec{
+		{Kind: "domain_outage", AtSec: 0.5, Router: 2},
+		{Kind: "partition", AtSec: 1.5, Routers: []int{0, 1, 2}},
+		{Kind: "heal", AtSec: 2.0},
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("full-membership outage scenario rejected: %v", err)
+	}
+	if _, err := sc.FaultEvents(3, 3*des.Second, nil); err != nil {
+		t.Fatalf("full-membership outage compile: %v", err)
+	}
+	// Compile-time range errors surface as errors, not panics.
+	sc.Faults = []FaultSpec{{Kind: "domain_outage", AtSec: 0.5, Router: 99}}
+	if _, err := sc.FaultEvents(3, 3*des.Second, nil); err == nil {
+		t.Fatal("out-of-range router compiled")
+	}
+	sc.Faults = []FaultSpec{{Kind: "partition", AtSec: 0.5, Routers: []int{0, 99}}}
+	if _, err := sc.FaultEvents(3, 3*des.Second, nil); err == nil {
+		t.Fatal("out-of-range partition side compiled")
+	}
+	// Overlapping outages on the same router are a compile error.
+	sc.Faults = []FaultSpec{
+		{Kind: "domain_outage", AtSec: 0.5, DurationSec: 2, Router: 2},
+		{Kind: "domain_outage", AtSec: 1.0, Router: 2},
+	}
+	if _, err := sc.FaultEvents(3, 5*des.Second, nil); err == nil {
+		t.Fatal("overlapping domain outages compiled")
+	}
+}
+
+func TestFaultBuiltinsRegisteredAndRoundTrip(t *testing.T) {
+	for _, name := range []string{"outage-waxman-16", "epoch-churn-waxman-16"} {
+		sc, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sc.HasFaults() {
+			t.Fatalf("%s has no faults", name)
+		}
+		data, err := sc.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Parse(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(sc, back) {
+			t.Fatalf("%s does not round-trip", name)
+		}
+		// The Quick() smoke shape must still fire every fault event.
+		q := sc.Quick()
+		groups := q.Groups(1)
+		cfg, err := q.SessionConfig(q.Combos[0], 0.8, 1, core.UseSeed(2), des.Seconds(q.DurationSec), nil, groups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cfg.Faults) < len(sc.Faults) {
+			t.Fatalf("%s Quick() compiled %d fault events for %d specs", name, len(cfg.Faults), len(sc.Faults))
+		}
+	}
+}

@@ -168,6 +168,11 @@ type Scenario struct {
 	// measured per-member delays under hysteresis. Requires regulated
 	// combos and a multi-group scenario.
 	Reopt Reoptimize `json:"reoptimize,omitempty"`
+	// Faults injects correlated failures (see faults.go): router-domain
+	// outages, substrate partitions, and mass membership shocks. Requires
+	// regulated combos and a multi-group scenario; the mass kinds need
+	// partial membership.
+	Faults []FaultSpec `json:"faults,omitempty"`
 	// WindowSec sets the windowed max-delay bucket width in seconds for
 	// transient measurement; 0 defaults to 1 s when churn is enabled and
 	// off otherwise.
@@ -379,6 +384,26 @@ func (s Scenario) Validate() error {
 			}
 		}
 	}
+	if len(s.Faults) > 0 {
+		if err := validateFaultSpecs(s.Name, s.Faults, s.GroupCount()); err != nil {
+			return err
+		}
+		if s.Kind == KindSingleHop {
+			return fmt.Errorf("scenario %s: fault injection needs a multi-group scenario", s.Name)
+		}
+		for _, c := range s.Combos {
+			if scheme, _ := ParseScheme(c.Scheme); scheme == core.SchemeCapacityAware {
+				return fmt.Errorf("scenario %s: fault injection requires regulated combos (capacity-aware trees cannot be repaired)", s.Name)
+			}
+		}
+		if s.Membership.Full() {
+			for _, f := range s.Faults {
+				if f.Kind == "mass_leave" || f.Kind == "epoch_transition" {
+					return fmt.Errorf("scenario %s: fault %q needs partial membership (with full membership there is no cohort to rotate)", s.Name, f.Kind)
+				}
+			}
+		}
+	}
 	if s.Kind == KindMultiGroup || s.Kind == "" {
 		if s.Hosts() < 2 {
 			return fmt.Errorf("scenario %s: needs at least two hosts", s.Name)
@@ -531,8 +556,15 @@ func (s Scenario) SessionConfig(combo Combo, load float64, seed uint64,
 	// sweep parallelism — and a churn-free scenario compiles to the exact
 	// static config it always did.
 	events := s.ChurnEvents(seed, duration, groups)
+	// Faults compile on their own dedicated stream under the same purity
+	// contract; a fault-free scenario compiles to the exact config it
+	// always did.
+	faults, err := s.FaultEvents(seed, duration, groups)
+	if err != nil {
+		return core.Config{}, err
+	}
 	window := s.WindowSec
-	if window == 0 && s.Churn.Enabled() {
+	if window == 0 && (s.Churn.Enabled() || len(faults) > 0) {
 		window = 1
 	}
 	return core.Config{
@@ -554,6 +586,7 @@ func (s Scenario) SessionConfig(combo Combo, load float64, seed uint64,
 		NumGroups:      s.GroupCount(),
 		UplinkClasses:  s.UplinkClasses(),
 		Events:         events,
+		Faults:         faults,
 		Reopt:          s.Reopt.compile(),
 		WindowSec:      window,
 	}, nil

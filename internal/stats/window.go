@@ -1,5 +1,7 @@
 package stats
 
+import "math"
+
 // WindowMax accumulates a max-per-window time series: samples fold into
 // fixed-width time buckets, and the series of per-bucket maxima shows how
 // an extreme metric (worst-case delay) evolves over a run — the transient
@@ -72,3 +74,30 @@ func (w *WindowMax) Series() []float64 {
 
 // NumWindows returns how many buckets have been opened.
 func (w *WindowMax) NumWindows() int { return len(w.buckets) }
+
+// MaxIn returns the largest value of a WindowMax series over the time
+// range [from, to), given the series' bucket width — the transient spike
+// extractor: the harness reads the worst windowed delay in the seconds
+// following a fault event from the run's full series. Buckets partially
+// overlapping the range count. Returns 0 for an empty intersection or a
+// non-positive width.
+func MaxIn(series []float64, width, from, to float64) float64 {
+	if width <= 0 || to <= from || len(series) == 0 {
+		return 0
+	}
+	lo := 0
+	if from > 0 {
+		lo = int(from / width)
+	}
+	hi := len(series)
+	if b := int(math.Ceil(to / width)); b < hi {
+		hi = b
+	}
+	max := 0.0
+	for i := lo; i < hi && i < len(series); i++ {
+		if series[i] > max {
+			max = series[i]
+		}
+	}
+	return max
+}

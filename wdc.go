@@ -89,6 +89,16 @@ type (
 	// ScenarioCombo is one traffic-control series of a scenario (scheme
 	// plus tree family or overlay strategy).
 	ScenarioCombo = scenario.Combo
+	// FaultSpec is one declarative correlated-failure injection in a
+	// scenario: a router-domain outage, a backbone partition (with its
+	// paired heal), a mass leave, or an epoch transition.
+	FaultSpec = scenario.FaultSpec
+	// FaultEvent is one compiled fault applied by the session control
+	// plane at a fixed simulated time.
+	FaultEvent = core.FaultEvent
+	// FaultOutcome reports what one fault event did: hosts touched,
+	// re-grafts, packets lost, and the measured recovery time.
+	FaultOutcome = core.FaultOutcome
 )
 
 // Re-exported enum values.
