@@ -38,6 +38,8 @@ scenarios:
 	$(GO) run ./cmd/wdcsim -scenario outage-waxman-16 -quick -shards 1
 	$(GO) run ./cmd/wdcsim -scenario outage-waxman-16 -quick -shards 4
 	$(GO) run ./cmd/wdcsim -scenario epoch-churn-waxman-16 -quick -shards 4
+	$(GO) run ./cmd/wdcsim -scenario waxman-zipf-512 -duration 0.5 -shards 1
+	$(GO) run ./cmd/wdcsim -scenario waxman-zipf-512 -duration 0.5 -shards 8
 
 # Sharded-mode suite, mirroring `make race`: every shard differential and
 # determinism test across a shard-count matrix (WDCSIM_SHARDS overrides
@@ -47,16 +49,19 @@ shards:
 	WDCSIM_SHARDS=2 $(GO) test -run Shard ./...
 	WDCSIM_SHARDS=4 $(GO) test -run Shard ./...
 	WDCSIM_SHARDS=8 $(GO) test -run Shard ./...
+	$(GO) run ./cmd/wdcsim -scenario waxman-zipf-512 -duration 0.5 -shards 4
 
 # Coverage-guided fuzzing of the invariant-heavy corners: the timing
-# wheel's cursor-behind merge-insert, the overlay graft-point selector,
-# and the batch prune/repair path the fault plane drives. 30 s per
+# wheel's cursor-behind merge-insert, the cross-shard mailbox merge
+# against its (at, lamport, srcShard, seq) oracle, the overlay graft-point
+# selector, and the batch prune/repair path the fault plane drives. 30 s per
 # target — long enough to grow a corpus, short enough for a CI side job
 # (wired in as non-blocking; run longer locally when touching either
 # subsystem).
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzWheelCursorBehind -fuzztime $(FUZZTIME) ./internal/des
+	$(GO) test -run '^$$' -fuzz FuzzMailboxDrain -fuzztime $(FUZZTIME) ./internal/des
 	$(GO) test -run '^$$' -fuzz FuzzGraftPoint -fuzztime $(FUZZTIME) ./internal/overlay
 	$(GO) test -run '^$$' -fuzz FuzzBatchRepair -fuzztime $(FUZZTIME) ./internal/overlay
 

@@ -24,9 +24,11 @@
 // table2, table3, rhostar, ratio, all.
 //
 // -shards N (default GOMAXPROCS) runs each multi-group session as a
-// sharded conservative-parallel simulation; physics are identical to the
-// sequential engine (deliveries, losses, worst-case delays), so it is
-// purely a wall-clock lever for big sessions. The one shard-count-
+// sharded conservative-parallel simulation; -shards auto probes candidate
+// counts with short runs and keeps the one with the lowest barrier-stall
+// share. Physics are identical to the sequential engine (deliveries,
+// losses, worst-case delays), so it is purely a wall-clock lever for big
+// sessions. The one shard-count-
 // dependent output is the reported mean delay's last few bits (per-shard
 // Welford accumulators merge in shard order); pass -shards 1 when
 // byte-identical output across machines matters more than speed.
@@ -40,6 +42,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 
 	"repro/internal/des"
 	"repro/internal/harness"
@@ -70,7 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		durSec        = fs.Float64("duration", 0, "override per-run simulated seconds")
 		sequential    = fs.Bool("sequential", false, "run sweep points sequentially (debugging)")
 		workers       = fs.Int("workers", 0, "sweep worker pool size (default GOMAXPROCS)")
-		shards        = fs.Int("shards", runtime.GOMAXPROCS(0), "per-run shard count for multi-group sessions (1 = sequential engine)")
+		shardsFlag    = fs.String("shards", "", "per-run shard count for multi-group sessions (1 = sequential engine; 'auto' tunes by measurement; default GOMAXPROCS)")
 		cpuProfile    = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile    = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -84,6 +87,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *listScenarios {
 		printScenarios(stdout)
 		return 0
+	}
+
+	// -shards: a count, "auto" (measure candidate counts, keep the one
+	// with the lowest barrier-stall share), or empty for GOMAXPROCS.
+	shards, autoShards := runtime.GOMAXPROCS(0), false
+	switch *shardsFlag {
+	case "", "0":
+	case "auto":
+		autoShards = true
+	default:
+		n, err := strconv.Atoi(*shardsFlag)
+		if err != nil || n < 1 {
+			fmt.Fprintf(stderr, "wdcsim: -shards wants a positive count or 'auto', got %q\n", *shardsFlag)
+			return 2
+		}
+		shards = n
 	}
 
 	if *cpuProfile != "" {
@@ -118,7 +137,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// Scenario sweeps resolve their own grid/duration, so only pass
 		// what the user explicitly overrode on the command line.
 		opts := harness.Options{Seed: *seed, Sequential: *sequential, Workers: *workers,
-			NumHosts: *hosts, Shards: *shards, Strategy: *strategyName}
+			NumHosts: *hosts, Shards: shards, AutoShards: autoShards, Strategy: *strategyName}
 		if *durSec > 0 {
 			opts.Duration = des.Seconds(*durSec)
 			opts.SingleHopDuration = des.Seconds(*durSec)
@@ -158,7 +177,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts.Sequential = *sequential
 		opts.Workers = *workers
 	}
-	opts.Shards = *shards
+	opts.Shards = shards
 	if *hosts > 0 {
 		opts.NumHosts = *hosts
 	}

@@ -160,3 +160,44 @@ func TestStrategyFlagRequiresScenario(t *testing.T) {
 		t.Fatalf("unhelpful error: %s", errOut.String())
 	}
 }
+
+// TestScenarioShardsAuto smoke-tests measurement-driven shard selection
+// through the CLI: -shards auto must probe, pick a count, and finish with
+// a normal sweep; the JSON record carries the sharding diagnostics.
+func TestScenarioShardsAuto(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-scenario", "waxman-zipf-16", "-quick", "-duration", "1",
+		"-shards", "auto", "-json"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	var rec struct {
+		Shards int `json:"shards"`
+		Curves []struct {
+			Shards []int     `json:"shards"`
+			Epochs []uint64  `json:"epochs"`
+			Stall  []float64 `json:"stall_share"`
+		} `json:"curves"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rec); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if rec.Shards < 2 {
+		t.Fatalf("auto-tuned sweep reports shards=%d, want >= 2", rec.Shards)
+	}
+	for ci, c := range rec.Curves {
+		if len(c.Shards) == 0 || len(c.Epochs) == 0 {
+			t.Fatalf("curve %d missing shard diagnostics: %+v", ci, c)
+		}
+	}
+}
+
+// TestShardsFlagRejectsGarbage pins the flag grammar: a count or "auto".
+func TestShardsFlagRejectsGarbage(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-scenario", "ring-sparse", "-shards", "lots"}, &out, &errOut); code != 2 {
+		t.Fatalf("-shards lots: exit %d, want 2", code)
+	}
+	if code := run([]string{"-scenario", "ring-sparse", "-shards", "-3"}, &out, &errOut); code != 2 {
+		t.Fatalf("-shards -3: exit %d, want 2", code)
+	}
+}

@@ -63,10 +63,11 @@ type host struct {
 	mode    Scheme  // the concrete scheme in force at any instant
 	modeSet bool
 
-	// children[g] lists this host's child hosts in group g's tree (empty
-	// for groups the host does not forward — including every group the
-	// host is not even a member of).
-	children [][]int
+	// children holds this host's per-group child sets, flattened to the
+	// groups the host actually forwards (see groupChildren) — absent
+	// groups, including every group the host is not a member of, cost
+	// nothing.
+	children groupChildren
 	// connections de-duplicates children across groups.
 	muxes map[int]*mux.Mux
 
@@ -85,15 +86,15 @@ type host struct {
 
 // newHost wires a host for its (per-group) child sets. Hosts with no
 // children build no forwarding machinery.
-func newHost(id int, env *hostEnv, children [][]int, initial Scheme) *host {
+func newHost(id int, env *hostEnv, children groupChildren, initial Scheme) *host {
 	h := &host{id: id, env: env, conn: env.hostConn(id), scheme: initial,
 		children: children, muxes: make(map[int]*mux.Mux)}
 	distinct := make(map[int]bool)
-	for _, cs := range children {
+	children.each(func(_ int, cs []int) {
 		for _, c := range cs {
 			distinct[c] = true
 		}
-	}
+	})
 	forwards := len(distinct) > 0
 	connCap := env.connectionCapacity(id, len(distinct))
 	for c := range distinct {
@@ -117,7 +118,7 @@ func initialMode(s Scheme) Scheme {
 // forward pushes a group-g packet into the active regulator bank (or
 // straight to the replicator for the capacity-aware scheme).
 func (h *host) forward(g int, p traffic.Packet) {
-	if len(h.children[g]) == 0 {
+	if len(h.children.get(g)) == 0 {
 		return
 	}
 	switch h.mode {
@@ -133,7 +134,7 @@ func (h *host) forward(g int, p traffic.Packet) {
 // replicate copies the packet into the MUX of every child connection for
 // its group.
 func (h *host) replicate(g int, p traffic.Packet) {
-	for _, c := range h.children[g] {
+	for _, c := range h.children.get(g) {
 		h.muxes[c].Enqueue(p)
 	}
 }
@@ -204,14 +205,13 @@ func (h *host) ensureSRBank() {
 	if h.srBank == nil {
 		h.srBank = make([]*regulator.SigmaRho, len(env.specs))
 	}
-	for g := range env.specs {
-		if len(h.children[g]) == 0 || h.srBank[g] != nil {
-			continue
+	h.children.each(func(g int, kids []int) {
+		if len(kids) == 0 || h.srBank[g] != nil {
+			return
 		}
-		g := g
 		h.srBank[g] = regulator.NewSigmaRho(env.eng, env.bursts[g], env.specs[g].Rho,
 			func(p traffic.Packet) { h.replicate(g, p) })
-	}
+	})
 }
 
 // ensureSRLBank is ensureSRBank for the (σ, ρ, λ) bank. It does not start
@@ -222,14 +222,13 @@ func (h *host) ensureSRLBank() (fresh bool) {
 		h.srlBank = make([]*regulator.SRL, len(env.specs))
 		fresh = true
 	}
-	for g := range env.specs {
-		if len(h.children[g]) == 0 || h.srlBank[g] != nil {
-			continue
+	h.children.each(func(g int, kids []int) {
+		if len(kids) == 0 || h.srlBank[g] != nil {
+			return
 		}
-		g := g
 		h.srlBank[g] = regulator.NewSRL(env.eng, env.bursts[g], env.specs[g].Rho, h.conn,
 			func(p traffic.Packet) { h.replicate(g, p) })
-	}
+	})
 	return fresh
 }
 
@@ -274,7 +273,7 @@ func (h *host) setMode(m Scheme) {
 
 // childInAnyGroup reports whether c is a child of this host in any group.
 func (h *host) childInAnyGroup(c int) bool {
-	for _, cs := range h.children {
+	for _, cs := range h.children.kids {
 		for _, x := range cs {
 			if x == c {
 				return true
@@ -289,7 +288,7 @@ func (h *host) childInAnyGroup(c int) bool {
 // all, or was not forwarding this group — the regulator machinery, with
 // the new duty cycle re-staggered onto the global schedule.
 func (h *host) attachChild(g, c int) {
-	h.children[g] = append(h.children[g], c)
+	h.children.add(g, c)
 	if _, ok := h.muxes[c]; !ok {
 		child := c
 		h.muxes[c] = mux.New(h.env.eng, len(h.env.specs), h.env.connectionCapacity(h.id, len(h.muxes)+1),
@@ -352,8 +351,8 @@ func (h *host) detachGroup(g int) int {
 		}
 		h.srlBank[g] = nil
 	}
-	old := h.children[g]
-	h.children[g] = nil
+	old := h.children.get(g)
+	h.children.drop(g)
 	for _, c := range old {
 		if !h.childInAnyGroup(c) {
 			delete(h.muxes, c)
@@ -367,15 +366,17 @@ func (h *host) detachGroup(g int) int {
 // packets were destined for the departed subtree); the returned count is
 // that abandoned backlog.
 func (h *host) removeChild(g, c int) int {
-	cs := h.children[g]
-	for i, x := range cs {
-		if x == c {
-			h.children[g] = append(cs[:i], cs[i+1:]...)
-			break
+	if slot := h.children.find(g); slot >= 0 {
+		cs := h.children.kids[slot]
+		for i, x := range cs {
+			if x == c {
+				h.children.kids[slot] = append(cs[:i], cs[i+1:]...)
+				break
+			}
 		}
-	}
-	if len(h.children[g]) == 0 {
-		return h.detachGroup(g)
+		if len(h.children.kids[slot]) == 0 {
+			return h.detachGroup(g)
+		}
 	}
 	if !h.childInAnyGroup(c) {
 		delete(h.muxes, c)

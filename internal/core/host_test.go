@@ -25,7 +25,7 @@ func testEnv(eng *des.Engine, sent *[]int) *hostEnv {
 func TestHostLeafBuildsNoMachinery(t *testing.T) {
 	eng := des.New()
 	var sent []int
-	h := newHost(1, testEnv(eng, &sent), [][]int{nil, nil}, SchemeSRL)
+	h := newHost(1, testEnv(eng, &sent), denseChildren([][]int{nil, nil}), SchemeSRL)
 	if len(h.muxes) != 0 || h.srBank != nil || h.srlBank != nil {
 		t.Fatal("leaf host built forwarding machinery")
 	}
@@ -40,7 +40,7 @@ func TestHostLeafBuildsNoMachinery(t *testing.T) {
 func TestHostReplicatesPerGroupChildren(t *testing.T) {
 	eng := des.New()
 	var sent []int
-	h := newHost(0, testEnv(eng, &sent), [][]int{{1, 2}, {2, 3}}, SchemeCapacityAware)
+	h := newHost(0, testEnv(eng, &sent), denseChildren([][]int{{1, 2}, {2, 3}}), SchemeCapacityAware)
 	eng.Schedule(0, func() {
 		h.forward(0, traffic.Packet{Flow: 0, Size: 1000})
 		h.forward(1, traffic.Packet{Flow: 1, Size: 1000})
@@ -59,7 +59,7 @@ func TestHostReplicatesPerGroupChildren(t *testing.T) {
 func TestHostDistinctConnectionsDeDuplicated(t *testing.T) {
 	eng := des.New()
 	var sent []int
-	h := newHost(0, testEnv(eng, &sent), [][]int{{1, 2}, {2, 1}}, SchemeSigmaRho)
+	h := newHost(0, testEnv(eng, &sent), denseChildren([][]int{{1, 2}, {2, 1}}), SchemeSigmaRho)
 	if len(h.muxes) != 2 {
 		t.Fatalf("expected 2 connections, got %d", len(h.muxes))
 	}
@@ -68,7 +68,7 @@ func TestHostDistinctConnectionsDeDuplicated(t *testing.T) {
 func TestHostModeSwitchKeepsForwarding(t *testing.T) {
 	eng := des.New()
 	var sent []int
-	h := newHost(0, testEnv(eng, &sent), [][]int{{1}, {1}}, SchemeSigmaRho)
+	h := newHost(0, testEnv(eng, &sent), denseChildren([][]int{{1}, {1}}), SchemeSigmaRho)
 	// Feed in σρ mode, switch to SRL mid-run, feed more.
 	eng.Schedule(0, func() { h.forward(0, traffic.Packet{ID: 1, Flow: 0, Size: 1000}) })
 	eng.Schedule(des.Millisecond, func() { h.setMode(SchemeSRL) })
@@ -86,7 +86,7 @@ func TestHostModeSwitchKeepsForwarding(t *testing.T) {
 func TestHostModeSwitchRoundTrip(t *testing.T) {
 	eng := des.New()
 	var sent []int
-	h := newHost(0, testEnv(eng, &sent), [][]int{{1}, {1}}, SchemeSigmaRho)
+	h := newHost(0, testEnv(eng, &sent), denseChildren([][]int{{1}, {1}}), SchemeSigmaRho)
 	eng.Schedule(0, func() {
 		h.setMode(SchemeSRL)
 		h.setMode(SchemeSigmaRho)
@@ -106,7 +106,7 @@ func TestHostModeSwitchRoundTrip(t *testing.T) {
 func TestHostSRLResidueDrainsAfterSwitchAway(t *testing.T) {
 	eng := des.New()
 	var sent []int
-	h := newHost(0, testEnv(eng, &sent), [][]int{{1}, {1}}, SchemeSRL)
+	h := newHost(0, testEnv(eng, &sent), denseChildren([][]int{{1}, {1}}), SchemeSRL)
 	// Queue a packet while every SRL is off (cycles just started with
 	// offsets), then immediately switch to σρ: the residue must drain.
 	eng.Schedule(0, func() {
@@ -124,7 +124,7 @@ func TestHostControllerSwitchesAboveThreshold(t *testing.T) {
 	eng := des.New()
 	var sent []int
 	env := testEnv(eng, &sent)
-	h := newHost(0, env, [][]int{{1}, {1}}, SchemeAdaptive)
+	h := newHost(0, env, denseChildren([][]int{{1}, {1}}), SchemeAdaptive)
 	h.startController(des.Second, 100*des.Millisecond, 0.15) // low threshold
 	// Offered load ~0.2 of conn: 200 kbps vs 1 Mbps -> above 0.15.
 	src := traffic.NewCBR(0, 200_000, 1000)
@@ -144,7 +144,7 @@ func TestHostControllerSwitchesAboveThreshold(t *testing.T) {
 func TestHostControllerStaysBelowThreshold(t *testing.T) {
 	eng := des.New()
 	var sent []int
-	h := newHost(0, testEnv(eng, &sent), [][]int{{1}, {1}}, SchemeAdaptive)
+	h := newHost(0, testEnv(eng, &sent), denseChildren([][]int{{1}, {1}}), SchemeAdaptive)
 	h.startController(des.Second, 100*des.Millisecond, 0.9)
 	src := traffic.NewCBR(0, 200_000, 1000) // 0.2 of conn, below 0.9
 	src.Start(eng, 2*des.Second, func(p traffic.Packet) {
@@ -166,7 +166,7 @@ func TestHostCapacityAwareConnCap(t *testing.T) {
 	env := testEnv(eng, &sent)
 	env.capAware = true
 	env.capFactor = 2.0
-	h := newHost(0, env, [][]int{{1, 2, 3}, nil}, SchemeCapacityAware)
+	h := newHost(0, env, denseChildren([][]int{{1, 2, 3}, nil}), SchemeCapacityAware)
 	for _, m := range h.muxes {
 		if m.Capacity() != 2.0*1_000_000/3 {
 			t.Fatalf("connection capacity %v, want aggregate/3", m.Capacity())
@@ -196,7 +196,7 @@ func TestHostEnvUplinkMultScalesCapacity(t *testing.T) {
 func TestHostSetModePanicsOnAdaptive(t *testing.T) {
 	eng := des.New()
 	var sent []int
-	h := newHost(0, testEnv(eng, &sent), [][]int{{1}, nil}, SchemeSigmaRho)
+	h := newHost(0, testEnv(eng, &sent), denseChildren([][]int{{1}, nil}), SchemeSigmaRho)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("setMode(SchemeAdaptive) must panic — it is not a concrete mode")

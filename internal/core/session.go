@@ -154,6 +154,12 @@ type Config struct {
 	// engine, which is the bit-identity baseline. Sharded execution
 	// requires PipeTransit; New falls back to sequential otherwise.
 	Shards int
+	// GlobalMinLookahead forces the sharded coordinator onto the legacy
+	// single global-min epoch width instead of the per-(src, dst) pair
+	// lookahead matrix. Physics are identical either way (pinned by the
+	// pair-vs-global differential tests); per-pair bounds just run fewer,
+	// wider epochs. Kept as an A/B lever for those tests and debugging.
+	GlobalMinLookahead bool
 }
 
 func (c *Config) fillDefaults() {
@@ -333,6 +339,21 @@ type Result struct {
 	// CutLost counts packets dropped crossing an active partition cut —
 	// underlay loss, disjoint from the membership accounting in Lost.
 	CutLost uint64
+
+	// Sharded-execution diagnostics. Shards is the engine count the run
+	// actually used (1 for the sequential engine or a degenerate
+	// partition); the rest are zero unless Shards > 1.
+	Shards int
+	// Epochs is the number of conservative epochs the coordinator ran.
+	Epochs uint64
+	// CrossShardMsgs is the number of boundary packets relayed between
+	// shards.
+	CrossShardMsgs uint64
+	// StallShare is the measured epoch load imbalance in [0, 1): the
+	// fraction of per-epoch worker capacity spent waiting at barriers
+	// (0 = perfectly balanced). Deterministic — it is a function of
+	// per-shard executed-event counts, not wall time.
+	StallShare float64
 }
 
 // groupState is the mutable per-group runtime: the current member set,
@@ -424,9 +445,10 @@ func newSessionFrom(sub *substrate) *Session {
 		env.capAware = true
 		env.capFactor = cfg.CapacityFactor
 	}
+	chl := sub.compileChildren()
 	s.hosts = make([]*host, cfg.NumHosts)
 	for id := 0; id < cfg.NumHosts; id++ {
-		s.hosts[id] = newHost(id, env, sub.childrenOf(id), cfg.Scheme)
+		s.hosts[id] = newHost(id, env, chl[id], cfg.Scheme)
 		if cfg.Scheme == SchemeAdaptive && len(s.hosts[id].muxes) > 0 {
 			s.hosts[id].startController(des.Second, 250*des.Millisecond, sub.threshold)
 		}
@@ -527,6 +549,7 @@ func (s *Session) Run() Result {
 		ConnCapacity:  cfg.Mix.TotalRateN(numGroups) / cfg.Load,
 		Specs:         s.specs,
 		WindowSec:     cfg.WindowSec,
+		Shards:        1,
 	}
 	for g := 0; g < numGroups; g++ {
 		res.PerGroupWDB[g] = s.perGroup[g].Max()

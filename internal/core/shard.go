@@ -43,6 +43,15 @@ func New(cfg Config) Runner {
 	return NewSession(cfg)
 }
 
+// shardPacket is the flat cross-shard payload: a packet bound for a host
+// on another shard. It travels through the coordinator's pooled mailbox
+// records — no per-packet closure, no boxing — so the boundary handoff
+// allocates nothing in steady state.
+type shardPacket struct {
+	host int
+	p    traffic.Packet
+}
+
 // shardRuntime is one shard's private execution state: an engine, a
 // fabric bound to it, the host environment, and shard-local measurement
 // (merged after the run — observation must never cross shards mid-run).
@@ -68,7 +77,7 @@ type ShardedSession struct {
 	owner []int    // host id -> shard
 	sh    []*shardRuntime
 	hosts []*host // global host array, each wired to its owning shard's env
-	coord *des.Coordinator
+	coord *des.Coordinator[shardPacket]
 	ctl   *controlPlane
 	ro    *reoptPlane
 	fp    *faultPlane
@@ -86,15 +95,9 @@ func NewShardedSession(cfg Config) *ShardedSession {
 	s := &ShardedSession{sub: sub}
 	owner := netsim.PartitionHosts(sub.net, cfg.Shards)
 	nsh := netsim.NumShards(owner)
-	lookahead, haveCross := netsim.Lookahead(sub.net, owner)
 	if nsh <= 1 || cfg.Shards <= 1 {
 		s.seq = newSessionFrom(sub)
 		return s
-	}
-	if !haveCross {
-		// Multiple shards but no cross-shard pair can exist (disconnected
-		// populations): epochs may be unbounded.
-		lookahead = des.Time(1)<<62 - 1
 	}
 	s.owner = owner
 
@@ -102,7 +105,27 @@ func NewShardedSession(cfg Config) *ShardedSession {
 	for i := range engines {
 		engines[i] = des.New()
 	}
-	s.coord = des.NewCoordinator(engines, lookahead)
+	if cfg.GlobalMinLookahead {
+		// Legacy regime: one uniform epoch window sized by the global
+		// minimum cross-shard latency. Kept as the differential baseline
+		// for the per-pair bounds.
+		lookahead, haveCross := netsim.Lookahead(sub.net, owner)
+		if !haveCross {
+			// Multiple shards but no cross-shard pair can exist
+			// (disconnected populations): epochs may be unbounded.
+			lookahead = des.Time(1)<<62 - 1
+		}
+		s.coord = des.NewCoordinator[shardPacket](engines, lookahead)
+	} else {
+		// Per-(src, dst) pair lookahead: distant shard pairs stop
+		// over-synchronising each other. Bit-identical physics (pinned by
+		// the pair-vs-global differential tests); strictly fewer barriers.
+		mat, _ := netsim.LookaheadMatrix(sub.net, owner)
+		s.coord = des.NewCoordinatorMatrix[shardPacket](engines, mat)
+	}
+	s.coord.OnDeliver(func(dst int, m shardPacket) {
+		s.sh[dst].fabric.Deliver(m.host, m.p)
+	})
 
 	var faults []FaultEvent
 	if len(cfg.Faults) > 0 {
@@ -134,8 +157,7 @@ func NewShardedSession(cfg Config) *ShardedSession {
 			Mode:  cfg.Transit,
 			Local: func(h int) bool { return owner[h] == si },
 			Remote: func(dst int, at des.Time, p traffic.Packet) {
-				t := owner[dst]
-				s.coord.Post(si, t, at, func() { s.sh[t].fabric.Deliver(dst, p) })
+				s.coord.PostPayload(si, owner[dst], at, shardPacket{host: dst, p: p})
 			},
 			Drop: drop,
 		})
@@ -160,10 +182,11 @@ func NewShardedSession(cfg Config) *ShardedSession {
 	// Hosts wire in global id order, exactly as the sequential build does:
 	// each shard engine's event sequence is then the projection of the
 	// sequential schedule onto its hosts.
+	chl := sub.compileChildren()
 	s.hosts = make([]*host, cfg.NumHosts)
 	for id := 0; id < cfg.NumHosts; id++ {
 		sh := s.sh[owner[id]]
-		s.hosts[id] = newHost(id, sh.env, sub.childrenOf(id), cfg.Scheme)
+		s.hosts[id] = newHost(id, sh.env, chl[id], cfg.Scheme)
 		if cfg.Scheme == SchemeAdaptive && len(s.hosts[id].muxes) > 0 {
 			s.hosts[id].startController(des.Second, 250*des.Millisecond, sub.threshold)
 		}
@@ -310,13 +333,17 @@ func (s *ShardedSession) Run() Result {
 	s.coord.Run(cfg.Duration + 20*des.Second)
 
 	res := Result{
-		PerGroupWDB:   make([]float64, numGroups),
-		TreeLayers:    make([]int, numGroups),
-		PerGroupLost:  make([]uint64, numGroups),
-		ThresholdUtil: s.sub.threshold,
-		ConnCapacity:  s.sub.conn,
-		Specs:         s.sub.specs,
-		WindowSec:     cfg.WindowSec,
+		PerGroupWDB:    make([]float64, numGroups),
+		TreeLayers:     make([]int, numGroups),
+		PerGroupLost:   make([]uint64, numGroups),
+		ThresholdUtil:  s.sub.threshold,
+		ConnCapacity:   s.sub.conn,
+		Specs:          s.sub.specs,
+		WindowSec:      cfg.WindowSec,
+		Shards:         len(s.sh),
+		Epochs:         s.coord.Epochs(),
+		CrossShardMsgs: s.coord.Messages(),
+		StallShare:     s.coord.StallShare(),
 	}
 	var delays stats.Welford
 	var windows *stats.WindowMax

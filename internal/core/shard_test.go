@@ -250,3 +250,125 @@ func TestShardedStaticEqualsShards1Bits(t *testing.T) {
 		t.Fatalf("delivered %d vs %d", seqr.Delivered, shr.Delivered)
 	}
 }
+
+// TestShardDifferentialPairVsGlobalMin pins the per-pair lookahead regime
+// bit-identical to the legacy global-min regime it replaced: the epoch
+// schedule differs (pair bounds run wider windows), but the released event
+// order — and so every delivery, loss, and WDB bit — must not. Covers
+// static, churn, and fault workloads.
+func TestShardDifferentialPairVsGlobalMin(t *testing.T) {
+	side := make([]bool, 24)
+	for r := 0; r < 12; r++ {
+		side[r] = true
+	}
+	cases := map[string]func(*Config){
+		"static": func(cfg *Config) {},
+		"churn": func(cfg *Config) {
+			cfg.WindowSec = 0.5
+			cfg.Events = []MembershipEvent{
+				{At: des.Seconds(0.4), Group: 2, Host: 130, Join: true},
+				{At: des.Seconds(0.7), Group: 2, Host: 30},
+				{At: des.Seconds(1.1), Group: 4, Host: 150},
+				{At: des.Seconds(1.6), Group: 5, Host: 200, Join: true},
+			}
+		},
+		"faults": func(cfg *Config) {
+			cfg.WindowSec = 0.5
+			cfg.Faults = []FaultEvent{
+				{At: des.Seconds(0.8), Kind: FaultPartition, ID: 0, Group: -1, Side: side},
+				{At: des.Seconds(1.6), Kind: FaultHeal, ID: 0, Group: -1},
+			}
+		},
+	}
+	for label, mutate := range cases {
+		t.Run(label, func(t *testing.T) {
+			cfg := shardBaseConfig(37)
+			cfg.Shards = testShardCount(t)
+			mutate(&cfg)
+			pair := Run(cfg)
+			cfg.GlobalMinLookahead = true
+			glob := Run(cfg)
+			assertResultsEquivalent(t, label, glob, pair)
+			// Beyond physics: the merge-order-sensitive bits must agree too —
+			// the regimes release the identical event sequence.
+			if math.Float64bits(pair.WDB) != math.Float64bits(glob.WDB) ||
+				math.Float64bits(pair.MeanDelay) != math.Float64bits(glob.MeanDelay) {
+				t.Errorf("%s: WDB/mean bits diverged: %016x/%016x vs %016x/%016x", label,
+					math.Float64bits(pair.WDB), math.Float64bits(pair.MeanDelay),
+					math.Float64bits(glob.WDB), math.Float64bits(glob.MeanDelay))
+			}
+			for g := range pair.PerGroupWDB {
+				if math.Float64bits(pair.PerGroupWDB[g]) != math.Float64bits(glob.PerGroupWDB[g]) {
+					t.Errorf("%s: group %d WDB bits diverged", label, g)
+				}
+			}
+			if pair.Shards != glob.Shards {
+				t.Errorf("%s: shard counts %d vs %d", label, pair.Shards, glob.Shards)
+			}
+		})
+	}
+}
+
+// TestPairLookaheadWidensEpochs demonstrates why the matrix exists: on a
+// transit-stub underlay, shards separated by the transit core get pair
+// lookaheads strictly wider than the global minimum (which a single
+// intra-stub short hop sets), and the coordinator turns that slack into
+// measurably fewer barrier epochs for the same simulated time.
+func TestPairLookaheadWidensEpochs(t *testing.T) {
+	cfg := Config{
+		NumHosts:  240,
+		Mix:       traffic.MixAudio,
+		Load:      0.8,
+		Scheme:    SchemeSRL,
+		Duration:  2 * des.Second,
+		Seed:      41,
+		Topology:  topo.TransitStub{Transits: 4, StubsPerTransit: 3, StubSize: 2},
+		NumGroups: 4,
+	}
+	cfg.Shards = testShardCount(t)
+	if cfg.Shards < 2 {
+		t.Skip("needs >= 2 shards")
+	}
+
+	// Structural claim: some pair entry strictly exceeds the scalar min.
+	sub := compileSubstrate(cfg)
+	owner := netsim.PartitionHosts(sub.net, cfg.Shards)
+	if netsim.NumShards(owner) < 2 {
+		t.Fatalf("partition degenerated to %d shards", netsim.NumShards(owner))
+	}
+	scalar, ok := netsim.Lookahead(sub.net, owner)
+	if !ok {
+		t.Fatal("no cross-shard pair")
+	}
+	mat, ok := netsim.LookaheadMatrix(sub.net, owner)
+	if !ok {
+		t.Fatal("no cross-shard pair in matrix")
+	}
+	wider := 0
+	for i := range mat {
+		for j := range mat[i] {
+			if i == j {
+				continue
+			}
+			if mat[i][j] < scalar {
+				t.Fatalf("la[%d][%d]=%v below the scalar min %v", i, j, mat[i][j], scalar)
+			}
+			if mat[i][j] > scalar {
+				wider++
+			}
+		}
+	}
+	if wider == 0 {
+		t.Fatal("no pair lookahead strictly wider than the global min — topology does not exercise the matrix")
+	}
+
+	// Behavioural claim: the pair regime completes the same run in fewer
+	// epochs, with identical physics.
+	pair := Run(cfg)
+	cfg.GlobalMinLookahead = true
+	glob := Run(cfg)
+	assertResultsEquivalent(t, "transit-stub", glob, pair)
+	if pair.Epochs >= glob.Epochs {
+		t.Errorf("pair regime ran %d epochs, global-min %d — expected strictly fewer", pair.Epochs, glob.Epochs)
+	}
+}

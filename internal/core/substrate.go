@@ -161,13 +161,22 @@ func compileSubstrate(cfg Config) *substrate {
 	return sub
 }
 
-// childrenOf returns host id's per-group child sets, copied: trees own
-// their child slices and the control plane mutates host child sets
+// compileChildren flattens every host's per-group child sets in a single
+// O(total tree edges) pass — group-major, so each host's slots come out
+// sorted by group id without any per-host sort. The per-host childrenOf
+// loop this replaces walked hosts × groups tree lookups (51M at 100k ×
+// 512) and allocated a dense [][]int per host. Children are copied: trees
+// own their child slices and the control plane mutates host child sets
 // independently of tree bookkeeping.
-func (sub *substrate) childrenOf(id int) [][]int {
-	children := make([][]int, len(sub.groups))
+func (sub *substrate) compileChildren() []groupChildren {
+	per := make([]groupChildren, sub.cfg.NumHosts)
 	for g, st := range sub.groups {
-		children[g] = append([]int(nil), st.tree.Children(id)...)
+		g32 := int32(g)
+		st.tree.EachParent(func(p int, kids []int) {
+			gc := &per[p]
+			gc.groups = append(gc.groups, g32)
+			gc.kids = append(gc.kids, append([]int(nil), kids...))
+		})
 	}
-	return children
+	return per
 }

@@ -1,41 +1,67 @@
 package des
 
 // Conservative-parallel execution: a Coordinator advances N independent
-// Engines (shards) in lock-step epochs whose width is the model's
-// conservative lookahead — the minimum simulated delay any cross-shard
-// interaction can have. Within an epoch every shard executes only events
-// that fire strictly before the epoch's end, so no shard can observe an
-// effect another shard has not yet produced: a cross-shard message sent at
-// local time t arrives at t + d with d >= lookahead >= the remaining epoch
-// width, i.e. always in a later epoch, and the coordinator moves it into
-// the destination engine at the epoch barrier before that epoch begins.
+// Engines (shards) in lock-step epochs bounded by the model's conservative
+// lookahead — the minimum simulated delay any cross-shard interaction can
+// have. Within an epoch every shard executes only events that fire strictly
+// before its bound, so no shard can observe an effect another shard has not
+// yet produced: a cross-shard message sent at local time t arrives at
+// t + d with d >= la[src][dst], i.e. always at or beyond the receiver's
+// current bound, and the coordinator moves it into the destination engine
+// at an epoch barrier before the epoch that fires it.
+//
+// Epoch bounds are per-shard, derived from the per-(src, dst) lookahead
+// matrix by an LBTS (lower bound on time stamp) fixpoint: shard i may
+// advance to the earliest instant any other shard could still affect it,
+//
+//	E_j    = min(next_j, min_k(E_k + la[k][j]))   (the fixpoint)
+//	bound_i = min_{j != i}(E_j + la[j][i])
+//
+// which degenerates to the classic single global-min window when the
+// matrix is uniform, and opens strictly wider windows for distant shard
+// pairs when it is not. The legacy regime is kept behind the scalar
+// constructor (and core's GlobalMinLookahead switch) as the differential
+// baseline.
 //
 // Determinism contract. A sharded run must be bit-stable for a fixed shard
-// count regardless of OS scheduling. Three mechanisms guarantee it:
+// count regardless of OS scheduling or epoch regime. Three mechanisms
+// guarantee it:
 //
 //  1. Each shard's engine is strictly sequential and only its own worker
 //     goroutine touches it during an epoch.
-//  2. Cross-shard messages travel through per-(src, dst) mailboxes that
-//     only the source shard appends to; at the barrier the coordinator
-//     merges a destination's inbound messages under the explicit total
-//     order (at, lamport, srcShard, seq) — arrival time, the sender's
-//     clock at send, the sending shard, and a per-sender monotone counter
-//     — and schedules them in that order, so destination-engine tie-breaks
-//     (its internal seq) are independent of thread interleaving.
+//  2. Cross-shard messages travel as flat pooled records through
+//     per-(src, dst) mailboxes that only the source shard appends to; at
+//     the barrier the coordinator merges a destination's inbound records
+//     into a sorted pending buffer under the explicit total order
+//     (at, lamport, srcShard, seq) — arrival time, the sender's clock at
+//     send, the sending shard, and a per-sender monotone counter — and
+//     releases into the engine only the prefix firing inside the next
+//     epoch window. Releasing exactly the records an epoch can fire (in
+//     sorted order) makes destination-engine tie-breaks (its internal seq)
+//     reproduce the total order for ANY epoch regime: without the bounded
+//     pending release, per-pair windows could materialise two exact
+//     (at, lamport) ties in different drain batches and invert their
+//     (srcShard, seq) order.
 //  3. Barrier callbacks (the session control plane) run on the
 //     coordinator goroutine while every engine is quiesced at exactly the
 //     barrier time, before any same-time events execute — mirroring the
 //     sequential engine, where control events are scheduled at build time
 //     and therefore win every same-timestamp tie.
 //
-// Epochs are demand-driven: each epoch starts at the global minimum next
-// event time, so idle stretches (drain tails, sparse scenarios) cost one
-// barrier instead of thousands.
+// Epochs are demand-driven: the fixpoint seeds from each shard's next
+// event (including pending cross-shard arrivals), so idle stretches cost
+// one barrier instead of thousands, and the shard holding the global
+// minimum always makes progress (its bound exceeds its next event because
+// every lookahead entry is positive).
 
 import (
 	"fmt"
 	"sort"
 )
+
+// maxTime is the saturation point for lookahead arithmetic: "no cross-shard
+// path" is represented as an effectively infinite delay.
+const maxTime = Time(1)<<62 - 1
 
 // NextAt reports the firing time of the earliest pending event, or false
 // when the queue is empty.
@@ -70,19 +96,31 @@ func (e *Engine) RunBefore(bound Time) {
 	}
 }
 
-// shardMsg is one cross-shard event in flight between epochs. Its fields
-// are the explicit merge key; fn runs on the destination engine at `at`.
-type shardMsg struct {
+// Record kinds. recClosure is the legacy Post path (carries a func, may
+// allocate at the call site); recPayload is the zero-alloc fast path
+// (carries an inline P delivered through the OnDeliver hook).
+const (
+	recClosure uint8 = iota
+	recPayload
+)
+
+// rec is one cross-shard event in flight between epochs: a flat mailbox
+// record whose leading fields are the explicit merge key. Records live in
+// per-(src, dst) mailboxes recycled in place at every drain, so posting a
+// boundary packet allocates nothing in steady state.
+type rec[P any] struct {
 	at      Time   // delivery time on the destination engine
-	lamport Time   // the sender's clock when the message was posted
-	src     int    // sending shard
+	lamport Time   // the sender's clock when the record was posted
 	seq     uint64 // per-sender monotone counter
-	fn      func()
+	src     int32  // sending shard
+	kind    uint8  // recClosure or recPayload
+	fn      func() // recClosure only
+	payload P      // recPayload only
 }
 
-// msgLess is the total order cross-shard messages merge under. seq is
+// recLess is the total order cross-shard records merge under. seq is
 // unique per src, so the order is strict.
-func msgLess(a, b shardMsg) bool {
+func recLess[P any](a, b *rec[P]) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
@@ -95,65 +133,196 @@ func msgLess(a, b shardMsg) bool {
 	return a.seq < b.seq
 }
 
-// Coordinator drives a set of shard engines through conservative epochs.
-// Build it with NewCoordinator, register any barrier actions, then call
-// Run once. Coordinators are single-use.
-type Coordinator struct {
-	engines   []*Engine
-	lookahead Time
+// pendQueue is a destination's sorted buffer of drained-but-unreleased
+// records. It implements sort.Interface so re-sorting after a drain does
+// not allocate (pointer receiver: the *pendQueue→sort.Interface conversion
+// is alloc-free).
+type pendQueue[P any] struct{ q []rec[P] }
 
-	outbox [][][]shardMsg // [src][dst] mailboxes, appended by src's worker
-	seq    []uint64       // per-src message counter
-	merge  []shardMsg     // reusable barrier merge buffer
+func (p *pendQueue[P]) Len() int           { return len(p.q) }
+func (p *pendQueue[P]) Less(i, j int) bool { return recLess(&p.q[i], &p.q[j]) }
+func (p *pendQueue[P]) Swap(i, j int)      { p.q[i], p.q[j] = p.q[j], p.q[i] }
+
+// dnode is a pooled delivery node: the engine-side carrier for a released
+// payload record. fire is bound once, at node allocation, and recycles the
+// node into its destination's free list after invoking the deliver hook —
+// so releasing a payload record into an engine allocates nothing in steady
+// state. A destination's pool is touched only by that shard's worker
+// during an epoch and by the coordinator between epochs; the work/done
+// channel handoff orders the two.
+type dnode[P any] struct {
+	payload P
+	next    *dnode[P]
+	fire    func()
+}
+
+// Coordinator drives a set of shard engines through conservative epochs.
+// Build it with NewCoordinator (uniform lookahead, legacy global-min epoch
+// regime) or NewCoordinatorMatrix (per-(src, dst) lookahead, per-shard
+// LBTS bounds), register any barrier actions and the payload deliver hook,
+// then call Run once. Coordinators are single-use.
+type Coordinator[P any] struct {
+	engines   []*Engine
+	la        [][]Time // la[src][dst]; diagonal and "no path" are maxTime
+	minLA     Time     // min off-diagonal entry (the global-min width)
+	globalMin bool     // legacy regime: one uniform window per epoch
+
+	deliver func(dst int, payload P) // OnDeliver hook for recPayload records
+	pools   []*dnode[P]              // per-dst free lists of delivery nodes
+
+	outbox [][][]rec[P]   // [src][dst] mailboxes, appended by src's worker
+	seq    []uint64       // per-src record counter
+	pend   []pendQueue[P] // per-dst sorted pending buffers
 
 	barriers  []Time     // ascending, distinct quiesce points
 	onBarrier func(Time) // runs with every engine quiesced at the time
-	active    []int      // reusable per-epoch dispatch list
+
+	// Reusable per-epoch scratch.
+	active []int  // dispatch list
+	nexts  []Time // per-shard next event time (incl. pending records)
+	eps    []Time // LBTS fixpoint values
+	ends   []Time // per-shard epoch bounds
+	fixed  []bool // fixpoint "settled" flags
+	base   []uint64
 
 	// Diagnostics.
 	epochs   uint64
 	messages uint64
+	stallNum uint64 // sum over epochs of (n*max(work) - sum(work))
+	stallDen uint64 // sum over epochs of n*max(work)
 }
 
-// NewCoordinator returns a coordinator over the given engines with the
-// given conservative lookahead. The lookahead must be positive: a model
-// with zero minimum cross-shard delay cannot be conservatively
+// NewCoordinator returns a coordinator over the given engines with a
+// uniform conservative lookahead and the legacy global-min epoch regime:
+// every epoch advances all shards to the same bound, the global minimum
+// next event time plus the lookahead. The lookahead must be positive: a
+// model with zero minimum cross-shard delay cannot be conservatively
 // parallelised. Engines must be fresh (at time zero, nothing fired).
-func NewCoordinator(engines []*Engine, lookahead Duration) *Coordinator {
-	if len(engines) == 0 {
-		panic("des: coordinator needs at least one engine")
-	}
+func NewCoordinator[P any](engines []*Engine, lookahead Duration) *Coordinator[P] {
 	if lookahead <= 0 {
 		panic("des: conservative lookahead must be positive")
 	}
 	n := len(engines)
-	out := make([][][]shardMsg, n)
-	for i := range out {
-		out[i] = make([][]shardMsg, n)
+	la := make([][]Time, n)
+	for i := range la {
+		la[i] = make([]Time, n)
+		for j := range la[i] {
+			if i == j {
+				la[i][j] = maxTime
+			} else {
+				la[i][j] = lookahead
+			}
+		}
 	}
-	return &Coordinator{
-		engines:   engines,
-		lookahead: lookahead,
-		outbox:    out,
-		seq:       make([]uint64, n),
+	c := newCoordinator[P](engines, la)
+	c.globalMin = true
+	return c
+}
+
+// NewCoordinatorMatrix returns a coordinator using a per-(src, dst)
+// lookahead matrix: la[s][d] is the minimum simulated delay of any message
+// from shard s to shard d (use a huge value, e.g. 1<<62-1, for pairs with
+// no cross-shard path; arithmetic saturates). Every off-diagonal entry
+// must be positive. Epoch bounds are per-shard LBTS values over the
+// matrix, so distant shard pairs stop over-synchronising each other.
+func NewCoordinatorMatrix[P any](engines []*Engine, la [][]Duration) *Coordinator[P] {
+	n := len(engines)
+	if len(la) != n {
+		panic("des: lookahead matrix must be n×n over the engines")
+	}
+	cp := make([][]Time, n)
+	for i := range la {
+		if len(la[i]) != n {
+			panic("des: lookahead matrix must be n×n over the engines")
+		}
+		cp[i] = append([]Time(nil), la[i]...)
+		cp[i][i] = maxTime // self-delay never bounds an epoch
+		for j, d := range cp[i] {
+			if i != j && d <= 0 {
+				panic("des: conservative lookahead must be positive")
+			}
+		}
+	}
+	return newCoordinator[P](engines, cp)
+}
+
+func newCoordinator[P any](engines []*Engine, la [][]Time) *Coordinator[P] {
+	if len(engines) == 0 {
+		panic("des: coordinator needs at least one engine")
+	}
+	n := len(engines)
+	out := make([][][]rec[P], n)
+	for i := range out {
+		out[i] = make([][]rec[P], n)
+	}
+	minLA := maxTime
+	for i := range la {
+		for j, d := range la[i] {
+			if i != j && d < minLA {
+				minLA = d
+			}
+		}
+	}
+	return &Coordinator[P]{
+		engines: engines,
+		la:      la,
+		minLA:   minLA,
+		outbox:  out,
+		seq:     make([]uint64, n),
+		pend:    make([]pendQueue[P], n),
+		pools:   make([]*dnode[P], n),
+		nexts:   make([]Time, n),
+		eps:     make([]Time, n),
+		ends:    make([]Time, n),
+		fixed:   make([]bool, n),
+		base:    make([]uint64, n),
 	}
 }
 
-// Lookahead returns the conservative epoch width.
-func (c *Coordinator) Lookahead() Time { return c.lookahead }
+// Lookahead returns the minimum cross-shard lookahead (the legacy global
+// epoch width; per-pair bounds are never narrower than this).
+func (c *Coordinator[P]) Lookahead() Time { return c.minLA }
+
+// GlobalMin reports whether the coordinator runs the legacy global-min
+// epoch regime rather than per-pair LBTS bounds.
+func (c *Coordinator[P]) GlobalMin() bool { return c.globalMin }
 
 // Epochs reports how many epochs have been executed.
-func (c *Coordinator) Epochs() uint64 { return c.epochs }
+func (c *Coordinator[P]) Epochs() uint64 { return c.epochs }
 
-// Messages reports how many cross-shard messages have been relayed.
-func (c *Coordinator) Messages() uint64 { return c.messages }
+// Messages reports how many cross-shard records have been released into
+// destination engines.
+func (c *Coordinator[P]) Messages() uint64 { return c.messages }
+
+// StallShare reports the measured epoch load imbalance: the fraction of
+// per-epoch worker capacity spent waiting at barriers, where each epoch's
+// capacity is n shards times the busiest shard's executed-event count.
+// 0 = perfectly balanced, →1 = one shard does all the work. It is a
+// function of event counts only, so it is deterministic and usable as an
+// auto-tuning signal even on a single core.
+func (c *Coordinator[P]) StallShare() float64 {
+	if c.stallDen == 0 {
+		return 0
+	}
+	return float64(c.stallNum) / float64(c.stallDen)
+}
+
+// OnDeliver registers the hook that consumes payload records posted with
+// PostPayload: fn runs on shard dst's engine at the record's firing time.
+// Must be set before the first PostPayload.
+func (c *Coordinator[P]) OnDeliver(fn func(dst int, payload P)) {
+	if fn == nil {
+		panic("des: nil deliver hook")
+	}
+	c.deliver = fn
+}
 
 // AtBarriers registers global quiesce points: at each listed time, after
 // every event before it has executed and before any event at it does, fn
 // runs on the coordinator goroutine with all engines stopped at exactly
 // that time. times must be ascending and distinct. Used for control-plane
 // events that mutate state spanning shards.
-func (c *Coordinator) AtBarriers(times []Time, fn func(Time)) {
+func (c *Coordinator[P]) AtBarriers(times []Time, fn func(Time)) {
 	for i := 1; i < len(times); i++ {
 		if times[i] <= times[i-1] {
 			panic("des: barrier times must be ascending and distinct")
@@ -166,77 +335,210 @@ func (c *Coordinator) AtBarriers(times []Time, fn func(Time)) {
 	c.onBarrier = fn
 }
 
-// Post sends a cross-shard event: fn will run on shard dst's engine at
-// absolute time at. It must be called from src's goroutine while src's
-// epoch is executing (or while all shards are quiesced). Posting below
-// the conservative lookahead is a model bug — it means the declared
-// minimum cross-shard delay was wrong — and panics rather than silently
-// corrupting causality.
-func (c *Coordinator) Post(src, dst int, at Time, fn func()) {
+// post validates and appends one record to the src→dst mailbox. Posting
+// below the pair's conservative lookahead is a model bug — it means the
+// declared minimum cross-shard delay was wrong — and panics rather than
+// silently corrupting causality.
+func (c *Coordinator[P]) post(src, dst int, at Time, r rec[P]) {
 	if src == dst {
-		panic("des: Post between a shard and itself; schedule locally instead")
+		panic("des: cross-shard post between a shard and itself; schedule locally instead")
 	}
 	now := c.engines[src].Now()
-	if at-now < c.lookahead {
-		panic(fmt.Sprintf("des: cross-shard post %v ahead of shard %d at %v violates lookahead %v",
-			at-now, src, now, c.lookahead))
+	if at-now < c.la[src][dst] {
+		panic(fmt.Sprintf("des: cross-shard post %v ahead of shard %d at %v violates lookahead %v (pair %d→%d)",
+			at-now, src, now, c.la[src][dst], src, dst))
 	}
 	c.seq[src]++
-	c.outbox[src][dst] = append(c.outbox[src][dst],
-		shardMsg{at: at, lamport: now, src: src, seq: c.seq[src], fn: fn})
+	r.at = at
+	r.lamport = now
+	r.seq = c.seq[src]
+	r.src = int32(src)
+	c.outbox[src][dst] = append(c.outbox[src][dst], r)
 }
 
-// drain merges every mailbox into its destination engine in (at, lamport,
-// src, seq) order. Called only while all shards are quiesced.
-func (c *Coordinator) drain() {
-	for dst, eng := range c.engines {
-		buf := c.merge[:0]
+// Post sends a cross-shard event: fn will run on shard dst's engine at
+// absolute time at. It must be called from src's goroutine while src's
+// epoch is executing (or while all shards are quiesced). The closure is a
+// per-call heap allocation — hot paths should use PostPayload instead.
+func (c *Coordinator[P]) Post(src, dst int, at Time, fn func()) {
+	if fn == nil {
+		panic("des: posting nil func")
+	}
+	c.post(src, dst, at, rec[P]{kind: recClosure, fn: fn})
+}
+
+// PostPayload sends a cross-shard payload: the OnDeliver hook will run on
+// shard dst's engine at absolute time at with the payload. The record is
+// flat — no closure, no boxing — so the steady-state boundary handoff
+// allocates nothing. Ordering is identical to Post (one shared per-src
+// counter covers both kinds).
+func (c *Coordinator[P]) PostPayload(src, dst int, at Time, payload P) {
+	if c.deliver == nil {
+		panic("des: PostPayload without an OnDeliver hook")
+	}
+	c.post(src, dst, at, rec[P]{kind: recPayload, payload: payload})
+}
+
+// drain moves every mailbox into its destination's sorted pending buffer.
+// Called only while all shards are quiesced. Mailboxes are recycled in
+// place (truncated, slots zeroed so captured closures/payloads are not
+// pinned by high-water-mark slots).
+func (c *Coordinator[P]) drain() {
+	var zero rec[P]
+	for dst := range c.engines {
+		pq := &c.pend[dst]
+		grew := false
 		for src := range c.engines {
-			if q := c.outbox[src][dst]; len(q) > 0 {
-				buf = append(buf, q...)
-				// Release the closures (and their captured packets) from
-				// the truncated mailbox's backing array — without this the
-				// high-water-mark slots pin them for the coordinator's
-				// lifetime.
-				for i := range q {
-					q[i].fn = nil
-				}
-				c.outbox[src][dst] = q[:0]
+			q := c.outbox[src][dst]
+			if len(q) == 0 {
+				continue
 			}
+			pq.q = append(pq.q, q...)
+			for i := range q {
+				q[i] = zero
+			}
+			c.outbox[src][dst] = q[:0]
+			grew = true
 		}
-		if len(buf) == 0 {
+		if grew {
+			sort.Sort(pq)
+		}
+	}
+}
+
+// release schedules dst's pending records firing strictly before bound
+// into its engine, in merge order. prio = lamport: the record fires among
+// the destination's same-timestamp events exactly where an event scheduled
+// at the sender's send time would have — the engine orders by (at, prio,
+// seq), and releasing a sorted prefix fixes seq order within equal
+// (at, prio). Only records inside the epoch window are released, so the
+// engine-seq tie-break reproduces the (at, lamport, src, seq) total order
+// under any epoch regime.
+func (c *Coordinator[P]) release(dst int, bound Time) {
+	pq := &c.pend[dst]
+	n := 0
+	for n < len(pq.q) && pq.q[n].at < bound {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	eng := c.engines[dst]
+	for i := 0; i < n; i++ {
+		r := &pq.q[i]
+		if r.kind == recClosure {
+			eng.SchedulePrio(r.at, r.lamport, r.fn)
 			continue
 		}
-		sort.Slice(buf, func(i, j int) bool { return msgLess(buf[i], buf[j]) })
-		for i := range buf {
-			// prio = lamport: the message fires among the destination's
-			// same-timestamp events exactly where an event scheduled at
-			// the sender's send time would have — the engine orders by
-			// (at, prio, seq), and the sorted insertion fixes seq order
-			// within equal (at, prio).
-			eng.SchedulePrio(buf[i].at, buf[i].lamport, buf[i].fn)
-			buf[i].fn = nil
+		nd := c.pools[dst]
+		if nd == nil {
+			nd = c.newNode(dst)
+		} else {
+			c.pools[dst] = nd.next
 		}
-		c.messages += uint64(len(buf))
-		c.merge = buf[:0]
+		nd.payload = r.payload
+		eng.SchedulePrio(r.at, r.lamport, nd.fire)
 	}
+	c.messages += uint64(n)
+	m := copy(pq.q, pq.q[n:])
+	var zero rec[P]
+	for i := m; i < len(pq.q); i++ {
+		pq.q[i] = zero
+	}
+	pq.q = pq.q[:m]
+}
+
+// newNode builds a delivery node with its fire callback bound once. fire
+// recycles the node before invoking the hook, so the node is reusable
+// within the same epoch and re-entrant posting is safe (posting touches
+// mailboxes, never pools).
+func (c *Coordinator[P]) newNode(dst int) *dnode[P] {
+	nd := &dnode[P]{}
+	nd.fire = func() {
+		p := nd.payload
+		var zero P
+		nd.payload = zero
+		nd.next = c.pools[dst]
+		c.pools[dst] = nd
+		c.deliver(dst, p)
+	}
+	return nd
+}
+
+// nextFor reports shard i's earliest future work: its engine's next event
+// or its earliest pending cross-shard record, whichever is sooner. The
+// pending head MUST count — an engine-only minimum would let Run terminate
+// (or the fixpoint settle) with undelivered records still buffered.
+func (c *Coordinator[P]) nextFor(i int) (Time, bool) {
+	at, ok := c.engines[i].NextAt()
+	if pq := &c.pend[i]; len(pq.q) > 0 && (!ok || pq.q[0].at < at) {
+		return pq.q[0].at, true
+	}
+	return at, ok
 }
 
 // satAdd returns a+b, saturating instead of overflowing — the lookahead is
-// "infinite" when a partition has no cross-shard pairs at all.
+// "infinite" when a shard pair has no cross-shard path at all.
 func satAdd(a, b Time) Time {
-	const maxTime = Time(1)<<62 - 1
 	if b > maxTime-a {
 		return maxTime
 	}
 	return a + b
 }
 
+// pairBounds fills c.ends with per-shard LBTS epoch bounds from c.nexts
+// (maxTime for idle shards) via Dijkstra-style relaxation of
+// E_j = min(next_j, min_k(E_k + la[k][j])): settle the smallest
+// unsettled E, relax its outgoing edges, repeat. All entries positive ⇒
+// settled values only grow ⇒ the greedy order is exact. The bound for
+// shard i then takes only *incoming* pairs: bound_i = min_{j≠i}(E_j +
+// la[j][i]). The argmin shard's bound strictly exceeds its next event, so
+// every round makes progress.
+func (c *Coordinator[P]) pairBounds() {
+	n := len(c.engines)
+	copy(c.eps, c.nexts)
+	for i := range c.fixed {
+		c.fixed[i] = false
+	}
+	for range c.engines {
+		u, best := -1, maxTime
+		for i := 0; i < n; i++ {
+			if !c.fixed[i] && c.eps[i] < best {
+				u, best = i, c.eps[i]
+			}
+		}
+		if u < 0 {
+			break
+		}
+		c.fixed[u] = true
+		for v := 0; v < n; v++ {
+			if v == u || c.fixed[v] {
+				continue
+			}
+			if d := satAdd(best, c.la[u][v]); d < c.eps[v] {
+				c.eps[v] = d
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		b := maxTime
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if d := satAdd(c.eps[j], c.la[j][i]); d < b {
+				b = d
+			}
+		}
+		c.ends[i] = b
+	}
+}
+
 // Run executes every event with firing time at or before deadline across
 // all shards, honouring the registered barriers, then leaves every
 // engine's clock at exactly deadline (the RunUntil contract). Events
 // beyond the deadline stay queued, as with RunUntil.
-func (c *Coordinator) Run(deadline Time) {
+func (c *Coordinator[P]) Run(deadline Time) {
 	n := len(c.engines)
 	work := make([]chan Time, n)
 	done := make(chan int, n)
@@ -258,11 +560,17 @@ func (c *Coordinator) Run(deadline Time) {
 	bi := 0
 	for {
 		c.drain()
-		// Global minimum next event time. Engines are quiesced here, so no
-		// event can appear before it.
+		// Global minimum over engine queues AND pending buffers. Engines
+		// are quiesced here, so no event can appear before it.
 		next, any := Time(0), false
-		for _, e := range c.engines {
-			if at, ok := e.NextAt(); ok && (!any || at < next) {
+		for i := range c.engines {
+			at, ok := c.nextFor(i)
+			if !ok {
+				c.nexts[i] = maxTime
+				continue
+			}
+			c.nexts[i] = at
+			if !any || at < next {
 				next, any = at, true
 			}
 		}
@@ -290,25 +598,34 @@ func (c *Coordinator) Run(deadline Time) {
 			bi++
 			continue
 		}
-		end := satAdd(next, c.lookahead)
-		if haveBarrier && nextBarrier < end {
-			end = nextBarrier
+		if c.globalMin {
+			end := satAdd(next, c.minLA)
+			for i := range c.ends {
+				c.ends[i] = end
+			}
+		} else {
+			c.pairBounds()
 		}
-		if deadline < end-1 {
-			end = deadline + 1
+		for i := range c.ends {
+			if haveBarrier && nextBarrier < c.ends[i] {
+				c.ends[i] = nextBarrier
+			}
+			if deadline < c.ends[i]-1 {
+				c.ends[i] = deadline + 1
+			}
 		}
-		c.runEpoch(end, work, done)
+		c.runEpoch(work, done)
 	}
 	for _, e := range c.engines {
-		// The final epoch may have parked clocks at deadline+1; settle on
-		// the RunUntil contract.
+		// The final epoch may have parked clocks beyond the deadline;
+		// settle on the RunUntil contract.
 		e.now = deadline
 	}
 }
 
 // quiesce parks every engine's clock at exactly t. Callable only when no
 // engine has an event before t.
-func (c *Coordinator) quiesce(t Time) {
+func (c *Coordinator[P]) quiesce(t Time) {
 	for _, e := range c.engines {
 		if e.now < t {
 			e.now = t
@@ -316,30 +633,47 @@ func (c *Coordinator) quiesce(t Time) {
 	}
 }
 
-// runEpoch advances every shard to end, executing events before it. Shards
-// with no events in the window are parked directly; a lone active shard
-// runs inline to skip the handoff.
-func (c *Coordinator) runEpoch(end Time, work []chan Time, done chan int) {
+// runEpoch releases each shard's in-window pending records and advances it
+// to its bound, executing events before it. Shards with nothing in their
+// window are parked directly; a lone active shard runs inline to skip the
+// handoff. Epoch work counts feed the stall-share (load imbalance) meter.
+func (c *Coordinator[P]) runEpoch(work []chan Time, done chan int) {
 	c.epochs++
 	active := c.active[:0]
 	for i, e := range c.engines {
-		if at, ok := e.NextAt(); ok && at < end {
+		c.release(i, c.ends[i])
+		c.base[i] = e.executed
+		if at, ok := e.NextAt(); ok && at < c.ends[i] {
 			active = append(active, i)
 			continue
 		}
-		if e.now < end {
-			e.now = end
+		if e.now < c.ends[i] {
+			e.now = c.ends[i]
 		}
 	}
 	c.active = active
 	if len(active) == 1 {
-		c.engines[active[0]].RunBefore(end)
-		return
+		i := active[0]
+		c.engines[i].RunBefore(c.ends[i])
+	} else {
+		for _, i := range active {
+			work[i] <- c.ends[i]
+		}
+		for range active {
+			<-done
+		}
 	}
-	for _, i := range active {
-		work[i] <- end
+	var wmax, wsum uint64
+	for i, e := range c.engines {
+		w := e.executed - c.base[i]
+		wsum += w
+		if w > wmax {
+			wmax = w
+		}
 	}
-	for range active {
-		<-done
+	if wmax > 0 {
+		nn := uint64(len(c.engines))
+		c.stallNum += nn*wmax - wsum
+		c.stallDen += nn * wmax
 	}
 }

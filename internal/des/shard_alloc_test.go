@@ -1,0 +1,41 @@
+package des
+
+import "testing"
+
+// TestBoundaryPostZeroAlloc pins the pooled fast path: in steady state a
+// cross-shard PostPayload→drain→release→fire cycle must not allocate at
+// all — records recycle through per-(src,dst) mailboxes, sorted pending
+// buffers reuse their arrays, and delivery nodes come from per-dst free
+// lists. A regression here is the old closure-per-packet path sneaking
+// back in.
+func TestBoundaryPostZeroAlloc(t *testing.T) {
+	engines := []*Engine{New(), New()}
+	c := NewCoordinatorMatrix[int](engines, [][]Duration{{0, 5}, {5, 0}})
+	sum := 0
+	c.OnDeliver(func(dst, p int) { sum += p })
+
+	const k = 16 // boundary packets per side per step
+	step := func() {
+		for i := 0; i < k; i++ {
+			c.PostPayload(0, 1, engines[0].Now()+5+Time(i), i)
+			c.PostPayload(1, 0, engines[1].Now()+5+Time(i), i)
+		}
+		c.drain()
+		b0, b1 := engines[0].Now()+5+k, engines[1].Now()+5+k
+		c.release(0, b0)
+		c.release(1, b1)
+		engines[0].RunBefore(b0)
+		engines[1].RunBefore(b1)
+	}
+	// Warm up: grow mailbox/pending capacity, event pools, and delivery
+	// node free lists to their steady-state high-water marks.
+	for i := 0; i < 8; i++ {
+		step()
+	}
+	if avg := testing.AllocsPerRun(50, step); avg != 0 {
+		t.Fatalf("boundary handoff allocates %.1f times per %d-packet step, want 0", avg, 2*k)
+	}
+	if sum == 0 {
+		t.Fatal("deliver hook never ran — the measurement exercised nothing")
+	}
+}

@@ -18,7 +18,7 @@ func TestCoordinatorMergesDeterministically(t *testing.T) {
 		for i := range engines {
 			engines[i] = New()
 		}
-		c := NewCoordinator(engines, Millisecond)
+		c := NewCoordinator[struct{}](engines, Millisecond)
 		// Every shard runs a ticker that posts round-robin to the next
 		// shard; arrivals log on the destination's own slice.
 		for src := 0; src < shards; src++ {
@@ -64,7 +64,7 @@ func TestCoordinatorMergesDeterministically(t *testing.T) {
 func TestCoordinatorCrossShardOrder(t *testing.T) {
 	var log []string
 	engines := []*Engine{New(), New(), New()}
-	c := NewCoordinator(engines, Millisecond)
+	c := NewCoordinator[struct{}](engines, Millisecond)
 	// Shards 1 and 2 each post to shard 0, arriving at the same time.
 	// Shard 1's send happens at a later lamport time, so shard 2's message
 	// must run first despite the higher shard index posting... lamport
@@ -90,7 +90,7 @@ func TestCoordinatorCrossShardOrder(t *testing.T) {
 func TestCoordinatorBarrierBeatsSameTimeEvents(t *testing.T) {
 	var log []string
 	engines := []*Engine{New(), New()}
-	c := NewCoordinator(engines, Millisecond)
+	c := NewCoordinator[struct{}](engines, Millisecond)
 	engines[0].Schedule(5*Millisecond, func() { log = append(log, "event@5") })
 	c.AtBarriers([]Time{5 * Millisecond, 15 * Millisecond}, func(at Time) {
 		for i, e := range engines {
@@ -112,7 +112,7 @@ func TestCoordinatorBarrierBeatsSameTimeEvents(t *testing.T) {
 func TestCoordinatorBarriersBeyondDeadlineDropped(t *testing.T) {
 	fired := 0
 	engines := []*Engine{New()}
-	c := NewCoordinator(engines, Millisecond)
+	c := NewCoordinator[struct{}](engines, Millisecond)
 	c.AtBarriers([]Time{5 * Millisecond, 15 * Millisecond}, func(Time) { fired++ })
 	c.Run(10 * Millisecond)
 	if fired != 1 {
@@ -126,7 +126,7 @@ func TestCoordinatorBarriersBeyondDeadlineDropped(t *testing.T) {
 // TestCoordinatorLookaheadViolationPanics pins the causality guard.
 func TestCoordinatorLookaheadViolationPanics(t *testing.T) {
 	engines := []*Engine{New(), New()}
-	c := NewCoordinator(engines, Millisecond)
+	c := NewCoordinator[struct{}](engines, Millisecond)
 	engines[0].Schedule(0, func() {
 		defer func() {
 			if recover() == nil {
@@ -158,7 +158,7 @@ func TestCoordinatorMatchesSequentialEngine(t *testing.T) {
 
 	shard := New()
 	shardCount := load(shard)
-	c := NewCoordinator([]*Engine{shard, New()}, 2*Millisecond)
+	c := NewCoordinator[struct{}]([]*Engine{shard, New()}, 2*Millisecond)
 	c.Run(50 * Millisecond)
 
 	if *seqCount != *shardCount {

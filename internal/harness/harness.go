@@ -56,6 +56,12 @@ type Options struct {
 	// bottleneck — sweeps with many cells usually saturate the cores
 	// already, and shard workers then compete with pool workers.
 	Shards int
+	// AutoShards picks the shard count by measurement instead: before a
+	// scenario sweep runs, core.AutoTuneShards probes candidate counts on
+	// the heaviest cell and the count with the lowest barrier-stall share
+	// overrides Shards (wdcsim -shards auto). Ignored by the figure
+	// drivers, which run at paper scale where sharding never pays.
+	AutoShards bool
 	// Strategy, when non-empty, forces every regulated combo of a
 	// scenario sweep onto the named overlay strategy (wdcsim -strategy),
 	// overriding per-combo tree/strategy selections. Combos that become

@@ -51,6 +51,14 @@ type ScenarioCurve struct {
 	// CutLost is the per-load count of packets dropped at partition cuts
 	// (disjoint from Lost, which counts teardown backlog).
 	CutLost []uint64
+	// Sharded-execution diagnostics per load, nil when every cell ran on
+	// the sequential engine: shard count, barrier epochs, cross-shard
+	// messages, and the barrier-stall share (fraction of shard-step
+	// capacity idled at epoch barriers).
+	Shards         []int
+	Epochs         []uint64
+	CrossShardMsgs []uint64
+	StallShare     []float64
 }
 
 // ScenarioResult is a full scenario sweep: one curve per combo.
@@ -69,6 +77,9 @@ type ScenarioResult struct {
 	// FaultLost is teardown backlog plus cut drops attributed to fault
 	// events; CutLost is the partition-cut share alone.
 	FaultLost, CutLost uint64
+	// Shards is the largest shard count any cell actually ran with (0
+	// when every cell ran on the sequential engine).
+	Shards int
 }
 
 // ScenarioSweep runs a scenario over its load grid with one engine per
@@ -178,6 +189,10 @@ func ScenarioSweep(sc scenario.Scenario, opts Options) (ScenarioResult, error) {
 		faults     []core.FaultOutcome
 		faultLost  uint64
 		cutLost    uint64
+		shards     int
+		epochs     uint64
+		crossMsgs  uint64
+		stall      float64
 	}
 	cells := make([]cell, len(loads)*len(combos))
 
@@ -211,6 +226,13 @@ func ScenarioSweep(sc scenario.Scenario, opts Options) (ScenarioResult, error) {
 				return ScenarioResult{}, err
 			}
 		}
+		if opts.AutoShards && len(cfgs) > 0 {
+			// Tune on the heaviest cell (last load, last combo): stall share
+			// is a load-balance property, and the heaviest cell is where an
+			// imbalanced partition hurts most.
+			best, _ := core.AutoTuneShards(cfgs[len(cfgs)-1], nil, 0)
+			opts.Shards = best
+		}
 		if opts.Shards > 1 {
 			for i := range cfgs {
 				cfgs[i].Shards = opts.Shards
@@ -224,7 +246,9 @@ func ScenarioSweep(sc scenario.Scenario, opts Options) (ScenarioResult, error) {
 				joins: r.Joins, leaves: r.Leaves, regrafts: r.Regrafts,
 				reopts: r.Reopts, reoptMoves: r.ReoptMoves,
 				windows: r.WindowMax, windowSec: r.WindowSec,
-				faults: r.Faults, faultLost: r.FaultLost, cutLost: r.CutLost}
+				faults: r.Faults, faultLost: r.FaultLost, cutLost: r.CutLost,
+				shards: r.Shards, epochs: r.Epochs, crossMsgs: r.CrossShardMsgs,
+				stall: r.StallShare}
 		})
 	}
 
@@ -244,6 +268,21 @@ func ScenarioSweep(sc scenario.Scenario, opts Options) (ScenarioResult, error) {
 			}
 			res.Curves[ci].Reopts += c.reopts
 			res.Curves[ci].ReoptMoves += c.reoptMoves
+			if c.shards > 1 {
+				if res.Curves[ci].Shards == nil {
+					res.Curves[ci].Shards = make([]int, len(loads))
+					res.Curves[ci].Epochs = make([]uint64, len(loads))
+					res.Curves[ci].CrossShardMsgs = make([]uint64, len(loads))
+					res.Curves[ci].StallShare = make([]float64, len(loads))
+				}
+				res.Curves[ci].Shards[li] = c.shards
+				res.Curves[ci].Epochs[li] = c.epochs
+				res.Curves[ci].CrossShardMsgs[li] = c.crossMsgs
+				res.Curves[ci].StallShare[li] = c.stall
+				if c.shards > res.Shards {
+					res.Shards = c.shards
+				}
+			}
 			if c.faults != nil {
 				if res.Curves[ci].Faults == nil {
 					res.Curves[ci].Faults = make([][]core.FaultOutcome, len(loads))
@@ -499,6 +538,7 @@ type scenarioJSON struct {
 	Moves     int                `json:"reopt_moves,omitempty"`
 	FaultLost uint64             `json:"fault_lost,omitempty"`
 	CutLost   uint64             `json:"cut_lost,omitempty"`
+	Shards    int                `json:"shards,omitempty"`
 	Curves    []scenarioCurveRec `json:"curves"`
 }
 
@@ -519,6 +559,11 @@ type scenarioCurveRec struct {
 	// JSON shape); CutLost is the per-load partition-drop tally.
 	Faults  [][]core.FaultOutcome `json:"faults,omitempty"`
 	CutLost []uint64              `json:"cut_lost,omitempty"`
+	// Sharded-execution diagnostics per load (absent for sequential runs).
+	Shards         []int     `json:"shards,omitempty"`
+	Epochs         []uint64  `json:"epochs,omitempty"`
+	CrossShardMsgs []uint64  `json:"cross_shard_msgs,omitempty"`
+	StallShare     []float64 `json:"stall_share,omitempty"`
 }
 
 // JSON renders the sweep as an indented machine-readable record: per-combo
@@ -542,21 +587,26 @@ func (r ScenarioResult) JSON() ([]byte, error) {
 		Moves:     r.ReoptMoves,
 		FaultLost: r.FaultLost,
 		CutLost:   r.CutLost,
+		Shards:    r.Shards,
 	}
 	for _, c := range r.Curves {
 		rec.Curves = append(rec.Curves, scenarioCurveRec{
-			Combo:      c.Combo.String(),
-			Strategy:   strategyName(r.Scenario, c.Combo),
-			WDB:        c.WDB.Y,
-			MeanDelay:  c.MeanDelay.Y,
-			Layers:     c.Layers,
-			Bound:      c.Bound,
-			Violations: c.Violations,
-			Lost:       c.Lost,
-			WindowSec:  c.WindowSec,
-			WindowMax:  c.WindowMax,
-			Faults:     c.Faults,
-			CutLost:    c.CutLost,
+			Combo:          c.Combo.String(),
+			Strategy:       strategyName(r.Scenario, c.Combo),
+			WDB:            c.WDB.Y,
+			MeanDelay:      c.MeanDelay.Y,
+			Layers:         c.Layers,
+			Bound:          c.Bound,
+			Violations:     c.Violations,
+			Lost:           c.Lost,
+			WindowSec:      c.WindowSec,
+			WindowMax:      c.WindowMax,
+			Faults:         c.Faults,
+			CutLost:        c.CutLost,
+			Shards:         c.Shards,
+			Epochs:         c.Epochs,
+			CrossShardMsgs: c.CrossShardMsgs,
+			StallShare:     c.StallShare,
 		})
 	}
 	return json.MarshalIndent(rec, "", "  ")

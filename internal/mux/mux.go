@@ -57,23 +57,35 @@ type entry struct {
 }
 
 // Mux is a work-conserving server at rate C over K per-flow queues.
+//
+// Queues materialise lazily, per flow that actually arrives: slotFlow
+// holds the (ascending) flow ids with live queues, queues/heads the
+// matching per-flow FIFOs. A host's MUX sees traffic from the few groups
+// routed through its connection, not all K, and a 100k-host session
+// builds ~100k MUXes — K-wide dense arrays per MUX (the old layout) cost
+// ~16 KB each at K=512, a 1.6 GB wall before the first packet moves.
+// Every discipline scans the slots in flow order, which is exactly the
+// dense iteration with the empty flows skipped, so service order is
+// unchanged.
 type Mux struct {
 	eng        *des.Engine
 	c          float64 // bits/second
 	discipline Discipline
 	out        func(traffic.Packet)
 
-	queues  [][]entry // per-flow FIFO queues
-	heads   []int
-	bits    float64
-	busy    bool
-	seq     uint64
-	rrNext  int
-	cur     entry            // entry in transmission (valid while busy)
-	done    func()           // stored transmit-completion callback
-	Delay   stats.Welford    // queueing+transmission delay per packet
-	MaxWait stats.MaxTracker // worst per-packet delay, tagged by packet ID
-	Served  stats.Counter    // served packets/bits
+	k        int       // declared input flow count (validation only)
+	slotFlow []int32   // ascending flow ids with materialised queues
+	queues   [][]entry // per-slot FIFO queues, parallel to slotFlow
+	heads    []int
+	bits     float64
+	busy     bool
+	seq      uint64
+	rrNext   int              // next FLOW id (not slot) in round-robin order
+	cur      entry            // entry in transmission (valid while busy)
+	done     func()           // stored transmit-completion callback
+	Delay    stats.Welford    // queueing+transmission delay per packet
+	MaxWait  stats.MaxTracker // worst per-packet delay, tagged by packet ID
+	Served   stats.Counter    // served packets/bits
 }
 
 // New returns a MUX with k input flows at capacity c bits/second.
@@ -92,8 +104,7 @@ func New(eng *des.Engine, k int, c float64, d Discipline, out func(traffic.Packe
 		c:          c,
 		discipline: d,
 		out:        out,
-		queues:     make([][]entry, k),
-		heads:      make([]int, k),
+		k:          k,
 	}
 	m.done = func() {
 		e := m.cur
@@ -111,25 +122,79 @@ func New(eng *des.Engine, k int, c float64, d Discipline, out func(traffic.Packe
 // Capacity returns the service rate in bits/second.
 func (m *Mux) Capacity() float64 { return m.c }
 
-// NumFlows returns the number of input queues.
-func (m *Mux) NumFlows() int { return len(m.queues) }
+// NumFlows returns the declared number of input flows.
+func (m *Mux) NumFlows() int { return m.k }
 
 // Backlog returns the bits queued across all flows (excluding the packet
 // in transmission).
 func (m *Mux) Backlog() float64 { return m.bits }
 
 // QueueLen returns the packets queued for flow i.
-func (m *Mux) QueueLen(i int) int { return len(m.queues[i]) - m.heads[i] }
+func (m *Mux) QueueLen(i int) int {
+	if s := m.findSlot(i); s >= 0 {
+		return m.qlen(s)
+	}
+	return 0
+}
+
+// qlen returns the packets queued in slot s.
+func (m *Mux) qlen(s int) int { return len(m.queues[s]) - m.heads[s] }
+
+// findSlot returns flow f's slot index, or -1 when no queue has
+// materialised for it.
+func (m *Mux) findSlot(f int) int {
+	lo, hi := 0, len(m.slotFlow)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(m.slotFlow[mid]) < f {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(m.slotFlow) && int(m.slotFlow[lo]) == f {
+		return lo
+	}
+	return -1
+}
+
+// slot returns flow f's slot index, materialising the queue (at its
+// sorted position) on first arrival.
+func (m *Mux) slot(f int) int {
+	lo, hi := 0, len(m.slotFlow)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(m.slotFlow[mid]) < f {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(m.slotFlow) && int(m.slotFlow[lo]) == f {
+		return lo
+	}
+	m.slotFlow = append(m.slotFlow, 0)
+	m.queues = append(m.queues, nil)
+	m.heads = append(m.heads, 0)
+	copy(m.slotFlow[lo+1:], m.slotFlow[lo:])
+	copy(m.queues[lo+1:], m.queues[lo:])
+	copy(m.heads[lo+1:], m.heads[lo:])
+	m.slotFlow[lo] = int32(f)
+	m.queues[lo] = nil
+	m.heads[lo] = 0
+	return lo
+}
 
 // Enqueue implements the input side: the packet joins its flow's queue
 // (p.Flow indexes the queue) and service starts if the server is idle.
 // It panics on an out-of-range flow index, which always indicates a
 // wiring bug in the host model.
 func (m *Mux) Enqueue(p traffic.Packet) {
-	if p.Flow < 0 || p.Flow >= len(m.queues) {
+	if p.Flow < 0 || p.Flow >= m.k {
 		panic("mux: packet flow index out of range")
 	}
-	m.queues[p.Flow] = append(m.queues[p.Flow], entry{p: p, arrived: m.eng.Now(), seq: m.seq})
+	s := m.slot(p.Flow)
+	m.queues[s] = append(m.queues[s], entry{p: p, arrived: m.eng.Now(), seq: m.seq})
 	m.seq++
 	m.bits += p.Size
 	if !m.busy {
@@ -137,15 +202,17 @@ func (m *Mux) Enqueue(p traffic.Packet) {
 	}
 }
 
-// pick selects the next flow to serve per the discipline, or -1 when idle.
-// For LIFO it returns the flow whose most recent arrival is newest; serve
-// pops that flow's tail instead of its head.
+// pick selects the next SLOT to serve per the discipline, or -1 when
+// idle. For LIFO it returns the slot whose most recent arrival is newest;
+// serve pops that slot's tail instead of its head. Slots are sorted by
+// flow id, so each scan visits exactly the non-empty flows in the order
+// the dense loop visited all K.
 func (m *Mux) pick() int {
 	switch m.discipline {
 	case LIFO:
 		best, bestSeq := -1, uint64(0)
 		for i := range m.queues {
-			if m.QueueLen(i) == 0 {
+			if m.qlen(i) == 0 {
 				continue
 			}
 			e := m.queues[i][len(m.queues[i])-1]
@@ -156,23 +223,30 @@ func (m *Mux) pick() int {
 		return best
 	case Priority:
 		for i := range m.queues {
-			if m.QueueLen(i) > 0 {
+			if m.qlen(i) > 0 {
 				return i
 			}
 		}
 	case RoundRobin:
-		k := len(m.queues)
-		for off := 0; off < k; off++ {
-			i := (m.rrNext + off) % k
-			if m.QueueLen(i) > 0 {
-				m.rrNext = (i + 1) % k
+		// rrNext is a flow id: resume at the first materialised flow at or
+		// after it, wrapping — flows with no slot are empty and the dense
+		// scan would have skipped them anyway.
+		ns := len(m.slotFlow)
+		start := 0
+		for start < ns && int(m.slotFlow[start]) < m.rrNext {
+			start++
+		}
+		for off := 0; off < ns; off++ {
+			i := (start + off) % ns
+			if m.qlen(i) > 0 {
+				m.rrNext = (int(m.slotFlow[i]) + 1) % m.k
 				return i
 			}
 		}
 	default: // FIFO: globally earliest arrival (seq breaks ties)
 		best, bestSeq := -1, uint64(0)
 		for i := range m.queues {
-			if m.QueueLen(i) == 0 {
+			if m.qlen(i) == 0 {
 				continue
 			}
 			e := m.queues[i][m.heads[i]]
@@ -208,6 +282,13 @@ func (m *Mux) serve() {
 }
 
 func (m *Mux) compact(i int) {
+	if m.heads[i] == len(m.queues[i]) {
+		// Empty: rewind for free, so a mostly-drained queue never creeps
+		// toward the threshold below (and its ~64-entry capacity).
+		m.queues[i] = m.queues[i][:0]
+		m.heads[i] = 0
+		return
+	}
 	if m.heads[i] > 64 && m.heads[i]*2 >= len(m.queues[i]) {
 		n := copy(m.queues[i], m.queues[i][m.heads[i]:])
 		m.queues[i] = m.queues[i][:n]

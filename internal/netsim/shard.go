@@ -89,6 +89,97 @@ func NumShards(owner []int) int {
 // smallest access delay — O(routers²), not O(hosts²). It returns ok=false
 // when no cross-shard pair exists (a single populated shard), in which
 // case the caller may treat the lookahead as unbounded.
+// LookaheadMatrix returns the per-(src, dst) shard-pair conservative
+// lookahead under the given owner assignment: la[s][t] is the exact
+// minimum host-to-host propagation latency from any host in shard s to
+// any host in shard t (access + backbone shortest path + access, the
+// PipeTransit delivery delay). Entries with no cross-shard path — and the
+// diagonal — hold an effectively infinite sentinel (1<<62-1), which the
+// coordinator's saturating arithmetic treats as "never constrains".
+// Distant shard pairs get entries far above the global minimum, which is
+// exactly the slack per-pair epoch bounds exploit. Computed over populated
+// router pairs using each router's per-shard minimum access delay, so it
+// is O(routers²) for router-granular partitions (every router hosts one
+// shard), not O(hosts²). ok=false when no finite cross-shard entry exists
+// (a single populated shard). min over the matrix equals Lookahead.
+func LookaheadMatrix(net *topo.Network, owner []int) (la [][]des.Duration, ok bool) {
+	const none = des.Time(1)<<62 - 1
+	nsh := NumShards(owner)
+	la = make([][]des.Duration, nsh)
+	for i := range la {
+		la[i] = make([]des.Duration, nsh)
+		for j := range la[i] {
+			la[i][j] = none
+		}
+	}
+	nr := net.Backbone.NumNodes()
+	shards := make([][]int, nr)       // shard ids present at each router
+	acc := make([][]des.Duration, nr) // parallel per-shard min access delay
+	for h := range net.Hosts {
+		r := net.Hosts[h].Router
+		s := owner[h]
+		d := net.Hosts[h].AccessDelay
+		found := false
+		for i, sh := range shards[r] {
+			if sh == s {
+				if d < acc[r][i] {
+					acc[r][i] = d
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			shards[r] = append(shards[r], s)
+			acc[r] = append(acc[r], d)
+		}
+	}
+	upd := func(s, t int, d des.Duration) {
+		if d < la[s][t] {
+			la[s][t] = d
+		}
+	}
+	for a := 0; a < nr; a++ {
+		if len(shards[a]) == 0 {
+			continue
+		}
+		// A router whose domain spans shards (not produced by
+		// PartitionHosts, but legal input): two access delays, no backbone
+		// hop, in both directions.
+		for i, s := range shards[a] {
+			for j, t := range shards[a] {
+				if i != j {
+					upd(s, t, acc[a][i]+acc[a][j])
+				}
+			}
+		}
+		for b := 0; b < nr; b++ {
+			if b == a || len(shards[b]) == 0 {
+				continue
+			}
+			core := net.Routes.Delay[a][b]
+			if core < 0 {
+				continue // unreachable pair cannot exchange packets
+			}
+			for i, s := range shards[a] {
+				for j, t := range shards[b] {
+					if s != t {
+						upd(s, t, acc[a][i]+core+acc[b][j])
+					}
+				}
+			}
+		}
+	}
+	for i := range la {
+		for j := range la[i] {
+			if i != j && la[i][j] != none {
+				ok = true
+			}
+		}
+	}
+	return la, ok
+}
+
 func Lookahead(net *topo.Network, owner []int) (la des.Duration, ok bool) {
 	const none = des.Time(1)<<62 - 1
 	nr := net.Backbone.NumNodes()

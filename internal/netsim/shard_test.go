@@ -183,3 +183,120 @@ func TestShardedFabricRejectsQueuedTransit(t *testing.T) {
 		Remote: func(int, des.Time, traffic.Packet) {},
 	})
 }
+
+// TestLookaheadMatrixIsExactPairwiseMinimum checks every matrix entry
+// against the O(hosts²) brute force: la[i][j] must equal the minimum
+// latency over host pairs (a in shard i, b in shard j).
+func TestLookaheadMatrixIsExactPairwiseMinimum(t *testing.T) {
+	net := shardTestNetwork(t, 150)
+	owner := PartitionHosts(net, 4)
+	nsh := NumShards(owner)
+	la, ok := LookaheadMatrix(net, owner)
+	if !ok {
+		t.Fatal("expected a cross-shard pair")
+	}
+	if len(la) != nsh {
+		t.Fatalf("matrix has %d rows, want %d", len(la), nsh)
+	}
+	none := des.Time(1)<<62 - 1
+	for i := 0; i < nsh; i++ {
+		for j := 0; j < nsh; j++ {
+			want := none
+			if i != j {
+				for a := range net.Hosts {
+					if owner[a] != i {
+						continue
+					}
+					for b := range net.Hosts {
+						if owner[b] != j {
+							continue
+						}
+						if d := net.Latency(a, b); d < want {
+							want = d
+						}
+					}
+				}
+			}
+			if la[i][j] != want {
+				t.Fatalf("la[%d][%d] = %v, brute force = %v", i, j, la[i][j], want)
+			}
+			if i != j && la[i][j] <= 0 {
+				t.Fatalf("la[%d][%d] = %v, must be positive", i, j, la[i][j])
+			}
+		}
+	}
+}
+
+// TestLookaheadMatrixMinEqualsScalar pins the compatibility contract: the
+// minimum off-diagonal matrix entry is exactly the scalar Lookahead, so a
+// coordinator driven by the matrix is never less safe than the global-min
+// coordinator it replaces.
+func TestLookaheadMatrixMinEqualsScalar(t *testing.T) {
+	net := shardTestNetwork(t, 200)
+	for _, n := range []int{2, 3, 4, 8} {
+		owner := PartitionHosts(net, n)
+		scalar, okS := Lookahead(net, owner)
+		la, okM := LookaheadMatrix(net, owner)
+		if okS != okM {
+			t.Fatalf("n=%d: scalar ok=%v, matrix ok=%v", n, okS, okM)
+		}
+		if !okS {
+			continue
+		}
+		min := des.Time(1)<<62 - 1
+		for i := range la {
+			for j := range la[i] {
+				if i != j && la[i][j] < min {
+					min = la[i][j]
+				}
+			}
+		}
+		if min != scalar {
+			t.Fatalf("n=%d: min matrix entry %v, scalar lookahead %v", n, min, scalar)
+		}
+	}
+}
+
+// TestLookaheadMatrixMixedRouters covers owner assignments that split a
+// router's hosts across shards: entries must still match the brute force
+// (same-router cross-shard pairs bound by access delays).
+func TestLookaheadMatrixMixedRouters(t *testing.T) {
+	net := shardTestNetwork(t, 80)
+	owner := make([]int, 80)
+	for h := range owner {
+		owner[h] = h % 2
+	}
+	la, ok := LookaheadMatrix(net, owner)
+	if !ok {
+		t.Fatal("expected cross-shard pairs")
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if i == j {
+				continue
+			}
+			want := des.Time(1)<<62 - 1
+			for a := range net.Hosts {
+				for b := range net.Hosts {
+					if a == b || owner[a] != i || owner[b] != j {
+						continue
+					}
+					if d := net.Latency(a, b); d < want {
+						want = d
+					}
+				}
+			}
+			if la[i][j] != want {
+				t.Fatalf("la[%d][%d] = %v, brute force = %v", i, j, la[i][j], want)
+			}
+		}
+	}
+}
+
+// TestLookaheadMatrixSingleShard mirrors the scalar contract.
+func TestLookaheadMatrixSingleShard(t *testing.T) {
+	net := shardTestNetwork(t, 50)
+	if _, ok := LookaheadMatrix(net, make([]int, 50)); ok {
+		t.Fatal("single-shard assignment reported cross-shard lookahead")
+	}
+}

@@ -74,6 +74,19 @@ func (t *Tree) IsMember(h int) bool { return t.member[h] }
 // Children returns h's direct children (owned by the tree; do not mutate).
 func (t *Tree) Children(h int) []int { return t.child[h] }
 
+// EachParent calls fn for every node with at least one child, passing the
+// tree-owned child slice (callers must copy to retain). Iteration order
+// is unspecified (map order); callers needing determinism must not depend
+// on it. It exists so a session build can flatten all child sets in
+// O(edges) instead of probing every (host, group) pair.
+func (t *Tree) EachParent(fn func(parent int, children []int)) {
+	for p, cs := range t.child {
+		if len(cs) > 0 {
+			fn(p, cs)
+		}
+	}
+}
+
 // Size returns the number of members.
 func (t *Tree) Size() int { return len(t.Members) }
 

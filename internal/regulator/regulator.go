@@ -49,8 +49,15 @@ func (q *fifo) pop() traffic.Packet {
 	p := q.buf[q.head]
 	q.head++
 	q.bits -= p.Size
-	// Reclaim space once the consumed prefix dominates.
-	if q.head > 64 && q.head*2 >= len(q.buf) {
+	if q.head == len(q.buf) {
+		// Empty: rewind for free. Regulators usually drain as fast as
+		// packets arrive, so without this the buffer creeps toward the
+		// compaction threshold below and every queue in the session pays
+		// a ~64-entry capacity it never uses.
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head > 64 && q.head*2 >= len(q.buf) {
+		// Reclaim space once the consumed prefix dominates.
 		n := copy(q.buf, q.buf[q.head:])
 		q.buf = q.buf[:n]
 		q.head = 0

@@ -79,6 +79,28 @@ func init() {
 		DurationSec: 5,
 	})
 	Register(Scenario{
+		Name: "waxman-zipf-512",
+		Description: "the 100k-host stress benchmark: 100k hosts on a 256-router " +
+			"Waxman underlay, 512 overlapping Zipf groups — exercises the flattened " +
+			"substrate and sparse mux at an order of magnitude past waxman-zipf-64; " +
+			"run short (wdcsim -duration 0.5) unless you mean it",
+		Kind:      KindMultiGroup,
+		Mix:       "audio",
+		NumHosts:  100000,
+		NumGroups: 512,
+		Topology:  Topology{Kind: "waxman", Nodes: 256},
+		Membership: Membership{
+			Kind:    "zipf",
+			Skew:    1.0,
+			MinSize: 8,
+		},
+		Combos: []Combo{
+			{Scheme: "sigma-rho-lambda", Tree: "dsct"},
+		},
+		Loads:       []float64{0.8},
+		DurationSec: 2,
+	})
+	Register(Scenario{
 		Name: "churn-waxman-16",
 		Description: "dynamic membership: the scale benchmark under ~10% turnover — " +
 			"2000 hosts, 64-router Waxman, 16 Zipf groups, Poisson joins, exponential lifetimes",
