@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_DATE := $(shell date +%F)
 
-.PHONY: all build test race vet fmt check bench bench-json scenarios shards staticcheck fuzz
+.PHONY: all build test race vet fmt check bench bench-json scenarios shards snapshot staticcheck fuzz
 
 all: check
 
@@ -65,6 +65,17 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzGraftPoint -fuzztime $(FUZZTIME) ./internal/overlay
 	$(GO) test -run '^$$' -fuzz FuzzBatchRepair -fuzztime $(FUZZTIME) ./internal/overlay
 
+# Checkpoint/restore differential: for two builtin workloads (static
+# scale benchmark, churn benchmark) and both engines, run-to-end must be
+# bit-identical to run-to-T/2 → snapshot → restore → run-to-end. This is
+# the same contract the core goldens pin, exercised through real scenario
+# configs and the CLI.
+snapshot:
+	$(GO) run ./cmd/wdcsim -scenario waxman-zipf-16 -quick -shards 1 -snapshot-diff
+	$(GO) run ./cmd/wdcsim -scenario waxman-zipf-16 -quick -shards 4 -snapshot-diff
+	$(GO) run ./cmd/wdcsim -scenario churn-waxman-16 -quick -shards 1 -snapshot-diff
+	$(GO) run ./cmd/wdcsim -scenario churn-waxman-16 -quick -shards 4 -snapshot-diff
+
 # Static analysis. Skips with a notice when the binary is missing so the
 # target is safe on minimal containers; CI installs staticcheck and runs
 # this for real.
@@ -81,9 +92,13 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
 # Machine-readable benchmark record for the perf trajectory: one JSON
-# object per line (test2json stream) in BENCH_<date>.json. Keep these files
-# out of git unless intentionally snapshotting a milestone; EXPERIMENTS.md
-# records the curated before/after numbers.
+# object per line (test2json stream) in BENCH_<date>.json. A second run on
+# the same day picks the first free BENCH_<date>-N.json instead of
+# clobbering the earlier record. Keep these files out of git unless
+# intentionally snapshotting a milestone; EXPERIMENTS.md records the
+# curated before/after numbers.
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -json ./... > BENCH_$(BENCH_DATE).json
-	@echo wrote BENCH_$(BENCH_DATE).json
+	@out=BENCH_$(BENCH_DATE).json; n=1; \
+	while [ -e "$$out" ]; do n=$$((n+1)); out=BENCH_$(BENCH_DATE)-$$n.json; done; \
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -json ./... > "$$out"; \
+	echo "wrote $$out"

@@ -19,9 +19,18 @@
 //	wdcsim -scenario reopt-churn-waxman-16  # online tree re-optimization
 //	wdcsim -scenario outage-waxman-16       # domain outage + partition/heal
 //	wdcsim -scenario epoch-churn-waxman-16  # mass-leave epochs under churn
+//	wdcsim -scenario waxman-zipf-64 -fleet 4 -fleet-dir /tmp/sweep  # distributed sweep
+//	wdcsim -scenario waxman-zipf-16 -snapshot-diff  # checkpoint/restore differential
 //
 // Experiments: fig2, fig4a, fig4b, fig4c, fig6a, fig6b, fig6c, table1,
 // table2, table3, rhostar, ratio, all.
+//
+// -fleet N farms the sweep's (load, combo) cells to N worker processes
+// over a shared work directory (-fleet-dir; a temporary directory when
+// unset). The merged result is byte-identical to the in-process sweep,
+// and a sweep killed partway resumes from the same -fleet-dir without
+// re-running completed combos. -fleet-worker is the internal worker entry
+// point the parent spawns.
 //
 // -shards N (default GOMAXPROCS) runs each multi-group session as a
 // sharded conservative-parallel simulation; -shards auto probes candidate
@@ -40,6 +49,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -74,6 +84,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sequential    = fs.Bool("sequential", false, "run sweep points sequentially (debugging)")
 		workers       = fs.Int("workers", 0, "sweep worker pool size (default GOMAXPROCS)")
 		shardsFlag    = fs.String("shards", "", "per-run shard count for multi-group sessions (1 = sequential engine; 'auto' tunes by measurement; default GOMAXPROCS)")
+		fleetN        = fs.Int("fleet", 0, "farm the scenario sweep to this many worker processes (scenario runs only)")
+		fleetDir      = fs.String("fleet-dir", "", "shared work directory for -fleet (default: a temporary directory; set it to make the sweep resumable)")
+		fleetWorker   = fs.String("fleet-worker", "", "internal: run one fleet worker against this work directory and exit")
+		snapshotDiff  = fs.Bool("snapshot-diff", false, "check checkpoint/restore bit-identity for every combo of the scenario instead of sweeping (scenario runs only)")
 		cpuProfile    = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile    = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -84,6 +98,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *fleetWorker != "" {
+		if err := harness.RunFleetWorker(*fleetWorker); err != nil {
+			fmt.Fprintf(stderr, "wdcsim: fleet worker: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 	if *listScenarios {
 		printScenarios(stdout)
 		return 0
@@ -155,7 +176,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if *quick {
 				sc = sc.Quick()
 			}
-			if err := runScenario(stdout, sc, opts, *jsonOut); err != nil {
+			if *snapshotDiff {
+				if err := runSnapshotDiff(stdout, sc, opts); err != nil {
+					fmt.Fprintf(stderr, "wdcsim: %v\n", err)
+					return 1
+				}
+				continue
+			}
+			var fleet *harness.FleetOptions
+			if *fleetN > 0 {
+				fleet = &harness.FleetOptions{Workers: *fleetN, Dir: *fleetDir}
+				if *fleetDir != "" && len(names) > 1 {
+					// One sweep per directory: "-scenario all" gets a
+					// sub-directory per scenario so manifests never collide.
+					fleet.Dir = filepath.Join(*fleetDir, sc.Name)
+				}
+			}
+			if err := runScenario(stdout, sc, opts, *jsonOut, fleet); err != nil {
 				fmt.Fprintf(stderr, "wdcsim: %v\n", err)
 				return 1
 			}
@@ -168,6 +205,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *strategyName != "" {
 		fmt.Fprintln(stderr, "wdcsim: -strategy applies to -scenario runs only")
+		return 2
+	}
+	if *fleetN > 0 || *fleetDir != "" {
+		fmt.Fprintln(stderr, "wdcsim: -fleet applies to -scenario runs only")
+		return 2
+	}
+	if *snapshotDiff {
+		fmt.Fprintln(stderr, "wdcsim: -snapshot-diff applies to -scenario runs only")
 		return 2
 	}
 
@@ -225,15 +270,17 @@ func header(w io.Writer, title string) {
 }
 
 func printScenarios(w io.Writer) {
-	t := stats.NewTable("name", "kind", "topology", "hosts", "groups", "membership", "churn", "description")
+	t := stats.NewTable("name", "kind", "topology", "routers", "hosts", "groups", "membership", "churn", "faults", "description")
 	for _, sc := range scenario.All() {
 		kind := string(sc.Kind)
 		if kind == "" {
 			kind = string(scenario.KindMultiGroup)
 		}
 		topoKind := sc.Topology.Kind
+		routers := fmt.Sprintf("%d", sc.Topology.Nodes)
 		if topoKind == "" {
 			topoKind = "backbone19"
+			routers = "19"
 		}
 		membership := sc.Membership.Kind
 		if membership == "" {
@@ -243,17 +290,38 @@ func printScenarios(w io.Writer) {
 		if churn == "" {
 			churn = "-"
 		}
+		faults := "-"
+		if len(sc.Faults) > 0 {
+			faults = fmt.Sprintf("%d", len(sc.Faults))
+		}
 		hosts, groups := fmt.Sprintf("%d", sc.Hosts()), fmt.Sprintf("%d", sc.GroupCount())
 		if sc.Kind == scenario.KindSingleHop {
-			hosts, groups, topoKind, membership = "-", "-", "-", "-"
+			hosts, groups, topoKind, membership, routers = "-", "-", "-", "-", "-"
 		}
-		t.AddRow(sc.Name, kind, topoKind, hosts, groups, membership, churn, sc.Description)
+		t.AddRow(sc.Name, kind, topoKind, routers, hosts, groups, membership, churn, faults, sc.Description)
 	}
 	fmt.Fprint(w, t)
 }
 
-func runScenario(w io.Writer, sc scenario.Scenario, opts harness.Options, jsonOut bool) error {
-	r, err := harness.ScenarioSweep(sc, opts)
+// runSnapshotDiff runs the checkpoint/restore differential over the
+// scenario's combos and prints one verdict line per combo.
+func runSnapshotDiff(w io.Writer, sc scenario.Scenario, opts harness.Options) error {
+	header(w, fmt.Sprintf("snapshot diff %s — run-to-end vs checkpoint at T/2 + restore", sc.Name))
+	lines, err := harness.SnapshotDiff(sc, opts)
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+	return err
+}
+
+func runScenario(w io.Writer, sc scenario.Scenario, opts harness.Options, jsonOut bool, fleet *harness.FleetOptions) error {
+	var r harness.ScenarioResult
+	var err error
+	if fleet != nil {
+		r, err = harness.FleetSweep(sc, opts, *fleet)
+	} else {
+		r, err = harness.ScenarioSweep(sc, opts)
+	}
 	if err != nil {
 		return err
 	}

@@ -18,6 +18,34 @@ func TestListScenarios(t *testing.T) {
 			t.Fatalf("listing missing %q:\n%s", want, out.String())
 		}
 	}
+	// The routers and faults columns: header present, the default backbone
+	// resolves to 19 routers, and the outage scenario reports its fault
+	// event count.
+	lines := strings.Split(out.String(), "\n")
+	headerLine := lines[0]
+	for _, col := range []string{"routers", "faults"} {
+		if !strings.Contains(headerLine, col) {
+			t.Fatalf("listing header missing %q column:\n%s", col, headerLine)
+		}
+	}
+	routersCol := strings.Index(headerLine, "routers")
+	faultsCol := strings.Index(headerLine, "faults")
+	for _, line := range lines[1:] {
+		switch {
+		case strings.HasPrefix(line, "paper-fig6"):
+			if !strings.HasPrefix(line[routersCol:], "19") {
+				t.Fatalf("paper-fig6 routers column want 19:\n%s", line)
+			}
+		case strings.HasPrefix(line, "outage-waxman-16"):
+			if !strings.HasPrefix(line[faultsCol:], "3") {
+				t.Fatalf("outage-waxman-16 faults column want 3:\n%s", line)
+			}
+		case strings.HasPrefix(line, "paper-fig4 "):
+			if !strings.HasPrefix(line[routersCol:], "-") || !strings.HasPrefix(line[faultsCol:], "-") {
+				t.Fatalf("single-hop scenario should dash routers/faults:\n%s", line)
+			}
+		}
+	}
 }
 
 // TestListScenariosSortedStable pins the listing order: registry entries
@@ -188,6 +216,38 @@ func TestScenarioShardsAuto(t *testing.T) {
 		if len(c.Shards) == 0 || len(c.Epochs) == 0 {
 			t.Fatalf("curve %d missing shard diagnostics: %+v", ci, c)
 		}
+	}
+}
+
+// TestSnapshotDiffFlag drives the checkpoint/restore differential through
+// the CLI: every combo must report identical.
+func TestSnapshotDiffFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-scenario", "waxman-zipf-16", "-quick", "-duration", "1",
+		"-shards", "1", "-snapshot-diff"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s\n%s", code, errOut.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "identical") || strings.Contains(out.String(), "DIVERGED") {
+		t.Fatalf("snapshot diff output unexpected:\n%s", out.String())
+	}
+	if code := run([]string{"-exp", "fig2", "-snapshot-diff"}, &out, &errOut); code != 2 {
+		t.Fatalf("-snapshot-diff without -scenario: exit %d", code)
+	}
+}
+
+// TestFleetFlagGuards pins the fleet flag grammar; the full worker
+// protocol is covered in internal/harness (spawning real subprocesses
+// from a unit test would race the test binary's own flags).
+func TestFleetFlagGuards(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-exp", "fig2", "-fleet", "2"}, &out, &errOut); code != 2 {
+		t.Fatalf("-fleet without -scenario: exit %d", code)
+	}
+	if !strings.Contains(errOut.String(), "-fleet") {
+		t.Fatalf("unhelpful error: %s", errOut.String())
+	}
+	if code := run([]string{"-fleet-worker", "/no/such/dir"}, &out, &errOut); code != 1 {
+		t.Fatalf("-fleet-worker on a missing dir: exit %d, want 1", code)
 	}
 }
 

@@ -82,15 +82,22 @@ func sortedEventsWithin(events []MembershipEvent, duration des.Duration) []Membe
 	return evs[:n]
 }
 
-// schedule enqueues the events on the given engine in time order — the
-// sequential execution path. Scheduling at build time gives the events
-// the lowest sequence numbers at their timestamps, so they win same-time
-// ties against packet events; coordinator barriers reproduce exactly this
-// ordering in sharded runs.
-func (cp *controlPlane) schedule(eng *des.Engine, duration des.Duration, events []MembershipEvent) {
+// scheduleAfter enqueues the events strictly after the given instant on
+// the engine in time order — the sequential execution path (after = -1
+// schedules everything; a checkpoint restore passes the snapshot instant
+// to re-create only the events that had not fired). Scheduling at build
+// time gives the events the lowest sequence numbers at their timestamps,
+// so they win same-time ties against packet events; coordinator barriers
+// reproduce exactly this ordering in sharded runs. Events are tagged
+// KindBuild: they are rebuilt from the config on restore, never
+// serialized.
+func (cp *controlPlane) scheduleAfter(eng *des.Engine, duration des.Duration, events []MembershipEvent, after des.Time) {
 	for _, ev := range sortedEventsWithin(events, duration) {
+		if ev.At <= after {
+			continue
+		}
 		ev := ev
-		eng.Schedule(ev.At, func() { cp.apply(ev) })
+		eng.ScheduleKind(ev.At, des.KindBuild, 0, func() { cp.apply(ev) })
 	}
 }
 

@@ -322,13 +322,19 @@ func newFaultPlane(sub *substrate, hosts []*host, events []FaultEvent) *faultPla
 	return fp
 }
 
-// schedule enqueues the events on the sequential engine. Called before
-// the control plane's schedule, so at a shared instant faults win the
-// tie — the order the sharded barriers reproduce.
-func (fp *faultPlane) schedule(eng *des.Engine) {
+// scheduleAfter enqueues the events strictly after the given instant on
+// the sequential engine (after = -1 schedules everything; a checkpoint
+// restore passes the snapshot instant). Called before the control plane's
+// scheduling, so at a shared instant faults win the tie — the order the
+// sharded barriers reproduce. Events are tagged KindBuild: they are
+// rebuilt from the config on restore, never serialized.
+func (fp *faultPlane) scheduleAfter(eng *des.Engine, after des.Time) {
 	for i := range fp.events {
+		if fp.events[i].At <= after {
+			continue
+		}
 		i := i
-		eng.Schedule(fp.events[i].At, func() { fp.apply(i) })
+		eng.ScheduleKind(fp.events[i].At, des.KindBuild, 0, func() { fp.apply(i) })
 	}
 }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/des"
 	"repro/internal/mux"
 	"repro/internal/regulator"
@@ -9,6 +11,10 @@ import (
 )
 
 func secs(s float64) des.Duration { return des.Seconds(s) }
+
+// compIdent names a registered component: the host that owns it and the
+// child connection (MUX) or group (regulator) it serves.
+type compIdent struct{ host, sub int32 }
 
 // hostEnv is what a regulated host needs from its surrounding session.
 type hostEnv struct {
@@ -27,6 +33,36 @@ type hostEnv struct {
 	// connection the host's full C (the paper's per-output-link model).
 	capAware  bool
 	capFactor float64
+
+	// Component registries for checkpointing (snapshot.go): every MUX and
+	// regulator created on this engine registers here in creation order,
+	// and its registry slot becomes the snapArg its pending events carry.
+	// Append-only — a component detached mid-run keeps its slot, because
+	// an event already in the queue may still name it.
+	muxReg   []*mux.Mux
+	muxIdent []compIdent // sub = child connection
+	srReg    []*regulator.SigmaRho
+	srIdent  []compIdent // sub = group
+	srlReg   []*regulator.SRL
+	srlIdent []compIdent // sub = group
+}
+
+func (e *hostEnv) registerMux(m *mux.Mux, host, child int) {
+	m.SetSnapArg(uint32(len(e.muxReg)))
+	e.muxReg = append(e.muxReg, m)
+	e.muxIdent = append(e.muxIdent, compIdent{int32(host), int32(child)})
+}
+
+func (e *hostEnv) registerSR(s *regulator.SigmaRho, host, group int) {
+	s.SetSnapArg(uint32(len(e.srReg)))
+	e.srReg = append(e.srReg, s)
+	e.srIdent = append(e.srIdent, compIdent{int32(host), int32(group)})
+}
+
+func (e *hostEnv) registerSRL(r *regulator.SRL, host, group int) {
+	r.SetSnapArg(uint32(len(e.srlReg)))
+	e.srlReg = append(e.srlReg, r)
+	e.srlIdent = append(e.srlIdent, compIdent{int32(host), int32(group)})
 }
 
 // hostConn returns host id's per-connection capacity: the base C scaled
@@ -97,10 +133,20 @@ func newHost(id int, env *hostEnv, children groupChildren, initial Scheme) *host
 	})
 	forwards := len(distinct) > 0
 	connCap := env.connectionCapacity(id, len(distinct))
+	// Sorted creation order: the map iteration order never mattered to the
+	// simulation (mux.New schedules nothing), but component registry slots
+	// must be deterministic for snapshots to be stable.
+	conns := make([]int, 0, len(distinct))
 	for c := range distinct {
+		conns = append(conns, c)
+	}
+	sort.Ints(conns)
+	for _, c := range conns {
 		child := c
-		h.muxes[c] = mux.New(env.eng, len(env.specs), connCap, env.discipline,
+		m := mux.New(env.eng, len(env.specs), connCap, env.discipline,
 			func(p traffic.Packet) { env.send(h.id, child, p) })
+		env.registerMux(m, h.id, c)
+		h.muxes[c] = m
 	}
 	if forwards {
 		h.setMode(initialMode(initial))
@@ -209,8 +255,10 @@ func (h *host) ensureSRBank() {
 		if len(kids) == 0 || h.srBank[g] != nil {
 			return
 		}
-		h.srBank[g] = regulator.NewSigmaRho(env.eng, env.bursts[g], env.specs[g].Rho,
+		s := regulator.NewSigmaRho(env.eng, env.bursts[g], env.specs[g].Rho,
 			func(p traffic.Packet) { h.replicate(g, p) })
+		env.registerSR(s, h.id, g)
+		h.srBank[g] = s
 	})
 }
 
@@ -226,10 +274,76 @@ func (h *host) ensureSRLBank() (fresh bool) {
 		if len(kids) == 0 || h.srlBank[g] != nil {
 			return
 		}
-		h.srlBank[g] = regulator.NewSRL(env.eng, env.bursts[g], env.specs[g].Rho, h.conn,
+		r := regulator.NewSRL(env.eng, env.bursts[g], env.specs[g].Rho, h.conn,
 			func(p traffic.Packet) { h.replicate(g, p) })
+		env.registerSRL(r, h.id, g)
+		h.srlBank[g] = r
 	})
 	return fresh
+}
+
+// --- Checkpoint restore factories (snapshot.go) ---
+//
+// A restored session builds hosts bare (newHostBare) and re-creates each
+// serialized component through these helpers, which bind output closures
+// identical to the live creation sites above and register the component
+// so its replayed events resolve.
+
+// newHostBare is the resume-mode newHost: no children, no MUXes, no mode —
+// all of that state comes from the snapshot.
+func newHostBare(id int, env *hostEnv, initial Scheme) *host {
+	return &host{id: id, env: env, conn: env.hostConn(id), scheme: initial,
+		muxes: make(map[int]*mux.Mux)}
+}
+
+// restoreMux re-creates (and registers) the connection MUX for child c at
+// its serialized capacity, without installing it into h.muxes — a MUX that
+// was already torn down but still referenced by a pending event stays
+// uninstalled.
+func (h *host) restoreMux(c int, capacity float64) *mux.Mux {
+	child := c
+	m := mux.New(h.env.eng, len(h.env.specs), capacity, h.env.discipline,
+		func(p traffic.Packet) { h.env.send(h.id, child, p) })
+	h.env.registerMux(m, h.id, c)
+	return m
+}
+
+// installMux puts a restored live MUX back into service.
+func (h *host) installMux(c int, m *mux.Mux) { h.muxes[c] = m }
+
+// restoreSR re-creates (and registers) group g's (σ, ρ) regulator.
+func (h *host) restoreSR(g int) *regulator.SigmaRho {
+	s := regulator.NewSigmaRho(h.env.eng, h.env.bursts[g], h.env.specs[g].Rho,
+		func(p traffic.Packet) { h.replicate(g, p) })
+	h.env.registerSR(s, h.id, g)
+	return s
+}
+
+// installSR puts a restored live (σ, ρ) regulator back into its bank slot.
+func (h *host) installSR(g int, s *regulator.SigmaRho) {
+	if h.srBank == nil {
+		h.srBank = make([]*regulator.SigmaRho, len(h.env.specs))
+	}
+	h.srBank[g] = s
+}
+
+// restoreSRL re-creates (and registers) group g's (σ, ρ, λ) regulator.
+func (h *host) restoreSRL(g int) *regulator.SRL {
+	r := regulator.NewSRL(h.env.eng, h.env.bursts[g], h.env.specs[g].Rho, h.conn,
+		func(p traffic.Packet) { h.replicate(g, p) })
+	h.env.registerSRL(r, h.id, g)
+	return r
+}
+
+// installSRL puts a restored live (σ, ρ, λ) regulator back into its bank
+// slot. Duty-cycle state (on/off, cycling, pending phase events) comes from
+// the regulator's own restored words and the event replay — nothing here
+// starts a cycle.
+func (h *host) installSRL(g int, r *regulator.SRL) {
+	if h.srlBank == nil {
+		h.srlBank = make([]*regulator.SRL, len(h.env.specs))
+	}
+	h.srlBank[g] = r
 }
 
 // setMode activates the regulator bank for the given scheme, building
@@ -291,8 +405,10 @@ func (h *host) attachChild(g, c int) {
 	h.children.add(g, c)
 	if _, ok := h.muxes[c]; !ok {
 		child := c
-		h.muxes[c] = mux.New(h.env.eng, len(h.env.specs), h.env.connectionCapacity(h.id, len(h.muxes)+1),
+		m := mux.New(h.env.eng, len(h.env.specs), h.env.connectionCapacity(h.id, len(h.muxes)+1),
 			h.env.discipline, func(p traffic.Packet) { h.env.send(h.id, child, p) })
+		h.env.registerMux(m, h.id, c)
+		h.muxes[c] = m
 	}
 	if !h.modeSet {
 		// First forwarding duty of this host's lifetime: bring up the

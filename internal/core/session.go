@@ -388,6 +388,7 @@ type groupState struct {
 // control plane when membership events are configured.
 type Session struct {
 	cfg    Config
+	sub    *substrate
 	eng    *des.Engine
 	net    *topo.Network
 	fabric *netsim.Fabric
@@ -405,20 +406,33 @@ type Session struct {
 	delays   stats.Welford
 	deliver  uint64
 	windows  *stats.WindowMax // nil unless cfg.WindowSec > 0
+
+	sources  []traffic.Source // built by Start (or a snapshot restore)
+	started  bool
+	snapSize int // previous snapshot size: capacity hint for the next one
+}
+
+// resumeState marks a session build as a checkpoint-restore skeleton: the
+// engine-independent structure compiles as usual, but hosts come up bare
+// (children, MUXes, regulators, and modes arrive from the snapshot) and
+// the build planes only schedule events strictly after the checkpoint
+// instant — events at or before it already fired in the original run.
+type resumeState struct {
+	at des.Time // checkpoint instant
 }
 
 // NewSession builds the network, trees, and host machinery for cfg.
 func NewSession(cfg Config) *Session {
-	return newSessionFrom(compileSubstrate(cfg))
+	return newSessionFrom(compileSubstrate(cfg), nil)
 }
 
 // newSessionFrom wires the sequential engine over a compiled substrate.
 // The wiring order (hosts in id order, controllers immediately after their
 // host, control plane last) fixes the engine's event sequence numbers and
 // is pinned by the golden bit-identity tests.
-func newSessionFrom(sub *substrate) *Session {
+func newSessionFrom(sub *substrate, rs *resumeState) *Session {
 	cfg := sub.cfg
-	s := &Session{cfg: cfg, eng: des.New(), net: sub.net, specs: sub.specs, groups: sub.groups}
+	s := &Session{cfg: cfg, sub: sub, eng: des.New(), net: sub.net, specs: sub.specs, groups: sub.groups}
 	// The Drop hook reads the fault plane through s at send time; it is
 	// nil — zero overhead, byte-identical fabric — without faults.
 	var drop func(src, dst int) bool
@@ -445,12 +459,22 @@ func newSessionFrom(sub *substrate) *Session {
 		env.capAware = true
 		env.capFactor = cfg.CapacityFactor
 	}
+	// after gates build-plane scheduling on resume: only events strictly
+	// after the checkpoint instant are re-created (the rest already fired).
+	after := des.Time(-1)
+	if rs != nil {
+		after = rs.at
+	}
 	chl := sub.compileChildren()
 	s.hosts = make([]*host, cfg.NumHosts)
 	for id := 0; id < cfg.NumHosts; id++ {
-		s.hosts[id] = newHost(id, env, chl[id], cfg.Scheme)
-		if cfg.Scheme == SchemeAdaptive && len(s.hosts[id].muxes) > 0 {
-			s.hosts[id].startController(des.Second, 250*des.Millisecond, sub.threshold)
+		if rs != nil {
+			s.hosts[id] = newHostBare(id, env, cfg.Scheme)
+		} else {
+			s.hosts[id] = newHost(id, env, chl[id], cfg.Scheme)
+			if cfg.Scheme == SchemeAdaptive && len(s.hosts[id].muxes) > 0 {
+				s.hosts[id].startController(des.Second, 250*des.Millisecond, sub.threshold)
+			}
 		}
 		id := id
 		s.fabric.SetReceiver(id, func(p traffic.Packet) { s.receive(id, p) })
@@ -466,14 +490,14 @@ func newSessionFrom(sub *substrate) *Session {
 		// coordinator barriers reproduce.
 		s.fp = newFaultPlane(sub, s.hosts, faultsWithin(cfg.Faults, cfg.Duration))
 		s.faultCut = make([]uint64, len(s.fp.events))
-		s.fp.schedule(s.eng)
+		s.fp.scheduleAfter(s.eng, after)
 	}
 	if len(cfg.Events) > 0 {
 		s.ctl = newControlPlane(sub, s.hosts)
 		if s.fp != nil {
 			s.ctl.down = s.fp.down
 		}
-		s.ctl.schedule(s.eng, cfg.Duration, cfg.Events)
+		s.ctl.scheduleAfter(s.eng, cfg.Duration, cfg.Events, after)
 	}
 	if cfg.Reopt.Enabled() {
 		// Scheduled after the membership events so that at a shared
@@ -481,8 +505,11 @@ func newSessionFrom(sub *substrate) *Session {
 		// tree — the order the sharded coordinator barriers reproduce.
 		s.ro = newReoptPlane(sub, s.hosts)
 		for _, at := range reoptTimes(cfg.Reopt.Every, cfg.Duration) {
+			if at <= after {
+				continue
+			}
 			at := at
-			s.eng.Schedule(at, func() { s.ro.reoptimize(at) })
+			s.eng.ScheduleKind(at, des.KindBuild, 0, func() { s.ro.reoptimize(at) })
 		}
 	}
 	return s
@@ -518,26 +545,46 @@ func (s *Session) receive(id int, p traffic.Packet) {
 	h.forward(g, p)
 }
 
-// Run drives the simulation for the configured duration plus a drain tail
-// and returns the measurements.
-func (s *Session) Run() Result {
+// emitFn is a source's injection callback: group g's flow enters the
+// network at its tree root. The root host "receives" at delay zero
+// conceptually; measurement only counts downstream deliveries, so the
+// source feeds forward() direct.
+func (s *Session) emitFn(g, root int) func(traffic.Packet) {
+	return func(p traffic.Packet) {
+		s.hosts[root].observe(p)
+		s.hosts[root].forward(g, p)
+	}
+}
+
+// end is the simulation horizon: the traffic duration plus a drain tail,
+// generous for duty-cycle vacations at every hop.
+func (s *Session) end() des.Time { return des.Time(s.cfg.Duration) + 20*des.Second }
+
+// Start builds and launches the traffic sources. Idempotent; Run calls it,
+// and checkpoint drivers call it once before stepping with RunTo.
+func (s *Session) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	cfg := s.cfg
+	s.sources = cfg.Workload.BuildSourcesN(cfg.Mix, len(s.specs), cfg.TrafficSeed.Or(cfg.Seed),
+		cfg.EnvelopeMargin, cfg.BurstSec)
+	for g, src := range s.sources {
+		src.Start(s.eng, cfg.Duration, s.emitFn(g, s.groups[g].tree.Source))
+	}
+}
+
+// RunTo advances the simulation to exactly time t (a quiesce point: every
+// event at or before t has fired and the clock sits at t).
+func (s *Session) RunTo(t des.Time) { s.eng.RunUntil(t) }
+
+// Finish runs out the remaining events through the drain tail and returns
+// the measurements.
+func (s *Session) Finish() Result {
 	cfg := s.cfg
 	numGroups := len(s.specs)
-	// Sources: group g's flow enters the network at its tree root. The
-	// root host "receives" at delay zero conceptually; measurement only
-	// counts downstream deliveries, so the source feeds forward() direct.
-	sources := cfg.Workload.BuildSourcesN(cfg.Mix, numGroups, cfg.TrafficSeed.Or(cfg.Seed),
-		cfg.EnvelopeMargin, cfg.BurstSec)
-	for g, src := range sources {
-		g := g
-		root := s.groups[g].tree.Source
-		src.Start(s.eng, cfg.Duration, func(p traffic.Packet) {
-			s.hosts[root].observe(p)
-			s.hosts[root].forward(g, p)
-		})
-	}
-	// Drain tail: generous for duty-cycle vacations at every hop.
-	s.eng.RunUntil(cfg.Duration + 20*des.Second)
+	s.eng.RunUntil(s.end())
 
 	res := Result{
 		PerGroupWDB:   make([]float64, numGroups),
@@ -580,6 +627,13 @@ func (s *Session) Run() Result {
 		s.fp.finish(&res, s.faultCut)
 	}
 	return res
+}
+
+// Run drives the simulation for the configured duration plus a drain tail
+// and returns the measurements.
+func (s *Session) Run() Result {
+	s.Start()
+	return s.Finish()
 }
 
 // Trees exposes the current group trees (for inspection tools and tests).

@@ -81,6 +81,10 @@ type ShardedSession struct {
 	ctl   *controlPlane
 	ro    *reoptPlane
 	fp    *faultPlane
+
+	sources  []traffic.Source // built by Start (or a snapshot restore)
+	started  bool
+	snapSize int // previous snapshot size: capacity hint for the next one
 }
 
 // NewShardedSession compiles cfg for sharded execution. The structural
@@ -90,13 +94,19 @@ type ShardedSession struct {
 // the sequential engine — the two are equivalent, the sequential one is
 // just cheaper.
 func NewShardedSession(cfg Config) *ShardedSession {
-	sub := compileSubstrate(cfg)
-	cfg = sub.cfg
+	return newShardedFrom(compileSubstrate(cfg), nil)
+}
+
+// newShardedFrom wires the sharded engines over a compiled substrate; a
+// non-nil rs builds the checkpoint-restore skeleton instead (bare hosts,
+// barrier schedule filtered to instants after the checkpoint).
+func newShardedFrom(sub *substrate, rs *resumeState) *ShardedSession {
+	cfg := sub.cfg
 	s := &ShardedSession{sub: sub}
 	owner := netsim.PartitionHosts(sub.net, cfg.Shards)
 	nsh := netsim.NumShards(owner)
 	if nsh <= 1 || cfg.Shards <= 1 {
-		s.seq = newSessionFrom(sub)
+		s.seq = newSessionFrom(sub, rs)
 		return s
 	}
 	s.owner = owner
@@ -186,9 +196,13 @@ func NewShardedSession(cfg Config) *ShardedSession {
 	s.hosts = make([]*host, cfg.NumHosts)
 	for id := 0; id < cfg.NumHosts; id++ {
 		sh := s.sh[owner[id]]
-		s.hosts[id] = newHost(id, sh.env, chl[id], cfg.Scheme)
-		if cfg.Scheme == SchemeAdaptive && len(s.hosts[id].muxes) > 0 {
-			s.hosts[id].startController(des.Second, 250*des.Millisecond, sub.threshold)
+		if rs != nil {
+			s.hosts[id] = newHostBare(id, sh.env, cfg.Scheme)
+		} else {
+			s.hosts[id] = newHost(id, sh.env, chl[id], cfg.Scheme)
+			if cfg.Scheme == SchemeAdaptive && len(s.hosts[id].muxes) > 0 {
+				s.hosts[id].startController(des.Second, 250*des.Millisecond, sub.threshold)
+			}
 		}
 		id, sh := id, sh
 		sh.fabric.SetReceiver(id, func(p traffic.Packet) { s.receive(sh, id, p) })
@@ -233,6 +247,27 @@ func NewShardedSession(cfg Config) *ShardedSession {
 		}
 		times = times[:n]
 		nextF, next, nextRo := 0, 0, 0
+		if rs != nil {
+			// Resume: barriers at or before the checkpoint already fired in
+			// the original run — drop them and prime the cursors so the
+			// remaining barriers index the full event lists correctly.
+			for nextF < len(faults) && faults[nextF].At <= rs.at {
+				nextF++
+			}
+			for next < len(events) && events[next].At <= rs.at {
+				next++
+			}
+			for nextRo < len(reopts) && reopts[nextRo] <= rs.at {
+				nextRo++
+			}
+			keep := times[:0]
+			for _, at := range times {
+				if at > rs.at {
+					keep = append(keep, at)
+				}
+			}
+			times = keep
+		}
 		s.coord.AtBarriers(times, func(at des.Time) {
 			// Apply every event at this instant in the shared sorted
 			// order, with all shards quiesced at exactly `at` — the same
@@ -305,30 +340,58 @@ func (s *ShardedSession) receive(sh *shardRuntime, id int, p traffic.Packet) {
 	h.forward(g, p)
 }
 
-// Run drives the sharded simulation for the configured duration plus the
-// drain tail and returns the merged measurements. Merge order is fixed
-// (group-major, shard-minor), so results are deterministic for a given
-// shard count.
-func (s *ShardedSession) Run() Result {
+// emitFn is a source's injection callback (see Session.emitFn).
+func (s *ShardedSession) emitFn(g, root int) func(traffic.Packet) {
+	rootHost := s.hosts[root]
+	return func(p traffic.Packet) {
+		rootHost.observe(p)
+		rootHost.forward(g, p)
+	}
+}
+
+// Start builds and launches the traffic sources. Idempotent; Run calls it,
+// and checkpoint drivers call it once before stepping with RunTo.
+// Sources: group g's flow enters at its tree root, on the root's shard.
+// Sources are built in group order from the same derived streams as the
+// sequential run, so emissions are identical.
+func (s *ShardedSession) Start() {
 	if s.seq != nil {
-		return s.seq.Run()
+		s.seq.Start()
+		return
+	}
+	if s.started {
+		return
+	}
+	s.started = true
+	cfg := s.sub.cfg
+	s.sources = cfg.Workload.BuildSourcesN(cfg.Mix, s.sub.numGroups(), cfg.TrafficSeed.Or(cfg.Seed),
+		cfg.EnvelopeMargin, cfg.BurstSec)
+	for g, src := range s.sources {
+		root := s.sub.groups[g].tree.Source
+		src.Start(s.sh[s.owner[root]].eng, cfg.Duration, s.emitFn(g, root))
+	}
+}
+
+// RunTo advances every shard to exactly time t: all events and barriers at
+// or before t have fired and every engine is parked at t — a global
+// quiesce point.
+func (s *ShardedSession) RunTo(t des.Time) {
+	if s.seq != nil {
+		s.seq.RunTo(t)
+		return
+	}
+	s.coord.Run(t)
+}
+
+// Finish runs out the remaining events through the drain tail and returns
+// the merged measurements. Merge order is fixed (group-major, shard-
+// minor), so results are deterministic for a given shard count.
+func (s *ShardedSession) Finish() Result {
+	if s.seq != nil {
+		return s.seq.Finish()
 	}
 	cfg := s.sub.cfg
 	numGroups := s.sub.numGroups()
-	// Sources: group g's flow enters at its tree root, on the root's
-	// shard. Sources are built in group order from the same derived
-	// streams as the sequential run, so emissions are identical.
-	sources := cfg.Workload.BuildSourcesN(cfg.Mix, numGroups, cfg.TrafficSeed.Or(cfg.Seed),
-		cfg.EnvelopeMargin, cfg.BurstSec)
-	for g, src := range sources {
-		g := g
-		root := s.sub.groups[g].tree.Source
-		rootHost := s.hosts[root]
-		src.Start(s.sh[s.owner[root]].eng, cfg.Duration, func(p traffic.Packet) {
-			rootHost.observe(p)
-			rootHost.forward(g, p)
-		})
-	}
 	// Drain tail: generous for duty-cycle vacations at every hop.
 	s.coord.Run(cfg.Duration + 20*des.Second)
 
@@ -399,4 +462,11 @@ func (s *ShardedSession) Run() Result {
 		s.fp.finish(&res, cut)
 	}
 	return res
+}
+
+// Run drives the sharded simulation for the configured duration plus the
+// drain tail and returns the merged measurements.
+func (s *ShardedSession) Run() Result {
+	s.Start()
+	return s.Finish()
 }

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/traffic"
+)
+
+// checkpointCases are the four workload archetypes the snapshot contract
+// is pinned over: static trees, membership churn, correlated faults
+// (outage + partition spanning the checkpoint), and online
+// re-optimization under churn.
+func checkpointCases() []struct {
+	name string
+	cfg  Config
+} {
+	static := shardBaseConfig(7)
+	churn := churnConfig(SchemeSRL, 13)
+	fault := faultBaseConfig(29)
+	reopt := churnConfig(SchemeSigmaRho, 17)
+	reopt.Reopt = ReoptConfig{Every: 250 * des.Millisecond, MinImprove: 0.02, MaxMoves: 2}
+	return []struct {
+		name string
+		cfg  Config
+	}{
+		{"static", static},
+		{"churn", churn},
+		{"fault", fault},
+		{"reopt-churn", reopt},
+	}
+}
+
+// normalizeDiag zeroes the coordinator's load-balance diagnostics. Epoch
+// count and stall share depend on how the run was sliced into Run calls —
+// RunTo(mid) clamps epoch ends at mid even without a snapshot — so they
+// are outside the bit-identity contract, which covers the physics: every
+// delivery statistic, loss counter, window entry, and fault outcome.
+func normalizeDiag(res Result) Result {
+	res.Epochs = 0
+	res.StallShare = 0
+	return res
+}
+
+// finishVia runs cfg to completion through the Checkpointer interface,
+// snapshotting and restoring at each of the given instants along the way:
+// run to t, serialize, rebuild a fresh session from the bytes, continue.
+// With no instants it is a plain run.
+func finishVia(t *testing.T, cfg Config, at ...des.Time) Result {
+	t.Helper()
+	s := NewCheckpointer(cfg)
+	s.Start()
+	for _, ckpt := range at {
+		s.RunTo(ckpt)
+		blob, err := s.Snapshot()
+		if err != nil {
+			t.Fatalf("snapshot at %v: %v", ckpt, err)
+		}
+		restored, err := Restore(cfg, blob)
+		if err != nil {
+			t.Fatalf("restore at %v: %v", ckpt, err)
+		}
+		s = restored
+	}
+	return s.Finish()
+}
+
+// TestCheckpointRestoreBitIdentical is the snapshot golden: for every
+// workload archetype, sequential and 4-shard, run-to-end must equal
+// run-to-T/2 → snapshot → restore → run-to-end on the full Result — every
+// per-packet delivery statistic, loss counter, window series entry, and
+// fault outcome, bit for bit.
+func TestCheckpointRestoreBitIdentical(t *testing.T) {
+	for _, tc := range checkpointCases() {
+		for _, shards := range []int{1, 4} {
+			cfg := tc.cfg
+			cfg.Shards = shards
+			name := tc.name + map[bool]string{true: "/sharded", false: "/sequential"}[shards > 1]
+			t.Run(name, func(t *testing.T) {
+				baseline := normalizeDiag(finishVia(t, cfg))
+				if baseline.Delivered == 0 {
+					t.Fatal("inert baseline — workload is broken")
+				}
+				mid := des.Time(cfg.Duration) / 2
+				restored := normalizeDiag(finishVia(t, cfg, mid))
+				if !reflect.DeepEqual(baseline, restored) {
+					t.Fatalf("restored run diverged from baseline:\n  baseline %+v\n  restored %+v",
+						baseline, restored)
+				}
+			})
+		}
+	}
+}
+
+// A restored session must itself snapshot and restore cleanly: chain two
+// checkpoints (the second from a session that was already rebuilt once,
+// with freshly assigned component slots) and still match the straight run.
+func TestCheckpointChained(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		cfg := faultBaseConfig(31)
+		cfg.Shards = shards
+		baseline := normalizeDiag(finishVia(t, cfg))
+		d := des.Time(cfg.Duration)
+		restored := normalizeDiag(finishVia(t, cfg, d/4, (3*d)/4))
+		if !reflect.DeepEqual(baseline, restored) {
+			t.Fatalf("shards=%d: chained restore diverged:\n  baseline %+v\n  restored %+v",
+				shards, baseline, restored)
+		}
+	}
+}
+
+// Checkpointing at an instant with no special structure (between events,
+// mid-burst) must work as well as the aligned midpoints above.
+func TestCheckpointUnalignedInstant(t *testing.T) {
+	cfg := churnConfig(SchemeSRL, 23)
+	baseline := normalizeDiag(finishVia(t, cfg))
+	restored := normalizeDiag(finishVia(t, cfg, des.Seconds(1.234567)))
+	if !reflect.DeepEqual(baseline, restored) {
+		t.Fatalf("unaligned restore diverged:\n  baseline %+v\n  restored %+v", baseline, restored)
+	}
+}
+
+// TestSnapshotGuards pins the explicit refusals: unsupported
+// configurations and unstarted sessions fail with an error, not a corrupt
+// snapshot.
+func TestSnapshotGuards(t *testing.T) {
+	cfg := shardBaseConfig(3)
+	if _, err := NewSession(cfg).Snapshot(); err == nil {
+		t.Error("snapshot before Start did not fail")
+	}
+
+	ad := shardBaseConfig(3)
+	ad.Scheme = SchemeAdaptive
+	s := NewSession(ad)
+	s.Start()
+	if _, err := s.Snapshot(); err == nil {
+		t.Error("SchemeAdaptive snapshot did not fail")
+	}
+
+	vbr := shardBaseConfig(3)
+	vbr.Workload = WorkloadVBR
+	s = NewSession(vbr)
+	s.Start()
+	if _, err := s.Snapshot(); err == nil {
+		t.Error("WorkloadVBR snapshot did not fail")
+	}
+}
+
+// TestRestoreRejectsMismatch pins the sanity checks: a snapshot restored
+// under a different configuration, a wrong shard count, a truncated
+// stream, or a wrong version fails with an error.
+func TestRestoreRejectsMismatch(t *testing.T) {
+	cfg := shardBaseConfig(5)
+	s := NewCheckpointer(cfg)
+	s.Start()
+	s.RunTo(des.Second)
+	blob, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wrong := cfg
+	wrong.Seed = 6
+	if _, err := Restore(wrong, blob); err == nil {
+		t.Error("restore under a different seed did not fail")
+	}
+	sharded := cfg
+	sharded.Shards = 4
+	if _, err := Restore(sharded, blob); err == nil {
+		t.Error("restore of a sequential snapshot into a sharded session did not fail")
+	}
+	if _, err := Restore(cfg, blob[:len(blob)/2]); err == nil {
+		t.Error("restore of a truncated snapshot did not fail")
+	}
+	if _, err := Restore(cfg, []byte{0xff, 0xff, 0xff, 0xff}); err == nil {
+		t.Error("restore of garbage did not fail")
+	}
+
+	// The happy path still works after all the failed attempts above
+	// (Restore must not mutate shared state before validation passes).
+	restored, err := Restore(cfg, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := normalizeDiag(restored.Finish()), normalizeDiag(Run(cfg)); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restore after rejected attempts diverged:\n  got  %+v\n  want %+v", got, want)
+	}
+}
+
+// BenchmarkCheckpoint measures one snapshot+restore round trip on a
+// mid-size churn workload, for the overhead table in EXPERIMENTS.md §4.
+func BenchmarkCheckpoint(b *testing.B) {
+	cfg := churnConfig(SchemeSRL, 41)
+	s := NewCheckpointer(cfg)
+	s.Start()
+	s.RunTo(des.Time(cfg.Duration) / 2)
+	blob, err := s.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(blob)), "bytes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Restore(cfg, blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var _ = traffic.MixAudio // keep the import stable across edits

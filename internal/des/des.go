@@ -69,6 +69,12 @@ type event struct {
 	next     *event // bucket chain / free-list link
 	gen      uint32
 	canceled bool
+	// kind/arg identify the callback for snapshot/restore (snapshot.go):
+	// kind names the registered callback family, arg its per-engine
+	// component slot. KindNone marks events that cannot rehydrate —
+	// snapshotting an engine holding one is an error.
+	kind uint16
+	arg  uint32
 }
 
 // eventLess is the engine's total firing order (seq is unique, so the
@@ -156,6 +162,8 @@ func (e *Engine) alloc() *event {
 	}
 	ev.next = nil
 	ev.canceled = false
+	ev.kind = KindNone
+	ev.arg = 0
 	return ev
 }
 
@@ -181,6 +189,16 @@ func (e *Engine) Schedule(at Time, fn func()) Event {
 // coordinator uses it to materialise cross-shard messages under their
 // sender-side scheduling time; local simulation code should use Schedule.
 func (e *Engine) SchedulePrio(at, prio Time, fn func()) Event {
+	return e.SchedulePrioKind(at, prio, KindNone, 0, fn)
+}
+
+// SchedulePrioKind is SchedulePrio with a callback-kind tag (snapshot.go):
+// kind names the registered callback family and arg its component slot, so
+// the event can be serialized and rehydrated on restore. Components whose
+// events must survive a checkpoint schedule through the *Kind variants;
+// everything else keeps the untagged forms and is rejected at snapshot
+// time.
+func (e *Engine) SchedulePrioKind(at, prio Time, kind uint16, arg uint32, fn func()) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("des: scheduling at %v before now %v", at, e.now))
 	}
@@ -192,6 +210,8 @@ func (e *Engine) SchedulePrio(at, prio Time, fn func()) Event {
 	ev.prio = prio
 	ev.seq = e.seq
 	ev.fn = fn
+	ev.kind = kind
+	ev.arg = arg
 	e.seq++
 	e.pending++
 	e.insert(ev)
@@ -201,6 +221,16 @@ func (e *Engine) SchedulePrio(at, prio Time, fn func()) Event {
 // ScheduleIn enqueues fn to run d nanoseconds after Now. Negative d panics.
 func (e *Engine) ScheduleIn(d Duration, fn func()) Event {
 	return e.Schedule(e.now+d, fn)
+}
+
+// ScheduleKind is Schedule with a callback-kind tag (see SchedulePrioKind).
+func (e *Engine) ScheduleKind(at Time, kind uint16, arg uint32, fn func()) Event {
+	return e.SchedulePrioKind(at, e.now, kind, arg, fn)
+}
+
+// ScheduleInKind is ScheduleIn with a callback-kind tag.
+func (e *Engine) ScheduleInKind(d Duration, kind uint16, arg uint32, fn func()) Event {
+	return e.SchedulePrioKind(e.now+d, e.now, kind, arg, fn)
 }
 
 // Cancel prevents a scheduled event from firing. Canceling a stale or zero

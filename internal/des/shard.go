@@ -176,6 +176,7 @@ type Coordinator[P any] struct {
 
 	barriers  []Time     // ascending, distinct quiesce points
 	onBarrier func(Time) // runs with every engine quiesced at the time
+	bi        int        // next unfired barrier (persists across Run calls)
 
 	// Reusable per-epoch scratch.
 	active []int  // dispatch list
@@ -333,6 +334,7 @@ func (c *Coordinator[P]) AtBarriers(times []Time, fn func(Time)) {
 	}
 	c.barriers = append([]Time(nil), times...)
 	c.onBarrier = fn
+	c.bi = 0
 }
 
 // post validates and appends one record to the src→dst mailbox. Posting
@@ -537,7 +539,11 @@ func (c *Coordinator[P]) pairBounds() {
 // Run executes every event with firing time at or before deadline across
 // all shards, honouring the registered barriers, then leaves every
 // engine's clock at exactly deadline (the RunUntil contract). Events
-// beyond the deadline stay queued, as with RunUntil.
+// beyond the deadline stay queued, as with RunUntil — and Run may be
+// called again with a later deadline to continue, which is how sessions
+// pause at a checkpoint instant: every engine is globally quiesced at the
+// deadline between calls (a natural barrier), so a snapshot taken there
+// sees consistent cross-shard state.
 func (c *Coordinator[P]) Run(deadline Time) {
 	n := len(c.engines)
 	work := make([]chan Time, n)
@@ -557,7 +563,8 @@ func (c *Coordinator[P]) Run(deadline Time) {
 		}
 	}()
 
-	bi := 0
+	bi := c.bi
+	defer func() { c.bi = bi }()
 	for {
 		c.drain()
 		// Global minimum over engine queues AND pending buffers. Engines
@@ -676,4 +683,74 @@ func (c *Coordinator[P]) runEpoch(work []chan Time, done chan int) {
 		c.stallNum += nn*wmax - wsum
 		c.stallDen += nn * wmax
 	}
+}
+
+// Checkpoint support. Between Run calls every engine is quiesced at the
+// previous deadline and all cross-shard state lives in mailboxes and
+// pending buffers; CheckpointDrain folds the former into the latter so a
+// snapshot only has to serialize sorted pending records plus the per-src
+// counters and diagnostics below.
+
+// ShardRec is one serializable pending cross-shard record. Only payload
+// records serialize; a closure record in a pending buffer makes the run
+// unsnapshotable.
+type ShardRec[P any] struct {
+	At      Time
+	Lamport Time
+	Seq     uint64
+	Src     int32
+	Payload P
+}
+
+// CheckpointDrain moves every mailbox into its destination's sorted
+// pending buffer. Call only between Run calls (all engines quiesced).
+func (c *Coordinator[P]) CheckpointDrain() { c.drain() }
+
+// PendingRecords returns dst's pending cross-shard records in merge
+// order, or an error if any is a closure record (legacy Post path).
+func (c *Coordinator[P]) PendingRecords(dst int) ([]ShardRec[P], error) {
+	pq := &c.pend[dst]
+	out := make([]ShardRec[P], 0, len(pq.q))
+	for i := range pq.q {
+		r := &pq.q[i]
+		if r.kind != recPayload {
+			return nil, fmt.Errorf("des: pending closure record for shard %d at %v; this configuration cannot be snapshotted", dst, r.at)
+		}
+		out = append(out, ShardRec[P]{At: r.at, Lamport: r.lamport, Seq: r.seq, Src: r.src, Payload: r.payload})
+	}
+	return out, nil
+}
+
+// RestorePending installs dst's pending records (in the merge order
+// PendingRecords reported them). Call on a fresh coordinator before Run.
+func (c *Coordinator[P]) RestorePending(dst int, recs []ShardRec[P]) {
+	pq := &c.pend[dst]
+	pq.q = pq.q[:0]
+	for _, r := range recs {
+		pq.q = append(pq.q, rec[P]{at: r.At, lamport: r.Lamport, seq: r.Seq, src: r.Src, kind: recPayload, payload: r.Payload})
+	}
+}
+
+// SrcSeqs returns the per-source record counters (a copy).
+func (c *Coordinator[P]) SrcSeqs() []uint64 { return append([]uint64(nil), c.seq...) }
+
+// RestoreSrcSeqs installs the per-source record counters.
+func (c *Coordinator[P]) RestoreSrcSeqs(seqs []uint64) {
+	if len(seqs) != len(c.seq) {
+		panic("des: source-seq count mismatch on restore")
+	}
+	copy(c.seq, seqs)
+}
+
+// Diagnostics returns the coordinator's cumulative counters for
+// serialization: epochs, released messages, and the stall-share ratio's
+// numerator/denominator.
+func (c *Coordinator[P]) Diagnostics() (epochs, messages, stallNum, stallDen uint64) {
+	return c.epochs, c.messages, c.stallNum, c.stallDen
+}
+
+// RestoreDiagnostics installs previously captured counters so a restored
+// run's totals continue from the checkpoint.
+func (c *Coordinator[P]) RestoreDiagnostics(epochs, messages, stallNum, stallDen uint64) {
+	c.epochs, c.messages, c.stallNum, c.stallDen = epochs, messages, stallNum, stallDen
 }

@@ -1,0 +1,119 @@
+package des
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Checkpoint support: the engine can enumerate its pending events as
+// (at, prio, seq, kind, arg) records and be rebuilt from them.
+//
+// Closures do not serialize, so persistent events carry a callback-kind
+// tag from the registry below plus a small component argument (a slot
+// index in the session's component registry). A snapshot walks the queue
+// and emits the tagged records in seq order; a restore rebuilds the
+// immutable session structure (which re-creates the KindBuild events),
+// advances the clock with RestoreNow, and replays the runtime records
+// through SchedulePrioKind with the callback resolved from the component
+// the arg names. Replaying in original seq order hands out fresh,
+// ascending sequence numbers, which preserves every relative (at, prio,
+// seq) comparison — the firing order of the restored engine is exactly
+// the original's.
+//
+// The registry is append-only: kinds are stable format identifiers (they
+// appear in snapshot files), so new callback families take new numbers
+// and existing numbers never change meaning.
+const (
+	// KindNone marks an event that cannot rehydrate: snapshotting an
+	// engine that holds one fails. The zero value, so untagged Schedule
+	// calls stay snapshot-incompatible by default instead of silently
+	// misrestoring.
+	KindNone uint16 = iota
+	// KindBuild marks events the session build plane re-creates itself on
+	// restore (membership/fault/reopt schedules compiled from the config).
+	// They are skipped at snapshot time, not serialized.
+	KindBuild
+	// KindMuxDone is a MUX transmit-completion (arg = mux slot).
+	KindMuxDone
+	// KindSRRetry is a (σ,ρ) regulator token-wait retry (arg = regulator slot).
+	KindSRRetry
+	// KindSRLDone is a (σ,ρ,λ) transmit-completion (arg = regulator slot).
+	KindSRLDone
+	// KindSRLOn / KindSRLOff are (σ,ρ,λ) duty-cycle phase switches
+	// (arg = regulator slot).
+	KindSRLOn
+	KindSRLOff
+	// KindFlight is an in-flight packet delivery on a pure-delay path
+	// (arg = flight-pool node index; the payload is serialized separately).
+	KindFlight
+	// KindSrcCycle / KindSrcTick are extremal traffic-source callbacks
+	// (arg = group/flow index).
+	KindSrcCycle
+	KindSrcTick
+)
+
+// PendingEvent is one serializable queue entry.
+type PendingEvent struct {
+	At   Time
+	Prio Time
+	Seq  uint64
+	Kind uint16
+	Arg  uint32
+}
+
+// PendingEvents returns every live pending event in seq order, including
+// KindBuild events (callers filter those — they are rebuilt, not
+// replayed). An event with KindNone makes the engine unsnapshotable and
+// returns an error naming its firing time.
+func (e *Engine) PendingEvents() ([]PendingEvent, error) {
+	out := make([]PendingEvent, 0, e.pending)
+	add := func(ev *event) error {
+		if ev.canceled {
+			return nil
+		}
+		if ev.kind == KindNone {
+			return fmt.Errorf("des: pending event at %v has no callback kind; this configuration cannot be snapshotted", ev.at)
+		}
+		out = append(out, PendingEvent{At: ev.at, Prio: ev.prio, Seq: ev.seq, Kind: ev.kind, Arg: ev.arg})
+		return nil
+	}
+	for _, ev := range e.ready[e.readyHead:] {
+		if err := add(ev); err != nil {
+			return nil, err
+		}
+	}
+	for lvl := range e.levels {
+		l := &e.levels[lvl]
+		if l.count == 0 {
+			continue
+		}
+		for idx := range l.bucket {
+			for ev := l.bucket[idx]; ev != nil; ev = ev.next {
+				if err := add(ev); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for _, ev := range e.overflow.evs {
+		if err := add(ev); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	if len(out) != e.pending {
+		return nil, fmt.Errorf("des: queue walk found %d live events, engine counts %d", len(out), e.pending)
+	}
+	return out, nil
+}
+
+// RestoreNow advances the clock to the checkpoint instant without firing
+// anything — the restore step between rebuilding the session (which may
+// schedule KindBuild events beyond t) and replaying the serialized
+// runtime events. Moving the clock backwards panics.
+func (e *Engine) RestoreNow(t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("des: restoring clock to %v before now %v", t, e.now))
+	}
+	e.now = t
+}

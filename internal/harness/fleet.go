@@ -1,0 +1,362 @@
+package harness
+
+// The sweep fleet: ScenarioSweep farmed out to worker processes over a
+// shared work directory. The parent compiles the sweep plan, writes a
+// manifest pinning every plan input (scenario spec, resolved seed, load
+// grid, duration, shard count), and spawns N workers; each worker
+// rebuilds the identical plan from the manifest — newSweepPlan is a pure
+// function of its inputs — claims whole combos via O_EXCL claim files,
+// runs every load of a claimed combo, and writes the cells as one atomic
+// result file. The parent merges result files through the same aggregate
+// as the in-process sweep, so the merged ScenarioResult is byte-identical
+// to ScenarioSweep's (sweepCell carries only types that round-trip
+// bit-exactly through encoding/json).
+//
+// The directory is the whole protocol, which makes a killed sweep
+// resumable: re-running FleetSweep on the same directory validates the
+// manifest byte-for-byte, clears claims whose result never landed, and
+// workers skip combos whose results exist.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/des"
+	"repro/internal/scenario"
+)
+
+// FleetOptions configures a distributed sweep.
+type FleetOptions struct {
+	// Workers is the number of worker processes to spawn (default 1).
+	Workers int
+	// Dir is the shared work directory holding the manifest, claims, and
+	// results. Empty means a fresh temporary directory, removed after a
+	// successful merge — resumable sweeps need an explicit directory.
+	Dir string
+	// Spawn launches one worker against the work directory and blocks
+	// until it exits. Nil means re-exec this binary with
+	// "-fleet-worker <dir>" (the wdcsim entry point); tests inject an
+	// in-process worker.
+	Spawn func(dir string) error
+}
+
+// fleetManifest pins every input of the sweep plan. The parent writes it
+// once; a resume validates the existing file byte-for-byte, so two
+// invocations can never silently mix cells from different sweeps.
+type fleetManifest struct {
+	SchemaVersion int             `json:"schema_version"`
+	Scenario      json.RawMessage `json:"scenario"`
+	Seed          uint64          `json:"seed"`
+	Loads         []float64       `json:"loads"`
+	Combos        int             `json:"combos"`
+	Single        bool            `json:"single_hop"`
+	DurationNS    int64           `json:"duration_ns"`
+	NumHosts      int             `json:"num_hosts"`
+	Strategy      string          `json:"strategy"`
+	Shards        int             `json:"shards"`
+}
+
+// fleetComboResult is one worker's output for one combo: the cells for
+// every load, in load order.
+type fleetComboResult struct {
+	SchemaVersion int         `json:"schema_version"`
+	Combo         int         `json:"combo"`
+	Cells         []sweepCell `json:"cells"`
+}
+
+const fleetManifestName = "manifest.json"
+
+func fleetClaimPath(dir string, ci int) string {
+	return filepath.Join(dir, fmt.Sprintf("combo_%d.claim", ci))
+}
+
+func fleetResultPath(dir string, ci int) string {
+	return filepath.Join(dir, fmt.Sprintf("combo_%d.json", ci))
+}
+
+// writeFileAtomic writes via a temp file and rename, so readers only ever
+// see absent or complete result files — a killed worker leaves at worst a
+// stale .tmp, never a truncated result.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// fleetManifestFor captures the compiled plan and the original inputs.
+// Resolved values (seed, loads, duration, shards) go into the manifest
+// rather than raw options, so the worker's option precedence rules cannot
+// drift from what the parent actually ran.
+func fleetManifestFor(sc scenario.Scenario, opts Options, p *sweepPlan) (fleetManifest, error) {
+	spec, err := sc.JSON()
+	if err != nil {
+		return fleetManifest{}, err
+	}
+	var dur des.Duration
+	if p.single && len(p.shCfgs) > 0 {
+		dur = p.shCfgs[0].Duration
+	} else if len(p.cfgs) > 0 {
+		dur = p.cfgs[0].Duration
+	}
+	return fleetManifest{
+		SchemaVersion: SchemaVersion,
+		Scenario:      spec,
+		Seed:          p.seed,
+		Loads:         p.loads,
+		Combos:        len(p.combos),
+		Single:        p.single,
+		DurationNS:    int64(dur),
+		NumHosts:      opts.NumHosts,
+		Strategy:      opts.Strategy,
+		Shards:        p.shards,
+	}, nil
+}
+
+// planFromManifest rebuilds the sweep plan a manifest pins. Workers and
+// the resuming parent both come through here, so every party compiles
+// from the same inputs.
+func planFromManifest(m fleetManifest) (*sweepPlan, error) {
+	sc, err := scenario.Parse(m.Scenario)
+	if err != nil {
+		return nil, fmt.Errorf("harness: fleet manifest scenario: %w", err)
+	}
+	opts := Options{
+		Seed:     m.Seed,
+		Loads:    m.Loads,
+		NumHosts: m.NumHosts,
+		Strategy: m.Strategy,
+		Shards:   m.Shards,
+	}
+	if m.Single {
+		opts.SingleHopDuration = des.Duration(m.DurationNS)
+	} else {
+		opts.Duration = des.Duration(m.DurationNS)
+	}
+	p, err := newSweepPlan(sc, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.combos) != m.Combos || p.single != m.Single {
+		return nil, fmt.Errorf("harness: fleet manifest compiled to %d combos (single=%v), manifest says %d (single=%v)",
+			len(p.combos), p.single, m.Combos, m.Single)
+	}
+	return p, nil
+}
+
+// readFleetManifest loads and version-checks a work directory's manifest.
+func readFleetManifest(dir string) (fleetManifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, fleetManifestName))
+	if err != nil {
+		return fleetManifest{}, err
+	}
+	if err := checkSchemaVersion(data); err != nil {
+		return fleetManifest{}, err
+	}
+	var m fleetManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fleetManifest{}, fmt.Errorf("harness: fleet manifest does not parse: %w", err)
+	}
+	return m, nil
+}
+
+// prepareFleetDir writes the manifest into a fresh directory, or — on
+// resume — verifies the existing manifest matches byte-for-byte and
+// clears stale claims (a claim whose result never landed marks a combo a
+// killed worker was holding; removing it lets the next worker reclaim).
+func prepareFleetDir(dir string, m fleetManifest) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	want, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fleetManifestName)
+	existing, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		return writeFileAtomic(path, want)
+	case err != nil:
+		return err
+	}
+	if !bytes.Equal(existing, want) {
+		return fmt.Errorf("harness: fleet dir %s holds a different sweep's manifest; use a fresh directory", dir)
+	}
+	for ci := 0; ci < m.Combos; ci++ {
+		if _, err := os.Stat(fleetResultPath(dir, ci)); errors.Is(err, fs.ErrNotExist) {
+			if err := os.Remove(fleetClaimPath(dir, ci)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// fleetWorker is the worker loop: claim a combo nobody holds, run every
+// load of it, write the result atomically, repeat until no combo is left
+// unclaimed. maxCombos < 0 means unlimited; ran, when non-nil, observes
+// each combo this worker actually executed (tests count re-runs with it).
+func fleetWorker(dir string, maxCombos int, ran func(ci int)) error {
+	m, err := readFleetManifest(dir)
+	if err != nil {
+		return err
+	}
+	p, err := planFromManifest(m)
+	if err != nil {
+		return err
+	}
+	done := 0
+	for ci := range p.combos {
+		if maxCombos >= 0 && done >= maxCombos {
+			return nil
+		}
+		if _, err := os.Stat(fleetResultPath(dir, ci)); err == nil {
+			continue // another worker (or a previous run) finished this combo
+		}
+		claim, err := os.OpenFile(fleetClaimPath(dir, ci), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			if errors.Is(err, fs.ErrExist) {
+				continue // another live worker holds it
+			}
+			return err
+		}
+		claim.Close()
+		cells := make([]sweepCell, len(p.loads))
+		for li := range p.loads {
+			cells[li] = p.runCell(li*len(p.combos) + ci)
+		}
+		out, err := json.MarshalIndent(fleetComboResult{
+			SchemaVersion: SchemaVersion,
+			Combo:         ci,
+			Cells:         cells,
+		}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := writeFileAtomic(fleetResultPath(dir, ci), out); err != nil {
+			return err
+		}
+		if ran != nil {
+			ran(ci)
+		}
+		done++
+	}
+	return nil
+}
+
+// RunFleetWorker runs one fleet worker against a prepared work directory
+// until no unclaimed combo remains — the "-fleet-worker" entry point.
+func RunFleetWorker(dir string) error {
+	return fleetWorker(dir, -1, nil)
+}
+
+// defaultSpawn re-execs the current binary as a fleet worker; wdcsim
+// implements the flag. Worker stderr passes through for diagnostics.
+func defaultSpawn(dir string) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command(exe, "-fleet-worker", dir)
+	cmd.Stderr = os.Stderr
+	return cmd.Run()
+}
+
+// mergeFleet reads every combo result and reassembles the flat cell
+// array the in-process sweep would have produced.
+func mergeFleet(dir string, p *sweepPlan) ([]sweepCell, error) {
+	cells := make([]sweepCell, p.cellCount())
+	for ci := range p.combos {
+		data, err := os.ReadFile(fleetResultPath(dir, ci))
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("harness: fleet sweep incomplete: combo %d has no result (a worker died; re-run with the same -fleet-dir to resume)", ci)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := checkSchemaVersion(data); err != nil {
+			return nil, err
+		}
+		var res fleetComboResult
+		if err := json.Unmarshal(data, &res); err != nil {
+			return nil, fmt.Errorf("harness: fleet result %d does not parse: %w", ci, err)
+		}
+		if res.Combo != ci || len(res.Cells) != len(p.loads) {
+			return nil, fmt.Errorf("harness: fleet result %d is for combo %d with %d cells (want %d)",
+				ci, res.Combo, len(res.Cells), len(p.loads))
+		}
+		for li, c := range res.Cells {
+			cells[li*len(p.combos)+ci] = c
+		}
+	}
+	return cells, nil
+}
+
+// FleetSweep runs ScenarioSweep distributed across worker processes. The
+// merged result is byte-identical (through ScenarioResult.JSON) to the
+// in-process ScenarioSweep of the same scenario and options, and a sweep
+// killed partway resumes from its work directory without re-running
+// completed combos.
+func FleetSweep(sc scenario.Scenario, opts Options, fo FleetOptions) (ScenarioResult, error) {
+	p, err := newSweepPlan(sc, opts)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	dir := fo.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "wdcsim-fleet-")
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	m, err := fleetManifestFor(sc, opts, p)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	if err := prepareFleetDir(dir, m); err != nil {
+		return ScenarioResult{}, err
+	}
+
+	workers := fo.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	spawn := fo.Spawn
+	if spawn == nil {
+		spawn = defaultSpawn
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = spawn(dir)
+		}(w)
+	}
+	wg.Wait()
+
+	cells, err := mergeFleet(dir, p)
+	if err != nil {
+		// A worker failure explains the missing results better than the
+		// merge error alone.
+		for _, werr := range errs {
+			if werr != nil {
+				return ScenarioResult{}, fmt.Errorf("%w (worker: %v)", err, werr)
+			}
+		}
+		return ScenarioResult{}, err
+	}
+	return p.aggregate(cells), nil
+}

@@ -82,21 +82,60 @@ type ScenarioResult struct {
 	Shards int
 }
 
-// ScenarioSweep runs a scenario over its load grid with one engine per
-// (load, combo) cell, fanned out over the same worker pool as the figure
-// drivers and under the same determinism rules: the structural seed
-// (opts.Seed) pins network, membership, and trees across the whole sweep;
-// each load's traffic seed derives from (seed, load index) so combos at
-// one load stay paired; specs are built once and shared read-only.
-// Sequential and parallel execution are bit-identical.
-//
-// Precedence for the grid and duration: an explicit opts value beats the
-// scenario's own, which beats the defaults. The paper's Fig. 4/Fig. 6
-// drivers are the special case ScenarioSweep(Lookup("paper-fig4"/"-fig6"))
-// — pinned by tests in scenario_test.go.
-func ScenarioSweep(sc scenario.Scenario, opts Options) (ScenarioResult, error) {
+// sweepCell is one (load, combo) cell's raw measurements — the engine
+// outputs the sweep aggregates from. Fleet workers ship cells verbatim as
+// JSON (float64 values round-trip bit-exactly through encoding/json), so
+// a distributed sweep merges to the byte-identical result of an
+// in-process one. Slice nil-ness is significant (nil = the feature was
+// off), hence no omitempty.
+type sweepCell struct {
+	WDB        float64             `json:"wdb"`
+	Mean       float64             `json:"mean"`
+	Layers     int                 `json:"layers"`
+	Delivered  uint64              `json:"delivered"`
+	Lost       uint64              `json:"lost"`
+	Joins      int                 `json:"joins"`
+	Leaves     int                 `json:"leaves"`
+	Regrafts   int                 `json:"regrafts"`
+	Reopts     int                 `json:"reopts"`
+	ReoptMoves int                 `json:"reopt_moves"`
+	Windows    []float64           `json:"windows"`
+	WindowSec  float64             `json:"window_sec"`
+	Faults     []core.FaultOutcome `json:"faults"`
+	FaultLost  uint64              `json:"fault_lost"`
+	CutLost    uint64              `json:"cut_lost"`
+	Shards     int                 `json:"shards"`
+	Epochs     uint64              `json:"epochs"`
+	CrossMsgs  uint64              `json:"cross_shard_msgs"`
+	Stall      float64             `json:"stall_share"`
+}
+
+// sweepPlan is a fully compiled scenario sweep: the (possibly overridden)
+// scenario, the resolved grid and duration, shared specs and membership,
+// and one ready-to-run config per (load, combo) cell. Building the plan is
+// a pure function of (scenario, options), so a fleet worker handed the
+// same inputs compiles the identical plan — the basis of the distributed
+// sweep's merge-identical guarantee.
+type sweepPlan struct {
+	sc     scenario.Scenario
+	seed   uint64
+	loads  []float64
+	single bool
+	mix    traffic.Mix
+	specs  []core.FlowSpec
+	combos []scenario.Combo
+	shCfgs []core.SingleHopConfig // single-hop cells (nil otherwise)
+	cfgs   []core.Config          // multi-group cells (nil for single-hop)
+	shards int                    // resolved per-run shard count (AutoShards applied)
+}
+
+// newSweepPlan validates and compiles the sweep: option overrides applied,
+// grid and duration resolved, specs and membership materialised once, and
+// every cell's config built up front so configuration errors surface
+// before any engine runs.
+func newSweepPlan(sc scenario.Scenario, opts Options) (*sweepPlan, error) {
 	if err := sc.Validate(); err != nil {
-		return ScenarioResult{}, err
+		return nil, err
 	}
 	seed := opts.Seed
 	if seed == 0 {
@@ -124,7 +163,7 @@ func ScenarioSweep(sc scenario.Scenario, opts Options) (ScenarioResult, error) {
 		}
 		sc.Combos = combos
 		if err := sc.Validate(); err != nil {
-			return ScenarioResult{}, err
+			return nil, err
 		}
 	}
 	// An explicitly passed grid beats the scenario's own, which beats the
@@ -153,161 +192,174 @@ func ScenarioSweep(sc scenario.Scenario, opts Options) (ScenarioResult, error) {
 
 	mix, err := sc.ParseMix()
 	if err != nil {
-		return ScenarioResult{}, err
+		return nil, err
 	}
 	workload, err := sc.ParseWorkload()
 	if err != nil {
-		return ScenarioResult{}, err
+		return nil, err
 	}
 	specs := core.DefaultSpecsN(workload, mix, sc.GroupCount(), seed)
 
-	res := ScenarioResult{Scenario: sc, Loads: loads}
-	for _, c := range sc.Combos {
+	p := &sweepPlan{sc: sc, seed: seed, loads: loads, single: single,
+		mix: mix, specs: specs, combos: sc.Combos}
+	n := len(loads) * len(p.combos)
+	if single {
+		p.shCfgs = make([]core.SingleHopConfig, n)
+		for i := range p.shCfgs {
+			li, ci := i/len(p.combos), i%len(p.combos)
+			p.shCfgs[i], err = sc.SingleHopConfig(p.combos[ci], loads[li], seed,
+				core.UseSeed(DeriveSeed(seed, li)), dur, specs)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
+	}
+	// Membership is a pure function of (scenario, seed): materialise
+	// it once and share it read-only across every cell.
+	groups := sc.Groups(seed)
+	p.cfgs = make([]core.Config, n)
+	for i := range p.cfgs {
+		li, ci := i/len(p.combos), i%len(p.combos)
+		p.cfgs[i], err = sc.SessionConfig(p.combos[ci], loads[li], seed,
+			core.UseSeed(DeriveSeed(seed, li)), dur, specs, groups)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opts.AutoShards && n > 0 {
+		// Tune on the heaviest cell (last load, last combo): stall share
+		// is a load-balance property, and the heaviest cell is where an
+		// imbalanced partition hurts most.
+		best, _ := core.AutoTuneShards(p.cfgs[n-1], nil, 0)
+		opts.Shards = best
+	}
+	if opts.Shards > 1 {
+		p.shards = opts.Shards
+		for i := range p.cfgs {
+			p.cfgs[i].Shards = opts.Shards
+		}
+	}
+	return p, nil
+}
+
+// cellCount is the number of (load, combo) cells in the sweep.
+func (p *sweepPlan) cellCount() int { return len(p.loads) * len(p.combos) }
+
+// runCell executes cell i = load-index × combos + combo-index — pure:
+// the same plan and index give the bit-identical cell anywhere.
+func (p *sweepPlan) runCell(i int) sweepCell {
+	if p.single {
+		r := core.RunSingleHop(p.shCfgs[i])
+		assertSpecsMatch(p.specs, r.Specs, p.shCfgs[i].Load)
+		return sweepCell{WDB: r.WDB, Mean: r.MeanDelay, Delivered: r.Delivered}
+	}
+	r := core.Run(p.cfgs[i])
+	assertSpecsMatch(p.specs, r.Specs, p.cfgs[i].Load)
+	return sweepCell{WDB: r.WDB, Mean: r.MeanDelay, Layers: r.Layers,
+		Delivered: r.Delivered, Lost: r.Lost,
+		Joins: r.Joins, Leaves: r.Leaves, Regrafts: r.Regrafts,
+		Reopts: r.Reopts, ReoptMoves: r.ReoptMoves,
+		Windows: r.WindowMax, WindowSec: r.WindowSec,
+		Faults: r.Faults, FaultLost: r.FaultLost, CutLost: r.CutLost,
+		Shards: r.Shards, Epochs: r.Epochs, CrossMsgs: r.CrossShardMsgs,
+		Stall: r.StallShare}
+}
+
+// aggregate folds the cells into the sweep result — shared verbatim
+// between the in-process sweep and the fleet merge, so both emit the same
+// bytes from the same cells.
+func (p *sweepPlan) aggregate(cells []sweepCell) ScenarioResult {
+	res := ScenarioResult{Scenario: p.sc, Loads: p.loads}
+	for _, c := range p.combos {
 		res.Curves = append(res.Curves, ScenarioCurve{
 			Combo:     c,
 			WDB:       &stats.Series{Name: c.String()},
 			MeanDelay: &stats.Series{Name: c.String() + " mean"},
-			Layers:    make([]int, len(loads)),
-			Bound:     make([]float64, len(loads)),
-			Lost:      make([]uint64, len(loads)),
+			Layers:    make([]int, len(p.loads)),
+			Bound:     make([]float64, len(p.loads)),
+			Lost:      make([]uint64, len(p.loads)),
 		})
 	}
-
-	combos := sc.Combos
-	type cell struct {
-		wdb, mean  float64
-		layers     int
-		delivered  uint64
-		lost       uint64
-		joins      int
-		leaves     int
-		regrafts   int
-		reopts     int
-		reoptMoves int
-		windows    []float64
-		windowSec  float64
-		faults     []core.FaultOutcome
-		faultLost  uint64
-		cutLost    uint64
-		shards     int
-		epochs     uint64
-		crossMsgs  uint64
-		stall      float64
-	}
-	cells := make([]cell, len(loads)*len(combos))
-
-	// Compile every cell's config up front: configuration errors surface
-	// before any engine runs, and the worker job body stays pure.
-	if single {
-		cfgs := make([]core.SingleHopConfig, len(cells))
-		for i := range cells {
-			li, ci := i/len(combos), i%len(combos)
-			cfgs[i], err = sc.SingleHopConfig(combos[ci], loads[li], seed,
-				core.UseSeed(DeriveSeed(seed, li)), dur, specs)
-			if err != nil {
-				return ScenarioResult{}, err
-			}
-		}
-		runJobs(len(cells), opts, func(i int) {
-			r := core.RunSingleHop(cfgs[i])
-			assertSpecsMatch(specs, r.Specs, cfgs[i].Load)
-			cells[i] = cell{wdb: r.WDB, mean: r.MeanDelay, delivered: r.Delivered}
-		})
-	} else {
-		// Membership is a pure function of (scenario, seed): materialise
-		// it once and share it read-only across every cell.
-		groups := sc.Groups(seed)
-		cfgs := make([]core.Config, len(cells))
-		for i := range cells {
-			li, ci := i/len(combos), i%len(combos)
-			cfgs[i], err = sc.SessionConfig(combos[ci], loads[li], seed,
-				core.UseSeed(DeriveSeed(seed, li)), dur, specs, groups)
-			if err != nil {
-				return ScenarioResult{}, err
-			}
-		}
-		if opts.AutoShards && len(cfgs) > 0 {
-			// Tune on the heaviest cell (last load, last combo): stall share
-			// is a load-balance property, and the heaviest cell is where an
-			// imbalanced partition hurts most.
-			best, _ := core.AutoTuneShards(cfgs[len(cfgs)-1], nil, 0)
-			opts.Shards = best
-		}
-		if opts.Shards > 1 {
-			for i := range cfgs {
-				cfgs[i].Shards = opts.Shards
-			}
-		}
-		runJobs(len(cells), opts, func(i int) {
-			r := core.Run(cfgs[i])
-			assertSpecsMatch(specs, r.Specs, cfgs[i].Load)
-			cells[i] = cell{wdb: r.WDB, mean: r.MeanDelay, layers: r.Layers,
-				delivered: r.Delivered, lost: r.Lost,
-				joins: r.Joins, leaves: r.Leaves, regrafts: r.Regrafts,
-				reopts: r.Reopts, reoptMoves: r.ReoptMoves,
-				windows: r.WindowMax, windowSec: r.WindowSec,
-				faults: r.Faults, faultLost: r.FaultLost, cutLost: r.CutLost,
-				shards: r.Shards, epochs: r.Epochs, crossMsgs: r.CrossShardMsgs,
-				stall: r.StallShare}
-		})
-	}
-
-	for li, load := range loads {
-		for ci := range combos {
-			c := cells[li*len(combos)+ci]
-			res.Curves[ci].WDB.Add(load, c.wdb)
-			res.Curves[ci].MeanDelay.Add(load, c.mean)
-			res.Curves[ci].Layers[li] = c.layers
-			res.Curves[ci].Lost[li] = c.lost
-			if c.windows != nil {
+	for li, load := range p.loads {
+		for ci := range p.combos {
+			c := cells[li*len(p.combos)+ci]
+			res.Curves[ci].WDB.Add(load, c.WDB)
+			res.Curves[ci].MeanDelay.Add(load, c.Mean)
+			res.Curves[ci].Layers[li] = c.Layers
+			res.Curves[ci].Lost[li] = c.Lost
+			if c.Windows != nil {
 				if res.Curves[ci].WindowMax == nil {
-					res.Curves[ci].WindowMax = make([][]float64, len(loads))
+					res.Curves[ci].WindowMax = make([][]float64, len(p.loads))
 				}
-				res.Curves[ci].WindowMax[li] = c.windows
-				res.Curves[ci].WindowSec = c.windowSec
+				res.Curves[ci].WindowMax[li] = c.Windows
+				res.Curves[ci].WindowSec = c.WindowSec
 			}
-			res.Curves[ci].Reopts += c.reopts
-			res.Curves[ci].ReoptMoves += c.reoptMoves
-			if c.shards > 1 {
+			res.Curves[ci].Reopts += c.Reopts
+			res.Curves[ci].ReoptMoves += c.ReoptMoves
+			if c.Shards > 1 {
 				if res.Curves[ci].Shards == nil {
-					res.Curves[ci].Shards = make([]int, len(loads))
-					res.Curves[ci].Epochs = make([]uint64, len(loads))
-					res.Curves[ci].CrossShardMsgs = make([]uint64, len(loads))
-					res.Curves[ci].StallShare = make([]float64, len(loads))
+					res.Curves[ci].Shards = make([]int, len(p.loads))
+					res.Curves[ci].Epochs = make([]uint64, len(p.loads))
+					res.Curves[ci].CrossShardMsgs = make([]uint64, len(p.loads))
+					res.Curves[ci].StallShare = make([]float64, len(p.loads))
 				}
-				res.Curves[ci].Shards[li] = c.shards
-				res.Curves[ci].Epochs[li] = c.epochs
-				res.Curves[ci].CrossShardMsgs[li] = c.crossMsgs
-				res.Curves[ci].StallShare[li] = c.stall
-				if c.shards > res.Shards {
-					res.Shards = c.shards
+				res.Curves[ci].Shards[li] = c.Shards
+				res.Curves[ci].Epochs[li] = c.Epochs
+				res.Curves[ci].CrossShardMsgs[li] = c.CrossMsgs
+				res.Curves[ci].StallShare[li] = c.Stall
+				if c.Shards > res.Shards {
+					res.Shards = c.Shards
 				}
 			}
-			if c.faults != nil {
+			if c.Faults != nil {
 				if res.Curves[ci].Faults == nil {
-					res.Curves[ci].Faults = make([][]core.FaultOutcome, len(loads))
-					res.Curves[ci].CutLost = make([]uint64, len(loads))
+					res.Curves[ci].Faults = make([][]core.FaultOutcome, len(p.loads))
+					res.Curves[ci].CutLost = make([]uint64, len(p.loads))
 				}
-				res.Curves[ci].Faults[li] = c.faults
-				res.Curves[ci].CutLost[li] = c.cutLost
-				res.FaultLost += c.faultLost
-				res.CutLost += c.cutLost
+				res.Curves[ci].Faults[li] = c.Faults
+				res.Curves[ci].CutLost[li] = c.CutLost
+				res.FaultLost += c.FaultLost
+				res.CutLost += c.CutLost
 			}
-			bound := theoryBound(sc, combos[ci], mix, specs, load, c.layers)
+			bound := theoryBound(p.sc, p.combos[ci], p.mix, p.specs, load, c.Layers)
 			res.Curves[ci].Bound[li] = bound
-			if bound > 0 && c.wdb > bound {
+			if bound > 0 && c.WDB > bound {
 				res.Curves[ci].Violations++
 			}
-			res.Delivered += c.delivered
-			res.Lost += c.lost
-			res.Joins += c.joins
-			res.Leaves += c.leaves
-			res.Regrafts += c.regrafts
-			res.Reopts += c.reopts
-			res.ReoptMoves += c.reoptMoves
+			res.Delivered += c.Delivered
+			res.Lost += c.Lost
+			res.Joins += c.Joins
+			res.Leaves += c.Leaves
+			res.Regrafts += c.Regrafts
+			res.Reopts += c.Reopts
+			res.ReoptMoves += c.ReoptMoves
 		}
 	}
-	return res, nil
+	return res
+}
+
+// ScenarioSweep runs a scenario over its load grid with one engine per
+// (load, combo) cell, fanned out over the same worker pool as the figure
+// drivers and under the same determinism rules: the structural seed
+// (opts.Seed) pins network, membership, and trees across the whole sweep;
+// each load's traffic seed derives from (seed, load index) so combos at
+// one load stay paired; specs are built once and shared read-only.
+// Sequential and parallel execution are bit-identical, as is a
+// distributed FleetSweep of the same scenario and options.
+//
+// Precedence for the grid and duration: an explicit opts value beats the
+// scenario's own, which beats the defaults. The paper's Fig. 4/Fig. 6
+// drivers are the special case ScenarioSweep(Lookup("paper-fig4"/"-fig6"))
+// — pinned by tests in scenario_test.go.
+func ScenarioSweep(sc scenario.Scenario, opts Options) (ScenarioResult, error) {
+	p, err := newSweepPlan(sc, opts)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	cells := make([]sweepCell, p.cellCount())
+	runJobs(len(cells), opts, func(i int) { cells[i] = p.runCell(i) })
+	return p.aggregate(cells), nil
 }
 
 // theoryBound computes the closed-form worst-case multicast delay for one
@@ -522,27 +574,35 @@ func (r ScenarioResult) Summary() string {
 	return out
 }
 
-// scenarioJSON is the machine-readable sweep record, the structured
+// SchemaVersion is stamped into every machine-readable harness record —
+// sweep records, fleet manifests, and fleet combo results. Decoders
+// reject records whose version is missing or unknown instead of
+// misreading a future layout; bump it on any breaking field change.
+const SchemaVersion = 1
+
+// ScenarioRecord is the machine-readable sweep record, the structured
 // counterpart of Table/Summary so bench and CI tooling stops scraping
 // text tables.
-type scenarioJSON struct {
-	Scenario  string             `json:"scenario"`
-	Kind      string             `json:"kind"`
-	Loads     []float64          `json:"loads"`
-	Delivered uint64             `json:"delivered"`
-	Joins     int                `json:"joins,omitempty"`
-	Leaves    int                `json:"leaves,omitempty"`
-	Regrafts  int                `json:"regrafts,omitempty"`
-	Lost      uint64             `json:"lost,omitempty"`
-	Reopts    int                `json:"reopts,omitempty"`
-	Moves     int                `json:"reopt_moves,omitempty"`
-	FaultLost uint64             `json:"fault_lost,omitempty"`
-	CutLost   uint64             `json:"cut_lost,omitempty"`
-	Shards    int                `json:"shards,omitempty"`
-	Curves    []scenarioCurveRec `json:"curves"`
+type ScenarioRecord struct {
+	SchemaVersion int                   `json:"schema_version"`
+	Scenario      string                `json:"scenario"`
+	Kind          string                `json:"kind"`
+	Loads         []float64             `json:"loads"`
+	Delivered     uint64                `json:"delivered"`
+	Joins         int                   `json:"joins,omitempty"`
+	Leaves        int                   `json:"leaves,omitempty"`
+	Regrafts      int                   `json:"regrafts,omitempty"`
+	Lost          uint64                `json:"lost,omitempty"`
+	Reopts        int                   `json:"reopts,omitempty"`
+	Moves         int                   `json:"reopt_moves,omitempty"`
+	FaultLost     uint64                `json:"fault_lost,omitempty"`
+	CutLost       uint64                `json:"cut_lost,omitempty"`
+	Shards        int                   `json:"shards,omitempty"`
+	Curves        []ScenarioCurveRecord `json:"curves"`
 }
 
-type scenarioCurveRec struct {
+// ScenarioCurveRecord is one combo's slice of a ScenarioRecord.
+type ScenarioCurveRecord struct {
 	Combo      string      `json:"combo"`
 	Strategy   string      `json:"strategy,omitempty"`
 	WDB        []float64   `json:"wdb"`
@@ -574,23 +634,24 @@ func (r ScenarioResult) JSON() ([]byte, error) {
 	if kind == "" {
 		kind = string(scenario.KindMultiGroup)
 	}
-	rec := scenarioJSON{
-		Scenario:  r.Scenario.Name,
-		Kind:      kind,
-		Loads:     r.Loads,
-		Delivered: r.Delivered,
-		Joins:     r.Joins,
-		Leaves:    r.Leaves,
-		Regrafts:  r.Regrafts,
-		Lost:      r.Lost,
-		Reopts:    r.Reopts,
-		Moves:     r.ReoptMoves,
-		FaultLost: r.FaultLost,
-		CutLost:   r.CutLost,
-		Shards:    r.Shards,
+	rec := ScenarioRecord{
+		SchemaVersion: SchemaVersion,
+		Scenario:      r.Scenario.Name,
+		Kind:          kind,
+		Loads:         r.Loads,
+		Delivered:     r.Delivered,
+		Joins:         r.Joins,
+		Leaves:        r.Leaves,
+		Regrafts:      r.Regrafts,
+		Lost:          r.Lost,
+		Reopts:        r.Reopts,
+		Moves:         r.ReoptMoves,
+		FaultLost:     r.FaultLost,
+		CutLost:       r.CutLost,
+		Shards:        r.Shards,
 	}
 	for _, c := range r.Curves {
-		rec.Curves = append(rec.Curves, scenarioCurveRec{
+		rec.Curves = append(rec.Curves, ScenarioCurveRecord{
 			Combo:          c.Combo.String(),
 			Strategy:       strategyName(r.Scenario, c.Combo),
 			WDB:            c.WDB.Y,
@@ -610,4 +671,38 @@ func (r ScenarioResult) JSON() ([]byte, error) {
 		})
 	}
 	return json.MarshalIndent(rec, "", "  ")
+}
+
+// checkSchemaVersion probes a harness JSON record's schema_version field
+// and rejects a missing or unknown version before the caller decodes the
+// body — the guard every harness record decoder shares.
+func checkSchemaVersion(data []byte) error {
+	var probe struct {
+		SchemaVersion *int `json:"schema_version"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return fmt.Errorf("harness: record does not parse: %w", err)
+	}
+	if probe.SchemaVersion == nil {
+		return fmt.Errorf("harness: record has no schema_version (want %d)", SchemaVersion)
+	}
+	if *probe.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("harness: record schema_version %d not supported (want %d)",
+			*probe.SchemaVersion, SchemaVersion)
+	}
+	return nil
+}
+
+// DecodeScenarioJSON parses a record produced by ScenarioResult.JSON. It
+// rejects records whose schema_version is missing or unknown, so tooling
+// fails loudly on a layout it was not built for.
+func DecodeScenarioJSON(data []byte) (ScenarioRecord, error) {
+	if err := checkSchemaVersion(data); err != nil {
+		return ScenarioRecord{}, err
+	}
+	var rec ScenarioRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return ScenarioRecord{}, fmt.Errorf("harness: scenario record does not parse: %w", err)
+	}
+	return rec, nil
 }

@@ -1,0 +1,82 @@
+package harness
+
+// SnapshotDiff is the checkpoint/restore differential harness: for every
+// combo of a scenario sweep it runs the heaviest-load cell straight
+// through, then again with a snapshot + restore at the halfway instant,
+// and demands the two Results match bit for bit. CI drives it through
+// "wdcsim -snapshot-diff" (make snapshot) so the restore contract is
+// checked on real scenario workloads, not just the core unit fixtures.
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/scenario"
+)
+
+// snapshotNormalize zeroes the coordinator's load-balance diagnostics.
+// Epoch count and stall share depend on how a run is sliced into Run
+// calls — RunTo(mid) clamps epoch ends at mid even without a snapshot —
+// so they sit outside the bit-identity contract, which covers the
+// physics: every delivery statistic, loss counter, window entry, and
+// fault outcome.
+func snapshotNormalize(res core.Result) core.Result {
+	res.Epochs = 0
+	res.StallShare = 0
+	return res
+}
+
+// SnapshotDiff checks run-to-end against run-to-half → snapshot →
+// restore → run-to-end for each combo of the scenario at its heaviest
+// load, and returns one report line per combo. Combos whose
+// configuration cannot snapshot (adaptive scheme, VBR workload) are
+// reported as skipped. A non-nil error means at least one combo
+// diverged — the restore contract is broken.
+func SnapshotDiff(sc scenario.Scenario, opts Options) ([]string, error) {
+	p, err := newSweepPlan(sc, opts)
+	if err != nil {
+		return nil, err
+	}
+	if p.single {
+		return nil, fmt.Errorf("harness: scenario %s is single-hop: no session state to snapshot", p.sc.Name)
+	}
+	if len(p.loads) == 0 || len(p.combos) == 0 {
+		return nil, fmt.Errorf("harness: scenario %s has an empty sweep", p.sc.Name)
+	}
+	li := len(p.loads) - 1
+	var lines []string
+	var diverged int
+	for ci, combo := range p.combos {
+		cfg := p.cfgs[li*len(p.combos)+ci]
+		mid := des.Time(cfg.Duration) / 2
+
+		ck := core.NewCheckpointer(cfg)
+		ck.Start()
+		ck.RunTo(mid)
+		blob, err := ck.Snapshot()
+		if err != nil {
+			lines = append(lines, fmt.Sprintf("%v @ load %.2f: skipped (%v)", combo, p.loads[li], err))
+			continue
+		}
+		restored, err := core.Restore(cfg, blob)
+		if err != nil {
+			return lines, fmt.Errorf("harness: %v: restore failed: %w", combo, err)
+		}
+		got := snapshotNormalize(restored.Finish())
+		want := snapshotNormalize(core.Run(cfg))
+		if !reflect.DeepEqual(got, want) {
+			diverged++
+			lines = append(lines, fmt.Sprintf("%v @ load %.2f: DIVERGED after restore at %v (snapshot %d bytes)",
+				combo, p.loads[li], mid, len(blob)))
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("%v @ load %.2f: identical (%d deliveries, snapshot %d bytes, shards %d)",
+			combo, p.loads[li], want.Delivered, len(blob), cfg.Shards))
+	}
+	if diverged > 0 {
+		return lines, fmt.Errorf("harness: scenario %s: %d combo(s) diverged after checkpoint/restore", p.sc.Name, diverged)
+	}
+	return lines, nil
+}

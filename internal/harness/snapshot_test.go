@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/scenario"
+)
+
+// TestSnapshotDiffScenarios runs the differential harness over the
+// scenario workloads CI exercises: every combo must restore
+// bit-identically, sequential and sharded.
+func TestSnapshotDiffScenarios(t *testing.T) {
+	for _, name := range []string{"waxman-zipf-16", "churn-waxman-16", "outage-waxman-16"} {
+		for _, shards := range []int{1, 4} {
+			lines, err := SnapshotDiff(scenario.MustLookup(name).Quick(), Options{Seed: 2, Shards: shards})
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v\n%s", name, shards, err, strings.Join(lines, "\n"))
+			}
+			for _, l := range lines {
+				if !strings.Contains(l, "identical") {
+					t.Errorf("%s shards=%d: combo not verified: %s", name, shards, l)
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotDiffSkipsUnsupported pins the skip path: an adaptive-scheme
+// combo cannot snapshot, and the diff reports it as skipped instead of
+// failing the scenario.
+func TestSnapshotDiffSkipsUnsupported(t *testing.T) {
+	sc := scenario.MustLookup("waxman-zipf-16").Quick()
+	sc.Combos = append([]scenario.Combo(nil), sc.Combos...)
+	sc.Combos = append(sc.Combos, scenario.Combo{Scheme: "adaptive"})
+	lines, err := SnapshotDiff(sc, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var skipped bool
+	for _, l := range lines {
+		skipped = skipped || strings.Contains(l, "skipped")
+	}
+	if !skipped {
+		t.Fatalf("adaptive combo was not reported as skipped:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// BenchmarkSnapshotRoundTrip measures one snapshot + restore cycle on the
+// 100k-host stress benchmark, at a shortened horizon so the checkpoint
+// carries a realistic mid-run state without a minutes-long setup. The
+// bytes metric records the snapshot size.
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	sc := scenario.MustLookup("waxman-zipf-512")
+	p, err := newSweepPlan(sc, Options{Seed: 1, Duration: des.Duration(des.Seconds(0.5))})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := p.cfgs[len(p.cfgs)-1]
+	ck := core.NewCheckpointer(cfg)
+	ck.Start()
+	ck.RunTo(des.Time(cfg.Duration) / 2)
+	blob, err := ck.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(blob)), "bytes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ck.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Restore(cfg, blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -82,6 +82,7 @@ type Mux struct {
 	seq      uint64
 	rrNext   int              // next FLOW id (not slot) in round-robin order
 	cur      entry            // entry in transmission (valid while busy)
+	snapArg  uint32           // component slot for snapshot event tags
 	done     func()           // stored transmit-completion callback
 	Delay    stats.Welford    // queueing+transmission delay per packet
 	MaxWait  stats.MaxTracker // worst per-packet delay, tagged by packet ID
@@ -278,7 +279,7 @@ func (m *Mux) serve() {
 	}
 	m.bits -= e.p.Size
 	m.cur = e
-	m.eng.ScheduleIn(des.Seconds(e.p.Size/m.c), m.done)
+	m.eng.ScheduleInKind(des.Seconds(e.p.Size/m.c), des.KindMuxDone, m.snapArg, m.done)
 }
 
 func (m *Mux) compact(i int) {

@@ -38,10 +38,17 @@ type flightPool struct {
 	eng     *des.Engine
 	free    *flightNode
 	deliver func(transit)
+	// Checkpoint support: a pool with a non-zero kind tags its events and
+	// tracks every node it ever allocated, indexed by the node's idx — the
+	// event arg — so a snapshot can read the in-flight transit a pending
+	// event refers to. Untagged pools stay snapshot-incompatible.
+	kind  uint16
+	nodes []*flightNode
 }
 
 type flightNode struct {
 	tr   transit
+	idx  uint32
 	next *flightNode
 	fire func()
 }
@@ -50,11 +57,11 @@ func newFlightPool(eng *des.Engine, deliver func(transit)) *flightPool {
 	return &flightPool{eng: eng, deliver: deliver}
 }
 
-// send schedules tr for delivery after d.
-func (fp *flightPool) send(d des.Duration, tr transit) {
+func (fp *flightPool) alloc() *flightNode {
 	n := fp.free
 	if n == nil {
-		n = &flightNode{}
+		n = &flightNode{idx: uint32(len(fp.nodes))}
+		fp.nodes = append(fp.nodes, n)
 		n.fire = func() {
 			tr := n.tr
 			n.tr = transit{} // drop the packet reference while pooled
@@ -65,8 +72,26 @@ func (fp *flightPool) send(d des.Duration, tr transit) {
 	} else {
 		fp.free = n.next
 	}
+	return n
+}
+
+// send schedules tr for delivery after d.
+func (fp *flightPool) send(d des.Duration, tr transit) {
+	n := fp.alloc()
 	n.tr = tr
-	fp.eng.ScheduleIn(d, n.fire)
+	if fp.kind != 0 {
+		fp.eng.ScheduleInKind(d, fp.kind, n.idx, n.fire)
+	} else {
+		fp.eng.ScheduleIn(d, n.fire)
+	}
+}
+
+// restore re-schedules a serialized in-flight delivery under its original
+// (at, prio) stamps; the fresh node index becomes the event's new arg.
+func (fp *flightPool) restore(at, prio des.Time, tr transit) {
+	n := fp.alloc()
+	n.tr = tr
+	fp.eng.SchedulePrioKind(at, prio, fp.kind, n.idx, n.fire)
 }
 
 // Pipe is a fixed-latency, infinite-capacity conduit.
@@ -252,6 +277,10 @@ func NewFabric(eng *des.Engine, net *topo.Network, cfg FabricConfig) *Fabric {
 		drop:      cfg.Drop,
 	}
 	f.pipes = newFlightPool(eng, func(tr transit) { f.deliver(tr.dst, tr.p) })
+	// PipeTransit flights are the only netsim events a checkpoint must
+	// carry, so only the pipe pool is tagged; QueuedTransit runs stay
+	// snapshot-incompatible (their link events hold closures).
+	f.pipes.kind = des.KindFlight
 	f.uplinks = newFlightPool(eng, func(tr transit) { f.arriveAtRouter(tr.via, tr) })
 	if cfg.Mode == QueuedTransit {
 		if cfg.AccessCapacity <= 0 {
@@ -329,6 +358,19 @@ func (f *Fabric) arriveAtRouter(r topo.NodeID, tr transit) {
 // shard's coordinator uses for cross-shard arrivals at their scheduled
 // time.
 func (f *Fabric) Deliver(host int, p traffic.Packet) { f.deliver(host, p) }
+
+// PendingFlight reads the in-flight delivery a pending KindFlight event
+// (by its arg) refers to, for serialization.
+func (f *Fabric) PendingFlight(arg uint32) (dst int, p traffic.Packet) {
+	tr := f.pipes.nodes[arg].tr
+	return tr.dst, tr.p
+}
+
+// RestoreFlight re-schedules a serialized in-flight delivery under its
+// original (at, prio) stamps.
+func (f *Fabric) RestoreFlight(at, prio des.Time, dst int, p traffic.Packet) {
+	f.pipes.restore(at, prio, transit{p: p, dst: dst})
+}
 
 func (f *Fabric) deliver(host int, p traffic.Packet) {
 	f.Delivered++

@@ -1,0 +1,59 @@
+package overlay
+
+import (
+	"sort"
+
+	"repro/internal/snap"
+)
+
+// Checkpoint support. A tree serializes as its member list plus its edge
+// lists: parents in ascending order, each parent's children in child-
+// slice order. Restoring replays the edges through setParent, which is
+// the only constructor of parent/child entries, so the rebuilt maps
+// match the originals exactly — including the child-slice orderings the
+// session's compiled forwarding fan-out depends on, and the absent
+// parent entries that mark detached subtree roots.
+
+// Snapshot appends the tree's full structure to the open record.
+func (t *Tree) Snapshot(w *snap.Writer) {
+	w.I64(int64(t.Source))
+	w.Len(len(t.Members))
+	for _, m := range t.Members {
+		w.I64(int64(m))
+	}
+	parents := make([]int, 0, len(t.child))
+	for p := range t.child {
+		parents = append(parents, p)
+	}
+	sort.Ints(parents)
+	w.Len(len(parents))
+	for _, p := range parents {
+		w.I64(int64(p))
+		w.Len(len(t.child[p]))
+		for _, c := range t.child[p] {
+			w.I64(int64(c))
+		}
+	}
+}
+
+// RestoreTree rebuilds a tree written by Snapshot.
+func RestoreTree(r *snap.Reader) *Tree {
+	source := int(r.I64())
+	members := make([]int, r.Len())
+	for i := range members {
+		members[i] = int(r.I64())
+	}
+	t := newTree(source, members)
+	np := r.Len()
+	for i := 0; i < np; i++ {
+		p := int(r.I64())
+		nc := r.Len()
+		for j := 0; j < nc; j++ {
+			if r.Err() != nil {
+				return t
+			}
+			t.setParent(int(r.I64()), p)
+		}
+	}
+	return t
+}

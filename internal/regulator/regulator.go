@@ -136,6 +136,7 @@ type SigmaRho struct {
 	tokens     float64
 	lastUpdate des.Time
 	serving    bool
+	snapArg    uint32    // component slot for snapshot event tags
 	retry      func()    // stored token-wait callback
 	retryEv    des.Event // pending token-wait event (for Detach)
 }
@@ -214,7 +215,7 @@ func (s *SigmaRho) serve() {
 			wait = 1
 		}
 		s.serving = true
-		s.retryEv = s.eng.ScheduleIn(wait, s.retry)
+		s.retryEv = s.eng.ScheduleInKind(wait, des.KindSRRetry, s.snapArg, s.retry)
 		return
 	}
 	s.serving = false

@@ -1,0 +1,103 @@
+package regulator
+
+import (
+	"repro/internal/des"
+	"repro/internal/snap"
+	"repro/internal/traffic"
+)
+
+// Checkpoint support. Envelope parameters and output wiring are
+// construction-time (the restored session recreates the regulator with
+// identical arguments); Snapshot/Restore cover the mutable words, and the
+// Restore* event methods re-schedule the serialized pending events with
+// the original (at, prio) stamps during replay.
+
+// snapshot appends the queue's live packets and exact bit total. The head
+// index is memory layout, not semantics, so the restored queue starts
+// compacted.
+func (q *fifo) snapshot(w *snap.Writer) {
+	w.Len(q.len())
+	for _, p := range q.buf[q.head:] {
+		p.Snapshot(w)
+	}
+	w.F64(q.bits)
+}
+
+func (q *fifo) restore(r *snap.Reader) {
+	n := r.Len()
+	q.buf = q.buf[:0]
+	q.head = 0
+	for i := 0; i < n; i++ {
+		q.buf = append(q.buf, traffic.RestorePacket(r))
+	}
+	q.bits = r.F64()
+}
+
+// SetSnapArg registers the regulator's slot in the session's component
+// registry; its pending events carry it so a restore can route each
+// serialized event back to its component.
+func (s *SigmaRho) SetSnapArg(arg uint32) { s.snapArg = arg }
+
+// Snapshot appends the regulator's mutable state to the open record.
+func (s *SigmaRho) Snapshot(w *snap.Writer) {
+	s.q.snapshot(w)
+	w.F64(s.tokens)
+	w.I64(int64(s.lastUpdate))
+	w.Bool(s.serving)
+}
+
+// Restore overwrites the regulator's mutable state from the open record.
+func (s *SigmaRho) Restore(r *snap.Reader) {
+	s.q.restore(r)
+	s.tokens = r.F64()
+	s.lastUpdate = des.Time(r.I64())
+	s.serving = r.Bool()
+}
+
+// RestoreRetry re-schedules the serialized token-wait event.
+func (s *SigmaRho) RestoreRetry(at, prio des.Time) {
+	s.retryEv = s.eng.SchedulePrioKind(at, prio, des.KindSRRetry, s.snapArg, s.retry)
+}
+
+// SetSnapArg registers the regulator's slot in the session's component
+// registry (see SigmaRho.SetSnapArg).
+func (r *SRL) SetSnapArg(arg uint32) { r.snapArg = arg }
+
+// Snapshot appends the regulator's mutable state to the open record.
+func (r *SRL) Snapshot(w *snap.Writer) {
+	r.q.snapshot(w)
+	w.Bool(r.on)
+	w.Bool(r.transmitting)
+	w.Bool(r.cycling)
+	w.Bool(r.stopCycle)
+	w.F64(r.emittedBits)
+	w.I64(int64(r.onSince))
+	w.I64(int64(r.onTotal))
+}
+
+// Restore overwrites the regulator's mutable state from the open record.
+func (r *SRL) Restore(sr *snap.Reader) {
+	r.q.restore(sr)
+	r.on = sr.Bool()
+	r.transmitting = sr.Bool()
+	r.cycling = sr.Bool()
+	r.stopCycle = sr.Bool()
+	r.emittedBits = sr.F64()
+	r.onSince = des.Time(sr.I64())
+	r.onTotal = des.Duration(sr.I64())
+}
+
+// RestoreDone re-schedules the serialized transmit-completion event.
+func (r *SRL) RestoreDone(at, prio des.Time) {
+	r.eng.SchedulePrioKind(at, prio, des.KindSRLDone, r.snapArg, r.done)
+}
+
+// RestoreOn re-schedules the serialized working-period-start event.
+func (r *SRL) RestoreOn(at, prio des.Time) {
+	r.onEv = r.eng.SchedulePrioKind(at, prio, des.KindSRLOn, r.snapArg, r.onPhaseFn)
+}
+
+// RestoreOff re-schedules the serialized vacation-start event.
+func (r *SRL) RestoreOff(at, prio des.Time) {
+	r.onEv = r.eng.SchedulePrioKind(at, prio, des.KindSRLOff, r.snapArg, r.offPhaseFn)
+}

@@ -33,7 +33,10 @@ type SRL struct {
 	cycling      bool
 	stopCycle    bool
 	onEv         des.Event
+	snapArg      uint32 // component slot for snapshot event tags
 	done         func() // stored transmit-completion callback
+	onPhaseFn    func() // stored duty-cycle callbacks (parameters are
+	offPhaseFn   func() // immutable, so they are built once in NewSRL)
 
 	// instrumentation
 	emittedBits float64
@@ -60,6 +63,21 @@ func NewSRL(eng *des.Engine, sigma, rho, c float64, out func(traffic.Packet)) *S
 		if r.on {
 			r.serve()
 		}
+	}
+	w, v := r.WorkPeriod(), r.Vacation()
+	r.onPhaseFn = func() {
+		if r.stopCycle {
+			return
+		}
+		r.SetOn(true)
+		r.onEv = r.eng.ScheduleInKind(w, des.KindSRLOff, r.snapArg, r.offPhaseFn)
+	}
+	r.offPhaseFn = func() {
+		if r.stopCycle {
+			return
+		}
+		r.SetOn(false)
+		r.onEv = r.eng.ScheduleInKind(v, des.KindSRLOn, r.snapArg, r.onPhaseFn)
 	}
 	return r
 }
@@ -137,7 +155,7 @@ func (r *SRL) serve() {
 		return
 	}
 	r.transmitting = true
-	r.eng.ScheduleIn(des.Seconds(r.q.peek().Size/r.C), r.done)
+	r.eng.ScheduleInKind(des.Seconds(r.q.peek().Size/r.C), des.KindSRLDone, r.snapArg, r.done)
 }
 
 // StartCycle begins the self-timed duty cycle with the given phase offset:
@@ -151,8 +169,7 @@ func (r *SRL) StartCycle(offset des.Duration) {
 	}
 	r.cycling = true
 	r.stopCycle = false
-	onPhase, _ := r.phases()
-	r.onEv = r.eng.ScheduleIn(offset, onPhase)
+	r.onEv = r.eng.ScheduleInKind(offset, des.KindSRLOn, r.snapArg, r.onPhaseFn)
 }
 
 // StartCyclePhased begins the duty cycle mid-phase, as if it had been
@@ -173,38 +190,17 @@ func (r *SRL) StartCyclePhased(offset des.Duration) {
 	}
 	r.cycling = true
 	r.stopCycle = false
-	onPhase, offPhase := r.phases()
 	w, p := r.WorkPeriod(), r.Period()
 	pos := (now - offset) % p
 	if pos < w {
 		// Inside a working period: turn on and finish it.
 		r.SetOn(true)
-		r.onEv = r.eng.ScheduleIn(w-pos, offPhase)
+		r.onEv = r.eng.ScheduleInKind(w-pos, des.KindSRLOff, r.snapArg, r.offPhaseFn)
 	} else {
 		// Inside a vacation: stay off until the next working period.
 		r.SetOn(false)
-		r.onEv = r.eng.ScheduleIn(p-pos, onPhase)
+		r.onEv = r.eng.ScheduleInKind(p-pos, des.KindSRLOn, r.snapArg, r.onPhaseFn)
 	}
-}
-
-// phases builds the self-rescheduling on/off callbacks of the duty cycle.
-func (r *SRL) phases() (onPhase, offPhase func()) {
-	w, v := r.WorkPeriod(), r.Vacation()
-	onPhase = func() {
-		if r.stopCycle {
-			return
-		}
-		r.SetOn(true)
-		r.onEv = r.eng.ScheduleIn(w, offPhase)
-	}
-	offPhase = func() {
-		if r.stopCycle {
-			return
-		}
-		r.SetOn(false)
-		r.onEv = r.eng.ScheduleIn(v, onPhase)
-	}
-	return onPhase, offPhase
 }
 
 // StopCycle halts the duty cycle, leaving the regulator in its current

@@ -1,0 +1,34 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestBuiltinSpecsRoundTrip pins the JSON codec over the whole registry:
+// encode → decode → re-encode must be byte-equal for every builtin spec.
+// This is what the fleet manifest protocol leans on — a worker re-parsing
+// the parent's serialized scenario must compile the identical sweep — and
+// it catches a field added to Scenario without a JSON tag (it would
+// marshal under its Go name, survive one decode, and still break the
+// moment Parse goes strict about it elsewhere).
+func TestBuiltinSpecsRoundTrip(t *testing.T) {
+	for _, sc := range All() {
+		first, err := sc.JSON()
+		if err != nil {
+			t.Fatalf("%s: encode: %v", sc.Name, err)
+		}
+		decoded, err := Parse(first)
+		if err != nil {
+			t.Fatalf("%s: decode of own encoding: %v", sc.Name, err)
+		}
+		second, err := decoded.JSON()
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", sc.Name, err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Errorf("%s: round trip not byte-identical:\n--- first\n%s\n--- second\n%s",
+				sc.Name, first, second)
+		}
+	}
+}

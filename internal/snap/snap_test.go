@@ -1,0 +1,232 @@
+package snap
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestRoundTripPrimitives(t *testing.T) {
+	w := NewWriter(7)
+	w.Begin(3)
+	w.U8(0xab)
+	w.U16(0xbeef)
+	w.U32(0xdeadbeef)
+	w.U64(0x0123456789abcdef)
+	w.I64(-42)
+	w.F64(math.Pi)
+	w.F64(math.Copysign(0, -1))
+	w.F64(math.Inf(-1))
+	w.Bool(true)
+	w.Bool(false)
+	w.String("hello, snapshot")
+	w.Bytes([]byte{1, 2, 3})
+	w.Bytes(nil)
+	w.End()
+	w.Begin(9)
+	w.Len(2)
+	w.U8(5)
+	w.U8(6)
+	w.End()
+	data, err := w.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+
+	r, version, err := NewReader(data)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if version != 7 {
+		t.Fatalf("version = %d, want 7", version)
+	}
+	typ, ok := r.Next()
+	if !ok || typ != 3 {
+		t.Fatalf("Next = (%d, %v), want (3, true)", typ, ok)
+	}
+	if got := r.U8(); got != 0xab {
+		t.Errorf("U8 = %#x", got)
+	}
+	if got := r.U16(); got != 0xbeef {
+		t.Errorf("U16 = %#x", got)
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 0x0123456789abcdef {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.F64(); got != math.Pi {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := r.F64(); math.Float64bits(got) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Errorf("negative zero lost: %v", got)
+	}
+	if got := r.F64(); !math.IsInf(got, -1) {
+		t.Errorf("-Inf lost: %v", got)
+	}
+	if got := r.Bool(); !got {
+		t.Errorf("Bool = false, want true")
+	}
+	if got := r.Bool(); got {
+		t.Errorf("Bool = true, want false")
+	}
+	if got := r.String(); got != "hello, snapshot" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Bytes = %v", got)
+	}
+	if got := r.Bytes(); len(got) != 0 {
+		t.Errorf("empty Bytes = %v", got)
+	}
+	typ, ok = r.Next()
+	if !ok || typ != 9 {
+		t.Fatalf("second Next = (%d, %v), want (9, true)", typ, ok)
+	}
+	if n := r.Len(); n != 2 {
+		t.Fatalf("Len = %d", n)
+	}
+	if a, b := r.U8(), r.U8(); a != 5 || b != 6 {
+		t.Errorf("elements = %d, %d", a, b)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatalf("Next past end returned a record")
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, _, err := NewReader([]byte("not a snapshot stream")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, _, err := NewReader([]byte("wdc")); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	w := NewWriter(1)
+	w.Begin(1)
+	w.U64(12345)
+	w.End()
+	data, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := len(Magic) + 4 + 1; cut < len(data); cut++ {
+		r, _, err := NewReader(data[:cut])
+		if err != nil {
+			continue // header itself truncated
+		}
+		for {
+			if _, ok := r.Next(); !ok {
+				break
+			}
+			r.U64()
+		}
+		if r.Err() == nil {
+			t.Fatalf("truncation at %d bytes undetected", cut)
+		}
+	}
+}
+
+func TestShortReadDetected(t *testing.T) {
+	w := NewWriter(1)
+	w.Begin(1)
+	w.U8(1)
+	w.End()
+	data, _ := w.Finish()
+	r, _, _ := NewReader(data)
+	r.Next()
+	r.U8()
+	if r.U64(); r.Err() == nil {
+		t.Fatal("read past record payload undetected")
+	}
+}
+
+func TestUnderReadDetected(t *testing.T) {
+	w := NewWriter(1)
+	w.Begin(1)
+	w.U64(1)
+	w.End()
+	w.Begin(2)
+	w.End()
+	data, _ := w.Finish()
+	r, _, _ := NewReader(data)
+	r.Next()
+	// Skip the payload entirely, then try to advance.
+	if _, ok := r.Next(); ok || r.Err() == nil {
+		t.Fatal("under-consumed record undetected")
+	}
+}
+
+func TestBogusLengthPrefixRejected(t *testing.T) {
+	w := NewWriter(1)
+	w.Begin(1)
+	w.U32(1 << 30) // length prefix far beyond the record payload
+	w.End()
+	data, _ := w.Finish()
+	r, _, _ := NewReader(data)
+	r.Next()
+	if r.Len(); r.Err() == nil {
+		t.Fatal("oversized length prefix accepted")
+	}
+}
+
+func TestBadBoolRejected(t *testing.T) {
+	w := NewWriter(1)
+	w.Begin(1)
+	w.U8(7)
+	w.End()
+	data, _ := w.Finish()
+	r, _, _ := NewReader(data)
+	r.Next()
+	if r.Bool(); r.Err() == nil {
+		t.Fatal("bool byte 7 accepted")
+	}
+}
+
+func TestWriterMisuse(t *testing.T) {
+	w := NewWriter(1)
+	w.U64(1) // outside any record
+	if _, err := w.Finish(); err == nil {
+		t.Fatal("write outside record accepted")
+	}
+
+	w = NewWriter(1)
+	w.Begin(1)
+	w.Begin(2)
+	if _, err := w.Finish(); err == nil {
+		t.Fatal("nested Begin accepted")
+	}
+
+	w = NewWriter(1)
+	w.Begin(1)
+	if _, err := w.Finish(); err == nil {
+		t.Fatal("Finish with open record accepted")
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	build := func() []byte {
+		w := NewWriter(2)
+		w.Begin(4)
+		w.String("abc")
+		w.F64(1.5)
+		w.End()
+		b, err := w.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Fatal("same writes produced different bytes")
+	}
+}

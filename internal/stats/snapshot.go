@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/snap"
+)
+
+// Checkpoint support: the accumulators the sessions keep as mutable
+// runtime state serialize their private fields into an open snap record
+// and restore them in place. Encode and decode orders must match exactly
+// (the codec has no field tags); each method documents its layout by
+// being the layout.
+
+// Snapshot appends the accumulator's fields to the open record.
+func (w *Welford) Snapshot(sw *snap.Writer) {
+	sw.U64(w.n)
+	sw.F64(w.mean)
+	sw.F64(w.m2)
+	sw.F64(w.min)
+	sw.F64(w.max)
+}
+
+// Restore overwrites the accumulator from the open record.
+func (w *Welford) Restore(sr *snap.Reader) {
+	w.n = sr.U64()
+	w.mean = sr.F64()
+	w.m2 = sr.F64()
+	w.min = sr.F64()
+	w.max = sr.F64()
+}
+
+// Snapshot appends the tracker's fields to the open record.
+func (m *MaxTracker) Snapshot(sw *snap.Writer) {
+	sw.U64(m.n)
+	sw.F64(m.max)
+	sw.U64(m.tag)
+	sw.Bool(m.atMax)
+}
+
+// Restore overwrites the tracker from the open record.
+func (m *MaxTracker) Restore(sr *snap.Reader) {
+	m.n = sr.U64()
+	m.max = sr.F64()
+	m.tag = sr.U64()
+	m.atMax = sr.Bool()
+}
+
+// Snapshot appends the counter's fields to the open record.
+func (c *Counter) Snapshot(sw *snap.Writer) {
+	sw.U64(c.N)
+	sw.F64(c.Total)
+	sw.I64(int64(c.first))
+	sw.I64(int64(c.last))
+	sw.Bool(c.seen)
+}
+
+// Restore overwrites the counter from the open record.
+func (c *Counter) Restore(sr *snap.Reader) {
+	c.N = sr.U64()
+	c.Total = sr.F64()
+	c.first = des.Time(sr.I64())
+	c.last = des.Time(sr.I64())
+	c.seen = sr.Bool()
+}
+
+// Snapshot appends the series' width and buckets to the open record.
+func (w *WindowMax) Snapshot(sw *snap.Writer) {
+	sw.F64(w.width)
+	sw.Len(len(w.buckets))
+	for i := range w.buckets {
+		sw.F64(w.buckets[i])
+		sw.Bool(w.filled[i])
+	}
+}
+
+// Restore overwrites the series from the open record. The serialized
+// width must match the accumulator's configured width: the restored run
+// recompiles its immutable configuration first, so a mismatch means the
+// snapshot came from a different configuration.
+func (w *WindowMax) Restore(sr *snap.Reader) error {
+	width := sr.F64()
+	if sr.Err() == nil && width != w.width {
+		return fmt.Errorf("stats: snapshot window width %v, accumulator has %v", width, w.width)
+	}
+	n := sr.Len()
+	w.buckets = w.buckets[:0]
+	w.filled = w.filled[:0]
+	for i := 0; i < n; i++ {
+		w.buckets = append(w.buckets, sr.F64())
+		w.filled = append(w.filled, sr.Bool())
+	}
+	return sr.Err()
+}

@@ -26,7 +26,14 @@ type Extremal struct {
 	PacketSize float64
 	Period     des.Duration
 
-	nextID uint64
+	// Runtime state. nextID and start are the flow's only mutable words
+	// (SnapState captures them); the closures are built once per
+	// Start/Resume and re-scheduled through the engine's event pool.
+	nextID  uint64
+	start   des.Time
+	eng     *des.Engine
+	cycleFn func()
+	tickFn  func()
 }
 
 // NewExtremal builds an extremal flow with the given average rate and
@@ -78,13 +85,23 @@ func (e *Extremal) Envelope() Envelope {
 // base-rate loop reschedules the same three closures through the engine's
 // event pool, so steady-state emission is allocation-free.
 func (e *Extremal) Start(eng *des.Engine, until des.Time, emit func(Packet)) {
+	e.prepare(eng, until, emit)
+	eng.ScheduleInKind(0, des.KindSrcCycle, uint32(e.Flow), e.cycleFn)
+}
+
+// prepare builds the emission closures over the engine and sink. The
+// closures read e.start/e.nextID from the struct (not locals) so a
+// checkpoint can capture them and Resume can rebuild identical callbacks
+// mid-stream. Cycle and tick events carry kind tags with arg = Flow.
+func (e *Extremal) prepare(eng *des.Engine, until des.Time, emit func(Packet)) {
 	base := e.baseRate()
 	gap := des.Seconds(e.PacketSize / base)
+	arg := uint32(e.Flow)
+	e.eng = eng
 	emitPkt := func(size float64) {
 		emit(Packet{ID: e.nextID, Flow: e.Flow, Size: size, CreatedAt: eng.Now()})
 		e.nextID++
 	}
-	var start des.Time
 	var cycle, step, tick func()
 	tick = func() {
 		if eng.Now() >= until {
@@ -100,17 +117,17 @@ func (e *Extremal) Start(eng *des.Engine, until des.Time, emit func(Packet)) {
 		if now >= until {
 			return
 		}
-		if now-start+gap > e.Period {
-			eng.Schedule(start+e.Period, cycle)
+		if now-e.start+gap > e.Period {
+			eng.ScheduleKind(e.start+e.Period, des.KindSrcCycle, arg, cycle)
 			return
 		}
-		eng.ScheduleIn(gap, tick)
+		eng.ScheduleInKind(gap, des.KindSrcTick, arg, tick)
 	}
 	cycle = func() {
 		if eng.Now() >= until {
 			return
 		}
-		start = eng.Now()
+		e.start = eng.Now()
 		// Burst σ at one instant.
 		remaining := e.Sigma
 		for remaining >= e.PacketSize {
@@ -123,7 +140,31 @@ func (e *Extremal) Start(eng *des.Engine, until des.Time, emit func(Packet)) {
 		// CBR base for the rest of the period.
 		step()
 	}
-	eng.ScheduleIn(0, cycle)
+	e.cycleFn, e.tickFn = cycle, tick
+}
+
+// SnapState returns the flow's mutable runtime words for a checkpoint.
+func (e *Extremal) SnapState() (nextID uint64, start des.Time) {
+	return e.nextID, e.start
+}
+
+// Resume rebuilds the emission closures at a checkpoint restore without
+// scheduling anything — the restored engine replays the serialized cycle/
+// tick events through RestoreCycle/RestoreTick instead.
+func (e *Extremal) Resume(eng *des.Engine, until des.Time, emit func(Packet), nextID uint64, start des.Time) {
+	e.prepare(eng, until, emit)
+	e.nextID = nextID
+	e.start = start
+}
+
+// RestoreCycle re-schedules a serialized period-start event.
+func (e *Extremal) RestoreCycle(at, prio des.Time) {
+	e.eng.SchedulePrioKind(at, prio, des.KindSrcCycle, uint32(e.Flow), e.cycleFn)
+}
+
+// RestoreTick re-schedules a serialized base-rate emission event.
+func (e *Extremal) RestoreTick(at, prio des.Time) {
+	e.eng.SchedulePrioKind(at, prio, des.KindSrcTick, uint32(e.Flow), e.tickFn)
 }
 
 // ExtremalMix builds the K=3 extremal flows matching a media mix's rates:

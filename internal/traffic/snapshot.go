@@ -1,0 +1,26 @@
+package traffic
+
+import (
+	"repro/internal/des"
+	"repro/internal/snap"
+)
+
+// Snapshot appends the packet's fields to the open record. Packets are
+// serialized wherever they sit in mutable state — regulator and MUX
+// queues, in-flight deliveries — so the layout lives here, once.
+func (p Packet) Snapshot(w *snap.Writer) {
+	w.U64(p.ID)
+	w.I64(int64(p.Flow))
+	w.F64(p.Size)
+	w.I64(int64(p.CreatedAt))
+}
+
+// RestorePacket reads a packet written by Packet.Snapshot.
+func RestorePacket(r *snap.Reader) Packet {
+	return Packet{
+		ID:        r.U64(),
+		Flow:      int(r.I64()),
+		Size:      r.F64(),
+		CreatedAt: des.Time(r.I64()),
+	}
+}
