@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_DATE := $(shell date +%F)
 
-.PHONY: all build test race vet fmt check bench bench-json scenarios shards snapshot staticcheck fuzz
+.PHONY: all build test race vet fmt check bench bench-json bench-compare scenarios shards snapshot substrate staticcheck fuzz
 
 all: check
 
@@ -102,3 +102,23 @@ bench-json:
 	while [ -e "$$out" ]; do n=$$((n+1)); out=BENCH_$(BENCH_DATE)-$$n.json; done; \
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -json ./... > "$$out"; \
 	echo "wrote $$out"
+
+# Compare two bench-json records per benchmark (old → new ns/op, delta,
+# geomean) with the in-tree comparer — no benchstat needed. Defaults to
+# the two newest BENCH_*.json; override with OLD=... NEW=...
+bench-compare:
+	@old="$(OLD)"; new="$(NEW)"; \
+	if [ -z "$$old" ] || [ -z "$$new" ]; then \
+		set -- $$(ls -t BENCH_*.json 2>/dev/null | head -2); \
+		[ -z "$$new" ] && new="$$1"; [ -z "$$old" ] && old="$$2"; \
+	fi; \
+	if [ -z "$$old" ] || [ -z "$$new" ]; then \
+		echo "bench-compare: need two BENCH_*.json records (run make bench-json, or pass OLD=... NEW=...)"; exit 1; fi; \
+	$(GO) run ./cmd/benchdiff "$$old" "$$new"
+
+# Substrate compile differentials under the race detector: the parallel
+# compiler must be bit-identical to sequential, the blueprint cache must
+# key correctly and hand out isolated clones, and a cache-warm session
+# must reproduce the cold session's Result exactly.
+substrate:
+	$(GO) test -race -run 'TestParallelCompileBitIdentical|TestSubstrateCloneIsolation|TestBlueprintCacheKeying|TestCompileChildrenArena|TestHostConnsMatchesNewHost|TestCachedSessionRunsIdentical' ./internal/core

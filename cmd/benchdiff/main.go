@@ -1,0 +1,208 @@
+// benchdiff compares two machine-readable benchmark records produced by
+// `make bench-json` (go test -json streams) and prints a per-benchmark
+// old → new table with deltas — a dependency-free stand-in for benchstat
+// that works offline on single-run records. Usage:
+//
+//	benchdiff OLD.json NEW.json [-unit ns/op] [-all]
+//
+// Benchmarks are keyed by package + name; ones present in only one record
+// are listed separately. With a single iteration per record (bench-json
+// runs -benchtime 1x) the deltas carry run-to-run noise — treat small
+// movements as noise and large ones as signal, or re-run with a longer
+// benchtime before acting on a regression.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of the test2json stream benchdiff needs.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// bench is one benchmark's parsed result line: every "value unit" pair
+// after the iteration count.
+type bench struct {
+	pkg     string
+	name    string
+	metrics map[string]float64
+}
+
+func key(b bench) string { return b.pkg + "." + b.name }
+
+// parseRecord reads a test2json stream and extracts every benchmark
+// result line. Result lines may be split across output events (the name
+// is flushed before the timings), so output is reassembled per package
+// before scanning.
+func parseRecord(path string) (map[string]bench, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make(map[string]*strings.Builder)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("%s: not a go test -json stream: %w", path, err)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		b := buf[ev.Package]
+		if b == nil {
+			b = &strings.Builder{}
+			buf[ev.Package] = b
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]bench)
+	for pkg, b := range buf {
+		for _, line := range strings.Split(b.String(), "\n") {
+			bm, ok := parseBenchLine(pkg, line)
+			if ok {
+				out[key(bm)] = bm
+			}
+		}
+	}
+	return out, nil
+}
+
+// parseBenchLine parses one "BenchmarkX-8  10  123 ns/op  4 B/op ..."
+// line; reports false for anything else.
+func parseBenchLine(pkg, line string) (bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return bench{}, false
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return bench{}, false
+	}
+	bm := bench{pkg: pkg, name: fields[0], metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return bench{}, false
+		}
+		bm.metrics[fields[i+1]] = v
+	}
+	if _, ok := bm.metrics["ns/op"]; !ok {
+		return bench{}, false
+	}
+	return bm, true
+}
+
+func fmtValue(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.3gs", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.4gms", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.4gµs", v/1e3)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+func main() {
+	unit := flag.String("unit", "ns/op", "metric to compare")
+	all := flag.Bool("all", false, "print every shared metric, not just -unit")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-unit ns/op] [-all] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRec, err := parseRecord(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	newRec, err := parseRecord(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var shared, added, removed []string
+	for k := range newRec {
+		if _, ok := oldRec[k]; ok {
+			shared = append(shared, k)
+		} else {
+			added = append(added, k)
+		}
+	}
+	for k := range oldRec {
+		if _, ok := newRec[k]; !ok {
+			removed = append(removed, k)
+		}
+	}
+	sort.Strings(shared)
+	sort.Strings(added)
+	sort.Strings(removed)
+
+	fmt.Printf("%-60s %12s %12s %8s\n", "benchmark ("+*unit+")", "old", "new", "delta")
+	logsum, n := 0.0, 0
+	for _, k := range shared {
+		ob, nb := oldRec[k], newRec[k]
+		ov, ook := ob.metrics[*unit]
+		nv, nok := nb.metrics[*unit]
+		if !ook || !nok {
+			continue
+		}
+		delta := "~"
+		if ov > 0 {
+			d := (nv - ov) / ov * 100
+			delta = fmt.Sprintf("%+.1f%%", d)
+			logsum += math.Log(nv / ov)
+			n++
+		}
+		fmt.Printf("%-60s %12s %12s %8s\n", k, fmtValue(ov), fmtValue(nv), delta)
+		if *all {
+			units := make([]string, 0, len(nb.metrics))
+			for u := range nb.metrics {
+				if u == *unit {
+					continue
+				}
+				if _, ok := ob.metrics[u]; ok {
+					units = append(units, u)
+				}
+			}
+			sort.Strings(units)
+			for _, u := range units {
+				fmt.Printf("  %-58s %12s %12s\n", u, fmtValue(ob.metrics[u]), fmtValue(nb.metrics[u]))
+			}
+		}
+	}
+	if n > 0 {
+		fmt.Printf("%-60s %12s %12s %+7.1f%%\n", "geomean", "", "", (math.Exp(logsum/float64(n))-1)*100)
+	}
+	for _, k := range added {
+		fmt.Printf("%-60s %12s %12s\n", k, "-", fmtValue(newRec[k].metrics[*unit]))
+	}
+	for _, k := range removed {
+		fmt.Printf("%-60s %12s %12s\n", k, fmtValue(oldRec[k].metrics[*unit]), "-")
+	}
+}

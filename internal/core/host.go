@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/des"
 	"repro/internal/mux"
 	"repro/internal/regulator"
@@ -104,8 +102,14 @@ type host struct {
 	// groups, including every group the host is not a member of, cost
 	// nothing.
 	children groupChildren
-	// connections de-duplicates children across groups.
-	muxes map[int]*mux.Mux
+	// Connections de-duplicate children across groups, flattened to
+	// sorted parallel arrays (same rationale as groupChildren): muxChild
+	// holds the ascending child ids with live connections, muxes the
+	// matching MUXes. The map this replaces was the last per-host
+	// map-backed hot-path structure — 100k hosts of small maps cost the
+	// GC a scan stop at every connection on every cycle.
+	muxChild []int32
+	muxes    []*mux.Mux
 
 	// Regulator banks: built lazily per mode, and only for the groups
 	// this host actually forwards (partial-membership sessions would
@@ -115,43 +119,126 @@ type host struct {
 	srlBank    []*regulator.SRL
 	srlCycling bool
 
-	// Adaptive-control state.
+	// Adaptive-control state. ctlFn is the controller's self-rearming
+	// sampling tick, built once by prepareController; its events carry
+	// des.KindCtlTick with arg = host id so checkpoints can rehydrate them.
 	rate     *stats.WindowRate
+	ctlFn    func()
 	switches int
 }
+
+// Adaptive controller sampling parameters (paper's Adaptive Control
+// Algorithm defaults); named so the checkpoint restore rebuilds the
+// controller with exactly the creation-site values.
+const (
+	ctlWindow   = des.Second
+	ctlInterval = 250 * des.Millisecond
+)
 
 // newHost wires a host for its (per-group) child sets. Hosts with no
 // children build no forwarding machinery.
 func newHost(id int, env *hostEnv, children groupChildren, initial Scheme) *host {
-	h := &host{id: id, env: env, conn: env.hostConn(id), scheme: initial,
-		children: children, muxes: make(map[int]*mux.Mux)}
-	distinct := make(map[int]bool)
+	return newHostWired(id, env, children, connsOf(children), initial)
+}
+
+// connsOf returns the distinct child connections of a child set, sorted —
+// the wiring plan newHostWired consumes. Pure: session builds precompute
+// it for every host in parallel (see hostConns).
+func connsOf(children groupChildren) []int {
+	var conns []int
 	children.each(func(_ int, cs []int) {
 		for _, c := range cs {
-			distinct[c] = true
+			conns = insertSortedDistinct(conns, c)
 		}
 	})
-	forwards := len(distinct) > 0
-	connCap := env.connectionCapacity(id, len(distinct))
-	// Sorted creation order: the map iteration order never mattered to the
-	// simulation (mux.New schedules nothing), but component registry slots
-	// must be deterministic for snapshots to be stable.
-	conns := make([]int, 0, len(distinct))
-	for c := range distinct {
-		conns = append(conns, c)
-	}
-	sort.Ints(conns)
+	return conns
+}
+
+// newHostWired is newHost with the connection plan precomputed. conns must
+// be sorted ascending and distinct. MUXes are created in that sorted
+// order: component registry slots must be deterministic for snapshots to
+// be stable.
+func newHostWired(id int, env *hostEnv, children groupChildren, conns []int, initial Scheme) *host {
+	h := &host{id: id, env: env, conn: env.hostConn(id), scheme: initial,
+		children: children}
+	forwards := len(conns) > 0
+	connCap := env.connectionCapacity(id, len(conns))
+	h.muxChild = make([]int32, 0, len(conns))
+	h.muxes = make([]*mux.Mux, 0, len(conns))
 	for _, c := range conns {
 		child := c
 		m := mux.New(env.eng, len(env.specs), connCap, env.discipline,
 			func(p traffic.Packet) { env.send(h.id, child, p) })
 		env.registerMux(m, h.id, c)
-		h.muxes[c] = m
+		h.muxChild = append(h.muxChild, int32(c))
+		h.muxes = append(h.muxes, m)
 	}
 	if forwards {
 		h.setMode(initialMode(initial))
 	}
 	return h
+}
+
+// findMux returns child connection c's slot index, or -1.
+func (h *host) findMux(c int) int {
+	lo, hi := 0, len(h.muxChild)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(h.muxChild[mid]) < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(h.muxChild) && int(h.muxChild[lo]) == c {
+		return lo
+	}
+	return -1
+}
+
+// muxAt returns child connection c's MUX, or nil when none is wired.
+func (h *host) muxAt(c int) *mux.Mux {
+	if i := h.findMux(c); i >= 0 {
+		return h.muxes[i]
+	}
+	return nil
+}
+
+// putMux wires m as child connection c's MUX (sorted insert).
+func (h *host) putMux(c int, m *mux.Mux) {
+	lo, hi := 0, len(h.muxChild)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(h.muxChild[mid]) < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(h.muxChild) && int(h.muxChild[lo]) == c {
+		h.muxes[lo] = m
+		return
+	}
+	h.muxChild = append(h.muxChild, 0)
+	h.muxes = append(h.muxes, nil)
+	copy(h.muxChild[lo+1:], h.muxChild[lo:])
+	copy(h.muxes[lo+1:], h.muxes[lo:])
+	h.muxChild[lo] = int32(c)
+	h.muxes[lo] = m
+}
+
+// dropMux unwires child connection c's MUX (a no-op when absent).
+// In-flight MUX traffic still drains through the engine.
+func (h *host) dropMux(c int) {
+	i := h.findMux(c)
+	if i < 0 {
+		return
+	}
+	copy(h.muxChild[i:], h.muxChild[i+1:])
+	copy(h.muxes[i:], h.muxes[i+1:])
+	h.muxChild = h.muxChild[:len(h.muxChild)-1]
+	h.muxes[len(h.muxes)-1] = nil
+	h.muxes = h.muxes[:len(h.muxes)-1]
 }
 
 func initialMode(s Scheme) Scheme {
@@ -181,7 +268,7 @@ func (h *host) forward(g int, p traffic.Packet) {
 // its group.
 func (h *host) replicate(g int, p traffic.Packet) {
 	for _, c := range h.children.get(g) {
-		h.muxes[c].Enqueue(p)
+		h.muxAt(c).Enqueue(p)
 	}
 }
 
@@ -292,8 +379,7 @@ func (h *host) ensureSRLBank() (fresh bool) {
 // newHostBare is the resume-mode newHost: no children, no MUXes, no mode —
 // all of that state comes from the snapshot.
 func newHostBare(id int, env *hostEnv, initial Scheme) *host {
-	return &host{id: id, env: env, conn: env.hostConn(id), scheme: initial,
-		muxes: make(map[int]*mux.Mux)}
+	return &host{id: id, env: env, conn: env.hostConn(id), scheme: initial}
 }
 
 // restoreMux re-creates (and registers) the connection MUX for child c at
@@ -309,7 +395,7 @@ func (h *host) restoreMux(c int, capacity float64) *mux.Mux {
 }
 
 // installMux puts a restored live MUX back into service.
-func (h *host) installMux(c int, m *mux.Mux) { h.muxes[c] = m }
+func (h *host) installMux(c int, m *mux.Mux) { h.putMux(c, m) }
 
 // restoreSR re-creates (and registers) group g's (σ, ρ) regulator.
 func (h *host) restoreSR(g int) *regulator.SigmaRho {
@@ -403,12 +489,12 @@ func (h *host) childInAnyGroup(c int) bool {
 // the new duty cycle re-staggered onto the global schedule.
 func (h *host) attachChild(g, c int) {
 	h.children.add(g, c)
-	if _, ok := h.muxes[c]; !ok {
+	if h.findMux(c) < 0 {
 		child := c
 		m := mux.New(h.env.eng, len(h.env.specs), h.env.connectionCapacity(h.id, len(h.muxes)+1),
 			h.env.discipline, func(p traffic.Packet) { h.env.send(h.id, child, p) })
 		h.env.registerMux(m, h.id, c)
-		h.muxes[c] = m
+		h.putMux(c, m)
 	}
 	if !h.modeSet {
 		// First forwarding duty of this host's lifetime: bring up the
@@ -416,7 +502,7 @@ func (h *host) attachChild(g, c int) {
 		// adaptive controller if the session runs one.
 		h.setMode(initialMode(h.scheme))
 		if h.scheme == SchemeAdaptive && h.rate == nil {
-			h.startController(des.Second, 250*des.Millisecond, h.env.threshold)
+			h.startController(ctlWindow, ctlInterval, h.env.threshold)
 		}
 		return
 	}
@@ -471,7 +557,7 @@ func (h *host) detachGroup(g int) int {
 	h.children.drop(g)
 	for _, c := range old {
 		if !h.childInAnyGroup(c) {
-			delete(h.muxes, c)
+			h.dropMux(c)
 		}
 	}
 	return lost
@@ -495,7 +581,7 @@ func (h *host) removeChild(g, c int) int {
 		}
 	}
 	if !h.childInAnyGroup(c) {
-		delete(h.muxes, c)
+		h.dropMux(c)
 	}
 	return 0
 }
@@ -514,13 +600,29 @@ func (h *host) observe(p traffic.Packet) {
 // heterogeneous-uplink hosts switch on their local congestion, not the
 // population average.
 func (h *host) startController(window, interval des.Duration, thresholdUtil float64) {
+	h.prepareController(window, interval, thresholdUtil)
+	h.env.eng.ScheduleInKind(interval, des.KindCtlTick, uint32(h.id), h.ctlFn)
+}
+
+// prepareController builds the estimator and the self-rearming sampling
+// tick without scheduling anything. The tick reproduces des.Ticker's
+// semantics exactly — body first, rearm after, period measured from the
+// firing time — so the kind-tagged events fire at the same (at, prio, seq)
+// a NewTicker would have given them.
+func (h *host) prepareController(window, interval des.Duration, thresholdUtil float64) {
 	h.rate = stats.NewWindowRate(window)
-	des.NewTicker(h.env.eng, interval, func() {
+	h.ctlFn = func() {
 		util := h.rate.Rate(h.env.eng.Now()) / h.conn
 		if util >= thresholdUtil {
 			h.setMode(SchemeSRL)
 		} else {
 			h.setMode(SchemeSigmaRho)
 		}
-	})
+		h.env.eng.ScheduleInKind(interval, des.KindCtlTick, uint32(h.id), h.ctlFn)
+	}
+}
+
+// restoreCtlTick re-schedules a serialized controller sampling tick.
+func (h *host) restoreCtlTick(at, prio des.Time) {
+	h.env.eng.SchedulePrioKind(at, prio, des.KindCtlTick, uint32(h.id), h.ctlFn)
 }

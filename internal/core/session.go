@@ -466,14 +466,15 @@ func newSessionFrom(sub *substrate, rs *resumeState) *Session {
 		after = rs.at
 	}
 	chl := sub.compileChildren()
+	conns := hostConns(chl)
 	s.hosts = make([]*host, cfg.NumHosts)
 	for id := 0; id < cfg.NumHosts; id++ {
 		if rs != nil {
 			s.hosts[id] = newHostBare(id, env, cfg.Scheme)
 		} else {
-			s.hosts[id] = newHost(id, env, chl[id], cfg.Scheme)
+			s.hosts[id] = newHostWired(id, env, chl[id], conns[id], cfg.Scheme)
 			if cfg.Scheme == SchemeAdaptive && len(s.hosts[id].muxes) > 0 {
-				s.hosts[id].startController(des.Second, 250*des.Millisecond, sub.threshold)
+				s.hosts[id].startController(ctlWindow, ctlInterval, sub.threshold)
 			}
 		}
 		id := id

@@ -193,15 +193,16 @@ func newShardedFrom(sub *substrate, rs *resumeState) *ShardedSession {
 	// each shard engine's event sequence is then the projection of the
 	// sequential schedule onto its hosts.
 	chl := sub.compileChildren()
+	conns := hostConns(chl)
 	s.hosts = make([]*host, cfg.NumHosts)
 	for id := 0; id < cfg.NumHosts; id++ {
 		sh := s.sh[owner[id]]
 		if rs != nil {
 			s.hosts[id] = newHostBare(id, sh.env, cfg.Scheme)
 		} else {
-			s.hosts[id] = newHost(id, sh.env, chl[id], cfg.Scheme)
+			s.hosts[id] = newHostWired(id, sh.env, chl[id], conns[id], cfg.Scheme)
 			if cfg.Scheme == SchemeAdaptive && len(s.hosts[id].muxes) > 0 {
-				s.hosts[id].startController(des.Second, 250*des.Millisecond, sub.threshold)
+				s.hosts[id].startController(ctlWindow, ctlInterval, sub.threshold)
 			}
 		}
 		id, sh := id, sh

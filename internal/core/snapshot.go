@@ -31,11 +31,10 @@ package core
 //     scheduled first — exactly as the original build did — so the restored
 //     firing order is the original's.
 //
-// Out of scope (Snapshot returns an explicit error): SchemeAdaptive (the
-// per-host controller ticks through untagged des.NewTicker events), VBR
-// workloads (stochastic sources with untagged timers), and QueuedTransit
-// (router-link serialisation events are untagged). The des engine's
-// KindNone check backstops all three.
+// Every supported configuration snapshots (format version 2): the
+// adaptive controller ticks, the VBR audio/video sources, and the
+// QueuedTransit router links all carry kind tags and rehydrate. The des
+// engine's KindNone check backstops anything new that forgets to tag.
 
 import (
 	"fmt"
@@ -51,7 +50,11 @@ import (
 
 // SnapshotVersion is the snapshot format version. Bump on any layout
 // change; Restore rejects other versions.
-const SnapshotVersion = 1
+//
+// v2: type-tagged source records (extremal/audio/video), per-host
+// controller window state, and a fabric record for QueuedTransit link
+// queues.
+const SnapshotVersion = 2
 
 // Snapshot record types. Append-only: these appear in snapshot files.
 const (
@@ -67,6 +70,16 @@ const (
 	recStats
 	recCoord
 	recEnd
+	// recFabric (QueuedTransit link queues) rides between recComponents and
+	// recEngine in the stream; it took the next free number when added.
+	recFabric
+)
+
+// Source type tags inside recSources. Append-only, same rule as records.
+const (
+	srcExtremal uint8 = iota + 1
+	srcAudio
+	srcVideo
 )
 
 // Checkpointer is a session that can be stepped to quiesce points and
@@ -94,21 +107,12 @@ func NewCheckpointer(cfg Config) Checkpointer {
 	return NewSession(cfg)
 }
 
-// snapshotGuard rejects configurations whose pending events cannot
-// rehydrate (see the package comment). The engine's KindNone check is the
-// backstop; this names the reason.
-func snapshotGuard(cfg Config, started bool) error {
+// snapshotGuard rejects snapshots taken outside the valid lifecycle
+// window. Configuration coverage is total as of format v2; the engine's
+// KindNone check backstops any future untagged event family.
+func snapshotGuard(started bool) error {
 	if !started {
 		return fmt.Errorf("core: snapshot before Start")
-	}
-	if cfg.Scheme == SchemeAdaptive {
-		return fmt.Errorf("core: SchemeAdaptive sessions cannot be snapshotted (controller ticker events do not rehydrate)")
-	}
-	if cfg.Workload != WorkloadExtremal {
-		return fmt.Errorf("core: %v sessions cannot be snapshotted (stochastic source events do not rehydrate)", cfg.Workload)
-	}
-	if cfg.Transit == netsim.QueuedTransit {
-		return fmt.Errorf("core: QueuedTransit sessions cannot be snapshotted (router-link events do not rehydrate)")
 	}
 	return nil
 }
@@ -239,6 +243,13 @@ func writeHosts(w *snap.Writer, hosts []*host) {
 		// post-restore join would silently skip regulator creation.
 		w.Bool(h.srBank != nil)
 		w.Bool(h.srlBank != nil)
+		// Adaptive controller: a running controller's window estimator is
+		// mutable runtime state; its pending tick rides as a KindCtlTick
+		// event in the engine record.
+		w.Bool(h.rate != nil)
+		if h.rate != nil {
+			h.rate.Snapshot(w)
+		}
 	}
 	w.End()
 }
@@ -258,6 +269,13 @@ func readHosts(r *snap.Reader, hosts []*host) error {
 		if r.Bool() && h.srlBank == nil {
 			h.srlBank = make([]*regulator.SRL, len(h.env.specs))
 		}
+		if r.Bool() {
+			// Re-arm the controller closure without scheduling its tick (the
+			// pending tick replays from the engine record), then overwrite
+			// the fresh window with the serialized one.
+			h.prepareController(ctlWindow, ctlInterval, h.env.threshold)
+			h.rate.Restore(r)
+		}
 	}
 	return nil
 }
@@ -266,29 +284,97 @@ func writeSources(w *snap.Writer, sources []traffic.Source) error {
 	w.Begin(recSources)
 	w.Len(len(sources))
 	for g, src := range sources {
-		ex, ok := src.(*traffic.Extremal)
-		if !ok {
+		switch s := src.(type) {
+		case *traffic.Extremal:
+			nextID, start := s.SnapState()
+			w.U8(srcExtremal)
+			w.U64(nextID)
+			w.I64(int64(start))
+		case *traffic.Audio:
+			st := s.SnapState()
+			w.U8(srcAudio)
+			w.U64(st.NextID)
+			w.I64(int64(st.TalkEnd))
+			w.U64(st.RNG)
+		case *traffic.Video:
+			st := s.SnapState()
+			w.U8(srcVideo)
+			w.U64(st.NextID)
+			w.I64(int64(st.Frame))
+			w.Bool(st.ScenePending)
+			w.U64(st.RNG)
+		default:
 			return fmt.Errorf("core: group %d source %T cannot be snapshotted", g, src)
 		}
-		nextID, start := ex.SnapState()
-		w.U64(nextID)
-		w.I64(int64(start))
 	}
 	w.End()
 	return nil
 }
 
-func readSources(r *snap.Reader, numGroups int) (ids []uint64, starts []des.Time, err error) {
+// srcState is one decoded source record awaiting resume; tag selects which
+// of the per-type fields are meaningful.
+type srcState struct {
+	tag    uint8
+	nextID uint64
+	start  des.Time // extremal cycle start
+	audio  traffic.AudioState
+	video  traffic.VideoState
+}
+
+func readSources(r *snap.Reader, numGroups int) ([]srcState, error) {
 	if n := r.Len(); n != numGroups {
-		return nil, nil, fmt.Errorf("core: snapshot has %d sources, session has %d groups", n, numGroups)
+		return nil, fmt.Errorf("core: snapshot has %d sources, session has %d groups", n, numGroups)
 	}
-	ids = make([]uint64, numGroups)
-	starts = make([]des.Time, numGroups)
-	for g := range ids {
-		ids[g] = r.U64()
-		starts[g] = des.Time(r.I64())
+	sts := make([]srcState, numGroups)
+	for g := range sts {
+		st := &sts[g]
+		st.tag = r.U8()
+		switch st.tag {
+		case srcExtremal:
+			st.nextID = r.U64()
+			st.start = des.Time(r.I64())
+		case srcAudio:
+			st.audio.NextID = r.U64()
+			st.audio.TalkEnd = des.Time(r.I64())
+			st.audio.RNG = r.U64()
+		case srcVideo:
+			st.video.NextID = r.U64()
+			st.video.Frame = int(r.I64())
+			st.video.ScenePending = r.Bool()
+			st.video.RNG = r.U64()
+		default:
+			if err := r.Err(); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("core: snapshot source %d has unknown type tag %d", g, st.tag)
+		}
 	}
-	return ids, starts, nil
+	return sts, nil
+}
+
+// resumeSource re-binds one rebuilt source to its engine and serialized
+// stream position. The source's pending events replay separately.
+func resumeSource(g int, src traffic.Source, st srcState, eng *des.Engine, until des.Time, emit func(traffic.Packet)) error {
+	switch s := src.(type) {
+	case *traffic.Extremal:
+		if st.tag != srcExtremal {
+			return fmt.Errorf("core: snapshot source %d has tag %d, session built an extremal source", g, st.tag)
+		}
+		s.Resume(eng, until, emit, st.nextID, st.start)
+	case *traffic.Audio:
+		if st.tag != srcAudio {
+			return fmt.Errorf("core: snapshot source %d has tag %d, session built an audio source", g, st.tag)
+		}
+		s.Resume(eng, until, emit, st.audio)
+	case *traffic.Video:
+		if st.tag != srcVideo {
+			return fmt.Errorf("core: snapshot source %d has tag %d, session built a video source", g, st.tag)
+		}
+		s.Resume(eng, until, emit, st.video)
+	default:
+		return fmt.Errorf("core: group %d source %T cannot be restored", g, src)
+	}
+	return nil
 }
 
 func (cp *controlPlane) snapshot(w *snap.Writer) {
@@ -567,7 +653,7 @@ func writeComponents(w *snap.Writer, env *hostEnv, hosts []*host, evs []des.Pend
 	var ms []sel
 	for slot, m := range env.muxReg {
 		id := env.muxIdent[slot]
-		live := hosts[id.host].muxes[int(id.sub)] == m
+		live := hosts[id.host].muxAt(int(id.sub)) == m
 		if live || muxRef[uint32(slot)] {
 			ms = append(ms, sel{slot, live})
 		}
@@ -700,14 +786,15 @@ type replayEv struct {
 	at, prio des.Time
 	kind     uint16
 	arg      uint32
-	dst      int            // KindFlight payload
-	pkt      traffic.Packet // KindFlight payload
+	via      int            // KindHopFlight payload: next router, or -1 for an access leg
+	dst      int            // KindFlight / KindHopFlight payload
+	pkt      traffic.Packet // KindFlight / KindHopFlight payload
 }
 
 // writeEvents serializes one engine's pending runtime events in seq order.
-// KindBuild events are skipped (rebuilt from the Config); KindFlight
-// events carry their in-flight delivery inline, because the flight-pool
-// node index in arg is meaningless across processes.
+// KindBuild events are skipped (rebuilt from the Config); KindFlight and
+// KindHopFlight events carry their in-flight delivery inline, because the
+// flight-pool node index in arg is meaningless across processes.
 func writeEvents(w *snap.Writer, evs []des.PendingEvent, fabric *netsim.Fabric) {
 	w.Begin(recEngine)
 	n := 0
@@ -725,8 +812,14 @@ func writeEvents(w *snap.Writer, evs []des.PendingEvent, fabric *netsim.Fabric) 
 		w.I64(int64(ev.Prio))
 		w.U16(ev.Kind)
 		w.U32(ev.Arg)
-		if ev.Kind == des.KindFlight {
+		switch ev.Kind {
+		case des.KindFlight:
 			dst, p := fabric.PendingFlight(ev.Arg)
+			w.U32(uint32(dst))
+			p.Snapshot(w)
+		case des.KindHopFlight:
+			via, dst, p := fabric.PendingHop(ev.Arg)
+			w.I64(int64(via))
 			w.U32(uint32(dst))
 			p.Snapshot(w)
 		}
@@ -747,7 +840,12 @@ func readEvents(r *snap.Reader) []replayEv {
 			kind: r.U16(),
 			arg:  r.U32(),
 		}
-		if ev.kind == des.KindFlight {
+		switch ev.kind {
+		case des.KindFlight:
+			ev.dst = int(r.U32())
+			ev.pkt = traffic.RestorePacket(r)
+		case des.KindHopFlight:
+			ev.via = int(r.I64())
 			ev.dst = int(r.U32())
 			ev.pkt = traffic.RestorePacket(r)
 		}
@@ -759,7 +857,7 @@ func readEvents(r *snap.Reader) []replayEv {
 // replayEvents re-schedules one engine's serialized events in original
 // order, after the engine's clock has been restored. Fresh ascending
 // sequence numbers preserve the original relative firing order.
-func replayEvents(evs []replayEv, cm compMaps, fabric *netsim.Fabric, sources []traffic.Source) error {
+func replayEvents(evs []replayEv, cm compMaps, fabric *netsim.Fabric, sources []traffic.Source, hosts []*host) error {
 	for _, ev := range evs {
 		switch ev.kind {
 		case des.KindMuxDone:
@@ -789,16 +887,56 @@ func replayEvents(evs []replayEv, cm compMaps, fabric *netsim.Fabric, sources []
 			}
 		case des.KindFlight:
 			fabric.RestoreFlight(ev.at, ev.prio, ev.dst, ev.pkt)
+		case des.KindHopFlight:
+			fabric.RestoreHop(ev.at, ev.prio, ev.via, ev.dst, ev.pkt)
+		case des.KindLinkDone:
+			if err := fabric.RestoreLinkDone(ev.arg, ev.at, ev.prio); err != nil {
+				return err
+			}
 		case des.KindSrcCycle, des.KindSrcTick:
 			if int(ev.arg) >= len(sources) {
 				return fmt.Errorf("core: snapshot event names unknown source %d", ev.arg)
 			}
-			ex := sources[ev.arg].(*traffic.Extremal)
+			ex, ok := sources[ev.arg].(*traffic.Extremal)
+			if !ok {
+				return fmt.Errorf("core: snapshot event kind %d names a %T source", ev.kind, sources[ev.arg])
+			}
 			if ev.kind == des.KindSrcCycle {
 				ex.RestoreCycle(ev.at, ev.prio)
 			} else {
 				ex.RestoreTick(ev.at, ev.prio)
 			}
+		case des.KindAudioTalk, des.KindAudioWake:
+			if int(ev.arg) >= len(sources) {
+				return fmt.Errorf("core: snapshot event names unknown source %d", ev.arg)
+			}
+			a, ok := sources[ev.arg].(*traffic.Audio)
+			if !ok {
+				return fmt.Errorf("core: snapshot event kind %d names a %T source", ev.kind, sources[ev.arg])
+			}
+			if ev.kind == des.KindAudioTalk {
+				a.RestoreTalk(ev.at, ev.prio)
+			} else {
+				a.RestoreWake(ev.at, ev.prio)
+			}
+		case des.KindVideoTick:
+			if int(ev.arg) >= len(sources) {
+				return fmt.Errorf("core: snapshot event names unknown source %d", ev.arg)
+			}
+			v, ok := sources[ev.arg].(*traffic.Video)
+			if !ok {
+				return fmt.Errorf("core: snapshot event kind %d names a %T source", ev.kind, sources[ev.arg])
+			}
+			v.RestoreTick(ev.at, ev.prio)
+		case des.KindCtlTick:
+			if int(ev.arg) >= len(hosts) {
+				return fmt.Errorf("core: snapshot event names unknown host %d", ev.arg)
+			}
+			h := hosts[ev.arg]
+			if h.ctlFn == nil {
+				return fmt.Errorf("core: snapshot controller tick for host %d, but its controller was not restored", ev.arg)
+			}
+			h.restoreCtlTick(ev.at, ev.prio)
 		default:
 			return fmt.Errorf("core: snapshot event has unknown kind %d", ev.kind)
 		}
@@ -810,7 +948,7 @@ func replayEvents(evs []replayEv, cm compMaps, fabric *netsim.Fabric, sources []
 
 // Snapshot serializes the session at the current quiesce point.
 func (s *Session) Snapshot() ([]byte, error) {
-	if err := snapshotGuard(s.cfg, s.started); err != nil {
+	if err := snapshotGuard(s.started); err != nil {
 		return nil, err
 	}
 	evs, err := s.eng.PendingEvents()
@@ -836,6 +974,11 @@ func (s *Session) Snapshot() ([]byte, error) {
 		s.ro.snapshot(w)
 	}
 	writeComponents(w, s.env, s.hosts, evs)
+	if s.cfg.Transit == netsim.QueuedTransit {
+		w.Begin(recFabric)
+		s.fabric.SnapshotLinks(w)
+		w.End()
+	}
 	writeEvents(w, evs, s.fabric)
 	w.Begin(recStats)
 	for g := range s.perGroup {
@@ -887,7 +1030,7 @@ func (s *Session) restore(r *snap.Reader, meta snapMeta) error {
 	if err := expect(r, recSources); err != nil {
 		return err
 	}
-	srcIDs, srcStarts, err := readSources(r, numGroups)
+	srcSts, err := readSources(r, numGroups)
 	if err != nil {
 		return err
 	}
@@ -919,6 +1062,14 @@ func (s *Session) restore(r *snap.Reader, meta snapMeta) error {
 	cm, err := readComponents(r, s.hosts, numGroups)
 	if err != nil {
 		return err
+	}
+	if s.cfg.Transit == netsim.QueuedTransit {
+		if err := expect(r, recFabric); err != nil {
+			return err
+		}
+		if err := s.fabric.RestoreLinks(r); err != nil {
+			return err
+		}
 	}
 	if err := expect(r, recEngine); err != nil {
 		return err
@@ -960,15 +1111,13 @@ func (s *Session) restore(r *snap.Reader, meta snapMeta) error {
 	s.sources = cfg.Workload.BuildSourcesN(cfg.Mix, numGroups, cfg.TrafficSeed.Or(cfg.Seed),
 		cfg.EnvelopeMargin, cfg.BurstSec)
 	for g, src := range s.sources {
-		ex, ok := src.(*traffic.Extremal)
-		if !ok {
-			return fmt.Errorf("core: group %d source %T cannot be restored", g, src)
+		if err := resumeSource(g, src, srcSts[g], s.eng, cfg.Duration, s.emitFn(g, s.groups[g].tree.Source)); err != nil {
+			return err
 		}
-		ex.Resume(s.eng, cfg.Duration, s.emitFn(g, s.groups[g].tree.Source), srcIDs[g], srcStarts[g])
 	}
 	s.started = true
 	s.eng.RestoreNow(meta.at)
-	return replayEvents(evs, cm, s.fabric, s.sources)
+	return replayEvents(evs, cm, s.fabric, s.sources, s.hosts)
 }
 
 // --- Sharded session ---
@@ -979,7 +1128,7 @@ func (s *ShardedSession) Snapshot() ([]byte, error) {
 	if s.seq != nil {
 		return s.seq.Snapshot()
 	}
-	if err := snapshotGuard(s.sub.cfg, s.started); err != nil {
+	if err := snapshotGuard(s.started); err != nil {
 		return nil, err
 	}
 	at := s.sh[0].eng.Now()
@@ -1096,7 +1245,7 @@ func (s *ShardedSession) restore(r *snap.Reader, meta snapMeta) error {
 	if err := expect(r, recSources); err != nil {
 		return err
 	}
-	srcIDs, srcStarts, err := readSources(r, numGroups)
+	srcSts, err := readSources(r, numGroups)
 	if err != nil {
 		return err
 	}
@@ -1204,17 +1353,15 @@ func (s *ShardedSession) restore(r *snap.Reader, meta snapMeta) error {
 	s.sources = cfg.Workload.BuildSourcesN(cfg.Mix, numGroups, cfg.TrafficSeed.Or(cfg.Seed),
 		cfg.EnvelopeMargin, cfg.BurstSec)
 	for g, src := range s.sources {
-		ex, ok := src.(*traffic.Extremal)
-		if !ok {
-			return fmt.Errorf("core: group %d source %T cannot be restored", g, src)
-		}
 		root := s.sub.groups[g].tree.Source
-		ex.Resume(s.sh[s.owner[root]].eng, cfg.Duration, s.emitFn(g, root), srcIDs[g], srcStarts[g])
+		if err := resumeSource(g, src, srcSts[g], s.sh[s.owner[root]].eng, cfg.Duration, s.emitFn(g, root)); err != nil {
+			return err
+		}
 	}
 	s.started = true
 	for si, sh := range s.sh {
 		sh.eng.RestoreNow(meta.at)
-		if err := replayEvents(evss[si], cms[si], sh.fabric, s.sources); err != nil {
+		if err := replayEvents(evss[si], cms[si], sh.fabric, s.sources, s.hosts); err != nil {
 			return err
 		}
 	}

@@ -5,13 +5,15 @@ import (
 	"testing"
 
 	"repro/internal/des"
+	"repro/internal/netsim"
 	"repro/internal/traffic"
 )
 
-// checkpointCases are the four workload archetypes the snapshot contract
-// is pinned over: static trees, membership churn, correlated faults
-// (outage + partition spanning the checkpoint), and online
-// re-optimization under churn.
+// checkpointCases are the workload archetypes the snapshot contract is
+// pinned over: static trees, membership churn, correlated faults (outage +
+// partition spanning the checkpoint), online re-optimization under churn,
+// the adaptive per-host controller, VBR stochastic sources (audio and
+// video), and queued router-link transit.
 func checkpointCases() []struct {
 	name string
 	cfg  Config
@@ -21,6 +23,13 @@ func checkpointCases() []struct {
 	fault := faultBaseConfig(29)
 	reopt := churnConfig(SchemeSigmaRho, 17)
 	reopt.Reopt = ReoptConfig{Every: 250 * des.Millisecond, MinImprove: 0.02, MaxMoves: 2}
+	adaptive := shardBaseConfig(37)
+	adaptive.Scheme = SchemeAdaptive
+	vbr := shardBaseConfig(41)
+	vbr.Workload = WorkloadVBR
+	vbr.Mix = traffic.MixHetero
+	queued := shardBaseConfig(43)
+	queued.Transit = netsim.QueuedTransit
 	return []struct {
 		name string
 		cfg  Config
@@ -29,6 +38,9 @@ func checkpointCases() []struct {
 		{"churn", churn},
 		{"fault", fault},
 		{"reopt-churn", reopt},
+		{"adaptive", adaptive},
+		{"vbr", vbr},
+		{"queued", queued},
 	}
 }
 
@@ -121,29 +133,15 @@ func TestCheckpointUnalignedInstant(t *testing.T) {
 	}
 }
 
-// TestSnapshotGuards pins the explicit refusals: unsupported
-// configurations and unstarted sessions fail with an error, not a corrupt
-// snapshot.
+// TestSnapshotGuards pins the remaining explicit refusal: an unstarted
+// session fails with an error, not a corrupt snapshot. (Configuration
+// coverage is total as of format v2 — the previously refused adaptive,
+// VBR, and QueuedTransit families are pinned bit-identical by
+// TestCheckpointRestoreBitIdentical.)
 func TestSnapshotGuards(t *testing.T) {
 	cfg := shardBaseConfig(3)
 	if _, err := NewSession(cfg).Snapshot(); err == nil {
 		t.Error("snapshot before Start did not fail")
-	}
-
-	ad := shardBaseConfig(3)
-	ad.Scheme = SchemeAdaptive
-	s := NewSession(ad)
-	s.Start()
-	if _, err := s.Snapshot(); err == nil {
-		t.Error("SchemeAdaptive snapshot did not fail")
-	}
-
-	vbr := shardBaseConfig(3)
-	vbr.Workload = WorkloadVBR
-	s = NewSession(vbr)
-	s.Start()
-	if _, err := s.Snapshot(); err == nil {
-		t.Error("WorkloadVBR snapshot did not fail")
 	}
 }
 

@@ -1,7 +1,11 @@
 package core
 
 import (
+	"crypto/sha256"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/overlay"
 	"repro/internal/topo"
@@ -18,7 +22,11 @@ import (
 //
 // The groups field is the mutable per-group runtime (trees and member
 // bitmaps the control plane drives), so a substrate belongs to exactly
-// one session; compile a fresh one per run.
+// one session; compile a fresh one per run. The expensive immutable parts
+// (network, built trees, resolved member sets) live in a shared blueprint
+// (see blueprintFor) and are cloned into the substrate, so compiling the
+// N-th substrate for the same structural Config costs a tree clone, not a
+// tree build.
 type substrate struct {
 	cfg       Config // fillDefaults applied
 	net       *topo.Network
@@ -31,32 +39,185 @@ type substrate struct {
 
 func (sub *substrate) numGroups() int { return len(sub.specs) }
 
-// compileSubstrate validates cfg and builds the session structure. The
-// derivation order and every random stream match the pre-shard NewSession
-// exactly — pinned by the paper-fig4/paper-fig6 golden bit-identity tests.
-func compileSubstrate(cfg Config) *substrate {
-	cfg.fillDefaults()
-	sub := &substrate{cfg: cfg}
-	sub.net = topo.NewNetwork(cfg.Topology.Build(cfg.Seed), topo.NetworkConfig{
+// blueprint is the immutable, shareable half of a compiled substrate: the
+// parts that depend only on the Config's structural identity (population,
+// seed, topology, membership, tree construction inputs) and are read-only
+// after construction. One blueprint serves any number of concurrent
+// sessions — sweeps over load/traffic-seed grids, auto-tune probes, and
+// snapshot restores all reuse the same one (see blueprintFor).
+type blueprint struct {
+	net      *topo.Network
+	groups   []GroupSpec     // resolved member sets; read-only
+	trees    []*overlay.Tree // built trees; cloned per session
+	shared   bool            // all trees alias one build (capacity-aware, implicit membership)
+	strat    overlay.Strategy
+	treeCfgs []overlay.Config
+	mults    []float64 // per-host uplink multipliers; nil when homogeneous
+	minMult  float64   // smallest multiplier (envelope-fit check); 1 when homogeneous
+}
+
+// parallelIndexed runs fn(i) for i in [0, n) across a bounded worker pool,
+// propagating the first panic to the caller. Each fn writes only its own
+// pre-sized slot, so the result is identical to the sequential loop
+// regardless of scheduling. workers <= 1 degenerates to the plain loop —
+// the reference order the golden tests pin.
+func parallelIndexed(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// compileWorkers is the worker-pool width for substrate compilation.
+func compileWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// blueprintKey fingerprints the structural identity of a Config: every
+// field that feeds the blueprint (and nothing that doesn't). Configs that
+// differ only in load, traffic seed, duration, scheme (among the regulated
+// schemes), discipline, shard count, or the runtime planes (churn, faults,
+// reopt) map to the same key and share one blueprint. The capacity-aware
+// scheme's trees depend on the fanout bound — a function of load — so its
+// key includes that bound.
+func blueprintKey(cfg *Config, numGroups int) [32]byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "v1|hosts=%d|seed=%d|groups=%d\n", cfg.NumHosts, cfg.Seed, numGroups)
+	fmt.Fprintf(h, "topo=%T%+v\n", cfg.Topology, cfg.Topology)
+	fmt.Fprintf(h, "uplinks=%+v\n", cfg.UplinkClasses)
+	if cfg.Groups == nil {
+		fmt.Fprintf(h, "members=all\n")
+	} else {
+		for g, spec := range cfg.Groups {
+			fmt.Fprintf(h, "g%d src=%d members=%v\n", g, spec.Source, spec.Members)
+		}
+	}
+	if cfg.Scheme == SchemeCapacityAware {
+		fmt.Fprintf(h, "capaware tree=%d fanout=%d implicit=%v\n",
+			cfg.Tree, overlay.FanoutBound(cfg.Load, cfg.CapacityFactor), cfg.Groups == nil)
+	} else {
+		fmt.Fprintf(h, "regulated strat=%s k=%d\n", cfg.strategyName(), cfg.ClusterK)
+	}
+	var key [32]byte
+	h.Sum(key[:0])
+	return key
+}
+
+// The blueprint cache: a small mutex-guarded LRU keyed by blueprintKey.
+// Eight entries cover the realistic working set (a sweep's distinct
+// capacity-aware fanout bounds plus the regulated key) while bounding the
+// memory pinned by retired scenarios' networks.
+const blueprintCacheSize = 8
+
+var blueprintCache struct {
+	sync.Mutex
+	entries map[[32]byte]*blueprint
+	order   [][32]byte // LRU order, oldest first
+}
+
+// blueprintCacheLen reports the cached entry count (tests).
+func blueprintCacheLen() int {
+	blueprintCache.Lock()
+	defer blueprintCache.Unlock()
+	return len(blueprintCache.entries)
+}
+
+// FlushSubstrateCache drops every cached substrate blueprint. Sessions
+// already compiled keep their clones; only the shared immutable halves
+// (networks, built trees, resolved member sets) are released. Useful for
+// memory-sensitive callers retiring a large scenario, and for benchmarks
+// that need to measure a cold compile.
+func FlushSubstrateCache() {
+	blueprintCache.Lock()
+	defer blueprintCache.Unlock()
+	blueprintCache.entries = nil
+	blueprintCache.order = nil
+}
+
+// blueprintFor returns the shared blueprint for cfg, compiling (and
+// caching) it on first use. The build runs outside the cache lock so
+// concurrent sweep workers never serialize on a compile; two racing
+// workers may both build the same blueprint, in which case the first
+// insert wins and the loser's copy is garbage (both are identical).
+func blueprintFor(cfg *Config, numGroups int) *blueprint {
+	key := blueprintKey(cfg, numGroups)
+	blueprintCache.Lock()
+	if bp, ok := blueprintCache.entries[key]; ok {
+		for i, k := range blueprintCache.order {
+			if k == key {
+				copy(blueprintCache.order[i:], blueprintCache.order[i+1:])
+				blueprintCache.order[len(blueprintCache.order)-1] = key
+				break
+			}
+		}
+		blueprintCache.Unlock()
+		return bp
+	}
+	blueprintCache.Unlock()
+
+	bp := buildBlueprint(cfg, numGroups, compileWorkers())
+
+	blueprintCache.Lock()
+	defer blueprintCache.Unlock()
+	if prior, ok := blueprintCache.entries[key]; ok {
+		return prior
+	}
+	if blueprintCache.entries == nil {
+		blueprintCache.entries = make(map[[32]byte]*blueprint, blueprintCacheSize)
+	}
+	for len(blueprintCache.order) >= blueprintCacheSize {
+		oldest := blueprintCache.order[0]
+		blueprintCache.order = blueprintCache.order[1:]
+		delete(blueprintCache.entries, oldest)
+	}
+	blueprintCache.entries[key] = bp
+	blueprintCache.order = append(blueprintCache.order, key)
+	return bp
+}
+
+// buildBlueprint compiles the immutable half of a substrate: the underlay
+// network, resolved member sets, and delivery trees. Per-group tree builds
+// fan across the worker pool into pre-sized slots — each group's random
+// stream is derived independently (xrand.DeriveSeed(Seed, g)), so the
+// result is bit-identical to the sequential build the goldens pin.
+// workers == 1 is that sequential reference.
+func buildBlueprint(cfg *Config, numGroups, workers int) *blueprint {
+	bp := &blueprint{}
+	bp.net = topo.NewNetwork(cfg.Topology.Build(cfg.Seed), topo.NetworkConfig{
 		NumHosts:      cfg.NumHosts,
 		Seed:          cfg.Seed,
 		UplinkClasses: cfg.UplinkClasses,
 	})
-
-	// Flow envelopes: one flow per group.
-	numGroups := cfg.groupCount()
-	sub.specs = cfg.Specs
-	if sub.specs == nil {
-		sub.specs = cfg.Workload.BuildSpecsN(cfg.Mix, numGroups, cfg.TrafficSeed.Or(cfg.Seed),
-			cfg.EnvelopeMargin, cfg.BurstSec, cfg.EnvelopeHorizonSec)
-	} else if len(sub.specs) != numGroups {
-		panic(fmt.Sprintf("core: %d specs for %d groups", len(sub.specs), numGroups))
-	}
-	groups := cfg.resolveGroups(numGroups)
-
-	// Base per-connection capacity from the x-axis load: sized so a host
-	// carrying every group flow runs at the configured utilisation.
-	sub.conn = cfg.Mix.TotalRateN(numGroups) / cfg.Load
+	bp.groups = cfg.resolveGroups(numGroups)
 
 	// Trees. Regulated schemes build one tree per group over the group's
 	// member set, rooted at its source. The capacity-aware scheme under
@@ -75,74 +236,120 @@ func compileSubstrate(cfg Config) *substrate {
 		}
 		return t
 	}
-	trees := make([]*overlay.Tree, numGroups)
-	treeCfgs := make([]overlay.Config, numGroups)
-	var strat overlay.Strategy
+	bp.trees = make([]*overlay.Tree, numGroups)
+	bp.treeCfgs = make([]overlay.Config, numGroups)
 	if cfg.Scheme == SchemeCapacityAware {
 		fanout := overlay.FanoutBound(cfg.Load, cfg.CapacityFactor)
 		if cfg.Groups == nil {
 			var shared *overlay.Tree
-			members := groups[0].Members
+			members := bp.groups[0].Members
 			if cfg.Tree == TreeNICE {
-				shared = must(overlay.BuildFlatBlind(sub.net, members, 0, fanout, xrand.DeriveSeed(cfg.Seed, 0)))
+				shared = must(overlay.BuildFlatBlind(bp.net, members, 0, fanout, xrand.DeriveSeed(cfg.Seed, 0)))
 			} else {
-				shared = must(overlay.BuildFlat(sub.net, members, 0, fanout))
+				shared = must(overlay.BuildFlat(bp.net, members, 0, fanout))
 			}
-			for g := range trees {
-				trees[g] = shared
+			for g := range bp.trees {
+				bp.trees[g] = shared
 			}
+			bp.shared = true
 		} else {
-			for g := range trees {
+			parallelIndexed(numGroups, workers, func(g int) {
 				if cfg.Tree == TreeNICE {
-					trees[g] = must(overlay.BuildFlatBlind(sub.net, groups[g].Members,
-						groups[g].Source, fanout, xrand.DeriveSeed(cfg.Seed, g)))
+					bp.trees[g] = must(overlay.BuildFlatBlind(bp.net, bp.groups[g].Members,
+						bp.groups[g].Source, fanout, xrand.DeriveSeed(cfg.Seed, g)))
 				} else {
-					trees[g] = must(overlay.BuildFlat(sub.net, groups[g].Members,
-						groups[g].Source, fanout))
+					bp.trees[g] = must(overlay.BuildFlat(bp.net, bp.groups[g].Members,
+						bp.groups[g].Source, fanout))
 				}
-			}
+			})
 		}
 	} else {
 		// Regulated schemes build through the named overlay strategy —
 		// "dsct" and "nice" resolve to the exact builders (and random
 		// streams) the pre-strategy substrate called, pinned by the golden
-		// bit-identity tests.
-		var err error
-		strat, err = overlay.LookupStrategy(cfg.strategyName())
+		// bit-identity tests. Strategies are stateless; all randomness
+		// enters through the per-group seed, so the builds are independent.
+		strat, err := overlay.LookupStrategy(cfg.strategyName())
 		if err != nil {
 			panic(fmt.Sprintf("core: %v", err))
 		}
-		for g := 0; g < numGroups; g++ {
+		bp.strat = strat
+		parallelIndexed(numGroups, workers, func(g int) {
 			tc := overlay.Config{K: cfg.ClusterK, Seed: xrand.DeriveSeed(cfg.Seed, g)}
-			treeCfgs[g] = tc
-			trees[g] = must(strat.Build(sub.net, groups[g].Members, groups[g].Source, tc))
-		}
+			bp.treeCfgs[g] = tc
+			bp.trees[g] = must(strat.Build(bp.net, bp.groups[g].Members, bp.groups[g].Source, tc))
+		})
 	}
 
-	// Per-group runtime: the mutable state the control plane drives.
-	sub.groups = make([]*groupState, numGroups)
-	for g := range sub.groups {
-		member := make([]bool, cfg.NumHosts)
-		for _, m := range groups[g].Members {
-			member[m] = true
-		}
-		sub.groups[g] = &groupState{spec: groups[g], tree: trees[g], member: member}
-		if strat != nil {
-			sub.groups[g].strat = strat
-			sub.groups[g].lim = strat.Limits(treeCfgs[g], cfg.NumHosts)
-			sub.groups[g].treeCfg = treeCfgs[g]
-		}
-	}
-
+	bp.minMult = 1
 	if len(cfg.UplinkClasses) > 0 {
-		sub.mults = make([]float64, cfg.NumHosts)
-		minMult := sub.net.Hosts[0].UplinkMult
-		for id := range sub.mults {
-			sub.mults[id] = sub.net.Hosts[id].UplinkMult
-			if sub.mults[id] < minMult {
-				minMult = sub.mults[id]
+		bp.mults = make([]float64, cfg.NumHosts)
+		bp.minMult = bp.net.Hosts[0].UplinkMult
+		for id := range bp.mults {
+			bp.mults[id] = bp.net.Hosts[id].UplinkMult
+			if bp.mults[id] < bp.minMult {
+				bp.minMult = bp.mults[id]
 			}
 		}
+	}
+	return bp
+}
+
+// compileSubstrate validates cfg and builds the session structure. The
+// derivation order and every random stream match the pre-shard NewSession
+// exactly — pinned by the paper-fig4/paper-fig6 golden bit-identity tests.
+// The immutable half comes from the shared blueprint cache; the per-
+// session half (flow envelopes at this traffic seed, connection capacity
+// at this load, cloned trees and member bitmaps the control plane will
+// mutate) is instantiated fresh on every call.
+func compileSubstrate(cfg Config) *substrate {
+	cfg.fillDefaults()
+	numGroups := cfg.groupCount()
+	bp := blueprintFor(&cfg, numGroups)
+
+	sub := &substrate{cfg: cfg, net: bp.net, mults: bp.mults}
+
+	// Flow envelopes: one flow per group.
+	sub.specs = cfg.Specs
+	if sub.specs == nil {
+		sub.specs = cfg.Workload.BuildSpecsN(cfg.Mix, numGroups, cfg.TrafficSeed.Or(cfg.Seed),
+			cfg.EnvelopeMargin, cfg.BurstSec, cfg.EnvelopeHorizonSec)
+	} else if len(sub.specs) != numGroups {
+		panic(fmt.Sprintf("core: %d specs for %d groups", len(sub.specs), numGroups))
+	}
+
+	// Base per-connection capacity from the x-axis load: sized so a host
+	// carrying every group flow runs at the configured utilisation.
+	sub.conn = cfg.Mix.TotalRateN(numGroups) / cfg.Load
+
+	// Per-group runtime: the mutable state the control plane drives. Each
+	// session gets its own tree clones and member bitmaps; the blueprint's
+	// trees stay pristine for the next session. Slots are pre-sized and
+	// written independently, so the clone fan-out is order-free.
+	sub.groups = make([]*groupState, numGroups)
+	var sharedClone *overlay.Tree
+	if bp.shared {
+		sharedClone = bp.trees[0].Clone()
+	}
+	parallelIndexed(numGroups, compileWorkers(), func(g int) {
+		member := make([]bool, cfg.NumHosts)
+		for _, m := range bp.groups[g].Members {
+			member[m] = true
+		}
+		tree := sharedClone
+		if tree == nil {
+			tree = bp.trees[g].Clone()
+		}
+		st := &groupState{spec: bp.groups[g], tree: tree, member: member}
+		if bp.strat != nil {
+			st.strat = bp.strat
+			st.lim = bp.strat.Limits(bp.treeCfgs[g], cfg.NumHosts)
+			st.treeCfg = bp.treeCfgs[g]
+		}
+		sub.groups[g] = st
+	})
+
+	if len(cfg.UplinkClasses) > 0 {
 		// Every flow envelope must fit inside the slowest class's uplink:
 		// a host whose C sits at or below some ρᵢ cannot regulate flow i
 		// (NewSRL requires ρ < C), and even a host that never forwards
@@ -150,10 +357,10 @@ func compileSubstrate(cfg Config) *substrate {
 		// negative W would silently corrupt the schedule. Fail loudly at
 		// build time instead.
 		for g, sp := range sub.specs {
-			if sp.Rho >= minMult*sub.conn {
+			if sp.Rho >= bp.minMult*sub.conn {
 				panic(fmt.Sprintf(
 					"core: group %d envelope rate %.0f bps exceeds the slowest uplink class capacity %.0f bps (mult %.2g of C=%.0f); lower the load or raise the class multiplier",
-					g, sp.Rho, minMult*sub.conn, minMult, sub.conn))
+					g, sp.Rho, bp.minMult*sub.conn, bp.minMult, sub.conn))
 			}
 		}
 	}
@@ -161,22 +368,145 @@ func compileSubstrate(cfg Config) *substrate {
 	return sub
 }
 
-// compileChildren flattens every host's per-group child sets in a single
-// O(total tree edges) pass — group-major, so each host's slots come out
-// sorted by group id without any per-host sort. The per-host childrenOf
-// loop this replaces walked hosts × groups tree lookups (51M at 100k ×
-// 512) and allocated a dense [][]int per host. Children are copied: trees
-// own their child slices and the control plane mutates host child sets
-// independently of tree bookkeeping.
+// compileChildren flattens every host's per-group child sets in
+// O(total tree edges): a counting pass sizes one arena per backing array
+// (group ids, child-list headers, child ids), then a group-ascending fill
+// pass carves each host's slots out of the arenas. Three bulk allocations
+// replace the per-(host, group) slice copies the previous version made —
+// at 100k hosts × 512 groups that is millions of heap objects the GC no
+// longer scans. Each carved slice is capacity-capped at its own window, so
+// a control-plane append reallocates off-arena instead of bleeding into
+// the neighbouring slot.
+//
+// The counting pass fans across the worker pool (per-worker count arrays,
+// summed after the join); the fill pass walks groups in ascending order so
+// each host's slots come out sorted by group id without any per-host sort,
+// exactly as before. Children are copied out of the trees: trees own their
+// child slices and the control plane mutates host child sets independently
+// of tree bookkeeping.
 func (sub *substrate) compileChildren() []groupChildren {
-	per := make([]groupChildren, sub.cfg.NumHosts)
-	for g, st := range sub.groups {
+	numHosts := sub.cfg.NumHosts
+	numGroups := len(sub.groups)
+	workers := compileWorkers()
+	if workers > numGroups {
+		workers = numGroups
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Counting pass: per-worker slot/kid counts per host, merged below.
+	slotCounts := make([][]int32, workers)
+	kidCounts := make([][]int32, workers)
+	var wg sync.WaitGroup
+	var nextGroup atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			slots := make([]int32, numHosts)
+			kids := make([]int32, numHosts)
+			slotCounts[w], kidCounts[w] = slots, kids
+			for {
+				g := int(nextGroup.Add(1)) - 1
+				if g >= numGroups {
+					return
+				}
+				sub.groups[g].tree.EachParent(func(p int, cs []int) {
+					slots[p]++
+					kids[p] += int32(len(cs))
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	slotCount, kidCount := slotCounts[0], kidCounts[0]
+	for w := 1; w < workers; w++ {
+		for p := 0; p < numHosts; p++ {
+			slotCount[p] += slotCounts[w][p]
+			kidCount[p] += kidCounts[w][p]
+		}
+	}
+
+	totalSlots, totalKids := 0, 0
+	for p := 0; p < numHosts; p++ {
+		totalSlots += int(slotCount[p])
+		totalKids += int(kidCount[p])
+	}
+
+	// Carve each host's windows out of the arenas, capacity-capped.
+	per := make([]groupChildren, numHosts)
+	groupArena := make([]int32, 0, totalSlots)
+	hdrArena := make([][]int, 0, totalSlots)
+	kidArena := make([]int, totalKids)
+	so, ko := 0, 0
+	kidCur := make([]int32, numHosts) // per-host fill cursor into its kid window
+	kidStart := make([]int, numHosts)
+	for p := 0; p < numHosts; p++ {
+		ns, nk := int(slotCount[p]), int(kidCount[p])
+		if ns > 0 {
+			per[p].groups = groupArena[so : so : so+ns]
+			per[p].kids = hdrArena[so : so : so+ns]
+		}
+		kidStart[p] = ko
+		so += ns
+		ko += nk
+	}
+
+	// Fill pass: groups ascending, so slots land sorted by group id.
+	for g := 0; g < numGroups; g++ {
 		g32 := int32(g)
-		st.tree.EachParent(func(p int, kids []int) {
+		sub.groups[g].tree.EachParent(func(p int, cs []int) {
 			gc := &per[p]
 			gc.groups = append(gc.groups, g32)
-			gc.kids = append(gc.kids, append([]int(nil), kids...))
+			start := kidStart[p] + int(kidCur[p])
+			end := start + len(cs)
+			dst := kidArena[start:end:end]
+			copy(dst, cs)
+			gc.kids = append(gc.kids, dst)
+			kidCur[p] += int32(len(cs))
 		})
 	}
 	return per
+}
+
+// hostConns returns each host's distinct child connections, sorted — the
+// per-host wiring plan newHost consumes. The per-host de-duplication is
+// pure (it reads only that host's flattened child sets), so the plan fans
+// across the worker pool; MUX creation itself stays sequential because
+// component registry slots must be assigned in host order.
+func hostConns(per []groupChildren) [][]int {
+	conns := make([][]int, len(per))
+	parallelIndexed(len(per), compileWorkers(), func(p int) {
+		gc := &per[p]
+		var out []int
+		for _, cs := range gc.kids {
+			for _, c := range cs {
+				out = insertSortedDistinct(out, c)
+			}
+		}
+		conns[p] = out
+	})
+	return conns
+}
+
+// insertSortedDistinct inserts v into sorted ascending s, skipping
+// duplicates.
+func insertSortedDistinct(s []int, v int) []int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s) && s[lo] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[lo+1:], s[lo:])
+	s[lo] = v
+	return s
 }

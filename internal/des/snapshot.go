@@ -50,6 +50,20 @@ const (
 	// (arg = group/flow index).
 	KindSrcCycle
 	KindSrcTick
+	// KindCtlTick is an adaptive-controller sampling tick (arg = host id).
+	KindCtlTick
+	// KindAudioTalk / KindAudioWake are VBR audio-source callbacks: the
+	// in-talkspurt packet tick and the end-of-silence wake (arg = flow).
+	KindAudioTalk
+	KindAudioWake
+	// KindVideoTick is a VBR video-source frame tick (arg = flow).
+	KindVideoTick
+	// KindLinkDone is a router-link serialisation completion
+	// (arg = the fabric's link-registry slot).
+	KindLinkDone
+	// KindHopFlight is a packet propagating between router hops or down an
+	// access link (arg = flight-pool node index; payload serialized inline).
+	KindHopFlight
 )
 
 // PendingEvent is one serializable queue entry.

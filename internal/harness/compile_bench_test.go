@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/scenario"
+)
+
+// benchCompile measures full session construction — substrate compile plus
+// host wiring — for the heaviest cell of a scenario. The cold variant
+// flushes the blueprint cache every iteration, so it prices the
+// parallel compile itself; the warm variant prices the cached path a
+// sweep cell, auto-tune probe, or restore actually pays.
+func benchCompile(b *testing.B, name string, warm bool) {
+	p, err := newSweepPlan(scenario.MustLookup(name),
+		Options{Seed: 1, Duration: des.Duration(des.Seconds(0.5))})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := p.cfgs[len(p.cfgs)-1]
+	core.FlushSubstrateCache()
+	if warm {
+		core.NewSession(cfg)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !warm {
+			core.FlushSubstrateCache()
+		}
+		core.NewSession(cfg)
+	}
+}
+
+func BenchmarkSubstrateCompile(b *testing.B) {
+	for _, name := range []string{"waxman-zipf-16", "waxman-zipf-512"} {
+		b.Run(name+"/cold", func(b *testing.B) { benchCompile(b, name, false) })
+		b.Run(name+"/warm", func(b *testing.B) { benchCompile(b, name, true) })
+	}
+}

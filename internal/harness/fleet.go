@@ -5,17 +5,18 @@ package harness
 // manifest pinning every plan input (scenario spec, resolved seed, load
 // grid, duration, shard count), and spawns N workers; each worker
 // rebuilds the identical plan from the manifest — newSweepPlan is a pure
-// function of its inputs — claims whole combos via O_EXCL claim files,
-// runs every load of a claimed combo, and writes the cells as one atomic
-// result file. The parent merges result files through the same aggregate
-// as the in-process sweep, so the merged ScenarioResult is byte-identical
-// to ScenarioSweep's (sweepCell carries only types that round-trip
-// bit-exactly through encoding/json).
+// function of its inputs — claims individual (combo, load) cells via
+// O_EXCL claim files, runs each claimed cell, and writes it as one atomic
+// result file. Cell-level granularity lets a sweep with few combos but
+// many loads still spread across every worker. The parent merges result
+// files through the same aggregate as the in-process sweep, so the merged
+// ScenarioResult is byte-identical to ScenarioSweep's (sweepCell carries
+// only types that round-trip bit-exactly through encoding/json).
 //
 // The directory is the whole protocol, which makes a killed sweep
 // resumable: re-running FleetSweep on the same directory validates the
 // manifest byte-for-byte, clears claims whose result never landed, and
-// workers skip combos whose results exist.
+// workers skip cells whose results exist.
 
 import (
 	"bytes"
@@ -63,22 +64,22 @@ type fleetManifest struct {
 	Shards        int             `json:"shards"`
 }
 
-// fleetComboResult is one worker's output for one combo: the cells for
-// every load, in load order.
-type fleetComboResult struct {
-	SchemaVersion int         `json:"schema_version"`
-	Combo         int         `json:"combo"`
-	Cells         []sweepCell `json:"cells"`
+// fleetCellResult is one worker's output for one (combo, load) cell.
+type fleetCellResult struct {
+	SchemaVersion int       `json:"schema_version"`
+	Combo         int       `json:"combo"`
+	Load          int       `json:"load"`
+	Cell          sweepCell `json:"cell"`
 }
 
 const fleetManifestName = "manifest.json"
 
-func fleetClaimPath(dir string, ci int) string {
-	return filepath.Join(dir, fmt.Sprintf("combo_%d.claim", ci))
+func fleetClaimPath(dir string, ci, li int) string {
+	return filepath.Join(dir, fmt.Sprintf("cell_%d_%d.claim", ci, li))
 }
 
-func fleetResultPath(dir string, ci int) string {
-	return filepath.Join(dir, fmt.Sprintf("combo_%d.json", ci))
+func fleetResultPath(dir string, ci, li int) string {
+	return filepath.Join(dir, fmt.Sprintf("cell_%d_%d.json", ci, li))
 }
 
 // writeFileAtomic writes via a temp file and rename, so readers only ever
@@ -170,7 +171,7 @@ func readFleetManifest(dir string) (fleetManifest, error) {
 
 // prepareFleetDir writes the manifest into a fresh directory, or — on
 // resume — verifies the existing manifest matches byte-for-byte and
-// clears stale claims (a claim whose result never landed marks a combo a
+// clears stale claims (a claim whose result never landed marks a cell a
 // killed worker was holding; removing it lets the next worker reclaim).
 func prepareFleetDir(dir string, m fleetManifest) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -192,20 +193,23 @@ func prepareFleetDir(dir string, m fleetManifest) error {
 		return fmt.Errorf("harness: fleet dir %s holds a different sweep's manifest; use a fresh directory", dir)
 	}
 	for ci := 0; ci < m.Combos; ci++ {
-		if _, err := os.Stat(fleetResultPath(dir, ci)); errors.Is(err, fs.ErrNotExist) {
-			if err := os.Remove(fleetClaimPath(dir, ci)); err != nil && !errors.Is(err, fs.ErrNotExist) {
-				return err
+		for li := range m.Loads {
+			if _, err := os.Stat(fleetResultPath(dir, ci, li)); errors.Is(err, fs.ErrNotExist) {
+				if err := os.Remove(fleetClaimPath(dir, ci, li)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+					return err
+				}
 			}
 		}
 	}
 	return nil
 }
 
-// fleetWorker is the worker loop: claim a combo nobody holds, run every
-// load of it, write the result atomically, repeat until no combo is left
-// unclaimed. maxCombos < 0 means unlimited; ran, when non-nil, observes
-// each combo this worker actually executed (tests count re-runs with it).
-func fleetWorker(dir string, maxCombos int, ran func(ci int)) error {
+// fleetWorker is the worker loop: claim a (combo, load) cell nobody
+// holds, run it, write the result atomically, repeat until no cell is
+// left unclaimed. maxCells < 0 means unlimited; ran, when non-nil,
+// observes each cell this worker actually executed (tests count re-runs
+// with it).
+func fleetWorker(dir string, maxCells int, ran func(ci, li int)) error {
 	m, err := readFleetManifest(dir)
 	if err != nil {
 		return err
@@ -216,45 +220,44 @@ func fleetWorker(dir string, maxCombos int, ran func(ci int)) error {
 	}
 	done := 0
 	for ci := range p.combos {
-		if maxCombos >= 0 && done >= maxCombos {
-			return nil
-		}
-		if _, err := os.Stat(fleetResultPath(dir, ci)); err == nil {
-			continue // another worker (or a previous run) finished this combo
-		}
-		claim, err := os.OpenFile(fleetClaimPath(dir, ci), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
-		if err != nil {
-			if errors.Is(err, fs.ErrExist) {
-				continue // another live worker holds it
-			}
-			return err
-		}
-		claim.Close()
-		cells := make([]sweepCell, len(p.loads))
 		for li := range p.loads {
-			cells[li] = p.runCell(li*len(p.combos) + ci)
+			if maxCells >= 0 && done >= maxCells {
+				return nil
+			}
+			if _, err := os.Stat(fleetResultPath(dir, ci, li)); err == nil {
+				continue // another worker (or a previous run) finished this cell
+			}
+			claim, err := os.OpenFile(fleetClaimPath(dir, ci, li), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+			if err != nil {
+				if errors.Is(err, fs.ErrExist) {
+					continue // another live worker holds it
+				}
+				return err
+			}
+			claim.Close()
+			out, err := json.MarshalIndent(fleetCellResult{
+				SchemaVersion: SchemaVersion,
+				Combo:         ci,
+				Load:          li,
+				Cell:          p.runCell(li*len(p.combos) + ci),
+			}, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := writeFileAtomic(fleetResultPath(dir, ci, li), out); err != nil {
+				return err
+			}
+			if ran != nil {
+				ran(ci, li)
+			}
+			done++
 		}
-		out, err := json.MarshalIndent(fleetComboResult{
-			SchemaVersion: SchemaVersion,
-			Combo:         ci,
-			Cells:         cells,
-		}, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := writeFileAtomic(fleetResultPath(dir, ci), out); err != nil {
-			return err
-		}
-		if ran != nil {
-			ran(ci)
-		}
-		done++
 	}
 	return nil
 }
 
 // RunFleetWorker runs one fleet worker against a prepared work directory
-// until no unclaimed combo remains — the "-fleet-worker" entry point.
+// until no unclaimed cell remains — the "-fleet-worker" entry point.
 func RunFleetWorker(dir string) error {
 	return fleetWorker(dir, -1, nil)
 }
@@ -271,31 +274,31 @@ func defaultSpawn(dir string) error {
 	return cmd.Run()
 }
 
-// mergeFleet reads every combo result and reassembles the flat cell
+// mergeFleet reads every cell result and reassembles the flat cell
 // array the in-process sweep would have produced.
 func mergeFleet(dir string, p *sweepPlan) ([]sweepCell, error) {
 	cells := make([]sweepCell, p.cellCount())
 	for ci := range p.combos {
-		data, err := os.ReadFile(fleetResultPath(dir, ci))
-		if errors.Is(err, fs.ErrNotExist) {
-			return nil, fmt.Errorf("harness: fleet sweep incomplete: combo %d has no result (a worker died; re-run with the same -fleet-dir to resume)", ci)
-		}
-		if err != nil {
-			return nil, err
-		}
-		if err := checkSchemaVersion(data); err != nil {
-			return nil, err
-		}
-		var res fleetComboResult
-		if err := json.Unmarshal(data, &res); err != nil {
-			return nil, fmt.Errorf("harness: fleet result %d does not parse: %w", ci, err)
-		}
-		if res.Combo != ci || len(res.Cells) != len(p.loads) {
-			return nil, fmt.Errorf("harness: fleet result %d is for combo %d with %d cells (want %d)",
-				ci, res.Combo, len(res.Cells), len(p.loads))
-		}
-		for li, c := range res.Cells {
-			cells[li*len(p.combos)+ci] = c
+		for li := range p.loads {
+			data, err := os.ReadFile(fleetResultPath(dir, ci, li))
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil, fmt.Errorf("harness: fleet sweep incomplete: cell (combo %d, load %d) has no result (a worker died; re-run with the same -fleet-dir to resume)", ci, li)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if err := checkSchemaVersion(data); err != nil {
+				return nil, err
+			}
+			var res fleetCellResult
+			if err := json.Unmarshal(data, &res); err != nil {
+				return nil, fmt.Errorf("harness: fleet result (%d,%d) does not parse: %w", ci, li, err)
+			}
+			if res.Combo != ci || res.Load != li {
+				return nil, fmt.Errorf("harness: fleet result (%d,%d) is stamped for cell (%d,%d)",
+					ci, li, res.Combo, res.Load)
+			}
+			cells[li*len(p.combos)+ci] = res.Cell
 		}
 	}
 	return cells, nil
@@ -305,7 +308,7 @@ func mergeFleet(dir string, p *sweepPlan) ([]sweepCell, error) {
 // merged result is byte-identical (through ScenarioResult.JSON) to the
 // in-process ScenarioSweep of the same scenario and options, and a sweep
 // killed partway resumes from its work directory without re-running
-// completed combos.
+// completed cells.
 func FleetSweep(sc scenario.Scenario, opts Options, fo FleetOptions) (ScenarioResult, error) {
 	p, err := newSweepPlan(sc, opts)
 	if err != nil {

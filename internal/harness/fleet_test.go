@@ -27,6 +27,9 @@ func TestFleetSweepByteIdentical(t *testing.T) {
 	}{
 		{"churn-waxman-16", Options{Seed: 3}, 2},
 		{"outage-waxman-16", Options{Seed: 5, Shards: 2}, 3},
+		// More workers than combos: per-cell claims let a 2-combo × 3-load
+		// sweep spread 6 ways instead of idling 4 workers.
+		{"waxman-zipf-16", Options{Seed: 11}, 6},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			sc := scenario.MustLookup(tc.name).Quick()
@@ -58,8 +61,8 @@ func TestFleetSweepByteIdentical(t *testing.T) {
 	}
 }
 
-// TestFleetSweepResume kills the fleet after one combo, then resumes on
-// the same directory: the completed combo's result file must survive
+// TestFleetSweepResume kills the fleet after one cell, then resumes on
+// the same directory: the completed cell's result file must survive
 // byte-for-byte (not re-run), a stale claim without a result must be
 // reclaimed, and the merged output must still match the in-process sweep.
 func TestFleetSweepResume(t *testing.T) {
@@ -67,7 +70,7 @@ func TestFleetSweepResume(t *testing.T) {
 	opts := Options{Seed: 7}
 	dir := filepath.Join(t.TempDir(), "work")
 
-	// First attempt: the lone worker dies after finishing one combo.
+	// First attempt: the lone worker dies after finishing one cell.
 	_, err := FleetSweep(sc, opts, FleetOptions{
 		Workers: 1,
 		Dir:     dir,
@@ -76,25 +79,25 @@ func TestFleetSweepResume(t *testing.T) {
 	if err == nil {
 		t.Fatal("partial fleet run did not report an incomplete sweep")
 	}
-	first, err := os.ReadFile(fleetResultPath(dir, 0))
+	first, err := os.ReadFile(fleetResultPath(dir, 0, 0))
 	if err != nil {
-		t.Fatalf("combo 0 result missing after partial run: %v", err)
+		t.Fatalf("cell (0,0) result missing after partial run: %v", err)
 	}
-	// A worker killed mid-combo leaves a claim with no result; the resume
-	// must clear it so the combo is reclaimed.
-	if err := os.WriteFile(fleetClaimPath(dir, 1), nil, 0o644); err != nil {
+	// A worker killed mid-cell leaves a claim with no result; the resume
+	// must clear it so the cell is reclaimed.
+	if err := os.WriteFile(fleetClaimPath(dir, 1, 0), nil, 0o644); err != nil {
 		t.Fatal(err)
 	}
 
 	var mu sync.Mutex
-	var reran []int
+	var reran [][2]int
 	got, err := FleetSweep(sc, opts, FleetOptions{
 		Workers: 2,
 		Dir:     dir,
 		Spawn: func(d string) error {
-			return fleetWorker(d, -1, func(ci int) {
+			return fleetWorker(d, -1, func(ci, li int) {
 				mu.Lock()
-				reran = append(reran, ci)
+				reran = append(reran, [2]int{ci, li})
 				mu.Unlock()
 			})
 		},
@@ -102,20 +105,20 @@ func TestFleetSweepResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, ci := range reran {
-		if ci == 0 {
-			t.Error("resume re-ran combo 0, which already had a result")
+	for _, cell := range reran {
+		if cell == [2]int{0, 0} {
+			t.Error("resume re-ran cell (0,0), which already had a result")
 		}
 	}
 	if len(reran) == 0 {
-		t.Error("resume ran no combos despite a missing result")
+		t.Error("resume ran no cells despite missing results")
 	}
-	after, err := os.ReadFile(fleetResultPath(dir, 0))
+	after, err := os.ReadFile(fleetResultPath(dir, 0, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(first, after) {
-		t.Error("resume rewrote the completed combo's result file")
+		t.Error("resume rewrote the completed cell's result file")
 	}
 
 	want, err := ScenarioSweep(sc, opts)
@@ -151,11 +154,11 @@ func TestFleetResultVersionGuard(t *testing.T) {
 	if _, err := FleetSweep(sc, Options{Seed: 7}, FleetOptions{Dir: dir, Spawn: inProcessSpawn}); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(fleetResultPath(dir, 0))
+	data, err := os.ReadFile(fleetResultPath(dir, 0, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var res fleetComboResult
+	var res fleetCellResult
 	if err := json.Unmarshal(data, &res); err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +167,7 @@ func TestFleetResultVersionGuard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(fleetResultPath(dir, 0), out, 0o644); err != nil {
+	if err := os.WriteFile(fleetResultPath(dir, 0, 0), out, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := FleetSweep(sc, Options{Seed: 7}, FleetOptions{Dir: dir, Spawn: inProcessSpawn}); err == nil {

@@ -30,10 +30,11 @@ func snapshotNormalize(res core.Result) core.Result {
 
 // SnapshotDiff checks run-to-end against run-to-half → snapshot →
 // restore → run-to-end for each combo of the scenario at its heaviest
-// load, and returns one report line per combo. Combos whose
-// configuration cannot snapshot (adaptive scheme, VBR workload) are
-// reported as skipped. A non-nil error means at least one combo
-// diverged — the restore contract is broken.
+// load, and returns one report line per combo. Every supported
+// configuration snapshots as of format v2; a combo is reported as
+// skipped only if Snapshot refuses it (e.g. a future untagged event
+// family). A non-nil error means at least one combo diverged — the
+// restore contract is broken.
 func SnapshotDiff(sc scenario.Scenario, opts Options) ([]string, error) {
 	p, err := newSweepPlan(sc, opts)
 	if err != nil {

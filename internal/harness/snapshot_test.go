@@ -28,10 +28,11 @@ func TestSnapshotDiffScenarios(t *testing.T) {
 	}
 }
 
-// TestSnapshotDiffSkipsUnsupported pins the skip path: an adaptive-scheme
-// combo cannot snapshot, and the diff reports it as skipped instead of
-// failing the scenario.
-func TestSnapshotDiffSkipsUnsupported(t *testing.T) {
+// TestSnapshotDiffCoversAdaptive pins total scheme coverage: the
+// adaptive-scheme combo — which earlier snapshot format versions refused
+// and the diff reported as skipped — now restore-verifies like every
+// other combo.
+func TestSnapshotDiffCoversAdaptive(t *testing.T) {
 	sc := scenario.MustLookup("waxman-zipf-16").Quick()
 	sc.Combos = append([]scenario.Combo(nil), sc.Combos...)
 	sc.Combos = append(sc.Combos, scenario.Combo{Scheme: "adaptive"})
@@ -39,12 +40,15 @@ func TestSnapshotDiffSkipsUnsupported(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var skipped bool
+	var adaptive bool
 	for _, l := range lines {
-		skipped = skipped || strings.Contains(l, "skipped")
+		if strings.Contains(l, "skipped") {
+			t.Errorf("combo was skipped instead of verified: %s", l)
+		}
+		adaptive = adaptive || (strings.Contains(l, "adaptive") && strings.Contains(l, "identical"))
 	}
-	if !skipped {
-		t.Fatalf("adaptive combo was not reported as skipped:\n%s", strings.Join(lines, "\n"))
+	if !adaptive {
+		t.Fatalf("adaptive combo did not restore-verify:\n%s", strings.Join(lines, "\n"))
 	}
 }
 

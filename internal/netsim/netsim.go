@@ -13,7 +13,10 @@
 package netsim
 
 import (
+	"fmt"
+
 	"repro/internal/des"
+	"repro/internal/snap"
 	"repro/internal/topo"
 	"repro/internal/traffic"
 )
@@ -136,6 +139,14 @@ type Link struct {
 	flying  *flightPool
 	Dropped uint64 // packets dropped by the queue cap, 0 = unlimited
 	MaxQ    int    // cap on queued packets; 0 = unlimited
+
+	// Checkpoint support: a link tagged by the fabric (see tagLink) carries
+	// kind/arg on its serialisation-done events and propagates through the
+	// fabric's shared, kind-tagged hop pool instead of its private one.
+	// Untagged links (standalone use) stay snapshot-incompatible.
+	kind uint16
+	arg  uint32
+	fly  func(d des.Duration, tr transit)
 }
 
 // NewLink returns a link serialising at capacity bits/second with the
@@ -152,10 +163,11 @@ func NewLink(eng *des.Engine, capacity float64, prop des.Duration, out func(tran
 	}
 	l := &Link{eng: eng, capacity: capacity, prop: prop}
 	l.flying = newFlightPool(eng, out)
+	l.fly = func(d des.Duration, tr transit) { l.flying.send(d, tr) }
 	l.done = func() {
 		// Serialisation finished: the packet propagates while the link
 		// starts on the next one.
-		l.flying.send(l.prop, l.cur)
+		l.fly(l.prop, l.cur)
 		l.serve()
 	}
 	return l
@@ -196,7 +208,12 @@ func (l *Link) serve() {
 	}
 	l.bits -= tr.p.Size
 	l.cur = tr
-	l.eng.ScheduleIn(des.Seconds(tr.p.Size/l.capacity), l.done)
+	d := des.Seconds(tr.p.Size / l.capacity)
+	if l.kind != 0 {
+		l.eng.ScheduleInKind(d, l.kind, l.arg, l.done)
+	} else {
+		l.eng.ScheduleIn(d, l.done)
+	}
 }
 
 // TransitMode selects how the Fabric carries host-to-host traffic.
@@ -217,14 +234,21 @@ type Fabric struct {
 	net       *topo.Network
 	mode      TransitMode
 	receivers []func(traffic.Packet)
-	// pipes carries PipeTransit packets end to end; uplinks carries
-	// QueuedTransit packets across the sender's access propagation.
-	pipes   *flightPool
-	uplinks *flightPool
+	// pipes carries PipeTransit packets end to end; hops carries every
+	// QueuedTransit pure-delay propagation — sender uplinks (via = the
+	// sender's router), backbone wires (via = the receiving router), and
+	// access-link descent to the host (via < 0). One shared, kind-tagged
+	// pool means every in-flight hop rehydrates from (via, dst, packet).
+	pipes *flightPool
+	hops  *flightPool
 	// QueuedTransit state: one Link per directed backbone edge, keyed by
-	// [from][to], plus per-host access links.
-	links  map[topo.NodeID]map[topo.NodeID]*Link
-	access []*Link // host uplink+downlink combined as one serialising stage
+	// [from][to], plus per-host access links. linkReg numbers every link in
+	// a deterministic order (backbone edges router-ascending, then access
+	// links host-ascending) — the slot a link's serialisation-done events
+	// carry as their arg, and the order the checkpoint serializes them in.
+	links   map[topo.NodeID]map[topo.NodeID]*Link
+	access  []*Link // host uplink+downlink combined as one serialising stage
+	linkReg []*Link
 	// Sharded delivery (see FabricConfig.Local/Remote).
 	local  func(host int) bool
 	remote func(dst int, at des.Time, p traffic.Packet)
@@ -277,14 +301,30 @@ func NewFabric(eng *des.Engine, net *topo.Network, cfg FabricConfig) *Fabric {
 		drop:      cfg.Drop,
 	}
 	f.pipes = newFlightPool(eng, func(tr transit) { f.deliver(tr.dst, tr.p) })
-	// PipeTransit flights are the only netsim events a checkpoint must
-	// carry, so only the pipe pool is tagged; QueuedTransit runs stay
-	// snapshot-incompatible (their link events hold closures).
 	f.pipes.kind = des.KindFlight
-	f.uplinks = newFlightPool(eng, func(tr transit) { f.arriveAtRouter(tr.via, tr) })
+	f.hops = newFlightPool(eng, func(tr transit) {
+		if tr.via < 0 {
+			f.deliver(tr.dst, tr.p)
+			return
+		}
+		f.arriveAtRouter(tr.via, tr)
+	})
+	f.hops.kind = des.KindHopFlight
 	if cfg.Mode == QueuedTransit {
 		if cfg.AccessCapacity <= 0 {
 			cfg.AccessCapacity = 100e6
+		}
+		// tagLink registers a link for checkpointing: its serialisation-done
+		// events carry the registry slot, and packets leaving it propagate
+		// through the shared hop pool addressed by via.
+		tagLink := func(l *Link, via topo.NodeID) {
+			l.kind = des.KindLinkDone
+			l.arg = uint32(len(f.linkReg))
+			l.fly = func(d des.Duration, tr transit) {
+				tr.via = via
+				f.hops.send(d, tr)
+			}
+			f.linkReg = append(f.linkReg, l)
 		}
 		f.links = make(map[topo.NodeID]map[topo.NodeID]*Link)
 		g := net.Backbone
@@ -293,17 +333,21 @@ func NewFabric(eng *des.Engine, net *topo.Network, cfg FabricConfig) *Fabric {
 			f.links[from] = make(map[topo.NodeID]*Link)
 			for _, e := range g.Neighbors(from) {
 				edge := e
-				f.links[from][edge.To] = NewLink(eng, edge.Capacity, edge.Delay, func(tr transit) {
+				l := NewLink(eng, edge.Capacity, edge.Delay, func(tr transit) {
 					f.arriveAtRouter(edge.To, tr)
 				})
+				tagLink(l, edge.To)
+				f.links[from][edge.To] = l
 			}
 		}
 		f.access = make([]*Link, len(net.Hosts))
 		for i := range net.Hosts {
 			host := i
-			f.access[i] = NewLink(eng, cfg.AccessCapacity, net.Hosts[i].AccessDelay, func(tr transit) {
+			l := NewLink(eng, cfg.AccessCapacity, net.Hosts[i].AccessDelay, func(tr transit) {
 				f.deliver(host, tr.p)
 			})
+			tagLink(l, -1)
+			f.access[i] = l
 		}
 	}
 	return f
@@ -334,7 +378,7 @@ func (f *Fabric) Send(src, dst int, p traffic.Packet) {
 		// Uplink propagation only: the sender's serialisation is already
 		// modelled by its per-connection MUX, so the uplink is a pure
 		// delay here; downlink serialises at the access link.
-		f.uplinks.send(f.net.Hosts[src].AccessDelay,
+		f.hops.send(f.net.Hosts[src].AccessDelay,
 			transit{p: p, dst: dst, via: f.net.Hosts[src].Router})
 	default:
 		f.pipes.send(f.net.Latency(src, dst), transit{p: p, dst: dst})
@@ -377,4 +421,88 @@ func (f *Fabric) deliver(host int, p traffic.Packet) {
 	if fn := f.receivers[host]; fn != nil {
 		fn(p)
 	}
+}
+
+// --- Checkpoint support (QueuedTransit) ---
+
+func writeTransit(w *snap.Writer, tr transit) {
+	w.U32(uint32(tr.dst))
+	w.I64(int64(tr.via))
+	tr.p.Snapshot(w)
+}
+
+func readTransit(r *snap.Reader) transit {
+	dst := int(r.U32())
+	via := topo.NodeID(r.I64())
+	return transit{p: traffic.RestorePacket(r), dst: dst, via: via}
+}
+
+// SnapshotLinks writes every registered link's mutable state — the
+// serialisation queue, the packet on the wire head (if busy), the backlog
+// accumulator (verbatim: it is a running float sum a recomputation would
+// not reproduce bit for bit), and the drop counter. In-flight propagation
+// rides separately as KindHopFlight events.
+func (f *Fabric) SnapshotLinks(w *snap.Writer) {
+	w.Len(len(f.linkReg))
+	for _, l := range f.linkReg {
+		w.Bool(l.busy)
+		if l.busy {
+			writeTransit(w, l.cur)
+		}
+		w.Len(l.QueueLen())
+		for _, tr := range l.queue[l.head:] {
+			writeTransit(w, tr)
+		}
+		w.F64(l.bits)
+		w.U64(l.Dropped)
+	}
+}
+
+// RestoreLinks overwrites every registered link's mutable state from the
+// open record. A busy link's serialisation-done event arrives separately
+// through RestoreLinkDone during event replay.
+func (f *Fabric) RestoreLinks(r *snap.Reader) error {
+	if n := r.Len(); n != len(f.linkReg) {
+		return fmt.Errorf("netsim: snapshot has %d links, fabric has %d", n, len(f.linkReg))
+	}
+	for _, l := range f.linkReg {
+		l.busy = r.Bool()
+		l.cur = transit{}
+		if l.busy {
+			l.cur = readTransit(r)
+		}
+		n := r.Len()
+		l.queue = make([]transit, n)
+		l.head = 0
+		for i := range l.queue {
+			l.queue[i] = readTransit(r)
+		}
+		l.bits = r.F64()
+		l.Dropped = r.U64()
+	}
+	return r.Err()
+}
+
+// RestoreLinkDone re-schedules a serialized serialisation-completion event
+// for the link in registry slot arg.
+func (f *Fabric) RestoreLinkDone(arg uint32, at, prio des.Time) error {
+	if int(arg) >= len(f.linkReg) {
+		return fmt.Errorf("netsim: snapshot event names unknown link slot %d", arg)
+	}
+	l := f.linkReg[arg]
+	l.eng.SchedulePrioKind(at, prio, l.kind, l.arg, l.done)
+	return nil
+}
+
+// PendingHop reads the in-flight hop a pending KindHopFlight event (by its
+// arg) refers to, for serialization.
+func (f *Fabric) PendingHop(arg uint32) (via, dst int, p traffic.Packet) {
+	tr := f.hops.nodes[arg].tr
+	return int(tr.via), tr.dst, tr.p
+}
+
+// RestoreHop re-schedules a serialized in-flight hop under its original
+// (at, prio) stamps.
+func (f *Fabric) RestoreHop(at, prio des.Time, via, dst int, p traffic.Packet) {
+	f.hops.restore(at, prio, transit{p: p, dst: dst, via: topo.NodeID(via)})
 }

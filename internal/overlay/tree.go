@@ -51,6 +51,31 @@ func (t *Tree) setParent(node, parent int) {
 	t.child[parent] = append(t.child[parent], node)
 }
 
+// Clone returns a deep copy of the tree: a session can mutate the copy
+// (churn grafts, reopt rewires, fault pruning) without touching the
+// original. Child-slice orderings are preserved exactly — forwarding
+// fan-out order and the snapshot codec both depend on them — so a cloned
+// tree is observably identical to a freshly built one.
+func (t *Tree) Clone() *Tree {
+	c := &Tree{
+		Source:  t.Source,
+		Members: append([]int(nil), t.Members...),
+		parent:  make(map[int]int, len(t.parent)),
+		child:   make(map[int][]int, len(t.child)),
+		member:  make(map[int]bool, len(t.member)),
+	}
+	for n, p := range t.parent {
+		c.parent[n] = p
+	}
+	for p, kids := range t.child {
+		c.child[p] = append([]int(nil), kids...)
+	}
+	for m, ok := range t.member {
+		c.member[m] = ok
+	}
+	return c
+}
+
 // Parent returns the parent of member h, or -1 for the source.
 func (t *Tree) Parent(h int) int { return t.parent[h] }
 

@@ -65,6 +65,40 @@ func (c *Counter) Restore(sr *snap.Reader) {
 	c.seen = sr.Bool()
 }
 
+// Snapshot appends the estimator's live window entries to the open
+// record, oldest first. The running sum is serialized verbatim, not
+// recomputed: it accumulated through float adds and subtracts whose
+// low-order bits a fresh summation would not reproduce, and the adaptive
+// controller's mode switches compare against it bit for bit.
+func (w *WindowRate) Snapshot(sw *snap.Writer) {
+	sw.Len(w.n)
+	for i := 0; i < w.n; i++ {
+		idx := (w.head + i) % len(w.times)
+		sw.I64(int64(w.times[idx]))
+		sw.F64(w.bits[idx])
+	}
+	sw.F64(w.sum)
+}
+
+// Restore overwrites the estimator from the open record. The ring's
+// physical layout (head position, capacity growth history) is not part of
+// the contract — only the logical entries and the running sum are.
+func (w *WindowRate) Restore(sr *snap.Reader) {
+	n := sr.Len()
+	size := len(w.times)
+	for size < n {
+		size *= 2
+	}
+	w.times = make([]des.Time, size)
+	w.bits = make([]float64, size)
+	w.head, w.n = 0, n
+	for i := 0; i < n; i++ {
+		w.times[i] = des.Time(sr.I64())
+		w.bits[i] = sr.F64()
+	}
+	w.sum = sr.F64()
+}
+
 // Snapshot appends the series' width and buckets to the open record.
 func (w *WindowMax) Snapshot(sw *snap.Writer) {
 	sw.F64(w.width)

@@ -28,8 +28,15 @@ type Audio struct {
 	MeanTalk    des.Duration // mean talkspurt length
 	MeanSilence des.Duration // mean silence length
 
-	rng    *xrand.Rand
-	nextID uint64
+	// Runtime state. rng/nextID/talkEnd are the mutable words a checkpoint
+	// captures; the closures are built once per Start/Resume and reschedule
+	// themselves through the engine's event pool.
+	rng     *xrand.Rand
+	nextID  uint64
+	talkEnd des.Time
+	eng     *des.Engine
+	talkFn  func()
+	wakeFn  func()
 }
 
 // NewAudio returns a talkspurt audio source scaled to the given average
@@ -65,40 +72,81 @@ func (a *Audio) PeakRate() float64 {
 	return a.Rate / onFrac
 }
 
-// Start implements Source.
+// Start implements Source. Emission begins with a talkspurt so
+// measurement starts promptly — the initial event is a wake, exactly like
+// the end of a silence gap.
 func (a *Audio) Start(eng *des.Engine, until des.Time, emit func(Packet)) {
+	a.prepare(eng, until, emit)
+	eng.ScheduleInKind(0, des.KindAudioWake, uint32(a.Flow), a.wakeFn)
+}
+
+// prepare builds the emission closures over the engine and sink. They read
+// a.talkEnd/a.nextID from the struct (not captured locals) so a checkpoint
+// can capture them and Resume can rebuild identical callbacks mid-stream.
+// Talk ticks and wakes carry kind tags with arg = Flow.
+func (a *Audio) prepare(eng *des.Engine, until des.Time, emit func(Packet)) {
 	peak := a.PeakRate()
 	interval := des.Seconds(a.PacketSize / peak)
-	var talk func(end des.Time)
-	var silence func()
-	talk = func(end des.Time) {
+	arg := uint32(a.Flow)
+	a.eng = eng
+	var talk func()
+	talk = func() {
 		now := eng.Now()
 		if now >= until {
 			return
 		}
-		if now >= end {
-			silence()
+		if now >= a.talkEnd {
+			// The talkspurt is over: draw the silence gap now (same rng
+			// order as emitting would have) and sleep until the wake.
+			gap := des.Seconds(a.rng.Exp(a.MeanSilence.Seconds()))
+			eng.ScheduleInKind(gap, des.KindAudioWake, arg, a.wakeFn)
 			return
 		}
 		emit(Packet{ID: a.nextID, Flow: a.Flow, Size: a.PacketSize, CreatedAt: now})
 		a.nextID++
-		eng.ScheduleIn(interval, func() { talk(end) })
+		eng.ScheduleInKind(interval, des.KindAudioTalk, arg, talk)
 	}
-	silence = func() {
-		gap := des.Seconds(a.rng.Exp(a.MeanSilence.Seconds()))
-		eng.ScheduleIn(gap, func() {
-			if eng.Now() >= until {
-				return
-			}
-			dur := des.Seconds(a.rng.Exp(a.MeanTalk.Seconds()))
-			talk(eng.Now() + dur)
-		})
-	}
-	// Begin with a talkspurt so measurement starts promptly.
-	eng.ScheduleIn(0, func() {
+	wake := func() {
+		if eng.Now() >= until {
+			return
+		}
 		dur := des.Seconds(a.rng.Exp(a.MeanTalk.Seconds()))
-		talk(eng.Now() + dur)
-	})
+		a.talkEnd = eng.Now() + dur
+		talk()
+	}
+	a.talkFn, a.wakeFn = talk, wake
+}
+
+// AudioState is the source's mutable runtime for a checkpoint.
+type AudioState struct {
+	NextID  uint64
+	TalkEnd des.Time
+	RNG     uint64
+}
+
+// SnapState returns the source's mutable runtime words for a checkpoint.
+func (a *Audio) SnapState() AudioState {
+	return AudioState{NextID: a.nextID, TalkEnd: a.talkEnd, RNG: a.rng.State()}
+}
+
+// Resume rebuilds the emission closures at a checkpoint restore without
+// scheduling anything — the restored engine replays the serialized talk/
+// wake events through RestoreTalk/RestoreWake instead.
+func (a *Audio) Resume(eng *des.Engine, until des.Time, emit func(Packet), st AudioState) {
+	a.prepare(eng, until, emit)
+	a.nextID = st.NextID
+	a.talkEnd = st.TalkEnd
+	a.rng.SetState(st.RNG)
+}
+
+// RestoreTalk re-schedules a serialized in-talkspurt packet tick.
+func (a *Audio) RestoreTalk(at, prio des.Time) {
+	a.eng.SchedulePrioKind(at, prio, des.KindAudioTalk, uint32(a.Flow), a.talkFn)
+}
+
+// RestoreWake re-schedules a serialized end-of-silence wake.
+func (a *Audio) RestoreWake(at, prio des.Time) {
+	a.eng.SchedulePrioKind(at, prio, des.KindAudioWake, uint32(a.Flow), a.wakeFn)
 }
 
 // Video is an MPEG-1-style VBR model: frames at a fixed rate, sizes
@@ -119,10 +167,14 @@ type Video struct {
 	SceneMean  des.Duration
 	SceneBoost float64
 
+	// Runtime state. rng/nextID/frame/scenePending are the mutable words a
+	// checkpoint captures; the tick closure is built once per Start/Resume.
 	rng          *xrand.Rand
 	nextID       uint64
 	frame        int
 	scenePending bool
+	eng          *des.Engine
+	tickFn       func()
 }
 
 // gopPattern holds relative frame weights for IBBPBBPBBPBB.
@@ -179,7 +231,16 @@ func (v *Video) frameSize() float64 {
 
 // Start implements Source.
 func (v *Video) Start(eng *des.Engine, until des.Time, emit func(Packet)) {
+	v.prepare(eng, until, emit)
+	eng.ScheduleInKind(0, des.KindVideoTick, uint32(v.Flow), v.tickFn)
+}
+
+// prepare builds the frame-tick closure over the engine and sink; ticks
+// carry kind tags with arg = Flow so a checkpoint can rehydrate them.
+func (v *Video) prepare(eng *des.Engine, until des.Time, emit func(Packet)) {
 	frameGap := des.Seconds(1 / v.FPS)
+	arg := uint32(v.Flow)
+	v.eng = eng
 	var tick func()
 	tick = func() {
 		now := eng.Now()
@@ -198,9 +259,38 @@ func (v *Video) Start(eng *des.Engine, until des.Time, emit func(Packet)) {
 			v.nextID++
 			size -= p
 		}
-		eng.ScheduleIn(frameGap, tick)
+		eng.ScheduleInKind(frameGap, des.KindVideoTick, arg, tick)
 	}
-	eng.ScheduleIn(0, tick)
+	v.tickFn = tick
+}
+
+// VideoState is the source's mutable runtime for a checkpoint.
+type VideoState struct {
+	NextID       uint64
+	Frame        int
+	ScenePending bool
+	RNG          uint64
+}
+
+// SnapState returns the source's mutable runtime words for a checkpoint.
+func (v *Video) SnapState() VideoState {
+	return VideoState{NextID: v.nextID, Frame: v.frame, ScenePending: v.scenePending, RNG: v.rng.State()}
+}
+
+// Resume rebuilds the frame-tick closure at a checkpoint restore without
+// scheduling anything — the restored engine replays the serialized tick
+// through RestoreTick instead.
+func (v *Video) Resume(eng *des.Engine, until des.Time, emit func(Packet), st VideoState) {
+	v.prepare(eng, until, emit)
+	v.nextID = st.NextID
+	v.frame = st.Frame
+	v.scenePending = st.ScenePending
+	v.rng.SetState(st.RNG)
+}
+
+// RestoreTick re-schedules a serialized frame tick.
+func (v *Video) RestoreTick(at, prio des.Time) {
+	v.eng.SchedulePrioKind(at, prio, des.KindVideoTick, uint32(v.Flow), v.tickFn)
 }
 
 // PaperAudio builds the paper's 64 kbps audio workload for the given flow.
